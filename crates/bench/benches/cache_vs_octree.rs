@@ -1,0 +1,57 @@
+//! Criterion micro-benchmark behind Figure 22: per-observation cost of the
+//! cache insertion path vs the octree update path, on a real scan batch.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use octocache::{CacheConfig, VoxelCache};
+use octocache_bench::grid;
+use octocache_datasets::{stats, Dataset, DatasetConfig};
+use octocache_octomap::{OccupancyOcTree, OccupancyParams};
+
+fn batch() -> Vec<(octocache_geom::VoxelKey, bool)> {
+    let seq = Dataset::Fr079Corridor.generate(&DatasetConfig::tiny());
+    let g = grid(0.1);
+    let mut out = Vec::new();
+    for scan in seq.scans().iter().take(3) {
+        stats::for_each_observation(scan, &g, seq.max_range(), |k, occ| out.push((k, occ)))
+            .expect("in-grid scan");
+    }
+    out
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let observations = batch();
+    let g = grid(0.1);
+    let mut group = c.benchmark_group("per-observation-update");
+    group.throughput(Throughput::Elements(observations.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("octree-direct", |b| {
+        b.iter(|| {
+            let mut tree = OccupancyOcTree::new(g, OccupancyParams::default());
+            for &(k, occ) in &observations {
+                tree.update_node(k, occ);
+            }
+            tree.num_nodes()
+        });
+    });
+
+    group.bench_function("cache-insert", |b| {
+        let cfg = CacheConfig::builder()
+            .num_buckets(1 << 14)
+            .tau(4)
+            .build()
+            .unwrap();
+        b.iter(|| {
+            let mut cache = VoxelCache::new(cfg, OccupancyParams::default());
+            for &(k, occ) in &observations {
+                cache.insert(k, occ, |_| None);
+            }
+            cache.len()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benchmark behind Figures 20/21: full map construction across
+//! backends on a small corridor workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use octocache_bench::{cache_for, construct, grid, Backend};
+use octocache_datasets::{Dataset, DatasetConfig};
+
+fn bench_construction(c: &mut Criterion) {
+    let seq = Dataset::Fr079Corridor.generate(&DatasetConfig::tiny());
+    let res = 0.1;
+    let cache = cache_for(&seq, res);
+    let mut group = c.benchmark_group("construction-fr079");
+    group.sample_size(10);
+    for backend in Backend::STANDARD.into_iter().chain(Backend::RT) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(backend.label()),
+            &backend,
+            |b, backend| {
+                b.iter(|| construct(&seq, backend.build(grid(res), cache)).total);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

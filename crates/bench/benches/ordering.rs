@@ -1,0 +1,56 @@
+//! Criterion micro-benchmark behind Figure 10: octree insertion throughput
+//! as a function of voxel order.
+
+use std::collections::HashSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use octocache::locality::VoxelOrder;
+use octocache_bench::grid;
+use octocache_datasets::{stats, Dataset, DatasetConfig};
+use octocache_geom::VoxelKey;
+use octocache_octomap::{OccupancyOcTree, OccupancyParams};
+
+fn distinct_keys() -> Vec<VoxelKey> {
+    let seq = Dataset::Fr079Corridor.generate(&DatasetConfig::tiny());
+    let g = grid(0.1);
+    let mut seen: HashSet<VoxelKey> = HashSet::new();
+    let mut keys = Vec::new();
+    for scan in seq.scans() {
+        stats::for_each_observation(scan, &g, seq.max_range(), |k, _| {
+            if seen.insert(k) {
+                keys.push(k);
+            }
+        })
+        .expect("in-grid scan");
+    }
+    keys
+}
+
+fn bench_orders(c: &mut Criterion) {
+    let keys = distinct_keys();
+    let g = grid(0.1);
+    let mut group = c.benchmark_group("octree-insertion-order");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.sample_size(10);
+    for order in VoxelOrder::ALL {
+        let mut ordered = keys.clone();
+        order.apply(&mut ordered);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(order.label()),
+            &ordered,
+            |b, ordered| {
+                b.iter(|| {
+                    let mut tree = OccupancyOcTree::new(g, OccupancyParams::default());
+                    for &k in ordered {
+                        tree.update_node(k, true);
+                    }
+                    tree.num_nodes()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orders);
+criterion_main!(benches);

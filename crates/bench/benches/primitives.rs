@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the primitives under everything: Morton
+//! encoding, the SPSC ring, and cache insertion at varying bucket loads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use octocache::spsc;
+use octocache::{CacheConfig, VoxelCache};
+use octocache_geom::{morton, VoxelKey};
+use octocache_octomap::OccupancyParams;
+
+fn keys(n: usize) -> Vec<VoxelKey> {
+    (0..n)
+        .map(|i| {
+            let i = i as u64;
+            VoxelKey::new(
+                ((i * 7919) % 65536) as u16,
+                ((i * 104729) % 65536) as u16,
+                ((i * 1299709) % 65536) as u16,
+            )
+        })
+        .collect()
+}
+
+fn bench_morton(c: &mut Criterion) {
+    let ks = keys(4096);
+    let mut group = c.benchmark_group("morton");
+    group.throughput(Throughput::Elements(ks.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| ks.iter().map(|&k| morton::encode(k)).sum::<u64>())
+    });
+    let codes: Vec<u64> = ks.iter().map(|&k| morton::encode(k)).collect();
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            codes
+                .iter()
+                .map(|&c| morton::decode(c).x as u64)
+                .sum::<u64>()
+        })
+    });
+    group.bench_function("sort", |b| {
+        b.iter(|| {
+            let mut v = ks.clone();
+            morton::sort_keys(&mut v);
+            v.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_spsc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spsc");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("push-pop-4096", |b| {
+        let (mut tx, mut rx) = spsc::channel::<u64>(8192);
+        b.iter(|| {
+            for i in 0..4096u64 {
+                tx.push(i).unwrap();
+            }
+            let mut sum = 0u64;
+            while let Some(v) = rx.try_pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache_insert(c: &mut Criterion) {
+    let ks = keys(16 * 1024);
+    let mut group = c.benchmark_group("cache-insert");
+    group.throughput(Throughput::Elements(ks.len() as u64));
+    for tau in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("tau", tau), &tau, |b, &tau| {
+            let cfg = CacheConfig::builder()
+                .num_buckets(1 << 12)
+                .tau(tau)
+                .build()
+                .unwrap();
+            b.iter(|| {
+                let mut cache = VoxelCache::new(cfg, OccupancyParams::default());
+                for &k in &ks {
+                    cache.insert(k, true, |_| None);
+                }
+                cache.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_morton, bench_spsc, bench_cache_insert);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation D (Table 1's "naive software parallelization" row): sharded
+//! parallel octree updates vs OctoMap vs OctoCache.
+//!
+//! The paper's argument (§4.4): sharding the octree across cores does not
+//! help because a scan's voxels are spatially local — nearly all updates
+//! land in one or two shards. This binary measures both the speedup and the
+//! imbalance that explains it.
+
+use octocache::pipeline::MappingSystem;
+use octocache::ShardedOctoMap;
+use octocache_bench::{
+    cache_for, construct, grid, load_dataset, print_table, reference_resolution, secs, Backend,
+};
+use octocache_datasets::Dataset;
+use octocache_octomap::OccupancyParams;
+
+fn main() {
+    let mut rows = Vec::new();
+    for dataset in Dataset::ALL {
+        let seq = load_dataset(dataset);
+        let res = reference_resolution(dataset);
+        let cache = cache_for(&seq, res);
+
+        let base = construct(&seq, Backend::OctoMap.build(grid(res), cache));
+        rows.push(vec![
+            dataset.name().to_string(),
+            base.backend.to_string(),
+            secs(base.total),
+            "1.00x".into(),
+            "-".into(),
+        ]);
+
+        for shards in [2usize, 4, 8] {
+            let mut sharded =
+                ShardedOctoMap::new(grid(res), OccupancyParams::default(), shards);
+            let t0 = std::time::Instant::now();
+            for scan in seq.scans() {
+                sharded
+                    .insert_scan(scan.origin, &scan.points, seq.max_range())
+                    .expect("in-grid scan");
+            }
+            let total = t0.elapsed();
+            rows.push(vec![
+                dataset.name().to_string(),
+                sharded.name(),
+                secs(total),
+                format!("{:.2}x", base.total.as_secs_f64() / total.as_secs_f64()),
+                format!("{:.2}", sharded.imbalance()),
+            ]);
+        }
+
+        let cached = construct(&seq, Backend::Serial.build(grid(res), cache));
+        rows.push(vec![
+            dataset.name().to_string(),
+            cached.backend.to_string(),
+            secs(cached.total),
+            format!("{:.2}x", base.total.as_secs_f64() / cached.total.as_secs_f64()),
+            "-".into(),
+        ]);
+    }
+    print_table(
+        "Ablation D — naive sharded parallelization vs OctoCache",
+        &["dataset", "backend", "total(s)", "speedup", "imbalance"],
+        &rows,
+    );
+    println!("\nexpected: sharding gains are capped by imbalance (paper §4.4); octocache wins");
+}

@@ -1,0 +1,72 @@
+//! Figures 7/8 and §3.1: intra-batch duplication and inter-batch overlap.
+//!
+//! Prints, per dataset: the intra-batch duplication factor band (paper:
+//! 2.78–31.32×) and the CDF of the voxel overlap ratio against the previous
+//! three update batches (paper: > 80 % for FR-079/New College, ≈ 40 % for
+//! the campus).
+
+use octocache_bench::{grid, load_dataset, print_table};
+use octocache_datasets::{stats, Dataset};
+
+fn main() {
+    let res = 0.2;
+    let g = grid(res);
+
+    let mut dup_rows = Vec::new();
+    let mut cdf_rows = Vec::new();
+    for dataset in Dataset::ALL {
+        let seq = load_dataset(dataset);
+
+        // Intra-batch duplication band.
+        let mut factors: Vec<f64> = seq
+            .scans()
+            .iter()
+            .map(|s| {
+                stats::batch_stats(s, &g, seq.max_range())
+                    .expect("in-grid scan")
+                    .duplication_factor()
+            })
+            .collect();
+        factors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = factors.iter().sum::<f64>() / factors.len() as f64;
+        dup_rows.push(vec![
+            dataset.name().to_string(),
+            format!("{:.2}", factors.first().unwrap()),
+            format!("{mean:.2}"),
+            format!("{:.2}", factors.last().unwrap()),
+        ]);
+
+        // Overlap CDF (window = 3, as in the paper).
+        let ratios = stats::overlap_ratios(&seq, &g, 3).expect("in-grid scans");
+        let cdf = stats::empirical_cdf(&ratios);
+        let quantile = |q: f64| -> f64 {
+            if cdf.is_empty() {
+                return 0.0;
+            }
+            let idx = ((cdf.len() as f64 * q).floor() as usize).min(cdf.len() - 1);
+            cdf[idx].0
+        };
+        cdf_rows.push(vec![
+            dataset.name().to_string(),
+            format!("{:.0}%", quantile(0.1) * 100.0),
+            format!("{:.0}%", quantile(0.5) * 100.0),
+            format!("{:.0}%", quantile(0.9) * 100.0),
+            format!(
+                "{:.0}%",
+                ratios.iter().sum::<f64>() / ratios.len().max(1) as f64 * 100.0
+            ),
+        ]);
+    }
+
+    print_table(
+        "§3.1 — intra-batch duplication factor (paper band: 2.78–31.32x)",
+        &["dataset", "min", "mean", "max"],
+        &dup_rows,
+    );
+    print_table(
+        "Figure 8 — overlap ratio vs previous 3 batches (CDF quantiles)",
+        &["dataset", "p10", "p50", "p90", "mean"],
+        &cdf_rows,
+    );
+    println!("\npaper: >80% overlap for two datasets, ~40% for freiburg-campus");
+}

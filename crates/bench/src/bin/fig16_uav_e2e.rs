@@ -1,0 +1,64 @@
+//! Figure 16: UAV autonomous navigation — end-to-end runtime, max safe
+//! velocity and task completion time, OctoMap vs (parallel) OctoCache, for
+//! both airframes over the four environments.
+//!
+//! The paper reports OctoCache 1.78× / 3.02× / 2.95× / 1.98× faster
+//! end-to-end (Openland/Farm/Room/Factory) and 13–28 % shorter missions on
+//! the AscTec; the DJI Spark sees no gain in Openland/Factory because the
+//! bottleneck shifts to rotor power.
+
+use octocache_bench::{print_table, uav_mission, Backend};
+use octocache_sim::{Environment, UavModel};
+
+fn main() {
+    let mut rows = Vec::new();
+    for uav in UavModel::all() {
+        for env in Environment::ALL {
+            let params = env.baseline_params();
+            let base = uav_mission(env, uav, Backend::OctoMap, params);
+            let cached = uav_mission(env, uav, Backend::Parallel, params);
+            rows.push(vec![
+                uav.name.to_string(),
+                env.name().to_string(),
+                format!("{:.1}", base.avg_cycle_compute_s * 1e3),
+                format!("{:.1}", cached.avg_cycle_compute_s * 1e3),
+                format!(
+                    "{:.2}x",
+                    base.avg_cycle_compute_s / cached.avg_cycle_compute_s.max(1e-12)
+                ),
+                format!("{:.2}", base.avg_velocity),
+                format!("{:.2}", cached.avg_velocity),
+                format!("{:.1}", base.completion_time_s),
+                format!("{:.1}", cached.completion_time_s),
+                format!(
+                    "{:.0}%",
+                    (1.0 - cached.completion_time_s / base.completion_time_s) * 100.0
+                ),
+                format!(
+                    "{}/{}",
+                    if base.reached_goal { "y" } else { "n" },
+                    if cached.reached_goal { "y" } else { "n" }
+                ),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 16 — UAV end-to-end: OctoMap vs OctoCache",
+        &[
+            "uav",
+            "env",
+            "e2e-octomap(ms)",
+            "e2e-octocache(ms)",
+            "e2e-speedup",
+            "v-octomap(m/s)",
+            "v-octocache(m/s)",
+            "T-octomap(s)",
+            "T-octocache(s)",
+            "T-saved",
+            "reached",
+        ],
+        &rows,
+    );
+    println!("\npaper (AscTec): e2e 1.78x/3.02x/2.95x/1.98x; completion -13%/-27%/-28%/-19%");
+    println!("paper (Spark): no gain in openland/factory (rotor-power-bound)");
+}

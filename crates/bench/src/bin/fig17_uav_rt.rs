@@ -1,0 +1,53 @@
+//! Figure 17: UAV navigation with the RT front-end — OctoMap-RT vs
+//! OctoCache-RT at the finer RT baseline resolutions.
+//!
+//! The paper reports 1.33–1.53× end-to-end speedups and 12–15 % shorter
+//! missions on the AscTec.
+
+use octocache_bench::{print_table, uav_mission, Backend};
+use octocache_sim::{Environment, UavModel};
+
+fn main() {
+    let mut rows = Vec::new();
+    for uav in UavModel::all() {
+        for env in Environment::ALL {
+            let params = env.baseline_params_rt();
+            let base = uav_mission(env, uav, Backend::OctoMapRt, params);
+            let cached = uav_mission(env, uav, Backend::ParallelRt, params);
+            rows.push(vec![
+                uav.name.to_string(),
+                env.name().to_string(),
+                format!("{:.3}", params.resolution),
+                format!("{:.1}", base.avg_cycle_compute_s * 1e3),
+                format!("{:.1}", cached.avg_cycle_compute_s * 1e3),
+                format!(
+                    "{:.2}x",
+                    base.avg_cycle_compute_s / cached.avg_cycle_compute_s.max(1e-12)
+                ),
+                format!("{:.1}", base.completion_time_s),
+                format!("{:.1}", cached.completion_time_s),
+                format!(
+                    "{:.0}%",
+                    (1.0 - cached.completion_time_s / base.completion_time_s) * 100.0
+                ),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 17 — UAV end-to-end: OctoMap-RT vs OctoCache-RT",
+        &[
+            "uav",
+            "env",
+            "res(m)",
+            "e2e-rt(ms)",
+            "e2e-cache-rt(ms)",
+            "speedup",
+            "T-rt(s)",
+            "T-cache-rt(s)",
+            "T-saved",
+        ],
+        &rows,
+    );
+    println!("\npaper (AscTec): e2e 1.33x/1.53x/1.51x/1.45x; completion -14%/-12%/-13%/-15%");
+    println!("note: RT resolutions scaled 5x coarser than the paper's (see DESIGN.md)");
+}

@@ -1,0 +1,50 @@
+//! Figure 21: 3D environment construction with the RT (deduplicating)
+//! ray-tracing front-end — OctoMap-RT vs serial/parallel OctoCache-RT.
+//!
+//! The paper reports OctoCache-RT up to 2.51× faster than OctoMap-RT at
+//! high resolutions, with the parallel design adding ≈ 34 % at 0.1 m.
+
+use octocache_bench::{cache_for, construct, grid, load_dataset, print_table, secs, Backend};
+use octocache_datasets::Dataset;
+
+fn main() {
+    let resolutions = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let mut rows = Vec::new();
+    for dataset in Dataset::ALL {
+        let seq = load_dataset(dataset);
+        for &res in &resolutions {
+            let cache = cache_for(&seq, res);
+            let base = construct(&seq, Backend::OctoMapRt.build(grid(res), cache));
+            let serial = construct(&seq, Backend::SerialRt.build(grid(res), cache));
+            let parallel = construct(&seq, Backend::ParallelRt.build(grid(res), cache));
+            rows.push(vec![
+                dataset.name().to_string(),
+                format!("{res:.1}"),
+                secs(base.total),
+                secs(serial.total),
+                secs(parallel.total),
+                format!("{:.2}x", base.total.as_secs_f64() / serial.total.as_secs_f64()),
+                format!(
+                    "{:.2}x",
+                    base.total.as_secs_f64() / parallel.total.as_secs_f64()
+                ),
+                format!("{:.0}%", serial.hit_rate() * 100.0),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 21 — 3D construction runtime: OctoMap-RT vs OctoCache-RT",
+        &[
+            "dataset",
+            "res(m)",
+            "octomap-rt(s)",
+            "serial-rt(s)",
+            "parallel-rt(s)",
+            "serial-speedup",
+            "parallel-speedup",
+            "hit-rate",
+        ],
+        &rows,
+    );
+    println!("\npaper: octocache-rt up to 2.51x at high resolution; parallel +34% at 0.1m");
+}

@@ -1,0 +1,56 @@
+//! Figure 23: cache hit ratio vs cache size, against octree memory.
+//!
+//! Sweeps the bucket count at τ = 4: the hit ratio climbs with cache size
+//! then plateaus (all inter/intra-batch duplication captured). The paper's
+//! headline: on New College a cache of 0.23 % of the octree size already
+//! reaches > 93 % hits.
+
+use octocache::MappingSystem;
+use octocache_bench::{cache_with, grid, load_dataset, print_table, reference_resolution};
+use octocache::SerialOctoCache;
+use octocache_datasets::Dataset;
+use octocache_octomap::OccupancyParams;
+
+fn main() {
+    let mut rows = Vec::new();
+    for dataset in Dataset::ALL {
+        let seq = load_dataset(dataset);
+        let res = reference_resolution(dataset);
+        for k in [6u32, 8, 10, 12, 14, 16, 18, 20] {
+            let cache_cfg = cache_with(1usize << k, 4);
+            let g = grid(res);
+            let mut map = SerialOctoCache::new(g, OccupancyParams::default(), cache_cfg);
+            for scan in seq.scans() {
+                map.insert_scan(scan.origin, &scan.points, seq.max_range())
+                    .expect("scan in grid");
+            }
+            let hit_rate = map.cache_stats().hit_rate();
+            let cache_bytes = cache_cfg.paper_bytes();
+            map.finish();
+            let octree_bytes = map.tree().memory_usage();
+            rows.push(vec![
+                dataset.name().to_string(),
+                format!("2^{k}"),
+                format!("{}", cache_cfg.capacity_after_eviction()),
+                format!("{:.1}", cache_bytes as f64 / 1024.0 / 1024.0),
+                format!("{:.1}", octree_bytes as f64 / 1024.0 / 1024.0),
+                format!("{:.3}%", cache_bytes as f64 / octree_bytes.max(1) as f64 * 100.0),
+                format!("{:.1}%", hit_rate * 100.0),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 23 — hit ratio vs cache size (tau = 4)",
+        &[
+            "dataset",
+            "buckets",
+            "capacity",
+            "cache(MB)",
+            "octree(MB)",
+            "cache/octree",
+            "hit-rate",
+        ],
+        &rows,
+    );
+    println!("\npaper: hit ratio plateaus with size; 0.23% of octree size -> >93% hits (dataset 3)");
+}

@@ -1,0 +1,44 @@
+//! Figure 24 / §6.2.4: cache shape — construction time and hit ratio vs τ
+//! at a fixed cache capacity `M = w × τ`.
+//!
+//! The paper finds the optimum at τ = 2–4: τ = 1 forces early evictions on
+//! collisions, large τ inflates per-insertion search cost.
+
+use octocache_bench::{cache_for, construct, grid, load_dataset, print_table, secs, Backend};
+use octocache::CacheConfig;
+use octocache_datasets::Dataset;
+
+fn main() {
+    let mut rows = Vec::new();
+    for dataset in Dataset::ALL {
+        let seq = load_dataset(dataset);
+        let res = 0.2;
+        // Fixed capacity from the paper's sizing rule at tau=4…
+        let reference = cache_for(&seq, res);
+        let capacity = reference.capacity_after_eviction();
+        // …then reshape at constant M.
+        for tau in [1usize, 2, 4, 8, 16] {
+            let buckets = (capacity / tau).next_power_of_two();
+            let cfg = CacheConfig::builder()
+                .num_buckets(buckets)
+                .tau(tau)
+                .build()
+                .expect("valid config");
+            let r = construct(&seq, Backend::Serial.build(grid(res), cfg));
+            rows.push(vec![
+                dataset.name().to_string(),
+                format!("{tau}"),
+                format!("{buckets}"),
+                format!("{}", cfg.capacity_after_eviction()),
+                secs(r.total),
+                format!("{:.1}%", r.hit_rate() * 100.0),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 24 — construction time and hit ratio vs tau at fixed capacity",
+        &["dataset", "tau", "buckets", "capacity", "time(s)", "hit-rate"],
+        &rows,
+    );
+    println!("\npaper: optimum tau between 2 and 4 for most datasets");
+}

@@ -1,0 +1,432 @@
+//! Implementation of the `octocache` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `generate <dataset> <out.scanlog> [--scale S] [--seed N]` — generate a
+//!   synthetic scan log (datasets: `fr079-corridor`, `freiburg-campus`,
+//!   `new-college`).
+//! * `build <in.scanlog> <out.map> [--backend B] [--resolution R]
+//!   [--buckets N] [--tau T]` — build an occupancy map (backends:
+//!   `octomap`, `octomap-rt`, `serial`, `serial-rt`, `parallel`,
+//!   `parallel-rt`), printing per-phase timings and cache statistics.
+//! * `info <map>` — structural statistics of a serialised map.
+//! * `query <map> <x> <y> <z>` — occupancy at a world point.
+//! * `diff <map_a> <map_b>` — voxel-level agreement between two maps.
+//!
+//! The library surface exists so the whole tool is unit-testable without
+//! spawning processes; `main` is a thin wrapper around [`run`].
+
+use std::fmt::Write as _;
+
+use octocache::pipeline::{MappingSystem, OctoMapSystem, RayTracer};
+use octocache::{CacheConfig, ParallelOctoCache, SerialOctoCache};
+use octocache_datasets::{io as scanlog, Dataset, DatasetConfig};
+use octocache_geom::{Point3, VoxelGrid};
+use octocache_octomap::{compare, io as mapio, io_bt, OccupancyOcTree, OccupancyParams};
+
+/// CLI error: a human-readable message.
+pub type CliError = String;
+
+/// Executes a command line (already split into arguments, program name
+/// excluded) and returns the text to print.
+///
+/// # Errors
+///
+/// Returns a message describing what was wrong with the invocation or what
+/// failed while executing it.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("help") | None => Ok(usage()),
+        Some(other) => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn usage() -> String {
+    "octocache — occupancy mapping with a voxel cache (OctoCache reproduction)
+
+USAGE:
+  octocache generate <dataset> <out.scanlog> [--scale S] [--seed N]
+  octocache build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T] [--format ot|bt]
+  octocache info <map>
+  octocache query <map> <x> <y> <z>
+  octocache diff <map_a> <map_b>
+  octocache help
+
+datasets: fr079-corridor | freiburg-campus | new-college
+backends: octomap | octomap-rt | serial | serial-rt | parallel | parallel-rt"
+        .to_string()
+}
+
+/// Positional arguments and `--key value` flag pairs.
+type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
+
+/// Splits positional arguments from `--key value` flags.
+fn parse_flags(args: &[String]) -> Result<ParsedArgs<'_>, CliError> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            flags.push((key, value.as_str()));
+        } else {
+            positional.push(a.as_str());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<'a>(flags: &[(&str, &'a str)], key: &str) -> Option<&'a str> {
+    flags.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+fn parse_f64(s: &str, what: &str) -> Result<f64, CliError> {
+    s.parse::<f64>()
+        .map_err(|_| format!("{what} must be a number, got `{s}`"))
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, CliError> {
+    s.parse::<usize>()
+        .map_err(|_| format!("{what} must be an integer, got `{s}`"))
+}
+
+fn dataset_by_name(name: &str) -> Result<Dataset, CliError> {
+    Dataset::ALL
+        .into_iter()
+        .find(|d| d.name() == name)
+        .ok_or_else(|| format!("unknown dataset `{name}`"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<String, CliError> {
+    let (pos, flags) = parse_flags(args)?;
+    let [dataset_name, out_path] = pos.as_slice() else {
+        return Err("usage: generate <dataset> <out.scanlog> [--scale S] [--seed N]".into());
+    };
+    let dataset = dataset_by_name(dataset_name)?;
+    let mut config = DatasetConfig::default();
+    if let Some(s) = flag(&flags, "scale") {
+        config.scale = parse_f64(s, "--scale")?;
+        if config.scale <= 0.0 || config.scale > 4.0 {
+            return Err("--scale must be in (0, 4]".into());
+        }
+    }
+    if let Some(s) = flag(&flags, "seed") {
+        config.seed = parse_usize(s, "--seed")? as u64;
+    }
+    let seq = dataset.generate(&config);
+    let file = std::fs::File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+    scanlog::write_scans(&seq, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {}: {} scans, {} points, range {} m (scale {})",
+        out_path,
+        seq.scans().len(),
+        seq.total_points(),
+        seq.max_range(),
+        config.scale
+    ))
+}
+
+fn load_scanlog(path: &str) -> Result<octocache_datasets::ScanSequence, CliError> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    scanlog::read_scans(std::io::BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+fn load_map(path: &str) -> Result<OccupancyOcTree, CliError> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    // Auto-detect: full log-odds stream first, then the compact binary.
+    match mapio::read_tree(&bytes) {
+        Ok(tree) => Ok(tree),
+        Err(mapio::ReadError::BadMagic) => {
+            io_bt::read_binary_tree(&bytes).map_err(|e| e.to_string())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn cmd_build(args: &[String]) -> Result<String, CliError> {
+    let (pos, flags) = parse_flags(args)?;
+    let [in_path, out_path] = pos.as_slice() else {
+        return Err(
+            "usage: build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T]"
+                .into(),
+        );
+    };
+    let seq = load_scanlog(in_path)?;
+    let resolution = match flag(&flags, "resolution") {
+        Some(s) => parse_f64(s, "--resolution")?,
+        None => 0.2,
+    };
+    let grid =
+        VoxelGrid::new(resolution, 16).map_err(|e| format!("invalid resolution: {e}"))?;
+    let buckets = match flag(&flags, "buckets") {
+        Some(s) => parse_usize(s, "--buckets")?,
+        None => 1 << 14,
+    };
+    let tau = match flag(&flags, "tau") {
+        Some(s) => parse_usize(s, "--tau")?,
+        None => 4,
+    };
+    let cache = CacheConfig::builder()
+        .num_buckets(buckets.next_power_of_two())
+        .tau(tau)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let backend_name = flag(&flags, "backend").unwrap_or("serial");
+    let params = OccupancyParams::default();
+    let mut backend: Box<dyn MappingSystem> = match backend_name {
+        "octomap" => Box::new(OctoMapSystem::new(grid, params)),
+        "octomap-rt" => Box::new(OctoMapSystem::with_ray_tracer(grid, params, RayTracer::Dedup)),
+        "serial" => Box::new(SerialOctoCache::new(grid, params, cache)),
+        "serial-rt" => Box::new(SerialOctoCache::with_ray_tracer(
+            grid,
+            params,
+            cache,
+            RayTracer::Dedup,
+        )),
+        "parallel" => Box::new(ParallelOctoCache::new(grid, params, cache)),
+        "parallel-rt" => Box::new(ParallelOctoCache::with_ray_tracer(
+            grid,
+            params,
+            cache,
+            RayTracer::Dedup,
+        )),
+        other => return Err(format!("unknown backend `{other}`")),
+    };
+
+    let t0 = std::time::Instant::now();
+    let mut observations = 0usize;
+    let mut hits = 0u64;
+    for scan in seq.scans() {
+        let report = backend
+            .insert_scan(scan.origin, &scan.points, seq.max_range())
+            .map_err(|e| format!("scan outside grid: {e}"))?;
+        observations += report.observations;
+        hits += report.cache_hits;
+    }
+    backend.finish();
+    let elapsed = t0.elapsed();
+    let times = backend.phase_times();
+
+    let tree = backend.take_tree();
+    let bytes = match flag(&flags, "format") {
+        None | Some("ot") => mapio::write_tree(&tree),
+        Some("bt") => io_bt::write_binary_tree(&tree),
+        Some(other) => return Err(format!("unknown format `{other}` (use ot or bt)")),
+    };
+    std::fs::write(out_path, &bytes).map_err(|e| format!("write {out_path}: {e}"))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "built {out_path} with {backend_name} in {:.3} s",
+        elapsed.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "  observations {observations}, cache hits {hits} ({:.1} %)",
+        if observations > 0 {
+            hits as f64 / observations as f64 * 100.0
+        } else {
+            0.0
+        }
+    );
+    let _ = writeln!(out, "  phases: {times}");
+    let _ = write!(
+        out,
+        "  tree: {} nodes, {} leaves, {:.1} KiB serialised",
+        tree.num_nodes(),
+        tree.num_leaves(),
+        bytes.len() as f64 / 1024.0
+    );
+    Ok(out)
+}
+
+fn cmd_info(args: &[String]) -> Result<String, CliError> {
+    let (pos, _) = parse_flags(args)?;
+    let [path] = pos.as_slice() else {
+        return Err("usage: info <map>".into());
+    };
+    let tree = load_map(path)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "map {path}");
+    let _ = writeln!(out, "  resolution: {} m", tree.grid().resolution());
+    let _ = writeln!(out, "  tree depth: {}", tree.grid().depth());
+    let _ = writeln!(out, "  nodes: {}", tree.num_nodes());
+    let _ = writeln!(out, "  leaves: {}", tree.num_leaves());
+    let _ = writeln!(out, "  occupied voxels: {}", tree.occupied_voxel_count());
+    let _ = write!(
+        out,
+        "  memory: {:.1} KiB",
+        tree.memory_usage() as f64 / 1024.0
+    );
+    Ok(out)
+}
+
+fn cmd_query(args: &[String]) -> Result<String, CliError> {
+    let (pos, _) = parse_flags(args)?;
+    let [path, x, y, z] = pos.as_slice() else {
+        return Err("usage: query <map> <x> <y> <z>".into());
+    };
+    let tree = load_map(path)?;
+    let p = Point3::new(
+        parse_f64(x, "x")?,
+        parse_f64(y, "y")?,
+        parse_f64(z, "z")?,
+    );
+    let key = tree
+        .grid()
+        .key_of(p)
+        .map_err(|e| format!("point outside map: {e}"))?;
+    Ok(match tree.search(key) {
+        None => format!("{p}: unknown"),
+        Some(l) => format!(
+            "{p}: {} (log-odds {l:.3}, p = {:.3})",
+            if tree.params().is_occupied(l) {
+                "OCCUPIED"
+            } else {
+                "free"
+            },
+            octocache_octomap::logodds_to_prob(l)
+        ),
+    })
+}
+
+fn cmd_diff(args: &[String]) -> Result<String, CliError> {
+    let (pos, _) = parse_flags(args)?;
+    let [path_a, path_b] = pos.as_slice() else {
+        return Err("usage: diff <map_a> <map_b>".into());
+    };
+    let a = load_map(path_a)?;
+    let b = load_map(path_b)?;
+    let d = compare::diff(&a, &b, 1e-4);
+    let mut out = String::new();
+    let _ = writeln!(out, "diff {path_a} vs {path_b}");
+    let _ = writeln!(out, "  known voxels: {}", d.known_voxels);
+    let _ = writeln!(out, "  agreement: {:.4}", d.agreement());
+    let _ = writeln!(out, "  occupied IoU: {:.4}", d.occupied_iou());
+    let _ = writeln!(out, "  value mismatches: {}", d.value_mismatches);
+    let _ = writeln!(out, "  coverage mismatches: {}", d.coverage_mismatches);
+    let _ = write!(
+        out,
+        "  identical: {}",
+        if d.is_identical() { "yes" } else { "no" }
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("octocache-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&s(&["help"])).unwrap().contains("generate"));
+        assert!(run(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn generate_build_info_query_diff_pipeline() {
+        let log = temp_path("corridor.scanlog");
+        let out = run(&s(&[
+            "generate",
+            "fr079-corridor",
+            &log,
+            "--scale",
+            "0.05",
+            "--seed",
+            "42",
+        ]))
+        .unwrap();
+        assert!(out.contains("scans"), "{out}");
+
+        let map_a = temp_path("a.map");
+        let out = run(&s(&["build", &log, &map_a, "--backend", "serial", "--resolution", "0.4"]))
+            .unwrap();
+        assert!(out.contains("built"), "{out}");
+        assert!(out.contains("cache hits"), "{out}");
+
+        let map_b = temp_path("b.map");
+        run(&s(&["build", &log, &map_b, "--backend", "octomap", "--resolution", "0.4"]))
+            .unwrap();
+
+        let info = run(&s(&["info", &map_a])).unwrap();
+        assert!(info.contains("nodes:"), "{info}");
+        assert!(info.contains("resolution: 0.4"), "{info}");
+
+        // A corridor interior point is free.
+        let q = run(&s(&["query", &map_a, "1.0", "0.0", "1.4"])).unwrap();
+        assert!(q.contains("free"), "{q}");
+
+        // Maps built from the same scan log agree exactly.
+        let d = run(&s(&["diff", &map_a, &map_b])).unwrap();
+        assert!(d.contains("identical: yes"), "{d}");
+    }
+
+    #[test]
+    fn bt_format_roundtrips_through_info_and_query() {
+        let log = temp_path("bt.scanlog");
+        run(&s(&["generate", "fr079-corridor", &log, "--scale", "0.05"])).unwrap();
+        let map = temp_path("bt.map");
+        let out = run(&s(&[
+            "build", &log, &map, "--resolution", "0.4", "--format", "bt",
+        ]))
+        .unwrap();
+        assert!(out.contains("built"), "{out}");
+        let info = run(&s(&["info", &map])).unwrap();
+        assert!(info.contains("nodes:"), "{info}");
+        let q = run(&s(&["query", &map, "1.0", "0.0", "1.4"])).unwrap();
+        assert!(q.contains("free"), "{q}");
+        // Unknown format rejected.
+        assert!(run(&s(&["build", &log, &map, "--format", "xyz"])).is_err());
+    }
+
+    #[test]
+    fn build_rejects_unknown_backend() {
+        let log = temp_path("x.scanlog");
+        run(&s(&["generate", "fr079-corridor", &log, "--scale", "0.05"])).unwrap();
+        let map = temp_path("x.map");
+        let err = run(&s(&["build", &log, &map, "--backend", "magic"])).unwrap_err();
+        assert!(err.contains("unknown backend"));
+    }
+
+    #[test]
+    fn flag_parsing_errors() {
+        assert!(run(&s(&["generate", "fr079-corridor"])).is_err());
+        assert!(run(&s(&["generate", "nope", "/tmp/x"])).is_err());
+        let log = temp_path("y.scanlog");
+        assert!(run(&s(&["generate", "fr079-corridor", &log, "--scale"])).is_err());
+        assert!(
+            run(&s(&["generate", "fr079-corridor", &log, "--scale", "abc"])).is_err()
+        );
+        assert!(run(&s(&["query", "/nonexistent.map", "0", "0", "0"])).is_err());
+    }
+
+    #[test]
+    fn query_outside_map_is_an_error() {
+        let log = temp_path("z.scanlog");
+        run(&s(&["generate", "fr079-corridor", &log, "--scale", "0.05"])).unwrap();
+        let map = temp_path("z.map");
+        run(&s(&["build", &log, &map, "--resolution", "0.4"])).unwrap();
+        let err = run(&s(&["query", &map, "1e9", "0", "0"])).unwrap_err();
+        assert!(err.contains("outside"), "{err}");
+    }
+}

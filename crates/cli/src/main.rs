@@ -1,0 +1,19 @@
+//! `octocache` — build, inspect, query and diff occupancy maps from the
+//! command line. See `octocache help` for usage.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match octocache_cli::run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `octocache help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,319 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How incoming voxels are mapped to cache buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum IndexPolicy {
+    /// `hash(v) mod w` — the strawman design of paper §4.2.
+    Hash,
+    /// `morton(v) mod w` — the Morton-code policy of paper §4.3 (default).
+    /// Sequential bucket eviction then emits voxels in an order aligned with
+    /// their Morton codes, which maximises octree insertion locality.
+    #[default]
+    Morton,
+}
+
+impl fmt::Display for IndexPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexPolicy::Hash => write!(f, "hash"),
+            IndexPolicy::Morton => write!(f, "morton"),
+        }
+    }
+}
+
+/// The order in which evicted voxels are emitted toward the octree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EvictionOrder {
+    /// Scan buckets sequentially and pop the oldest cells of each
+    /// over-full bucket — the paper's design (§4.2.2). With
+    /// [`IndexPolicy::Morton`] this yields a Morton-aligned stream.
+    #[default]
+    BucketSequential,
+    /// Additionally sort the evicted batch by full Morton code. Used by the
+    /// ablation `abl_eviction_order` to bound how much locality the
+    /// bucket-sequential approximation gives up.
+    FullMortonSort,
+    /// Emit in global insertion (FIFO) order, ignoring bucket structure —
+    /// a deliberately locality-free baseline for the same ablation.
+    InsertionFifo,
+}
+
+impl fmt::Display for EvictionOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvictionOrder::BucketSequential => write!(f, "bucket-sequential"),
+            EvictionOrder::FullMortonSort => write!(f, "full-morton-sort"),
+            EvictionOrder::InsertionFifo => write!(f, "insertion-fifo"),
+        }
+    }
+}
+
+/// Errors from validating a [`CacheConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `num_buckets` must be a power of two (paper §4.2: "we set w always as
+    /// a power of 2 to accelerate the mod operation").
+    BucketsNotPowerOfTwo(usize),
+    /// `num_buckets` must be at least 1.
+    NoBuckets,
+    /// `tau` must be at least 1.
+    ZeroTau,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BucketsNotPowerOfTwo(w) => {
+                write!(f, "num_buckets {w} is not a power of two")
+            }
+            ConfigError::NoBuckets => write!(f, "num_buckets must be at least 1"),
+            ConfigError::ZeroTau => write!(f, "tau must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Configuration of the voxel cache.
+///
+/// The paper's UAV deployment uses `w = 512 Ki` buckets with `τ = 4`
+/// (≈ 14 MB, §5.1); the 3D-construction experiments size the cache at 3–4×
+/// the non-duplicate voxels per batch (§5.2). [`CacheConfig::default`]
+/// matches the UAV setting scaled down by 8× to stay laptop-friendly.
+///
+/// # Example
+///
+/// ```
+/// # use octocache::CacheConfig;
+/// let cfg = CacheConfig::builder().num_buckets(1 << 16).tau(4).build()?;
+/// assert_eq!(cfg.capacity_after_eviction(), (1 << 16) * 4);
+/// # Ok::<(), octocache::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    num_buckets: usize,
+    tau: usize,
+    index_policy: IndexPolicy,
+    eviction_order: EvictionOrder,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            num_buckets: 1 << 16,
+            tau: 4,
+            index_policy: IndexPolicy::Morton,
+            eviction_order: EvictionOrder::BucketSequential,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Starts building a config.
+    pub fn builder() -> CacheConfigBuilder {
+        CacheConfigBuilder::new()
+    }
+
+    /// Number of buckets `w` (a power of two).
+    #[inline]
+    pub fn num_buckets(&self) -> usize {
+        self.num_buckets
+    }
+
+    /// Maximum distinct voxels per bucket after eviction (`τ`).
+    #[inline]
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+
+    /// The bucket indexing policy.
+    #[inline]
+    pub fn index_policy(&self) -> IndexPolicy {
+        self.index_policy
+    }
+
+    /// The eviction emission order.
+    #[inline]
+    pub fn eviction_order(&self) -> EvictionOrder {
+        self.eviction_order
+    }
+
+    /// Total cells retained after an eviction pass (`w × τ`).
+    #[inline]
+    pub fn capacity_after_eviction(&self) -> usize {
+        self.num_buckets * self.tau
+    }
+
+    /// The paper's memory accounting: 7 bytes per cell (three `u8`-packed
+    /// coordinates + one `f32`), times `w × τ` (§6.2.4: `M = 7wτ`).
+    ///
+    /// Note our cells physically store three `u16` coordinates (10 bytes) to
+    /// cover 16-level trees; this method reports the paper's figure for
+    /// comparability, [`CacheConfig::resident_bytes`] the real one.
+    #[inline]
+    pub fn paper_bytes(&self) -> usize {
+        7 * self.capacity_after_eviction()
+    }
+
+    /// Actual bytes held by cells after eviction in this implementation.
+    #[inline]
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<crate::cache::EvictedCell>() * self.capacity_after_eviction()
+    }
+}
+
+/// Builder for [`CacheConfig`]. Created by [`CacheConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct CacheConfigBuilder {
+    num_buckets: usize,
+    tau: usize,
+    index_policy: IndexPolicy,
+    eviction_order: EvictionOrder,
+}
+
+impl CacheConfigBuilder {
+    fn new() -> Self {
+        let d = CacheConfig::default();
+        CacheConfigBuilder {
+            num_buckets: d.num_buckets,
+            tau: d.tau,
+            index_policy: d.index_policy,
+            eviction_order: d.eviction_order,
+        }
+    }
+
+    /// Sets the number of buckets `w` (must be a power of two).
+    pub fn num_buckets(&mut self, w: usize) -> &mut Self {
+        self.num_buckets = w;
+        self
+    }
+
+    /// Sets the per-bucket retention threshold `τ`.
+    pub fn tau(&mut self, tau: usize) -> &mut Self {
+        self.tau = tau;
+        self
+    }
+
+    /// Sets the indexing policy.
+    pub fn index_policy(&mut self, p: IndexPolicy) -> &mut Self {
+        self.index_policy = p;
+        self
+    }
+
+    /// Sets the eviction emission order.
+    pub fn eviction_order(&mut self, o: EvictionOrder) -> &mut Self {
+        self.eviction_order = o;
+        self
+    }
+
+    /// Sizes the cache for a workload, following the paper's §5.2 rule:
+    /// capacity ≈ `factor` × the expected non-duplicate voxels per batch
+    /// (3–4 recommended), rounded up to a power-of-two bucket count at the
+    /// current `τ`.
+    pub fn size_for_batch(&mut self, nondup_voxels_per_batch: usize, factor: f64) -> &mut Self {
+        let target_cells = (nondup_voxels_per_batch as f64 * factor).ceil() as usize;
+        let buckets = (target_cells / self.tau.max(1)).max(1);
+        self.num_buckets = buckets.next_power_of_two();
+        self
+    }
+
+    /// Validates and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when `num_buckets` is zero or not a power
+    /// of two, or `tau` is zero.
+    pub fn build(&self) -> Result<CacheConfig, ConfigError> {
+        if self.num_buckets == 0 {
+            return Err(ConfigError::NoBuckets);
+        }
+        if !self.num_buckets.is_power_of_two() {
+            return Err(ConfigError::BucketsNotPowerOfTwo(self.num_buckets));
+        }
+        if self.tau == 0 {
+            return Err(ConfigError::ZeroTau);
+        }
+        Ok(CacheConfig {
+            num_buckets: self.num_buckets,
+            tau: self.tau,
+            index_policy: self.index_policy,
+            eviction_order: self.eviction_order,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_morton_bucket_sequential() {
+        let c = CacheConfig::default();
+        assert!(c.num_buckets().is_power_of_two());
+        assert_eq!(c.index_policy(), IndexPolicy::Morton);
+        assert_eq!(c.eviction_order(), EvictionOrder::BucketSequential);
+        assert_eq!(c.tau(), 4);
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert_eq!(
+            CacheConfig::builder().num_buckets(0).build(),
+            Err(ConfigError::NoBuckets)
+        );
+        assert_eq!(
+            CacheConfig::builder().num_buckets(100).build(),
+            Err(ConfigError::BucketsNotPowerOfTwo(100))
+        );
+        assert_eq!(
+            CacheConfig::builder().tau(0).build(),
+            Err(ConfigError::ZeroTau)
+        );
+        assert!(CacheConfig::builder().num_buckets(64).tau(2).build().is_ok());
+    }
+
+    #[test]
+    fn paper_memory_accounting() {
+        // Paper §5.1: 512K buckets x tau 4 x 7 bytes = 14 MB.
+        let c = CacheConfig::builder()
+            .num_buckets(512 * 1024)
+            .tau(4)
+            .build()
+            .unwrap();
+        assert_eq!(c.paper_bytes(), 14 * 1024 * 1024);
+        assert!(c.resident_bytes() >= c.paper_bytes());
+    }
+
+    #[test]
+    fn size_for_batch_rounds_to_power_of_two() {
+        let c = CacheConfig::builder()
+            .tau(4)
+            .size_for_batch(10_000, 3.5)
+            .build()
+            .unwrap();
+        assert!(c.num_buckets().is_power_of_two());
+        // capacity at least 3.5x the batch size…
+        assert!(c.capacity_after_eviction() >= 35_000 / 4 * 4);
+        // …but no more than 2x overshoot from rounding.
+        assert!(c.capacity_after_eviction() <= 2 * 35_000);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(IndexPolicy::Hash.to_string(), "hash");
+        assert_eq!(IndexPolicy::Morton.to_string(), "morton");
+        assert_eq!(
+            EvictionOrder::BucketSequential.to_string(),
+            "bucket-sequential"
+        );
+        for e in [
+            ConfigError::BucketsNotPowerOfTwo(3),
+            ConfigError::NoBuckets,
+            ConfigError::ZeroTau,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,622 @@
+//! The parallel OctoCache pipeline (paper §4.4, Figures 13(b)/14).
+//!
+//! Thread 1 (the caller's thread) runs ray tracing, cache insertion, queries
+//! and cache eviction; thread 2 dequeues evicted voxels from a shared SPSC
+//! buffer and applies them to the octree. One mutex serialises octree reads
+//! (cache-miss seeding, queries) against octree writes (thread 2's batch
+//! updates), eliminating data races exactly as the paper prescribes.
+//!
+//! ## Phase ordering and consistency
+//!
+//! The paper's timeline runs, per batch: ray tracing → cache insertion →
+//! *queries* → cache eviction → (thread 2: octree update, overlapping the
+//! next batch's ray tracing). Queries therefore always execute when the
+//! shared buffer is empty: everything evicted earlier has been applied to
+//! the tree, and everything newer is in the cache. To expose the same
+//! guarantee through a call-based API, [`ParallelOctoCache::insert_scan`]
+//! **defers the eviction of the just-inserted batch to the start of the next
+//! call**:
+//!
+//! 1. evict the previous batch, enqueue it (thread 2 starts updating),
+//! 2. ray-trace the new scan — concurrently with thread 2's update,
+//! 3. wait for thread 2 to finish (the paper's thread-1 "gap", reported as
+//!    [`PhaseTimes::wait`]),
+//! 4. insert the new batch into the cache (octree reads are safe: the queue
+//!    is empty and the mutex is free).
+//!
+//! Between `insert_scan` calls the queue is thus always drained, so queries
+//! are OctoMap-consistent at every point the caller can observe.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
+use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
+use parking_lot::Mutex;
+
+use crate::cache::{CacheStats, EvictedCell, VoxelCache};
+use crate::config::CacheConfig;
+use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
+use crate::spsc::{self, Producer};
+use crate::timing::PhaseTimes;
+
+/// Items flowing through the shared buffer.
+///
+/// Evicted voxels travel in chunks — the C++ `readerwriterqueue` the paper
+/// uses is itself a block-based ring, so chunking preserves its behaviour
+/// while keeping the producer/consumer cacheline traffic per *chunk* rather
+/// than per voxel.
+#[derive(Debug)]
+enum Item {
+    /// A run of evicted voxels with their accumulated log-odds.
+    Chunk(Vec<EvictedCell>),
+    /// Marks the end of a batch; thread 2 releases the octree mutex here.
+    BatchEnd,
+}
+
+/// Evicted voxels per queue message.
+const CHUNK_CELLS: usize = 1024;
+
+/// Counters shared with the worker thread.
+#[derive(Debug, Default)]
+struct WorkerShared {
+    batches_done: AtomicU64,
+    dequeue_nanos: AtomicU64,
+    octree_nanos: AtomicU64,
+    cells_applied: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// Capacity of the shared buffer in chunk messages (≥ a million voxels in
+/// flight before the producer ever blocks — the paper reports enqueue
+/// overhead as negligible, and a full queue would violate that).
+const QUEUE_CAPACITY: usize = 1 << 12;
+
+/// The parallel (two-thread) OctoCache mapping system.
+///
+/// See the [module docs](self) for the phase ordering; the public API is the
+/// same [`MappingSystem`] as every other backend.
+#[derive(Debug)]
+pub struct ParallelOctoCache {
+    cache: VoxelCache,
+    tree: Arc<Mutex<OccupancyOcTree>>,
+    grid: VoxelGrid,
+    params: OccupancyParams,
+    ray_tracer: RayTracer,
+    batch: insert::VoxelBatch,
+    producer: Producer<Item>,
+    shared: Arc<WorkerShared>,
+    worker: Option<JoinHandle<()>>,
+    batches_sent: u64,
+    times: PhaseTimes,
+}
+
+impl ParallelOctoCache {
+    /// Creates a parallel OctoCache with the standard ray tracer, spawning
+    /// the octree-update worker thread.
+    pub fn new(grid: VoxelGrid, params: OccupancyParams, config: CacheConfig) -> Self {
+        Self::with_ray_tracer(grid, params, config, RayTracer::Standard)
+    }
+
+    /// Creates a parallel OctoCache with a chosen ray-tracing front-end
+    /// (`RayTracer::Dedup` gives the paper's parallel OctoCache-RT).
+    pub fn with_ray_tracer(
+        grid: VoxelGrid,
+        params: OccupancyParams,
+        config: CacheConfig,
+        ray_tracer: RayTracer,
+    ) -> Self {
+        let tree = Arc::new(Mutex::new(OccupancyOcTree::new(grid, params)));
+        let shared = Arc::new(WorkerShared::default());
+        let (producer, consumer) = spsc::channel::<Item>(QUEUE_CAPACITY);
+        let worker = {
+            let tree = Arc::clone(&tree);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("octocache-octree".into())
+                .spawn(move || worker_loop(consumer, tree, shared))
+                .expect("failed to spawn octree worker thread")
+        };
+        ParallelOctoCache {
+            cache: VoxelCache::new(config, params),
+            tree,
+            grid,
+            params,
+            ray_tracer,
+            batch: insert::VoxelBatch::new(),
+            producer,
+            shared,
+            worker: Some(worker),
+            batches_sent: 0,
+            times: PhaseTimes::default(),
+        }
+    }
+
+    /// The cache layer.
+    pub fn cache(&self) -> &VoxelCache {
+        &self.cache
+    }
+
+    /// Cache behaviour counters.
+    pub fn cache_stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// Runs `f` with shared access to the backing octree (the octree mutex
+    /// is held for the duration). Pending cache contents are not included;
+    /// call [`MappingSystem::finish`] first for a complete tree.
+    pub fn with_tree<R>(&self, f: impl FnOnce(&OccupancyOcTree) -> R) -> R {
+        f(&self.tree.lock())
+    }
+
+    /// Shuts the worker down and returns the octree (flushing the cache
+    /// first, so the tree is complete).
+    pub fn into_tree(mut self) -> OccupancyOcTree {
+        self.finish();
+        self.shutdown_worker();
+        let tree = Arc::clone(&self.tree);
+        drop(self); // drops producer & our Arc clones
+        match Arc::try_unwrap(tree) {
+            Ok(mutex) => mutex.into_inner(),
+            Err(_) => unreachable!("worker joined; no other Arc holders remain"),
+        }
+    }
+
+    /// Spin-waits until thread 2 has applied every enqueued batch — the
+    /// thread-1 "gap" of the paper's Figure 13(b).
+    fn wait_for_worker(&self) {
+        let mut spins = 0u32;
+        while self.shared.batches_done.load(Ordering::Acquire) < self.batches_sent {
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Evicts the pending batch and enqueues it for thread 2. Returns
+    /// (evicted count, evict time, enqueue time, back-pressure time).
+    ///
+    /// Back-pressure — waiting for thread 2 to make room in a full queue —
+    /// is reported separately from the enqueue cost proper, matching the
+    /// paper's Table 3 where enqueue is the pure buffer-write overhead.
+    fn evict_and_enqueue(
+        &mut self,
+    ) -> (
+        usize,
+        std::time::Duration,
+        std::time::Duration,
+        std::time::Duration,
+    ) {
+        use crate::spsc::Full;
+
+        let t0 = Instant::now();
+        let mut evicted: Vec<EvictedCell> = Vec::new();
+        self.cache.evict_into(&mut evicted);
+        let evict_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let mut backpressure = std::time::Duration::ZERO;
+        let mut send = |producer: &mut Producer<Item>, mut item: Item| loop {
+            match producer.push(item) {
+                Ok(()) => break,
+                Err(Full(v)) => {
+                    item = v;
+                    let tb = Instant::now();
+                    let mut spins = 0u32;
+                    while producer.len() >= producer.capacity() {
+                        spins += 1;
+                        if spins > 64 {
+                            std::thread::yield_now();
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    backpressure += tb.elapsed();
+                }
+            }
+        };
+        let count = evicted.len();
+        for chunk in evicted.chunks(CHUNK_CELLS) {
+            send(&mut self.producer, Item::Chunk(chunk.to_vec()));
+        }
+        send(&mut self.producer, Item::BatchEnd);
+        self.batches_sent += 1;
+        let enqueue_time = t1.elapsed().saturating_sub(backpressure);
+        (count, evict_time, enqueue_time, backpressure)
+    }
+
+    fn shutdown_worker(&mut self) {
+        if let Some(handle) = self.worker.take() {
+            self.shared.shutdown.store(true, Ordering::Release);
+            let _ = handle.join();
+        }
+    }
+
+    /// Worker-side counters folded into a [`PhaseTimes`].
+    fn worker_times(&self) -> PhaseTimes {
+        PhaseTimes {
+            dequeue: std::time::Duration::from_nanos(
+                self.shared.dequeue_nanos.load(Ordering::Relaxed),
+            ),
+            octree_update: std::time::Duration::from_nanos(
+                self.shared.octree_nanos.load(Ordering::Relaxed),
+            ),
+            ..Default::default()
+        }
+    }
+}
+
+impl MappingSystem for ParallelOctoCache {
+    fn name(&self) -> String {
+        format!("octocache-parallel{}", self.ray_tracer.suffix())
+    }
+
+    fn grid(&self) -> &VoxelGrid {
+        &self.grid
+    }
+
+    fn insert_scan(
+        &mut self,
+        origin: Point3,
+        cloud: &[Point3],
+        max_range: f64,
+    ) -> Result<ScanReport, GeomError> {
+        // Phase 1: evict the previous batch and hand it to thread 2.
+        let (octree_updates, cache_evict, enqueue, backpressure) = self.evict_and_enqueue();
+
+        // Phase 2: ray-trace the new scan, overlapping thread 2's update.
+        let grid = self.grid;
+        let t0 = Instant::now();
+        insert::compute_update(&grid, origin, cloud, max_range, &mut self.batch)?;
+        let deduped;
+        let batch: &insert::VoxelBatch = match self.ray_tracer {
+            RayTracer::Standard => &self.batch,
+            RayTracer::Dedup => {
+                deduped = rt::dedup_batch(&self.batch);
+                &deduped
+            }
+        };
+        let ray_tracing = t0.elapsed();
+
+        // Phase 3: wait for thread 2 — the paper's thread-1 gap (including
+        // any back-pressure absorbed during enqueue).
+        let t1 = Instant::now();
+        self.wait_for_worker();
+        let wait = t1.elapsed() + backpressure;
+
+        // Phase 4: cache insertion under the octree mutex (seeding misses).
+        let hits_before = self.cache.stats().hits;
+        let t2 = Instant::now();
+        {
+            let guard = self.tree.lock();
+            let cache = &mut self.cache;
+            for u in batch.iter() {
+                cache.insert(u.key, u.occupied, |k| guard.search(k));
+            }
+        }
+        let cache_insert = t2.elapsed();
+        let observations = batch.len();
+
+        let times = PhaseTimes {
+            ray_tracing,
+            cache_insert,
+            cache_evict,
+            enqueue,
+            wait,
+            ..Default::default()
+        };
+        self.times += times;
+        Ok(ScanReport {
+            times,
+            observations,
+            cache_hits: self.cache.stats().hits - hits_before,
+            octree_updates,
+        })
+    }
+
+    fn occupancy(&mut self, key: VoxelKey) -> Option<f32> {
+        match self.cache.get(key) {
+            Some(v) => Some(v),
+            None => self.tree.lock().search(key),
+        }
+    }
+
+    fn is_occupied(&mut self, key: VoxelKey) -> Option<bool> {
+        let params = self.params;
+        self.occupancy(key).map(|l| params.is_occupied(l))
+    }
+
+    fn finish(&mut self) -> PhaseTimes {
+        // Flush the pending eviction batch…
+        let (_, evict1, enq1, bp1) = self.evict_and_enqueue();
+        // …then drain everything left in the cache as a final batch.
+        let t0 = Instant::now();
+        let drained = self.cache.drain_all();
+        let evict2 = t0.elapsed();
+        let t1 = Instant::now();
+        for chunk in drained.chunks(CHUNK_CELLS) {
+            self.producer.push_blocking(Item::Chunk(chunk.to_vec()));
+        }
+        self.producer.push_blocking(Item::BatchEnd);
+        self.batches_sent += 1;
+        let enq2 = t1.elapsed();
+
+        let t2 = Instant::now();
+        self.wait_for_worker();
+        let wait = t2.elapsed() + bp1;
+
+        let times = PhaseTimes {
+            cache_evict: evict1 + evict2,
+            enqueue: enq1 + enq2,
+            wait,
+            ..Default::default()
+        };
+        self.times += times;
+        times
+    }
+
+    fn phase_times(&self) -> PhaseTimes {
+        self.times + self.worker_times()
+    }
+
+    fn take_tree(self: Box<Self>) -> OccupancyOcTree {
+        (*self).into_tree()
+    }
+}
+
+impl Drop for ParallelOctoCache {
+    fn drop(&mut self) {
+        self.shutdown_worker();
+    }
+}
+
+/// Thread 2: dequeue evicted voxels and apply them to the octree, holding
+/// the octree mutex per batch.
+fn worker_loop(
+    mut consumer: spsc::Consumer<Item>,
+    tree: Arc<Mutex<OccupancyOcTree>>,
+    shared: Arc<WorkerShared>,
+) {
+    'outer: loop {
+        // Wait (untimed — this is idle time, not dequeue cost) for work.
+        let first = loop {
+            if let Some(item) = consumer.try_pop() {
+                break item;
+            }
+            if shared.shutdown.load(Ordering::Acquire) {
+                // Final double-check to avoid losing a racing push.
+                match consumer.try_pop() {
+                    Some(item) => break item,
+                    None => break 'outer,
+                }
+            }
+            std::thread::yield_now();
+        };
+
+        match first {
+            Item::BatchEnd => {
+                shared.batches_done.fetch_add(1, Ordering::Release);
+            }
+            Item::Chunk(chunk) => {
+                // Per-cell `Instant` calls would dominate the work at these
+                // batch sizes, so timing is per segment: total drain time,
+                // minus measured producer-stall spins, split into octree
+                // and dequeue components via a calibrated per-pop cost.
+                let mut cells = chunk.len() as u64;
+                let mut pops = 1u64;
+                let mut stall = std::time::Duration::ZERO;
+                let guard_start = Instant::now();
+                let mut guard = tree.lock();
+                for cell in &chunk {
+                    guard.set_node_log_odds(cell.key, cell.log_odds);
+                }
+                loop {
+                    match consumer.try_pop() {
+                        Some(Item::Chunk(chunk)) => {
+                            for cell in &chunk {
+                                guard.set_node_log_odds(cell.key, cell.log_odds);
+                            }
+                            cells += chunk.len() as u64;
+                            pops += 1;
+                        }
+                        Some(Item::BatchEnd) => {
+                            pops += 1;
+                            break;
+                        }
+                        None => {
+                            // Producer is still enqueueing this batch; wait
+                            // (measured, attributed to neither component).
+                            let t = Instant::now();
+                            let mut abandoned = false;
+                            while consumer.is_empty() {
+                                if shared.shutdown.load(Ordering::Acquire) {
+                                    // Producer died mid-batch (panic on
+                                    // thread 1); abandon the remainder.
+                                    abandoned = true;
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                            stall += t.elapsed();
+                            if abandoned && consumer.is_empty() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                let busy_ns = guard_start
+                    .elapsed()
+                    .saturating_sub(stall)
+                    .as_nanos() as u64;
+                drop(guard);
+                let dequeue_ns = pops * pop_cost_ns();
+                shared
+                    .octree_nanos
+                    .fetch_add(busy_ns.saturating_sub(dequeue_ns), Ordering::Relaxed);
+                shared
+                    .dequeue_nanos
+                    .fetch_add(dequeue_ns.min(busy_ns), Ordering::Relaxed);
+                shared.cells_applied.fetch_add(cells, Ordering::Relaxed);
+                shared.batches_done.fetch_add(1, Ordering::Release);
+            }
+        }
+    }
+}
+
+/// One-time calibration of the SPSC pop cost, used to attribute worker time
+/// between "dequeue" and "octree update" without per-cell timestamps
+/// (Table 3 of the paper reports these as separate, both tiny).
+fn pop_cost_ns() -> u64 {
+    use std::sync::OnceLock;
+    static POP_NS: OnceLock<u64> = OnceLock::new();
+    *POP_NS.get_or_init(|| {
+        const N: usize = 64 * 1024;
+        let (mut tx, mut rx) = spsc::channel::<Item>(N);
+        for _ in 0..N - 1 {
+            tx.push(Item::BatchEnd).expect("capacity reserved");
+        }
+        let t = Instant::now();
+        let mut popped = 0u64;
+        while rx.try_pop().is_some() {
+            popped += 1;
+        }
+        (t.elapsed().as_nanos() as u64 / popped.max(1)).max(1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system(w: usize, tau: usize) -> ParallelOctoCache {
+        let grid = VoxelGrid::new(0.5, 8).unwrap();
+        let config = CacheConfig::builder().num_buckets(w).tau(tau).build().unwrap();
+        ParallelOctoCache::new(grid, OccupancyParams::default(), config)
+    }
+
+    fn wall_cloud(offset: f64) -> Vec<Point3> {
+        (0..50)
+            .map(|i| Point3::new(6.0, -1.5 + offset + i as f64 * 0.05, 0.25))
+            .collect()
+    }
+
+    #[test]
+    fn name() {
+        let mut s = system(64, 4);
+        assert_eq!(s.name(), "octocache-parallel");
+        s.finish();
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut s = system(1 << 10, 4);
+        for i in 0..5 {
+            s.insert_scan(Point3::ZERO, &wall_cloud(i as f64 * 0.1), 20.0)
+                .unwrap();
+            // Queries between scans must already see the latest scan.
+            assert_eq!(
+                s.is_occupied_at(Point3::new(6.0, 0.0, 0.25)).unwrap(),
+                Some(true)
+            );
+            assert_eq!(
+                s.is_occupied_at(Point3::new(3.0, 0.0, 0.25)).unwrap(),
+                Some(false)
+            );
+        }
+    }
+
+    #[test]
+    fn finish_completes_tree() {
+        let mut s = system(1 << 8, 2);
+        for i in 0..4 {
+            s.insert_scan(Point3::ZERO, &wall_cloud(i as f64 * 0.05), 20.0)
+                .unwrap();
+        }
+        s.finish();
+        // The tree alone now answers (no cache consultation).
+        s.with_tree(|t| {
+            assert_eq!(
+                t.is_occupied_at(Point3::new(6.0, 0.0, 0.25)).unwrap(),
+                Some(true)
+            );
+        });
+    }
+
+    #[test]
+    fn into_tree_matches_serial_and_octomap() {
+        let grid = VoxelGrid::new(0.5, 8).unwrap();
+        let params = OccupancyParams::default();
+        let cfg = CacheConfig::builder().num_buckets(1 << 8).tau(2).build().unwrap();
+        let mut par = ParallelOctoCache::new(grid, params, cfg);
+        let mut ser = crate::serial::SerialOctoCache::new(grid, params, cfg);
+        let mut plain = OccupancyOcTree::new(grid, params);
+
+        for i in 0..6 {
+            let origin = Point3::new(0.0, i as f64 * 0.2, 0.0);
+            let cloud = wall_cloud(i as f64 * 0.03);
+            par.insert_scan(origin, &cloud, 30.0).unwrap();
+            ser.insert_scan(origin, &cloud, 30.0).unwrap();
+            insert::insert_point_cloud(&mut plain, origin, &cloud, 30.0).unwrap();
+        }
+        let t_par = par.into_tree();
+        let t_ser = ser.into_tree();
+        for x in 100..160u16 {
+            for y in 110..140u16 {
+                let key = VoxelKey::new(x, y, 128);
+                let a = t_par.search(key);
+                let b = t_ser.search(key);
+                let c = plain.search(key);
+                match (a, b, c) {
+                    (None, None, None) => {}
+                    (Some(a), Some(b), Some(c)) => {
+                        assert!((a - b).abs() < 1e-5, "{key}: par {a} vs ser {b}");
+                        assert!((a - c).abs() < 1e-5, "{key}: par {a} vs plain {c}");
+                    }
+                    other => panic!("{key}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_times_are_recorded() {
+        let mut s = system(1 << 6, 1); // tiny cache: lots of evictions
+        for i in 0..8 {
+            s.insert_scan(Point3::ZERO, &wall_cloud(i as f64 * 0.07), 20.0)
+                .unwrap();
+        }
+        s.finish();
+        let t = s.phase_times();
+        assert!(t.octree_update > std::time::Duration::ZERO);
+        assert!(s.shared.cells_applied.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn drop_without_finish_is_clean() {
+        let mut s = system(1 << 6, 2);
+        s.insert_scan(Point3::ZERO, &wall_cloud(0.0), 20.0).unwrap();
+        drop(s); // must join the worker without hanging or panicking
+    }
+
+    #[test]
+    fn rt_variant_name_and_behaviour() {
+        let grid = VoxelGrid::new(0.5, 8).unwrap();
+        let cfg = CacheConfig::builder().num_buckets(1 << 8).tau(4).build().unwrap();
+        let mut s = ParallelOctoCache::with_ray_tracer(
+            grid,
+            OccupancyParams::default(),
+            cfg,
+            RayTracer::Dedup,
+        );
+        assert_eq!(s.name(), "octocache-parallel-rt");
+        let report = s.insert_scan(Point3::ZERO, &wall_cloud(0.0), 20.0).unwrap();
+        // Dedup front-end: observations are distinct.
+        assert!(report.observations > 0);
+        s.finish();
+    }
+}

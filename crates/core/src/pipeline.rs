@@ -1,0 +1,307 @@
+//! The common mapping-backend interface and the plain OctoMap baselines.
+//!
+//! Everything the evaluation compares — OctoMap, OctoMap-RT, serial and
+//! parallel OctoCache, and their `-RT` variants — implements
+//! [`MappingSystem`], so the UAV simulator and the benches swap backends
+//! freely. The trait surface mirrors the query API the paper requires
+//! OctoCache to keep compatible with vanilla OctoMap.
+
+use std::time::Instant;
+
+use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
+use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
+
+use crate::timing::PhaseTimes;
+
+/// Which ray-tracing front-end a backend uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RayTracer {
+    /// The standard OctoMap front-end: every ray-traced voxel observation is
+    /// emitted, duplicates included.
+    #[default]
+    Standard,
+    /// The OctoMap-RT–style deduplicating front-end (one observation per
+    /// distinct voxel per batch, occupied wins).
+    Dedup,
+}
+
+impl RayTracer {
+    /// Suffix used in backend names (`""` or `"-rt"`).
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            RayTracer::Standard => "",
+            RayTracer::Dedup => "-rt",
+        }
+    }
+}
+
+/// Outcome of inserting one scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScanReport {
+    /// Per-phase wall-clock times for this scan.
+    pub times: PhaseTimes,
+    /// Voxel observations produced by ray tracing (after any dedup).
+    pub observations: usize,
+    /// Observations that hit the cache (0 for cache-less backends).
+    pub cache_hits: u64,
+    /// Voxels evicted toward the octree this scan (for cache backends) or
+    /// applied directly (for plain backends).
+    pub octree_updates: usize,
+}
+
+/// A 3D occupancy mapping backend.
+///
+/// The query methods take `&mut self` because cache-based backends update
+/// hit/miss statistics on lookups; results are identical to what vanilla
+/// OctoMap would return (the paper's consistency guarantee, verified by the
+/// cross-backend tests in `tests/consistency.rs`).
+pub trait MappingSystem {
+    /// A short, stable backend name (e.g. `"octomap"`, `"octocache-serial"`).
+    fn name(&self) -> String;
+
+    /// The world↔key mapping.
+    fn grid(&self) -> &VoxelGrid;
+
+    /// Ray-traces and integrates one sensor scan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GeomError`] for invalid origins.
+    fn insert_scan(
+        &mut self,
+        origin: Point3,
+        cloud: &[Point3],
+        max_range: f64,
+    ) -> Result<ScanReport, GeomError>;
+
+    /// Accumulated occupancy log-odds at a voxel; `None` = unknown space.
+    fn occupancy(&mut self, key: VoxelKey) -> Option<f32>;
+
+    /// Occupancy decision at a voxel.
+    fn is_occupied(&mut self, key: VoxelKey) -> Option<bool>;
+
+    /// Occupancy decision at a world point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GeomError`] for out-of-map points.
+    fn is_occupied_at(&mut self, p: Point3) -> Result<Option<bool>, GeomError> {
+        let key = self.grid().key_of(p)?;
+        Ok(self.is_occupied(key))
+    }
+
+    /// Flushes all pending state into the backing octree and returns the
+    /// residual phase times. After `finish`, the backing octree alone
+    /// answers every query.
+    fn finish(&mut self) -> PhaseTimes;
+
+    /// Cumulative phase times over the backend's lifetime (including
+    /// thread-2 work for parallel backends).
+    fn phase_times(&self) -> PhaseTimes;
+
+    /// Consumes the backend, flushing all pending state, and returns the
+    /// completed octree (for serialisation, diffing, offline queries).
+    fn take_tree(self: Box<Self>) -> OccupancyOcTree;
+}
+
+impl<M: MappingSystem + ?Sized> MappingSystem for Box<M> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn grid(&self) -> &VoxelGrid {
+        (**self).grid()
+    }
+    fn insert_scan(
+        &mut self,
+        origin: Point3,
+        cloud: &[Point3],
+        max_range: f64,
+    ) -> Result<ScanReport, GeomError> {
+        (**self).insert_scan(origin, cloud, max_range)
+    }
+    fn occupancy(&mut self, key: VoxelKey) -> Option<f32> {
+        (**self).occupancy(key)
+    }
+    fn is_occupied(&mut self, key: VoxelKey) -> Option<bool> {
+        (**self).is_occupied(key)
+    }
+    fn is_occupied_at(&mut self, p: Point3) -> Result<Option<bool>, GeomError> {
+        (**self).is_occupied_at(p)
+    }
+    fn finish(&mut self) -> PhaseTimes {
+        (**self).finish()
+    }
+    fn phase_times(&self) -> PhaseTimes {
+        (**self).phase_times()
+    }
+    fn take_tree(self: Box<Self>) -> OccupancyOcTree {
+        (*self).take_tree()
+    }
+}
+
+/// The vanilla OctoMap baseline (optionally with the `-RT` front-end).
+#[derive(Debug)]
+pub struct OctoMapSystem {
+    tree: OccupancyOcTree,
+    ray_tracer: RayTracer,
+    times: PhaseTimes,
+    batch: insert::VoxelBatch,
+}
+
+impl OctoMapSystem {
+    /// Creates the baseline with the standard ray tracer.
+    pub fn new(grid: VoxelGrid, params: OccupancyParams) -> Self {
+        Self::with_ray_tracer(grid, params, RayTracer::Standard)
+    }
+
+    /// Creates the baseline with a chosen ray-tracing front-end.
+    pub fn with_ray_tracer(grid: VoxelGrid, params: OccupancyParams, rt: RayTracer) -> Self {
+        OctoMapSystem {
+            tree: OccupancyOcTree::new(grid, params),
+            ray_tracer: rt,
+            times: PhaseTimes::default(),
+            batch: insert::VoxelBatch::new(),
+        }
+    }
+
+    /// The backing octree.
+    pub fn tree(&self) -> &OccupancyOcTree {
+        &self.tree
+    }
+
+    /// Consumes the system, returning the octree.
+    pub fn into_tree(self) -> OccupancyOcTree {
+        self.tree
+    }
+}
+
+impl MappingSystem for OctoMapSystem {
+    fn name(&self) -> String {
+        format!("octomap{}", self.ray_tracer.suffix())
+    }
+
+    fn grid(&self) -> &VoxelGrid {
+        self.tree.grid()
+    }
+
+    fn insert_scan(
+        &mut self,
+        origin: Point3,
+        cloud: &[Point3],
+        max_range: f64,
+    ) -> Result<ScanReport, GeomError> {
+        let t0 = Instant::now();
+        insert::compute_update(self.tree.grid(), origin, cloud, max_range, &mut self.batch)?;
+        let (observations, ray_tracing, octree_update) = match self.ray_tracer {
+            RayTracer::Standard => {
+                let ray_tracing = t0.elapsed();
+                let t1 = Instant::now();
+                insert::apply_batch(&mut self.tree, &self.batch);
+                (self.batch.len(), ray_tracing, t1.elapsed())
+            }
+            RayTracer::Dedup => {
+                let deduped = rt::dedup_batch(&self.batch);
+                let ray_tracing = t0.elapsed();
+                let t1 = Instant::now();
+                insert::apply_batch(&mut self.tree, &deduped);
+                (deduped.len(), ray_tracing, t1.elapsed())
+            }
+        };
+        let times = PhaseTimes {
+            ray_tracing,
+            octree_update,
+            ..Default::default()
+        };
+        self.times += times;
+        Ok(ScanReport {
+            times,
+            observations,
+            cache_hits: 0,
+            octree_updates: observations,
+        })
+    }
+
+    fn occupancy(&mut self, key: VoxelKey) -> Option<f32> {
+        self.tree.search(key)
+    }
+
+    fn is_occupied(&mut self, key: VoxelKey) -> Option<bool> {
+        self.tree.is_occupied(key)
+    }
+
+    fn finish(&mut self) -> PhaseTimes {
+        PhaseTimes::default()
+    }
+
+    fn phase_times(&self) -> PhaseTimes {
+        self.times
+    }
+
+    fn take_tree(self: Box<Self>) -> OccupancyOcTree {
+        self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> VoxelGrid {
+        VoxelGrid::new(0.5, 8).unwrap()
+    }
+
+    fn wall_cloud() -> Vec<Point3> {
+        (0..20)
+            .map(|i| Point3::new(5.0, -2.0 + i as f64 * 0.2, 0.25))
+            .collect()
+    }
+
+    #[test]
+    fn names() {
+        let a = OctoMapSystem::new(grid(), OccupancyParams::default());
+        assert_eq!(a.name(), "octomap");
+        let b = OctoMapSystem::with_ray_tracer(
+            grid(),
+            OccupancyParams::default(),
+            RayTracer::Dedup,
+        );
+        assert_eq!(b.name(), "octomap-rt");
+    }
+
+    #[test]
+    fn baseline_inserts_and_queries() {
+        let mut sys = OctoMapSystem::new(grid(), OccupancyParams::default());
+        let report = sys.insert_scan(Point3::ZERO, &wall_cloud(), 20.0).unwrap();
+        assert!(report.observations > 0);
+        assert!(report.times.octree_update > std::time::Duration::ZERO);
+        assert_eq!(
+            sys.is_occupied_at(Point3::new(5.0, 0.0, 0.25)).unwrap(),
+            Some(true)
+        );
+        assert_eq!(
+            sys.is_occupied_at(Point3::new(2.0, 0.0, 0.25)).unwrap(),
+            Some(false)
+        );
+        assert_eq!(sys.finish(), PhaseTimes::default());
+        assert!(sys.phase_times().octree_update > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn rt_variant_applies_fewer_updates() {
+        let cloud = wall_cloud();
+        let mut raw = OctoMapSystem::new(grid(), OccupancyParams::default());
+        let mut ded = OctoMapSystem::with_ray_tracer(
+            grid(),
+            OccupancyParams::default(),
+            RayTracer::Dedup,
+        );
+        let r1 = raw.insert_scan(Point3::ZERO, &cloud, 20.0).unwrap();
+        let r2 = ded.insert_scan(Point3::ZERO, &cloud, 20.0).unwrap();
+        assert!(r2.octree_updates <= r1.octree_updates);
+        // Both mark the wall occupied.
+        for p in &cloud {
+            assert_eq!(raw.is_occupied_at(*p).unwrap(), Some(true));
+            assert_eq!(ded.is_occupied_at(*p).unwrap(), Some(true));
+        }
+    }
+}

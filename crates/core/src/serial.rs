@@ -1,0 +1,436 @@
+//! The serial OctoCache pipeline (paper §4.2–4.3, Figure 11/13(a)).
+//!
+//! One thread runs the whole workflow per scan: ray tracing → cache
+//! insertion → (queries) → cache eviction → octree update. The win over
+//! vanilla OctoMap comes from the cache absorbing duplicated voxel updates
+//! (most observations become O(1) bucket probes instead of octree round
+//! trips) and from the Morton-aligned eviction order speeding up the octree
+//! updates that remain.
+
+use std::time::Instant;
+
+use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
+use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
+
+use crate::cache::{AdaptiveController, AdaptivePolicy, CacheStats, EvictedCell, VoxelCache};
+use crate::config::CacheConfig;
+use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
+use crate::timing::PhaseTimes;
+
+/// The serial OctoCache mapping system.
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Debug)]
+pub struct SerialOctoCache {
+    cache: VoxelCache,
+    tree: OccupancyOcTree,
+    ray_tracer: RayTracer,
+    batch: insert::VoxelBatch,
+    evict_buf: Vec<EvictedCell>,
+    adaptive: AdaptiveController,
+    times: PhaseTimes,
+}
+
+impl SerialOctoCache {
+    /// Creates a serial OctoCache with the standard ray tracer.
+    pub fn new(grid: VoxelGrid, params: OccupancyParams, config: CacheConfig) -> Self {
+        Self::with_ray_tracer(grid, params, config, RayTracer::Standard)
+    }
+
+    /// Creates a serial OctoCache with a chosen ray-tracing front-end
+    /// (`RayTracer::Dedup` gives the paper's OctoCache-RT).
+    pub fn with_ray_tracer(
+        grid: VoxelGrid,
+        params: OccupancyParams,
+        config: CacheConfig,
+        ray_tracer: RayTracer,
+    ) -> Self {
+        SerialOctoCache {
+            cache: VoxelCache::new(config, params),
+            tree: OccupancyOcTree::new(grid, params),
+            ray_tracer,
+            batch: insert::VoxelBatch::new(),
+            evict_buf: Vec::new(),
+            adaptive: AdaptiveController::new(None),
+            times: PhaseTimes::default(),
+        }
+    }
+
+    /// Enables (or disables, with `None`) online cache growth: after each
+    /// scan whose windowed hit rate falls below the policy's target, the
+    /// bucket array doubles — an extension over the paper's fixed-size
+    /// cache (§6.2.3 shows hit rate saturating with size).
+    pub fn set_adaptive_policy(&mut self, policy: Option<AdaptivePolicy>) {
+        self.adaptive = AdaptiveController::new(policy);
+    }
+
+    /// How often the adaptive policy has grown the cache.
+    pub fn adaptive_growths(&self) -> u32 {
+        self.adaptive.growths()
+    }
+
+    /// The cache layer.
+    pub fn cache(&self) -> &VoxelCache {
+        &self.cache
+    }
+
+    /// Cache behaviour counters.
+    pub fn cache_stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// The backing octree. Note that pending cache contents are *not* yet in
+    /// the tree; call [`MappingSystem::finish`] first when you need the tree
+    /// alone to be complete.
+    pub fn tree(&self) -> &OccupancyOcTree {
+        &self.tree
+    }
+
+    /// Consumes the system, flushing the cache, and returns the octree.
+    pub fn into_tree(mut self) -> OccupancyOcTree {
+        self.finish();
+        self.tree
+    }
+
+    /// Integrates one pre-traced voxel batch (cache insert → evict → octree
+    /// update), bypassing ray tracing. Used by benches that isolate the
+    /// cache from the front-end.
+    pub fn insert_batch(&mut self, batch: &insert::VoxelBatch) -> ScanReport {
+        let hits_before = self.cache.stats().hits;
+
+        let t1 = Instant::now();
+        let cache = &mut self.cache;
+        let tree = &self.tree;
+        for u in batch.iter() {
+            cache.insert(u.key, u.occupied, |k| tree.search(k));
+        }
+        let cache_insert = t1.elapsed();
+
+        let t2 = Instant::now();
+        self.evict_buf.clear();
+        self.cache.evict_into(&mut self.evict_buf);
+        let cache_evict = t2.elapsed();
+
+        let t3 = Instant::now();
+        for cell in &self.evict_buf {
+            self.tree.set_node_log_odds(cell.key, cell.log_odds);
+        }
+        let octree_update = t3.elapsed();
+
+        let times = PhaseTimes {
+            cache_insert,
+            cache_evict,
+            octree_update,
+            ..Default::default()
+        };
+        self.times += times;
+        ScanReport {
+            times,
+            observations: batch.len(),
+            cache_hits: self.cache.stats().hits - hits_before,
+            octree_updates: self.evict_buf.len(),
+        }
+    }
+}
+
+impl MappingSystem for SerialOctoCache {
+    fn name(&self) -> String {
+        format!("octocache-serial{}", self.ray_tracer.suffix())
+    }
+
+    fn grid(&self) -> &VoxelGrid {
+        self.tree.grid()
+    }
+
+    fn insert_scan(
+        &mut self,
+        origin: Point3,
+        cloud: &[Point3],
+        max_range: f64,
+    ) -> Result<ScanReport, GeomError> {
+        let t0 = Instant::now();
+        insert::compute_update(self.tree.grid(), origin, cloud, max_range, &mut self.batch)?;
+        let deduped;
+        let batch: &insert::VoxelBatch = match self.ray_tracer {
+            RayTracer::Standard => &self.batch,
+            RayTracer::Dedup => {
+                deduped = rt::dedup_batch(&self.batch);
+                &deduped
+            }
+        };
+        let ray_tracing = t0.elapsed();
+
+        let hits_before = self.cache.stats().hits;
+        let t1 = Instant::now();
+        let cache = &mut self.cache;
+        let tree = &self.tree;
+        for u in batch.iter() {
+            cache.insert(u.key, u.occupied, |k| tree.search(k));
+        }
+        let cache_insert = t1.elapsed();
+        let observations = batch.len();
+
+        let t2 = Instant::now();
+        self.evict_buf.clear();
+        self.cache.evict_into(&mut self.evict_buf);
+        let cache_evict = t2.elapsed();
+
+        let t3 = Instant::now();
+        for cell in &self.evict_buf {
+            self.tree.set_node_log_odds(cell.key, cell.log_odds);
+        }
+        let octree_update = t3.elapsed();
+
+        self.adaptive.after_batch(&mut self.cache);
+
+        let times = PhaseTimes {
+            ray_tracing,
+            cache_insert,
+            cache_evict,
+            octree_update,
+            ..Default::default()
+        };
+        self.times += times;
+        Ok(ScanReport {
+            times,
+            observations,
+            cache_hits: self.cache.stats().hits - hits_before,
+            octree_updates: self.evict_buf.len(),
+        })
+    }
+
+    fn occupancy(&mut self, key: VoxelKey) -> Option<f32> {
+        // Cache first (accumulated value = what OctoMap would hold), octree
+        // on a miss — the paper's consistency path.
+        match self.cache.get(key) {
+            Some(v) => Some(v),
+            None => self.tree.search(key),
+        }
+    }
+
+    fn is_occupied(&mut self, key: VoxelKey) -> Option<bool> {
+        let params = *self.tree.params();
+        self.occupancy(key).map(|l| params.is_occupied(l))
+    }
+
+    fn finish(&mut self) -> PhaseTimes {
+        let t0 = Instant::now();
+        let drained = self.cache.drain_all();
+        let cache_evict = t0.elapsed();
+        let t1 = Instant::now();
+        for cell in &drained {
+            self.tree.set_node_log_odds(cell.key, cell.log_odds);
+        }
+        let octree_update = t1.elapsed();
+        let times = PhaseTimes {
+            cache_evict,
+            octree_update,
+            ..Default::default()
+        };
+        self.times += times;
+        times
+    }
+
+    fn phase_times(&self) -> PhaseTimes {
+        self.times
+    }
+
+    fn take_tree(self: Box<Self>) -> OccupancyOcTree {
+        (*self).into_tree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system(w: usize, tau: usize) -> SerialOctoCache {
+        let grid = VoxelGrid::new(0.5, 8).unwrap();
+        let config = CacheConfig::builder().num_buckets(w).tau(tau).build().unwrap();
+        SerialOctoCache::new(grid, OccupancyParams::default(), config)
+    }
+
+    fn wall_cloud() -> Vec<Point3> {
+        // Dense sampling of a wall: many points per voxel -> duplicates.
+        (0..60)
+            .map(|i| Point3::new(6.0, -1.5 + i as f64 * 0.05, 0.25))
+            .collect()
+    }
+
+    #[test]
+    fn name_includes_rt_suffix() {
+        assert_eq!(system(64, 4).name(), "octocache-serial");
+        let grid = VoxelGrid::new(0.5, 8).unwrap();
+        let cfg = CacheConfig::builder().num_buckets(64).tau(4).build().unwrap();
+        let s = SerialOctoCache::with_ray_tracer(
+            grid,
+            OccupancyParams::default(),
+            cfg,
+            RayTracer::Dedup,
+        );
+        assert_eq!(s.name(), "octocache-serial-rt");
+    }
+
+    #[test]
+    fn scan_generates_cache_hits_on_duplicates() {
+        let mut s = system(1 << 10, 4);
+        let report = s.insert_scan(Point3::ZERO, &wall_cloud(), 20.0).unwrap();
+        assert!(report.observations > 0);
+        assert!(
+            report.cache_hits > 0,
+            "dense scan must produce duplicate hits"
+        );
+        // Fewer octree updates than observations — the cache absorbed them.
+        assert!(report.octree_updates < report.observations);
+    }
+
+    #[test]
+    fn queries_answered_before_octree_update() {
+        let mut s = system(1 << 12, 64); // huge tau: nothing evicts
+        s.insert_scan(Point3::ZERO, &wall_cloud(), 20.0).unwrap();
+        // Nothing (or nearly nothing) reached the tree yet…
+        assert!(s.tree().num_nodes() <= 1);
+        // …but queries already see the scan through the cache.
+        assert_eq!(
+            s.is_occupied_at(Point3::new(6.0, 0.0, 0.25)).unwrap(),
+            Some(true)
+        );
+        assert_eq!(
+            s.is_occupied_at(Point3::new(3.0, 0.0, 0.25)).unwrap(),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn finish_flushes_cache_into_tree() {
+        let mut s = system(1 << 10, 4);
+        s.insert_scan(Point3::ZERO, &wall_cloud(), 20.0).unwrap();
+        s.finish();
+        assert!(s.cache().is_empty());
+        // The tree alone answers correctly now.
+        assert_eq!(
+            s.tree().is_occupied_at(Point3::new(6.0, 0.0, 0.25)).unwrap(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn into_tree_matches_octomap_semantics() {
+        // After finish(), the map must agree voxel-for-voxel with vanilla
+        // OctoMap fed the same scans.
+        let grid = VoxelGrid::new(0.5, 8).unwrap();
+        let params = OccupancyParams::default();
+        let cfg = CacheConfig::builder().num_buckets(1 << 8).tau(2).build().unwrap();
+        let mut cached = SerialOctoCache::new(grid, params, cfg);
+        let mut plain = OccupancyOcTree::new(grid, params);
+
+        let scans: Vec<(Point3, Vec<Point3>)> = (0..5)
+            .map(|s| {
+                let origin = Point3::new(s as f64 * 0.6, 0.0, 0.0);
+                let cloud = (0..30)
+                    .map(|i| Point3::new(8.0, -1.0 + i as f64 * 0.07, 0.25))
+                    .collect();
+                (origin, cloud)
+            })
+            .collect();
+
+        for (origin, cloud) in &scans {
+            cached.insert_scan(*origin, cloud, 30.0).unwrap();
+            insert::insert_point_cloud(&mut plain, *origin, cloud, 30.0).unwrap();
+        }
+        let tree = cached.into_tree();
+
+        // Compare decisions over the whole relevant region.
+        for x in 0..40u16 {
+            for y in 0..40u16 {
+                let key = VoxelKey::new(120 + x, 100 + y, 128);
+                assert_eq!(
+                    tree.is_occupied(key),
+                    plain.is_occupied(key),
+                    "mismatch at {key}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_consistency_with_octomap_mid_stream() {
+        // At any point between scans, OctoCache answers must equal vanilla
+        // OctoMap's (the cache serves accumulated values).
+        let grid = VoxelGrid::new(0.5, 8).unwrap();
+        let params = OccupancyParams::default();
+        let cfg = CacheConfig::builder().num_buckets(1 << 6).tau(2).build().unwrap();
+        let mut cached = SerialOctoCache::new(grid, params, cfg);
+        let mut plain = OccupancyOcTree::new(grid, params);
+
+        for s in 0..4 {
+            let origin = Point3::new(0.0, s as f64 * 0.3, 0.0);
+            let cloud: Vec<Point3> = (0..25)
+                .map(|i| Point3::new(7.0, -1.0 + i as f64 * 0.09, 0.25))
+                .collect();
+            cached.insert_scan(origin, &cloud, 30.0).unwrap();
+            insert::insert_point_cloud(&mut plain, origin, &cloud, 30.0).unwrap();
+
+            for x in 0..36u16 {
+                let key = VoxelKey::new(112 + x, 126, 128);
+                let got = cached.occupancy(key);
+                let want = plain.search(key);
+                match (got, want) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < 1e-5, "key {key}: {a} vs {b}")
+                    }
+                    other => panic!("key {key}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_batch_bypasses_ray_tracing() {
+        let mut s = system(1 << 8, 4);
+        let mut batch = insert::VoxelBatch::new();
+        for i in 0..50u16 {
+            batch.push(VoxelKey::new(i % 10, 0, 0), true);
+        }
+        let report = s.insert_batch(&batch);
+        assert_eq!(report.observations, 50);
+        assert!(report.cache_hits >= 40); // 10 distinct keys => 40 hits
+        assert_eq!(report.times.ray_tracing, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn adaptive_policy_grows_cache_on_miss_heavy_workload() {
+        let mut s = system(4, 1); // minuscule cache
+        s.set_adaptive_policy(Some(crate::cache::AdaptivePolicy {
+            target_hit_rate: 0.97,
+            max_buckets: 1 << 12,
+            min_window: 64,
+        }));
+        for i in 0..6 {
+            // Shift the wall each scan: wide working set, heavy misses.
+            let cloud: Vec<Point3> = (0..80)
+                .map(|j| Point3::new(6.0 + (i % 3) as f64, -2.0 + j as f64 * 0.05, 0.25))
+                .collect();
+            s.insert_scan(Point3::ZERO, &cloud, 20.0).unwrap();
+        }
+        assert!(s.adaptive_growths() >= 1, "cache never grew");
+        assert!(s.cache().config().num_buckets() > 4);
+        // Consistency still holds after growth.
+        assert_eq!(
+            s.is_occupied_at(Point3::new(3.0, 0.0, 0.25)).unwrap(),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn phase_times_accumulate() {
+        let mut s = system(1 << 8, 4);
+        s.insert_scan(Point3::ZERO, &wall_cloud(), 20.0).unwrap();
+        let t1 = s.phase_times();
+        s.insert_scan(Point3::ZERO, &wall_cloud(), 20.0).unwrap();
+        let t2 = s.phase_times();
+        assert!(t2.cache_insert >= t1.cache_insert);
+        assert!(t2.ray_tracing >= t1.ray_tracing);
+    }
+}

@@ -1,0 +1,285 @@
+//! The "naive software parallelization" baseline of the paper's Table 1.
+//!
+//! The obvious way to parallelise OctoMap is to shard the octree: partition
+//! space by top-level octant, give each shard its own subtree, and update
+//! shards on separate threads. The paper dismisses this approach ("deploying
+//! multiple CPU cores to parallelize octree does not help due to data
+//! imbalance", §4.4): a sensor's scan cone is spatially local, so nearly all
+//! of a batch lands in one or two shards and the other threads idle. This
+//! module implements the baseline so the claim is measurable —
+//! [`ShardedOctoMap::imbalance`] reports exactly the skew the paper blames.
+
+use std::time::Instant;
+
+use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
+use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
+
+use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
+use crate::timing::PhaseTimes;
+
+/// OctoMap sharded by spatial octant, with per-scan parallel shard updates.
+#[derive(Debug)]
+pub struct ShardedOctoMap {
+    shards: Vec<OccupancyOcTree>,
+    /// log2(number of shards), 0..=3.
+    shard_bits: u8,
+    grid: VoxelGrid,
+    params: OccupancyParams,
+    ray_tracer: RayTracer,
+    batch: insert::VoxelBatch,
+    shard_updates: Vec<u64>,
+    times: PhaseTimes,
+}
+
+impl ShardedOctoMap {
+    /// Creates a sharded OctoMap with `num_shards` ∈ {1, 2, 4, 8} subtrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics for shard counts other than 1, 2, 4 or 8.
+    pub fn new(grid: VoxelGrid, params: OccupancyParams, num_shards: usize) -> Self {
+        assert!(
+            matches!(num_shards, 1 | 2 | 4 | 8),
+            "num_shards must be 1, 2, 4 or 8"
+        );
+        Self::with_ray_tracer(grid, params, num_shards, RayTracer::Standard)
+    }
+
+    /// As [`ShardedOctoMap::new`] with a chosen ray-tracing front-end.
+    pub fn with_ray_tracer(
+        grid: VoxelGrid,
+        params: OccupancyParams,
+        num_shards: usize,
+        ray_tracer: RayTracer,
+    ) -> Self {
+        let shard_bits = num_shards.trailing_zeros() as u8;
+        ShardedOctoMap {
+            shards: (0..num_shards)
+                .map(|_| OccupancyOcTree::new(grid, params))
+                .collect(),
+            shard_bits,
+            grid,
+            params,
+            ray_tracer,
+            batch: insert::VoxelBatch::new(),
+            shard_updates: vec![0; num_shards],
+            times: PhaseTimes::default(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a voxel belongs to: the top octant bits of its key.
+    #[inline]
+    pub fn shard_of(&self, key: VoxelKey) -> usize {
+        if self.shard_bits == 0 {
+            return 0;
+        }
+        let octant = key.child_index(self.grid.depth() - 1).as_usize();
+        octant & ((1 << self.shard_bits) - 1)
+    }
+
+    /// Updates routed to each shard so far.
+    pub fn shard_update_counts(&self) -> &[u64] {
+        &self.shard_updates
+    }
+
+    /// Load imbalance: busiest shard's share of updates divided by the fair
+    /// share `1/num_shards`. A value of `num_shards` means one shard did
+    /// all the work (total imbalance); `1.0` is perfect balance.
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.shard_updates.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = *self.shard_updates.iter().max().expect("non-empty") as f64;
+        max / (total as f64 / self.shards.len() as f64)
+    }
+}
+
+impl MappingSystem for ShardedOctoMap {
+    fn name(&self) -> String {
+        format!(
+            "octomap-sharded{}x{}",
+            self.ray_tracer.suffix(),
+            self.shards.len()
+        )
+    }
+
+    fn grid(&self) -> &VoxelGrid {
+        &self.grid
+    }
+
+    fn insert_scan(
+        &mut self,
+        origin: Point3,
+        cloud: &[Point3],
+        max_range: f64,
+    ) -> Result<ScanReport, GeomError> {
+        let t0 = Instant::now();
+        insert::compute_update(&self.grid, origin, cloud, max_range, &mut self.batch)?;
+        let deduped;
+        let batch: &insert::VoxelBatch = match self.ray_tracer {
+            RayTracer::Standard => &self.batch,
+            RayTracer::Dedup => {
+                deduped = rt::dedup_batch(&self.batch);
+                &deduped
+            }
+        };
+        // Partition by shard (serial, like a naive implementation would).
+        let mut parts: Vec<Vec<insert::VoxelUpdate>> =
+            vec![Vec::with_capacity(batch.len() / self.shards.len() + 1); self.shards.len()];
+        for u in batch.iter() {
+            let s = self.shard_of(u.key);
+            parts[s].push(*u);
+            self.shard_updates[s] += 1;
+        }
+        let observations = batch.len();
+        let ray_tracing = t0.elapsed();
+
+        // Parallel shard update: one scoped thread per non-empty shard,
+        // each owning its subtree exclusively (no locks needed — this is
+        // the best case for the naive approach).
+        let t1 = Instant::now();
+        std::thread::scope(|scope| {
+            for (tree, updates) in self.shards.iter_mut().zip(&parts) {
+                if updates.is_empty() {
+                    continue;
+                }
+                scope.spawn(move || {
+                    for u in updates {
+                        tree.update_node(u.key, u.occupied);
+                    }
+                });
+            }
+        });
+        let octree_update = t1.elapsed();
+
+        let times = PhaseTimes {
+            ray_tracing,
+            octree_update,
+            ..Default::default()
+        };
+        self.times += times;
+        Ok(ScanReport {
+            times,
+            observations,
+            cache_hits: 0,
+            octree_updates: observations,
+        })
+    }
+
+    fn occupancy(&mut self, key: VoxelKey) -> Option<f32> {
+        self.shards[self.shard_of(key)].search(key)
+    }
+
+    fn is_occupied(&mut self, key: VoxelKey) -> Option<bool> {
+        let params = self.params;
+        self.occupancy(key).map(|l| params.is_occupied(l))
+    }
+
+    fn finish(&mut self) -> PhaseTimes {
+        PhaseTimes::default()
+    }
+
+    fn phase_times(&self) -> PhaseTimes {
+        self.times
+    }
+
+    fn take_tree(self: Box<Self>) -> OccupancyOcTree {
+        // Shards populate disjoint top-level octants (for 8 shards; for
+        // fewer, disjoint octant groups, which still never collide because
+        // a voxel routes to exactly one shard), so a structural merge
+        // reassembles the map.
+        let mut merged = OccupancyOcTree::new(self.grid, self.params);
+        for shard in &self.shards {
+            merged
+                .merge_disjoint_top_level(shard)
+                .expect("shards partition key space disjointly");
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::OctoMapSystem;
+
+    fn grid() -> VoxelGrid {
+        VoxelGrid::new(0.5, 8).unwrap()
+    }
+
+    fn cloud() -> Vec<Point3> {
+        (0..40)
+            .map(|i| Point3::new(6.0, -2.0 + i as f64 * 0.1, 0.25))
+            .collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 1, 2, 4 or 8")]
+    fn rejects_odd_shard_counts() {
+        ShardedOctoMap::new(grid(), OccupancyParams::default(), 3);
+    }
+
+    #[test]
+    fn name_reflects_shards() {
+        let s = ShardedOctoMap::new(grid(), OccupancyParams::default(), 4);
+        assert_eq!(s.name(), "octomap-sharded x4".replace(' ', ""));
+    }
+
+    #[test]
+    fn queries_agree_with_plain_octomap() {
+        let mut sharded = ShardedOctoMap::new(grid(), OccupancyParams::default(), 8);
+        let mut plain = OctoMapSystem::new(grid(), OccupancyParams::default());
+        // Scans in two different octants (positive and negative x).
+        for origin in [Point3::new(-0.5, 0.0, 0.0), Point3::new(0.5, 0.0, 0.0)] {
+            sharded.insert_scan(origin, &cloud(), 20.0).unwrap();
+            plain.insert_scan(origin, &cloud(), 20.0).unwrap();
+            let mirror: Vec<Point3> = cloud().iter().map(|p| *p * -1.0).collect();
+            sharded.insert_scan(origin, &mirror, 20.0).unwrap();
+            plain.insert_scan(origin, &mirror, 20.0).unwrap();
+        }
+        for x in (0..256u16).step_by(5) {
+            for y in (100..156u16).step_by(3) {
+                let key = VoxelKey::new(x, y, 128);
+                let a = sharded.occupancy(key);
+                let b = plain.occupancy(key);
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => assert!((a - b).abs() < 1e-5, "{key}"),
+                    other => panic!("{key}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn imbalance_reflects_scan_locality() {
+        let mut sharded = ShardedOctoMap::new(grid(), OccupancyParams::default(), 8);
+        // A forward-looking scan cone: everything lands in one or two
+        // octants — the paper's imbalance argument.
+        sharded
+            .insert_scan(Point3::new(0.5, 0.5, 0.5), &cloud(), 20.0)
+            .unwrap();
+        let imbalance = sharded.imbalance();
+        assert!(
+            imbalance > 2.0,
+            "expected heavy skew for a local scan, got {imbalance:.2}"
+        );
+    }
+
+    #[test]
+    fn single_shard_equals_plain() {
+        let mut one = ShardedOctoMap::new(grid(), OccupancyParams::default(), 1);
+        one.insert_scan(Point3::ZERO, &cloud(), 20.0).unwrap();
+        assert_eq!(one.imbalance(), 1.0);
+        assert_eq!(
+            one.is_occupied_at(Point3::new(6.0, 0.0, 0.25)).unwrap(),
+            Some(true)
+        );
+    }
+}

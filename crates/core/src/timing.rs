@@ -1,0 +1,135 @@
+use std::fmt;
+use std::ops::{Add, AddAssign};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock time spent in each phase of the mapping workflow.
+///
+/// Mirrors the decomposition of the paper's Figure 13/22 and Table 3:
+/// ray tracing, cache insertion, cache eviction, octree update, shared-buffer
+/// enqueue/dequeue and thread-1 wait (the mutex acquisition gap of the
+/// parallel design). Phases that do not apply to a given backend stay zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    /// Point cloud → voxel batch conversion.
+    pub ray_tracing: Duration,
+    /// Cache insertion (including octree seeding on misses).
+    pub cache_insert: Duration,
+    /// Cache eviction scan.
+    pub cache_evict: Duration,
+    /// Octree updates (on the critical thread for serial backends, on
+    /// thread 2 for the parallel ones).
+    pub octree_update: Duration,
+    /// Shared-buffer enqueue on thread 1 (parallel only).
+    pub enqueue: Duration,
+    /// Shared-buffer dequeue on thread 2 (parallel only).
+    pub dequeue: Duration,
+    /// Thread 1 time spent waiting for the octree mutex (parallel only).
+    pub wait: Duration,
+}
+
+impl PhaseTimes {
+    /// Sum of every phase.
+    pub fn total(&self) -> Duration {
+        self.ray_tracing
+            + self.cache_insert
+            + self.cache_evict
+            + self.octree_update
+            + self.enqueue
+            + self.dequeue
+            + self.wait
+    }
+
+    /// Time spent on the critical (query-blocking) path of thread 1:
+    /// everything except the octree update and dequeue, which the parallel
+    /// design moves to thread 2.
+    pub fn critical_path(&self) -> Duration {
+        self.ray_tracing + self.cache_insert + self.cache_evict + self.enqueue + self.wait
+    }
+}
+
+impl Add for PhaseTimes {
+    type Output = PhaseTimes;
+    fn add(self, rhs: PhaseTimes) -> PhaseTimes {
+        PhaseTimes {
+            ray_tracing: self.ray_tracing + rhs.ray_tracing,
+            cache_insert: self.cache_insert + rhs.cache_insert,
+            cache_evict: self.cache_evict + rhs.cache_evict,
+            octree_update: self.octree_update + rhs.octree_update,
+            enqueue: self.enqueue + rhs.enqueue,
+            dequeue: self.dequeue + rhs.dequeue,
+            wait: self.wait + rhs.wait,
+        }
+    }
+}
+
+impl AddAssign for PhaseTimes {
+    fn add_assign(&mut self, rhs: PhaseTimes) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for PhaseTimes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ray={:.3?} insert={:.3?} evict={:.3?} tree={:.3?} enq={:.3?} deq={:.3?} wait={:.3?}",
+            self.ray_tracing,
+            self.cache_insert,
+            self.cache_evict,
+            self.octree_update,
+            self.enqueue,
+            self.dequeue,
+            self.wait
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn total_and_critical_path() {
+        let t = PhaseTimes {
+            ray_tracing: ms(10),
+            cache_insert: ms(20),
+            cache_evict: ms(5),
+            octree_update: ms(40),
+            enqueue: ms(1),
+            dequeue: ms(2),
+            wait: ms(3),
+        };
+        assert_eq!(t.total(), ms(81));
+        assert_eq!(t.critical_path(), ms(39));
+    }
+
+    #[test]
+    fn add_accumulates_fieldwise() {
+        let a = PhaseTimes {
+            ray_tracing: ms(1),
+            ..Default::default()
+        };
+        let b = PhaseTimes {
+            ray_tracing: ms(2),
+            octree_update: ms(4),
+            ..Default::default()
+        };
+        let mut c = a + b;
+        assert_eq!(c.ray_tracing, ms(3));
+        assert_eq!(c.octree_update, ms(4));
+        c += b;
+        assert_eq!(c.ray_tracing, ms(5));
+    }
+
+    #[test]
+    fn display_mentions_phases() {
+        let s = PhaseTimes::default().to_string();
+        assert!(s.contains("ray=") && s.contains("wait="));
+    }
+}

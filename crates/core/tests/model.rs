@@ -1,0 +1,164 @@
+//! Model-based property tests: the voxel cache against a flat reference
+//! model, and the parallel pipeline against the serial one under random
+//! workloads.
+
+use std::collections::HashMap;
+
+use octocache::pipeline::MappingSystem;
+use octocache::{CacheConfig, ParallelOctoCache, SerialOctoCache, VoxelCache};
+use octocache_geom::{Point3, VoxelGrid, VoxelKey};
+use octocache_octomap::{OccupancyOcTree, OccupancyParams};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Offer an observation for key (x, y, z).
+    Insert(u16, u16, u16, bool),
+    /// Query a key.
+    Get(u16, u16, u16),
+    /// Run an eviction pass.
+    Evict,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u16..12, 0u16..12, 0u16..12, any::<bool>())
+            .prop_map(|(x, y, z, o)| Op::Insert(x, y, z, o)),
+        2 => (0u16..12, 0u16..12, 0u16..12).prop_map(|(x, y, z)| Op::Get(x, y, z)),
+        1 => Just(Op::Evict),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache + backing tree always agree with a flat per-voxel model
+    /// applying the paper's update rule, no matter how insertions, queries
+    /// and evictions interleave.
+    #[test]
+    fn cache_plus_tree_matches_flat_model(
+        ops in proptest::collection::vec(arb_op(), 1..250),
+        tau in 1usize..4,
+    ) {
+        let params = OccupancyParams::default();
+        let cfg = CacheConfig::builder()
+            .num_buckets(16) // tiny: force collisions and evictions
+            .tau(tau)
+            .build()
+            .unwrap();
+        let mut cache = VoxelCache::new(cfg, params);
+        let grid = VoxelGrid::new(1.0, 4).unwrap();
+        let mut tree = OccupancyOcTree::new(grid, params);
+        let mut model: HashMap<VoxelKey, f32> = HashMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::Insert(x, y, z, occupied) => {
+                    let key = VoxelKey::new(x, y, z);
+                    let e = model.entry(key).or_insert(params.threshold);
+                    *e = params.apply(*e, occupied);
+                    cache.insert(key, occupied, |k| tree.search(k));
+                }
+                Op::Get(x, y, z) => {
+                    let key = VoxelKey::new(x, y, z);
+                    let got = cache.get(key).or_else(|| tree.search(key));
+                    match (got, model.get(&key)) {
+                        (None, None) => {}
+                        (Some(a), Some(&b)) => {
+                            prop_assert!((a - b).abs() < 1e-5, "{key}: {a} vs {b}")
+                        }
+                        other => prop_assert!(false, "{key}: {other:?}"),
+                    }
+                }
+                Op::Evict => {
+                    for cell in cache.evict() {
+                        tree.set_node_log_odds(cell.key, cell.log_odds);
+                    }
+                }
+            }
+        }
+        // Final flush: everything must land in the tree with model values.
+        for cell in cache.drain_all() {
+            tree.set_node_log_odds(cell.key, cell.log_odds);
+        }
+        for (key, &want) in &model {
+            let got = tree.search(*key);
+            prop_assert!(got.is_some(), "{key} missing from tree");
+            prop_assert!((got.unwrap() - want).abs() < 1e-5);
+        }
+    }
+
+    /// Bucket-size invariant: after any eviction pass, no bucket exceeds τ
+    /// (the paper's memory-bound guarantee, §4.2.2).
+    #[test]
+    fn eviction_restores_tau_bound(
+        keys in proptest::collection::vec((0u16..64, 0u16..64, 0u16..64), 1..300),
+        tau in 1usize..5,
+    ) {
+        let cfg = CacheConfig::builder().num_buckets(8).tau(tau).build().unwrap();
+        let mut cache = VoxelCache::new(cfg, OccupancyParams::default());
+        for &(x, y, z) in &keys {
+            cache.insert(VoxelKey::new(x, y, z), true, |_| None);
+        }
+        cache.evict();
+        let hist = cache.bucket_occupancy_histogram();
+        for (occupancy, count) in hist.iter().enumerate() {
+            if *count > 0 {
+                prop_assert!(occupancy <= tau, "bucket holds {occupancy} > tau {tau}");
+            }
+        }
+        prop_assert!(cache.len() <= cfg.capacity_after_eviction());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))] // threads are costly
+
+    /// Parallel and serial pipelines converge to identical maps for random
+    /// scan workloads.
+    #[test]
+    fn parallel_converges_to_serial(
+        scans in proptest::collection::vec(
+            proptest::collection::vec(
+                (-10.0f64..10.0, -10.0f64..10.0, -3.0f64..3.0),
+                5..40
+            ),
+            1..6
+        ),
+        seed in 0u64..1000,
+    ) {
+        let grid = VoxelGrid::new(0.5, 8).unwrap();
+        let params = OccupancyParams::default();
+        let cfg = CacheConfig::builder().num_buckets(64).tau(2).build().unwrap();
+        let mut serial = SerialOctoCache::new(grid, params, cfg);
+        let mut parallel = ParallelOctoCache::new(grid, params, cfg);
+
+        for (i, cloud) in scans.iter().enumerate() {
+            let origin = Point3::new(
+                (seed % 5) as f64 * 0.1,
+                (i as f64) * 0.2 - 0.5,
+                0.0,
+            );
+            let points: Vec<Point3> = cloud
+                .iter()
+                .map(|&(x, y, z)| Point3::new(x, y, z))
+                .collect();
+            serial.insert_scan(origin, &points, 15.0).unwrap();
+            parallel.insert_scan(origin, &points, 15.0).unwrap();
+        }
+        let t_ser = serial.into_tree();
+        let t_par = parallel.into_tree();
+        prop_assert_eq!(t_ser.num_leaves(), t_par.num_leaves());
+        for leaf in t_ser.leaves() {
+            let got = t_par.search(leaf.key);
+            prop_assert!(got.is_some(), "{} missing in parallel tree", leaf.key);
+            prop_assert!(
+                (got.unwrap() - leaf.log_odds).abs() < 1e-5,
+                "{}: {} vs {}",
+                leaf.key,
+                got.unwrap(),
+                leaf.log_odds
+            );
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Binary scan-log serialisation.
+//!
+//! The paper's datasets are files of point-cloud scans; this module gives
+//! the synthetic sequences the same property, so expensive generations can
+//! be cached on disk and identical workloads replayed across benchmark
+//! processes.
+//!
+//! Format: magic, version, name, max-range, then per scan the origin and a
+//! length-prefixed list of `f32` point triplets (points are stored in `f32`
+//! — sensor precision — which keeps logs half the size of `f64`).
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use octocache_geom::Point3;
+
+use crate::dataset::{Scan, ScanSequence};
+
+const MAGIC: &[u8; 4] = b"OSL1";
+
+/// Errors from decoding a scan log.
+#[derive(Debug)]
+pub enum ScanLogError {
+    /// Not a scan log (bad magic bytes).
+    BadMagic,
+    /// The stream ended early or a length field is inconsistent.
+    Truncated,
+    /// The embedded dataset name is not valid UTF-8 or unknown length.
+    BadName,
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ScanLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanLogError::BadMagic => write!(f, "stream is not a scan log"),
+            ScanLogError::Truncated => write!(f, "scan log ended unexpectedly"),
+            ScanLogError::BadName => write!(f, "scan log carries an invalid dataset name"),
+            ScanLogError::Io(e) => write!(f, "i/o failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScanLogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScanLogError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ScanLogError {
+    fn from(e: std::io::Error) -> Self {
+        ScanLogError::Io(e)
+    }
+}
+
+/// Writes a scan sequence to a writer.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the writer.
+pub fn write_scans<W: Write>(seq: &ScanSequence, mut w: W) -> Result<(), ScanLogError> {
+    w.write_all(MAGIC)?;
+    let name = seq.name().as_bytes();
+    w.write_all(&(name.len() as u32).to_le_bytes())?;
+    w.write_all(name)?;
+    w.write_all(&seq.max_range().to_le_bytes())?;
+    w.write_all(&(seq.scans().len() as u32).to_le_bytes())?;
+    for scan in seq.scans() {
+        for c in [scan.origin.x, scan.origin.y, scan.origin.z] {
+            w.write_all(&c.to_le_bytes())?;
+        }
+        w.write_all(&(scan.points.len() as u32).to_le_bytes())?;
+        for p in &scan.points {
+            for c in [p.x as f32, p.y as f32, p.z as f32] {
+                w.write_all(&c.to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a scan sequence from a reader.
+///
+/// # Errors
+///
+/// Returns a [`ScanLogError`] for malformed input; never panics on
+/// untrusted bytes.
+pub fn read_scans<R: Read>(mut r: R) -> Result<ScanSequence, ScanLogError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)
+        .map_err(|_| ScanLogError::Truncated)?;
+    if &magic != MAGIC {
+        return Err(ScanLogError::BadMagic);
+    }
+    let name_len = read_u32(&mut r)? as usize;
+    if name_len > 256 {
+        return Err(ScanLogError::BadName);
+    }
+    let mut name_bytes = vec![0u8; name_len];
+    r.read_exact(&mut name_bytes)
+        .map_err(|_| ScanLogError::Truncated)?;
+    let name = String::from_utf8(name_bytes).map_err(|_| ScanLogError::BadName)?;
+    let max_range = read_f64(&mut r)?;
+    let num_scans = read_u32(&mut r)? as usize;
+    // Cap to prevent absurd allocations from corrupted headers.
+    if num_scans > 10_000_000 {
+        return Err(ScanLogError::Truncated);
+    }
+    let mut scans = Vec::with_capacity(num_scans.min(1 << 20));
+    for _ in 0..num_scans {
+        let origin = Point3::new(read_f64(&mut r)?, read_f64(&mut r)?, read_f64(&mut r)?);
+        let num_points = read_u32(&mut r)? as usize;
+        if num_points > 100_000_000 {
+            return Err(ScanLogError::Truncated);
+        }
+        let mut points = Vec::with_capacity(num_points.min(1 << 22));
+        for _ in 0..num_points {
+            points.push(Point3::new(
+                read_f32(&mut r)? as f64,
+                read_f32(&mut r)? as f64,
+                read_f32(&mut r)? as f64,
+            ));
+        }
+        scans.push(Scan { origin, points });
+    }
+    Ok(ScanSequence::from_parts(leak_name(name), scans, max_range))
+}
+
+/// Dataset names arrive as owned strings but `ScanSequence` stores
+/// `&'static str`; scan logs are read a handful of times per process, so
+/// leaking the (tiny) name is the pragmatic trade.
+fn leak_name(name: String) -> &'static str {
+    Box::leak(name.into_boxed_str())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, ScanLogError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(|_| ScanLogError::Truncated)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f32<R: Read>(r: &mut R) -> Result<f32, ScanLogError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(|_| ScanLogError::Truncated)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn read_f64<R: Read>(r: &mut R) -> Result<f64, ScanLogError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(|_| ScanLogError::Truncated)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, DatasetConfig};
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let seq = Dataset::Fr079Corridor.generate(&DatasetConfig::tiny());
+        let mut buf = Vec::new();
+        write_scans(&seq, &mut buf).unwrap();
+        let restored = read_scans(buf.as_slice()).unwrap();
+        assert_eq!(restored.name(), seq.name());
+        assert_eq!(restored.max_range(), seq.max_range());
+        assert_eq!(restored.scans().len(), seq.scans().len());
+        assert_eq!(restored.total_points(), seq.total_points());
+        // Points roundtrip through f32: compare within f32 precision.
+        for (a, b) in restored.scans().iter().zip(seq.scans()) {
+            assert_eq!(a.origin, b.origin);
+            for (p, q) in a.points.iter().zip(&b.points) {
+                assert!((*p - *q).norm() < 1e-3, "{p} vs {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            read_scans(&b"NOPE"[..]),
+            Err(ScanLogError::BadMagic)
+        ));
+        assert!(matches!(
+            read_scans(&b"OS"[..]),
+            Err(ScanLogError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let seq = Dataset::Fr079Corridor.generate(&DatasetConfig::tiny());
+        let mut buf = Vec::new();
+        write_scans(&seq, &mut buf).unwrap();
+        for cut in [5usize, 9, 17, 25, buf.len() - 3] {
+            let result = read_scans(&buf[..cut]);
+            assert!(result.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn corrupted_bytes_never_panic() {
+        let seq = Dataset::Fr079Corridor.generate(&DatasetConfig::tiny());
+        let mut buf = Vec::new();
+        write_scans(&seq, &mut buf).unwrap();
+        for i in (0..buf.len().min(200)).step_by(3) {
+            let mut corrupted = buf.clone();
+            corrupted[i] ^= 0xFF;
+            let _ = read_scans(corrupted.as_slice());
+        }
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ScanLogError::BadMagic,
+            ScanLogError::Truncated,
+            ScanLogError::BadName,
+            ScanLogError::Io(std::io::Error::other("x")),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Duplication and overlap statistics over scan sequences — the measurements
+//! behind the paper's §3.1 (Figures 7/8) and Table 2.
+//!
+//! All statistics are computed on the *ray-traced voxel batches*: every scan
+//! is converted to voxel observations exactly as OctoMap's front-end would
+//! (free voxels along each beam, an occupied voxel at the endpoint), then
+//! counted.
+
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+use octocache_geom::{ray, GeomError, VoxelGrid, VoxelKey};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{Scan, ScanSequence};
+
+/// Duplication measurements for one voxel batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Total voxel observations (free + occupied), duplicates included.
+    pub total_updates: usize,
+    /// Distinct voxels among them.
+    pub distinct_voxels: usize,
+}
+
+impl BatchStats {
+    /// Intra-batch duplication factor (paper §3.1: 2.78–31.32×).
+    pub fn duplication_factor(&self) -> f64 {
+        if self.distinct_voxels == 0 {
+            0.0
+        } else {
+            self.total_updates as f64 / self.distinct_voxels as f64
+        }
+    }
+}
+
+/// Ray-traces one scan into its voxel observations, calling `visit` for each
+/// (duplicates included). Points outside the map cube are clamped; the scan
+/// is truncated at `max_range` like OctoMap's insertion.
+///
+/// # Errors
+///
+/// Propagates [`GeomError`] when the scan origin lies outside the grid.
+pub fn for_each_observation(
+    scan: &Scan,
+    grid: &VoxelGrid,
+    max_range: f64,
+    mut visit: impl FnMut(VoxelKey, bool),
+) -> Result<(), GeomError> {
+    let mut key_ray = ray::KeyRay::with_capacity(512);
+    grid.key_of(scan.origin)?;
+    for &point in &scan.points {
+        let delta = point - scan.origin;
+        let dist = delta.norm();
+        let (end, hit) = if max_range > 0.0 && dist > max_range {
+            (scan.origin + delta * (max_range / dist), false)
+        } else {
+            (point, true)
+        };
+        let end = grid.clamp_point(end);
+        ray::trace_into(grid, scan.origin, end, &mut key_ray)?;
+        for &k in key_ray.as_slice() {
+            visit(k, false);
+        }
+        if hit {
+            visit(grid.key_of(end)?, true);
+        }
+    }
+    Ok(())
+}
+
+/// Computes duplication statistics for one scan at the given grid.
+///
+/// # Errors
+///
+/// See [`for_each_observation`].
+pub fn batch_stats(
+    scan: &Scan,
+    grid: &VoxelGrid,
+    max_range: f64,
+) -> Result<BatchStats, GeomError> {
+    let mut total = 0usize;
+    let mut distinct: HashSet<VoxelKey> = HashSet::new();
+    for_each_observation(scan, grid, max_range, |k, _| {
+        total += 1;
+        distinct.insert(k);
+    })?;
+    Ok(BatchStats {
+        total_updates: total,
+        distinct_voxels: distinct.len(),
+    })
+}
+
+/// The distinct-voxel set of one scan.
+///
+/// # Errors
+///
+/// See [`for_each_observation`].
+pub fn distinct_voxels(
+    scan: &Scan,
+    grid: &VoxelGrid,
+    max_range: f64,
+) -> Result<HashSet<VoxelKey>, GeomError> {
+    let mut set = HashSet::new();
+    for_each_observation(scan, grid, max_range, |k, _| {
+        set.insert(k);
+    })?;
+    Ok(set)
+}
+
+/// For every scan after the first `window`, the fraction of its distinct
+/// voxels that already appeared in the previous `window` scans — the
+/// overlap ratio of the paper's Figure 8 (which uses `window = 3`).
+///
+/// # Errors
+///
+/// See [`for_each_observation`].
+pub fn overlap_ratios(
+    seq: &ScanSequence,
+    grid: &VoxelGrid,
+    window: usize,
+) -> Result<Vec<f64>, GeomError> {
+    assert!(window >= 1, "window must be at least 1");
+    let mut history: VecDeque<HashSet<VoxelKey>> = VecDeque::with_capacity(window);
+    let mut ratios = Vec::new();
+    for scan in seq.scans() {
+        let set = distinct_voxels(scan, grid, seq.max_range())?;
+        if history.len() == window {
+            let overlapping = set
+                .iter()
+                .filter(|k| history.iter().any(|h| h.contains(*k)))
+                .count();
+            if !set.is_empty() {
+                ratios.push(overlapping as f64 / set.len() as f64);
+            }
+        }
+        if history.len() == window {
+            history.pop_front();
+        }
+        history.push_back(set);
+    }
+    Ok(ratios)
+}
+
+/// Empirical CDF of a sample: sorted `(value, cumulative fraction)` pairs.
+pub fn empirical_cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+    let n = sorted.len();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// One row of the paper's Table 2: dataset workload at one resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetTableRow {
+    /// Mapping resolution (metres).
+    pub resolution: f64,
+    /// Number of point clouds (scans).
+    pub point_clouds: usize,
+    /// Distinct voxels across the whole sequence ("Nonduplicate Voxel #").
+    pub nonduplicate_voxels: usize,
+    /// Total voxel observations ("Duplicate Voxel #" in Table 2 counts all
+    /// ray-traced updates).
+    pub duplicate_voxels: usize,
+}
+
+/// Computes a Table 2 row for a sequence at one resolution.
+///
+/// # Errors
+///
+/// See [`for_each_observation`]; also propagates grid construction errors.
+pub fn table2_row(seq: &ScanSequence, resolution: f64) -> Result<DatasetTableRow, GeomError> {
+    let grid = VoxelGrid::new(resolution, 16)?;
+    let mut total = 0usize;
+    let mut distinct: HashSet<VoxelKey> = HashSet::new();
+    for scan in seq.scans() {
+        for_each_observation(scan, &grid, seq.max_range(), |k, _| {
+            total += 1;
+            distinct.insert(k);
+        })?;
+    }
+    Ok(DatasetTableRow {
+        resolution,
+        point_clouds: seq.scans().len(),
+        nonduplicate_voxels: distinct.len(),
+        duplicate_voxels: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, DatasetConfig};
+
+    fn grid(res: f64) -> VoxelGrid {
+        VoxelGrid::new(res, 16).unwrap()
+    }
+
+    #[test]
+    fn corridor_duplication_in_paper_band() {
+        let seq = Dataset::Fr079Corridor.generate(&DatasetConfig::tiny());
+        let g = grid(0.2);
+        let stats = batch_stats(&seq.scans()[0], &g, seq.max_range()).unwrap();
+        let f = stats.duplication_factor();
+        assert!(
+            (1.5..60.0).contains(&f),
+            "duplication {f} far outside the paper's 2.78–31.32 band"
+        );
+    }
+
+    #[test]
+    fn duplication_grows_with_coarser_resolution() {
+        let seq = Dataset::Fr079Corridor.generate(&DatasetConfig::tiny());
+        let fine = batch_stats(&seq.scans()[0], &grid(0.1), seq.max_range()).unwrap();
+        let coarse = batch_stats(&seq.scans()[0], &grid(0.8), seq.max_range()).unwrap();
+        assert!(coarse.duplication_factor() > fine.duplication_factor());
+    }
+
+    #[test]
+    fn corridor_overlap_is_high_campus_lower() {
+        let cfg = DatasetConfig::tiny();
+        let g = grid(0.2);
+        let corridor = Dataset::Fr079Corridor.generate(&cfg);
+        let campus = Dataset::FreiburgCampus.generate(&cfg);
+        let co = overlap_ratios(&corridor, &g, 3).unwrap();
+        let ca = overlap_ratios(&campus, &g, 3).unwrap();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&co) > mean(&ca),
+            "corridor overlap {:.2} should exceed campus {:.2}",
+            mean(&co),
+            mean(&ca)
+        );
+        assert!(mean(&co) > 0.5, "corridor overlap {:.2} too low", mean(&co));
+    }
+
+    #[test]
+    fn empirical_cdf_properties() {
+        let cdf = empirical_cdf(&[0.5, 0.1, 0.9, 0.1]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf[0].0, 0.1);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn table2_counts_are_consistent() {
+        let seq = Dataset::NewCollege.generate(&DatasetConfig::tiny());
+        let row = table2_row(&seq, 0.4).unwrap();
+        assert_eq!(row.point_clouds, seq.scans().len());
+        assert!(row.duplicate_voxels > row.nonduplicate_voxels);
+        // Coarser resolution -> fewer distinct voxels.
+        let coarse = table2_row(&seq, 0.8).unwrap();
+        assert!(coarse.nonduplicate_voxels < row.nonduplicate_voxels);
+    }
+
+    #[test]
+    fn overlap_window_must_be_positive() {
+        let seq = Dataset::Fr079Corridor.generate(&DatasetConfig::tiny());
+        let g = grid(0.4);
+        let result = std::panic::catch_unwind(|| overlap_ratios(&seq, &g, 0));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Errors produced by geometric conversions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeomError {
+    /// A world coordinate falls outside the mapped cube for the grid's depth
+    /// and resolution.
+    OutOfBounds {
+        /// The offending coordinate value (metres).
+        coordinate: f64,
+        /// Half-extent of the mapped cube (metres); valid coordinates lie in
+        /// `[-half_extent, half_extent)`.
+        half_extent: f64,
+    },
+    /// A coordinate was NaN or infinite.
+    NotFinite,
+    /// The requested mapping resolution is zero, negative, or not finite.
+    InvalidResolution(f64),
+    /// The requested tree depth is zero or exceeds the 16-bit key budget.
+    InvalidDepth(u8),
+    /// A ray was degenerate (zero-length direction) where a direction was
+    /// required.
+    DegenerateRay,
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::OutOfBounds {
+                coordinate,
+                half_extent,
+            } => write!(
+                f,
+                "coordinate {coordinate} outside mapped cube [-{half_extent}, {half_extent})"
+            ),
+            GeomError::NotFinite => write!(f, "coordinate was NaN or infinite"),
+            GeomError::InvalidResolution(r) => {
+                write!(f, "invalid mapping resolution {r}; must be finite and > 0")
+            }
+            GeomError::InvalidDepth(d) => {
+                write!(f, "invalid tree depth {d}; must be in 1..=16")
+            }
+            GeomError::DegenerateRay => write!(f, "ray direction has zero length"),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            GeomError::OutOfBounds {
+                coordinate: 5000.0,
+                half_extent: 3276.8,
+            },
+            GeomError::NotFinite,
+            GeomError::InvalidResolution(-1.0),
+            GeomError::InvalidDepth(0),
+            GeomError::DegenerateRay,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeomError>();
+    }
+}

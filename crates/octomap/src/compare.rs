@@ -1,0 +1,218 @@
+//! Voxel-level comparison of occupancy maps.
+//!
+//! The paper's correctness requirement is *query consistency*: OctoCache
+//! must answer every voxel query exactly as vanilla OctoMap would. This
+//! module turns that requirement into a measurable quantity — a full
+//! voxel-by-voxel diff of two trees — used by the integration tests and by
+//! EXPERIMENTS.md to certify reproduced runs.
+
+use std::collections::HashMap;
+
+use octocache_geom::VoxelKey;
+
+use crate::tree::OccupancyOcTree;
+
+/// Outcome of comparing two occupancy maps voxel by voxel.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MapDiff {
+    /// Finest-level voxels known (non-unknown) in either map.
+    pub known_voxels: u64,
+    /// Voxels known in both maps with log-odds equal within tolerance.
+    pub matching: u64,
+    /// Voxels known in both maps but with differing values.
+    pub value_mismatches: u64,
+    /// Voxels known in exactly one of the maps.
+    pub coverage_mismatches: u64,
+    /// Voxels occupied in both maps.
+    pub occupied_both: u64,
+    /// Voxels occupied in exactly one map.
+    pub occupied_one: u64,
+    /// Largest absolute log-odds difference seen on commonly-known voxels.
+    pub max_abs_diff: f32,
+}
+
+impl MapDiff {
+    /// Fraction of known voxels whose values agree (1.0 = identical maps).
+    pub fn agreement(&self) -> f64 {
+        if self.known_voxels == 0 {
+            1.0
+        } else {
+            self.matching as f64 / self.known_voxels as f64
+        }
+    }
+
+    /// Intersection-over-union of the occupied sets.
+    pub fn occupied_iou(&self) -> f64 {
+        let union = self.occupied_both + self.occupied_one;
+        if union == 0 {
+            1.0
+        } else {
+            self.occupied_both as f64 / union as f64
+        }
+    }
+
+    /// True when the maps are voxel-for-voxel identical within tolerance.
+    pub fn is_identical(&self) -> bool {
+        self.value_mismatches == 0 && self.coverage_mismatches == 0
+    }
+}
+
+/// Expands a tree into per-voxel log-odds at the finest level.
+///
+/// Pruned cubes are expanded; intended for the modest map sizes of tests
+/// and experiment validation, not for gigavoxel maps.
+pub fn flatten(tree: &OccupancyOcTree) -> HashMap<VoxelKey, f32> {
+    let mut out = HashMap::new();
+    for leaf in tree.leaves() {
+        let size = leaf.size_in_voxels() as u16;
+        for dx in 0..size {
+            for dy in 0..size {
+                for dz in 0..size {
+                    out.insert(
+                        VoxelKey::new(leaf.key.x + dx, leaf.key.y + dy, leaf.key.z + dz),
+                        leaf.log_odds,
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compares two trees voxel by voxel with the given log-odds tolerance.
+///
+/// Both trees should share grid parameters; occupancy decisions use each
+/// tree's own threshold.
+pub fn diff(a: &OccupancyOcTree, b: &OccupancyOcTree, tolerance: f32) -> MapDiff {
+    let fa = flatten(a);
+    let fb = flatten(b);
+    let mut d = MapDiff::default();
+    for (key, &va) in &fa {
+        match fb.get(key) {
+            Some(&vb) => {
+                d.known_voxels += 1;
+                let delta = (va - vb).abs();
+                d.max_abs_diff = d.max_abs_diff.max(delta);
+                if delta <= tolerance {
+                    d.matching += 1;
+                } else {
+                    d.value_mismatches += 1;
+                }
+                let oa = a.params().is_occupied(va);
+                let ob = b.params().is_occupied(vb);
+                match (oa, ob) {
+                    (true, true) => d.occupied_both += 1,
+                    (true, false) | (false, true) => d.occupied_one += 1,
+                    _ => {}
+                }
+            }
+            None => {
+                d.known_voxels += 1;
+                d.coverage_mismatches += 1;
+                if a.params().is_occupied(va) {
+                    d.occupied_one += 1;
+                }
+            }
+        }
+    }
+    for (key, &vb) in &fb {
+        if !fa.contains_key(key) {
+            d.known_voxels += 1;
+            d.coverage_mismatches += 1;
+            if b.params().is_occupied(vb) {
+                d.occupied_one += 1;
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insert;
+    use crate::occupancy::OccupancyParams;
+    use octocache_geom::{Point3, VoxelGrid};
+
+    fn tree_with_wall(extra_scan: bool) -> OccupancyOcTree {
+        let grid = VoxelGrid::new(0.5, 8).unwrap();
+        let mut tree = OccupancyOcTree::new(grid, OccupancyParams::default());
+        let cloud: Vec<Point3> = (0..20)
+            .map(|i| Point3::new(5.0, -2.0 + i as f64 * 0.2, 0.25))
+            .collect();
+        insert::insert_point_cloud(&mut tree, Point3::ZERO, &cloud, 20.0).unwrap();
+        if extra_scan {
+            insert::insert_point_cloud(&mut tree, Point3::new(0.0, 1.0, 0.0), &cloud, 20.0)
+                .unwrap();
+        }
+        tree
+    }
+
+    #[test]
+    fn identical_trees_diff_clean() {
+        let a = tree_with_wall(false);
+        let b = tree_with_wall(false);
+        let d = diff(&a, &b, 1e-6);
+        assert!(d.is_identical(), "{d:?}");
+        assert_eq!(d.agreement(), 1.0);
+        assert_eq!(d.occupied_iou(), 1.0);
+        assert!(d.known_voxels > 0);
+    }
+
+    #[test]
+    fn different_trees_report_mismatches() {
+        let a = tree_with_wall(false);
+        let b = tree_with_wall(true);
+        let d = diff(&a, &b, 1e-6);
+        assert!(!d.is_identical());
+        assert!(d.agreement() < 1.0);
+        assert!(d.value_mismatches + d.coverage_mismatches > 0);
+        assert!(d.max_abs_diff > 0.0);
+    }
+
+    #[test]
+    fn empty_trees_are_identical() {
+        let grid = VoxelGrid::new(0.5, 8).unwrap();
+        let a = OccupancyOcTree::new(grid, OccupancyParams::default());
+        let b = OccupancyOcTree::new(grid, OccupancyParams::default());
+        let d = diff(&a, &b, 1e-6);
+        assert!(d.is_identical());
+        assert_eq!(d.known_voxels, 0);
+        assert_eq!(d.agreement(), 1.0);
+    }
+
+    #[test]
+    fn flatten_expands_pruned_cubes() {
+        let grid = VoxelGrid::new(1.0, 4).unwrap();
+        let mut tree = OccupancyOcTree::new(grid, OccupancyParams::default());
+        for x in 0..2u16 {
+            for y in 0..2u16 {
+                for z in 0..2u16 {
+                    for _ in 0..10 {
+                        tree.update_node(VoxelKey::new(x, y, z), true);
+                    }
+                }
+            }
+        }
+        let flat = flatten(&tree);
+        // The pruned cube must contribute all 8 voxels.
+        for x in 0..2u16 {
+            for y in 0..2u16 {
+                for z in 0..2u16 {
+                    assert!(flat.contains_key(&VoxelKey::new(x, y, z)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diff_is_symmetric_in_counts() {
+        let a = tree_with_wall(false);
+        let b = tree_with_wall(true);
+        let d1 = diff(&a, &b, 1e-6);
+        let d2 = diff(&b, &a, 1e-6);
+        assert_eq!(d1.known_voxels, d2.known_voxels);
+        assert_eq!(d1.coverage_mismatches, d2.coverage_mismatches);
+        assert_eq!(d1.value_mismatches, d2.value_mismatches);
+    }
+}

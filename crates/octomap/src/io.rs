@@ -1,0 +1,286 @@
+//! Compact binary serialisation of occupancy octrees.
+//!
+//! The format is a close cousin of OctoMap's `.ot` stream: a fixed header
+//! (magic, version, grid and sensor-model parameters) followed by a
+//! depth-first node stream where each node contributes its `f32` log-odds
+//! and a `u8` child-presence bitmask.
+//!
+//! # Example
+//!
+//! ```
+//! # use octocache_octomap::{OccupancyOcTree, OccupancyParams, io};
+//! # use octocache_geom::{VoxelGrid, VoxelKey};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let grid = VoxelGrid::new(0.1, 16)?;
+//! let mut tree = OccupancyOcTree::new(grid, OccupancyParams::default());
+//! tree.update_node(VoxelKey::origin(16), true);
+//! let bytes = io::write_tree(&tree);
+//! let restored = io::read_tree(&bytes)?;
+//! assert_eq!(restored.search(VoxelKey::origin(16)), tree.search(VoxelKey::origin(16)));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use octocache_geom::{ChildIndex, VoxelGrid};
+
+use crate::node::OcTreeNode;
+use crate::occupancy::OccupancyParams;
+use crate::tree::OccupancyOcTree;
+
+const MAGIC: &[u8; 4] = b"OCT1";
+
+/// Errors produced when decoding a serialised tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReadError {
+    /// The stream does not start with the expected magic bytes.
+    BadMagic,
+    /// The stream ended before the encoded tree was complete.
+    Truncated,
+    /// The header carried an invalid grid (resolution/depth).
+    BadGrid(String),
+    /// The stream encodes deeper nesting than the header's tree depth.
+    DepthOverflow,
+    /// Trailing bytes follow the encoded tree.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::BadMagic => write!(f, "stream does not begin with octree magic"),
+            ReadError::Truncated => write!(f, "stream ended before tree was complete"),
+            ReadError::BadGrid(e) => write!(f, "invalid grid parameters: {e}"),
+            ReadError::DepthOverflow => {
+                write!(f, "node nesting exceeds the header tree depth")
+            }
+            ReadError::TrailingBytes(n) => write!(f, "{n} trailing bytes after tree"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Serialises a tree to bytes.
+pub fn write_tree(tree: &OccupancyOcTree) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + tree.num_nodes() * 5);
+    buf.put_slice(MAGIC);
+    buf.put_f64(tree.grid().resolution());
+    buf.put_u8(tree.grid().depth());
+    let p = tree.params();
+    buf.put_f32(p.delta_occupied);
+    buf.put_f32(p.delta_free);
+    buf.put_f32(p.clamp_min);
+    buf.put_f32(p.clamp_max);
+    buf.put_f32(p.threshold);
+    match tree.root() {
+        Some(root) => {
+            buf.put_u8(1);
+            write_node(root, &mut buf);
+        }
+        None => buf.put_u8(0),
+    }
+    buf.freeze()
+}
+
+fn write_node(node: &OcTreeNode, buf: &mut BytesMut) {
+    buf.put_f32(node.log_odds());
+    let mut mask = 0u8;
+    for (i, _) in node.children() {
+        mask |= 1 << i.as_usize();
+    }
+    buf.put_u8(mask);
+    for (_, child) in node.children() {
+        write_node(child, buf);
+    }
+}
+
+/// Deserialises a tree from bytes produced by [`write_tree`].
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] on malformed input; never panics on untrusted
+/// bytes.
+pub fn read_tree(bytes: &[u8]) -> Result<OccupancyOcTree, ReadError> {
+    let mut buf = bytes;
+    if buf.remaining() < 4 || &buf[..4] != MAGIC {
+        return Err(ReadError::BadMagic);
+    }
+    buf.advance(4);
+    if buf.remaining() < 8 + 1 + 5 * 4 + 1 {
+        return Err(ReadError::Truncated);
+    }
+    let resolution = buf.get_f64();
+    let depth = buf.get_u8();
+    let grid =
+        VoxelGrid::new(resolution, depth).map_err(|e| ReadError::BadGrid(e.to_string()))?;
+    let params = OccupancyParams {
+        delta_occupied: buf.get_f32(),
+        delta_free: buf.get_f32(),
+        clamp_min: buf.get_f32(),
+        clamp_max: buf.get_f32(),
+        threshold: buf.get_f32(),
+    };
+    let has_root = buf.get_u8() == 1;
+    let mut tree = OccupancyOcTree::new(grid, params);
+    if has_root {
+        let root = read_node(&mut buf, depth)?;
+        if buf.has_remaining() {
+            return Err(ReadError::TrailingBytes(buf.remaining()));
+        }
+        tree.install_root(Some(Box::new(root)));
+    } else if buf.has_remaining() {
+        return Err(ReadError::TrailingBytes(buf.remaining()));
+    }
+    Ok(tree)
+}
+
+fn read_node(buf: &mut &[u8], levels_left: u8) -> Result<OcTreeNode, ReadError> {
+    if buf.remaining() < 5 {
+        return Err(ReadError::Truncated);
+    }
+    let log_odds = buf.get_f32();
+    let mask = buf.get_u8();
+    let mut node = OcTreeNode::new(log_odds);
+    if mask != 0 {
+        if levels_left == 0 {
+            return Err(ReadError::DepthOverflow);
+        }
+        for i in 0..8u8 {
+            if mask & (1 << i) != 0 {
+                let child = read_node(buf, levels_left - 1)?;
+                let (slot, _) = node.child_or_create(ChildIndex::new(i), 0.0);
+                *slot = child;
+            }
+        }
+    }
+    Ok(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octocache_geom::{Point3, VoxelKey};
+
+    fn sample_tree() -> OccupancyOcTree {
+        let grid = VoxelGrid::new(0.25, 8).unwrap();
+        let mut tree = OccupancyOcTree::new(grid, OccupancyParams::default());
+        let cloud: Vec<Point3> = (0..50)
+            .map(|i| {
+                let a = i as f64 * 0.13;
+                Point3::new(5.0 + a.sin(), a.cos() * 3.0, (i % 7) as f64 * 0.2)
+            })
+            .collect();
+        crate::insert::insert_point_cloud(&mut tree, Point3::ZERO, &cloud, 30.0).unwrap();
+        tree
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_values() {
+        let tree = sample_tree();
+        let bytes = write_tree(&tree);
+        let restored = read_tree(&bytes).unwrap();
+        assert_eq!(restored.num_nodes(), tree.num_nodes());
+        assert_eq!(restored.num_leaves(), tree.num_leaves());
+        assert_eq!(
+            restored.grid().resolution(),
+            tree.grid().resolution()
+        );
+        // Compare every leaf.
+        let mut a: Vec<_> = tree.leaves().map(|l| (l.key, l.level)).collect();
+        let mut b: Vec<_> = restored.leaves().map(|l| (l.key, l.level)).collect();
+        a.sort_by_key(|x| (x.0, x.1));
+        b.sort_by_key(|x| (x.0, x.1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_tree_roundtrips() {
+        let grid = VoxelGrid::new(0.1, 16).unwrap();
+        let tree = OccupancyOcTree::new(grid, OccupancyParams::default());
+        let bytes = write_tree(&tree);
+        let restored = read_tree(&bytes).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(read_tree(b"NOPE"), Err(ReadError::BadMagic)));
+        assert!(matches!(read_tree(b""), Err(ReadError::BadMagic)));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let tree = sample_tree();
+        let bytes = write_tree(&tree);
+        for cut in [5, 10, 20, bytes.len() - 1] {
+            let err = read_tree(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ReadError::Truncated | ReadError::BadMagic),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let tree = sample_tree();
+        let mut bytes = write_tree(&tree).to_vec();
+        bytes.push(0xFF);
+        assert!(matches!(
+            read_tree(&bytes),
+            Err(ReadError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn bad_grid_rejected() {
+        let grid = VoxelGrid::new(0.25, 8).unwrap();
+        let tree = OccupancyOcTree::new(grid, OccupancyParams::default());
+        let mut bytes = write_tree(&tree).to_vec();
+        // Corrupt the depth byte (offset 4 magic + 8 resolution).
+        bytes[12] = 200;
+        assert!(matches!(read_tree(&bytes), Err(ReadError::BadGrid(_))));
+    }
+
+    #[test]
+    fn queries_agree_after_roundtrip() {
+        let tree = sample_tree();
+        let restored = read_tree(&write_tree(&tree)).unwrap();
+        for x in (0..256).step_by(17) {
+            for y in (0..256).step_by(23) {
+                let key = VoxelKey::new(x as u16, y as u16, 128);
+                assert_eq!(tree.search(key), restored.search(key));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_node_stream_never_panics() {
+        // Flip every byte of a valid stream one at a time: decoding must
+        // return Ok or Err but never panic (and Ok only for benign flips
+        // like log-odds bits).
+        let tree = sample_tree();
+        let bytes = write_tree(&tree).to_vec();
+        for i in 0..bytes.len().min(400) {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0xA5;
+            let _ = read_tree(&corrupted);
+        }
+    }
+
+    #[test]
+    fn display_of_errors() {
+        for e in [
+            ReadError::BadMagic,
+            ReadError::Truncated,
+            ReadError::BadGrid("x".into()),
+            ReadError::DepthOverflow,
+            ReadError::TrailingBytes(3),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Compact "bonsai-tree" serialisation (the analogue of OctoMap's `.bt`).
+//!
+//! Reference OctoMap ships two formats: `.ot` streams full log-odds (our
+//! [`crate::io`]), and `.bt` stores only the ternary occupancy decision with
+//! **two bits per child**, reconstructing a maximum-likelihood tree on read.
+//! The `.bt` file is what most consumers (visualisers, planners) exchange,
+//! at a fraction of the size. This module reproduces that trade:
+//!
+//! * occupied leaves decode to `clamp_max`, free leaves to `clamp_min`
+//!   (maximum-likelihood values, exactly like OctoMap's `readBinary`);
+//! * inner nodes are recomputed from children;
+//! * the value-level information lost is precisely what `.bt` loses.
+//!
+//! Child codes: `00` absent, `01` free leaf, `10` occupied leaf, `11` inner
+//! child follows (depth-first).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use octocache_geom::{ChildIndex, VoxelGrid};
+
+use crate::io::ReadError;
+use crate::node::OcTreeNode;
+use crate::occupancy::OccupancyParams;
+use crate::tree::OccupancyOcTree;
+
+const MAGIC: &[u8; 4] = b"OCB1";
+
+/// Serialises the occupancy *decisions* of a tree (2 bits per child).
+///
+/// The output reconstructs to a maximum-likelihood tree: every occupied
+/// region at `clamp_max`, every free region at `clamp_min`.
+pub fn write_binary_tree(tree: &OccupancyOcTree) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + tree.num_nodes());
+    buf.put_slice(MAGIC);
+    buf.put_f64(tree.grid().resolution());
+    buf.put_u8(tree.grid().depth());
+    let p = tree.params();
+    buf.put_f32(p.clamp_min);
+    buf.put_f32(p.clamp_max);
+    buf.put_f32(p.threshold);
+    match tree.root() {
+        Some(root) => {
+            buf.put_u8(1);
+            write_node(root, tree.params(), &mut buf);
+        }
+        None => buf.put_u8(0),
+    }
+    buf.freeze()
+}
+
+fn child_code(node: &OcTreeNode, i: ChildIndex, params: &OccupancyParams) -> u16 {
+    match node.child(i) {
+        None => 0b00,
+        Some(c) if c.has_children() => 0b11,
+        Some(c) if params.is_occupied(c.log_odds()) => 0b10,
+        Some(_) => 0b01,
+    }
+}
+
+fn write_node(node: &OcTreeNode, params: &OccupancyParams, buf: &mut BytesMut) {
+    let mut mask = 0u16;
+    for i in ChildIndex::all() {
+        mask |= child_code(node, i, params) << (2 * i.as_usize());
+    }
+    buf.put_u16(mask);
+    for i in ChildIndex::all() {
+        if child_code(node, i, params) == 0b11 {
+            write_node(node.child(i).expect("inner child"), params, buf);
+        }
+    }
+}
+
+/// Deserialises a `.bt`-style stream into a maximum-likelihood tree.
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] for malformed input; never panics on untrusted
+/// bytes.
+pub fn read_binary_tree(bytes: &[u8]) -> Result<OccupancyOcTree, ReadError> {
+    let mut buf = bytes;
+    if buf.remaining() < 4 || &buf[..4] != MAGIC {
+        return Err(ReadError::BadMagic);
+    }
+    buf.advance(4);
+    if buf.remaining() < 8 + 1 + 3 * 4 + 1 {
+        return Err(ReadError::Truncated);
+    }
+    let resolution = buf.get_f64();
+    let depth = buf.get_u8();
+    let grid =
+        VoxelGrid::new(resolution, depth).map_err(|e| ReadError::BadGrid(e.to_string()))?;
+    let params = OccupancyParams {
+        clamp_min: buf.get_f32(),
+        clamp_max: buf.get_f32(),
+        threshold: buf.get_f32(),
+        ..OccupancyParams::default()
+    };
+    if params.validate().is_err() {
+        return Err(ReadError::BadGrid("inconsistent occupancy params".into()));
+    }
+    let has_root = buf.get_u8() == 1;
+    let mut tree = OccupancyOcTree::new(grid, params);
+    if has_root {
+        let mut root = OcTreeNode::new(params.threshold);
+        read_node(&mut buf, &mut root, &params, depth)?;
+        fixup_inner(&mut root);
+        if buf.has_remaining() {
+            return Err(ReadError::TrailingBytes(buf.remaining()));
+        }
+        tree.install_root(Some(Box::new(root)));
+    } else if buf.has_remaining() {
+        return Err(ReadError::TrailingBytes(buf.remaining()));
+    }
+    Ok(tree)
+}
+
+fn read_node(
+    buf: &mut &[u8],
+    node: &mut OcTreeNode,
+    params: &OccupancyParams,
+    levels_left: u8,
+) -> Result<(), ReadError> {
+    if buf.remaining() < 2 {
+        return Err(ReadError::Truncated);
+    }
+    let mask = buf.get_u16();
+    for i in ChildIndex::all() {
+        let code = (mask >> (2 * i.as_usize())) & 0b11;
+        match code {
+            0b00 => {}
+            0b01 => {
+                let (child, _) = node.child_or_create(i, params.clamp_min);
+                child.set_log_odds(params.clamp_min);
+            }
+            0b10 => {
+                let (child, _) = node.child_or_create(i, params.clamp_max);
+                child.set_log_odds(params.clamp_max);
+            }
+            _ => {
+                if levels_left <= 1 {
+                    return Err(ReadError::DepthOverflow);
+                }
+                let (child, _) = node.child_or_create(i, params.threshold);
+                read_node(buf, child, params, levels_left - 1)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Recomputes inner-node values bottom-up (max of children).
+fn fixup_inner(node: &mut OcTreeNode) {
+    let indices: Vec<ChildIndex> = node.children().map(|(i, _)| i).collect();
+    for i in indices {
+        if let Some(child) = node.child_mut(i) {
+            if child.has_children() {
+                fixup_inner(child);
+            }
+        }
+    }
+    if let Some(max) = node.max_child_log_odds() {
+        node.set_log_odds(max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insert;
+    use octocache_geom::{Point3, VoxelKey};
+
+    fn sample_tree() -> OccupancyOcTree {
+        let grid = VoxelGrid::new(0.25, 8).unwrap();
+        let mut tree = OccupancyOcTree::new(grid, OccupancyParams::default());
+        let cloud: Vec<Point3> = (0..60)
+            .map(|i| {
+                let a = i as f64 * 0.11;
+                Point3::new(6.0 + a.sin(), a.cos() * 4.0, (i % 5) as f64 * 0.3)
+            })
+            .collect();
+        for origin in [Point3::ZERO, Point3::new(0.5, 0.5, 0.2)] {
+            insert::insert_point_cloud(&mut tree, origin, &cloud, 30.0).unwrap();
+        }
+        tree
+    }
+
+    #[test]
+    fn decisions_survive_roundtrip() {
+        let tree = sample_tree();
+        let bytes = write_binary_tree(&tree);
+        let restored = read_binary_tree(&bytes).unwrap();
+        restored.check_invariants().unwrap();
+        // Every voxel's ternary decision (occupied / free / unknown) is
+        // preserved even though values are maximum-likelihood.
+        for x in (0..256u16).step_by(3) {
+            for y in (96..160u16).step_by(3) {
+                let key = VoxelKey::new(x, y, 130);
+                assert_eq!(
+                    tree.is_occupied(key),
+                    restored.is_occupied(key),
+                    "decision flip at {key}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_is_smaller_than_full() {
+        let tree = sample_tree();
+        let full = crate::io::write_tree(&tree);
+        let binary = write_binary_tree(&tree);
+        assert!(
+            binary.len() * 2 < full.len(),
+            "bt {} vs ot {}",
+            binary.len(),
+            full.len()
+        );
+    }
+
+    #[test]
+    fn restored_values_are_maximum_likelihood() {
+        let tree = sample_tree();
+        let restored = read_binary_tree(&write_binary_tree(&tree)).unwrap();
+        let p = *restored.params();
+        for leaf in restored.leaves() {
+            assert!(
+                leaf.log_odds == p.clamp_min || leaf.log_odds == p.clamp_max,
+                "non-ML leaf value {}",
+                leaf.log_odds
+            );
+        }
+    }
+
+    #[test]
+    fn empty_tree_roundtrips() {
+        let grid = VoxelGrid::new(0.1, 16).unwrap();
+        let tree = OccupancyOcTree::new(grid, OccupancyParams::default());
+        let restored = read_binary_tree(&write_binary_tree(&tree)).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn malformed_input_rejected_without_panic() {
+        assert!(matches!(read_binary_tree(b"XXXX"), Err(ReadError::BadMagic)));
+        let tree = sample_tree();
+        let bytes = write_binary_tree(&tree).to_vec();
+        for cut in [3usize, 10, 18, bytes.len() - 1] {
+            assert!(read_binary_tree(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        for i in (0..bytes.len().min(300)).step_by(7) {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x55;
+            let _ = read_binary_tree(&corrupted); // must not panic
+        }
+    }
+}

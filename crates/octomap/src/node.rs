@@ -1,0 +1,297 @@
+use octocache_geom::ChildIndex;
+
+/// One node of the occupancy octree.
+///
+/// A node stores its clamped log-odds occupancy and, when it is an inner
+/// node, a boxed array of eight optional children. The layout deliberately
+/// mirrors reference OctoMap's pointer-based tree: updating a voxel chases
+/// one pointer per level, which is exactly the memory-access pattern whose
+/// cost the paper analyses (§3.2: "up to 32 memory accesses for a standard
+/// 16-level octree" on the root-to-leaf round trip).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OcTreeNode {
+    log_odds: f32,
+    children: Option<Box<[Option<Box<OcTreeNode>>; 8]>>,
+}
+
+impl OcTreeNode {
+    /// Creates a childless node with the given log-odds.
+    #[inline]
+    pub fn new(log_odds: f32) -> Self {
+        OcTreeNode {
+            log_odds,
+            children: None,
+        }
+    }
+
+    /// The node's log-odds occupancy value.
+    #[inline]
+    pub fn log_odds(&self) -> f32 {
+        self.log_odds
+    }
+
+    /// Sets the node's log-odds occupancy value.
+    #[inline]
+    pub fn set_log_odds(&mut self, v: f32) {
+        self.log_odds = v;
+    }
+
+    /// True when the node has at least one child.
+    #[inline]
+    pub fn has_children(&self) -> bool {
+        match &self.children {
+            Some(c) => c.iter().any(|s| s.is_some()),
+            None => false,
+        }
+    }
+
+    /// Shared access to a child.
+    #[inline]
+    pub fn child(&self, i: ChildIndex) -> Option<&OcTreeNode> {
+        self.children
+            .as_ref()
+            .and_then(|c| c[i.as_usize()].as_deref())
+    }
+
+    /// Exclusive access to a child.
+    #[inline]
+    pub fn child_mut(&mut self, i: ChildIndex) -> Option<&mut OcTreeNode> {
+        self.children
+            .as_mut()
+            .and_then(|c| c[i.as_usize()].as_deref_mut())
+    }
+
+    /// Returns the child at `i`, creating it (initialised to `init_log_odds`)
+    /// if absent. Returns whether the child was newly created alongside the
+    /// mutable reference.
+    pub fn child_or_create(
+        &mut self,
+        i: ChildIndex,
+        init_log_odds: f32,
+    ) -> (&mut OcTreeNode, bool) {
+        let children = self
+            .children
+            .get_or_insert_with(|| Box::new(std::array::from_fn(|_| None)));
+        let slot = &mut children[i.as_usize()];
+        let created = slot.is_none();
+        if created {
+            *slot = Some(Box::new(OcTreeNode::new(init_log_odds)));
+        }
+        (slot.as_deref_mut().expect("just filled"), created)
+    }
+
+    /// Iterates over the present children with their indices.
+    pub fn children(&self) -> impl Iterator<Item = (ChildIndex, &OcTreeNode)> {
+        self.children
+            .iter()
+            .flat_map(|c| c.iter().enumerate())
+            .filter_map(|(i, slot)| slot.as_deref().map(|n| (ChildIndex::new(i as u8), n)))
+    }
+
+    /// Number of present children (0..=8).
+    #[inline]
+    pub fn child_count(&self) -> usize {
+        match &self.children {
+            Some(c) => c.iter().filter(|s| s.is_some()).count(),
+            None => 0,
+        }
+    }
+
+    /// The maximum log-odds over present children, if any.
+    ///
+    /// Reference OctoMap's conservative inner-node policy (`maxChildLogOdds`),
+    /// and the rule the paper states in §2.2: "the occupancy value of each
+    /// node equals the maximum among its 8 children".
+    pub fn max_child_log_odds(&self) -> Option<f32> {
+        self.children().map(|(_, c)| c.log_odds).fold(None, |acc, v| {
+            Some(match acc {
+                Some(a) => a.max(v),
+                None => v,
+            })
+        })
+    }
+
+    /// True when this node can be pruned: all eight children exist, none has
+    /// children of its own, and they all carry the same log-odds.
+    pub fn is_prunable(&self) -> bool {
+        let Some(children) = &self.children else {
+            return false;
+        };
+        let mut value = None;
+        for slot in children.iter() {
+            let Some(c) = slot else { return false };
+            if c.has_children() {
+                return false;
+            }
+            match value {
+                None => value = Some(c.log_odds),
+                Some(v) if v == c.log_odds => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Prunes this node: deletes all children, keeping their common value.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts [`OcTreeNode::is_prunable`]; in release an un-prunable
+    /// node is pruned destructively (children discarded, value kept as max).
+    pub fn prune(&mut self) {
+        debug_assert!(self.is_prunable());
+        if let Some(v) = self.max_child_log_odds() {
+            self.log_odds = v;
+        }
+        self.children = None;
+    }
+
+    /// Expands a pruned node: creates all eight children carrying this
+    /// node's value. The inverse of [`OcTreeNode::prune`].
+    pub fn expand(&mut self) {
+        debug_assert!(!self.has_children());
+        let v = self.log_odds;
+        self.children = Some(Box::new(std::array::from_fn(|_| {
+            Some(Box::new(OcTreeNode::new(v)))
+        })));
+    }
+
+    /// Recursively counts all nodes in this subtree, including `self`.
+    pub fn count_nodes(&self) -> usize {
+        1 + self.children().map(|(_, c)| c.count_nodes()).sum::<usize>()
+    }
+
+    /// Recursively counts leaf nodes (nodes without children) in the subtree.
+    pub fn count_leaves(&self) -> usize {
+        if !self.has_children() {
+            1
+        } else {
+            self.children().map(|(_, c)| c.count_leaves()).sum()
+        }
+    }
+
+    /// Approximate heap footprint of the subtree in bytes: each node costs
+    /// its struct size, plus the child array when present.
+    pub fn memory_usage(&self) -> usize {
+        let own = std::mem::size_of::<OcTreeNode>();
+        let arr = if self.children.is_some() {
+            std::mem::size_of::<[Option<Box<OcTreeNode>>; 8]>()
+        } else {
+            0
+        };
+        own + arr
+            + self
+                .children()
+                .map(|(_, c)| c.memory_usage())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(i: u8) -> ChildIndex {
+        ChildIndex::new(i)
+    }
+
+    #[test]
+    fn new_node_is_leaf() {
+        let n = OcTreeNode::new(0.5);
+        assert_eq!(n.log_odds(), 0.5);
+        assert!(!n.has_children());
+        assert_eq!(n.child_count(), 0);
+        assert_eq!(n.count_nodes(), 1);
+        assert_eq!(n.count_leaves(), 1);
+    }
+
+    #[test]
+    fn child_or_create_creates_once() {
+        let mut n = OcTreeNode::new(0.0);
+        let (_, created) = n.child_or_create(idx(3), 1.0);
+        assert!(created);
+        let (c, created) = n.child_or_create(idx(3), 2.0);
+        assert!(!created);
+        assert_eq!(c.log_odds(), 1.0); // init value ignored on existing child
+        assert_eq!(n.child_count(), 1);
+        assert!(n.child(idx(3)).is_some());
+        assert!(n.child(idx(4)).is_none());
+    }
+
+    #[test]
+    fn max_child_log_odds_takes_maximum() {
+        let mut n = OcTreeNode::new(0.0);
+        n.child_or_create(idx(0), -1.0);
+        n.child_or_create(idx(5), 2.5);
+        n.child_or_create(idx(7), 1.0);
+        assert_eq!(n.max_child_log_odds(), Some(2.5));
+    }
+
+    #[test]
+    fn prunable_requires_all_eight_equal_leaves() {
+        let mut n = OcTreeNode::new(0.0);
+        for i in 0..7 {
+            n.child_or_create(idx(i), 1.5);
+        }
+        assert!(!n.is_prunable()); // only 7 children
+        n.child_or_create(idx(7), 1.5);
+        assert!(n.is_prunable());
+        n.child_mut(idx(2)).unwrap().set_log_odds(0.0);
+        assert!(!n.is_prunable()); // unequal values
+    }
+
+    #[test]
+    fn prunable_rejects_grandchildren() {
+        let mut n = OcTreeNode::new(0.0);
+        for i in 0..8 {
+            n.child_or_create(idx(i), 1.0);
+        }
+        n.child_mut(idx(0)).unwrap().child_or_create(idx(0), 1.0);
+        assert!(!n.is_prunable());
+    }
+
+    #[test]
+    fn prune_then_expand_roundtrip() {
+        let mut n = OcTreeNode::new(0.0);
+        for i in 0..8 {
+            n.child_or_create(idx(i), 2.0);
+        }
+        assert!(n.is_prunable());
+        n.prune();
+        assert!(!n.has_children());
+        assert_eq!(n.log_odds(), 2.0);
+        n.expand();
+        assert_eq!(n.child_count(), 8);
+        assert!(n.children().all(|(_, c)| c.log_odds() == 2.0));
+        assert!(n.is_prunable());
+    }
+
+    #[test]
+    fn count_nodes_and_leaves() {
+        let mut n = OcTreeNode::new(0.0);
+        n.child_or_create(idx(0), 0.0);
+        n.child_or_create(idx(1), 0.0);
+        n.child_mut(idx(0)).unwrap().child_or_create(idx(4), 0.0);
+        // root + 2 children + 1 grandchild
+        assert_eq!(n.count_nodes(), 4);
+        // leaves: child(1) and grandchild
+        assert_eq!(n.count_leaves(), 2);
+    }
+
+    #[test]
+    fn memory_usage_grows_with_children() {
+        let mut n = OcTreeNode::new(0.0);
+        let before = n.memory_usage();
+        n.child_or_create(idx(0), 0.0);
+        assert!(n.memory_usage() > before);
+    }
+
+    #[test]
+    fn children_iterator_yields_indices() {
+        let mut n = OcTreeNode::new(0.0);
+        n.child_or_create(idx(2), 0.1);
+        n.child_or_create(idx(6), 0.2);
+        let got: Vec<usize> = n.children().map(|(i, _)| i.as_usize()).collect();
+        assert_eq!(got, vec![2, 6]);
+    }
+}

@@ -1,0 +1,334 @@
+//! Extended query operations on the occupancy octree: ray casting,
+//! multi-resolution lookups and bounding-box scans.
+//!
+//! These mirror reference OctoMap's planner-facing API (`castRay`,
+//! `getTreeDepth`-limited search, leaf bounding-box iterators): the
+//! navigation stack of the paper's Figure 3 consumes exactly these calls
+//! during the planning stage.
+
+use octocache_geom::{ray, Aabb, GeomError, Point3, VoxelKey};
+
+use crate::tree::{LeafEntry, OccupancyOcTree};
+
+/// Result of a [`cast_ray`] query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RayCastResult {
+    /// The ray reached an occupied voxel; carries its key and the metric
+    /// distance from the origin to that voxel's center.
+    Hit {
+        /// The first occupied voxel along the ray.
+        key: VoxelKey,
+        /// Distance from the ray origin to the voxel center (metres).
+        distance: f64,
+    },
+    /// The ray traversed only free/unknown space up to `max_range`.
+    Miss,
+    /// The ray left known space and `ignore_unknown` was false; carries the
+    /// first unknown voxel.
+    Unknown {
+        /// The first voxel with no occupancy information.
+        key: VoxelKey,
+    },
+}
+
+/// Casts a ray from `origin` in `direction` until it hits an occupied
+/// voxel, reaches `max_range`, or (unless `ignore_unknown`) enters unknown
+/// space — reference OctoMap's `castRay`.
+///
+/// `direction` need not be normalised.
+///
+/// # Errors
+///
+/// Returns [`GeomError`] when the origin is outside the map or the
+/// direction is degenerate.
+pub fn cast_ray(
+    tree: &OccupancyOcTree,
+    origin: Point3,
+    direction: Point3,
+    max_range: f64,
+    ignore_unknown: bool,
+) -> Result<RayCastResult, GeomError> {
+    let dir = direction.normalized().ok_or(GeomError::DegenerateRay)?;
+    let grid = *tree.grid();
+    let end = grid.clamp_point(origin + dir * max_range);
+    let keys = ray::trace(&grid, origin, end)?;
+    let origin_key = grid.key_of(origin)?;
+    // Include the endpoint voxel itself in the scan.
+    let end_key = grid.key_of(end)?;
+    for key in keys.iter().copied().chain(std::iter::once(end_key)) {
+        if key == origin_key {
+            continue;
+        }
+        match tree.search(key) {
+            Some(l) if tree.params().is_occupied(l) => {
+                return Ok(RayCastResult::Hit {
+                    key,
+                    distance: origin.distance(grid.center_of(key)),
+                });
+            }
+            Some(_) => {}
+            None => {
+                if !ignore_unknown {
+                    return Ok(RayCastResult::Unknown { key });
+                }
+            }
+        }
+    }
+    Ok(RayCastResult::Miss)
+}
+
+/// Looks up the occupancy at `key` truncated to `level` levels above the
+/// leaves — a multi-resolution query against the pruned tree structure
+/// (reference OctoMap's depth-limited `search`).
+///
+/// Returns the log-odds of the deepest node at or above `level` covering
+/// the key, or `None` in unknown space. At `level = 0` this equals
+/// [`OccupancyOcTree::search`].
+pub fn search_at_level(tree: &OccupancyOcTree, key: VoxelKey, level: u8) -> Option<f32> {
+    let depth = tree.grid().depth();
+    let level = level.min(depth);
+    // Walk leaves() would be O(n); instead re-descend manually.
+    let mut node = tree.root()?;
+    let mut current = depth;
+    while current > level {
+        if !node.has_children() {
+            return Some(node.log_odds());
+        }
+        node = node.child(key.child_index(current - 1))?;
+        current -= 1;
+    }
+    Some(node.log_odds())
+}
+
+/// Collects the leaves whose cubes intersect the world-space box — the
+/// bounding-box scan planners use for local collision maps (reference
+/// OctoMap's `begin_leafs_bbx`).
+///
+/// # Errors
+///
+/// Returns [`GeomError`] when the box lies outside the mapped region.
+pub fn leaves_in_box(tree: &OccupancyOcTree, bounds: &Aabb) -> Result<Vec<LeafEntry>, GeomError> {
+    let grid = tree.grid();
+    let min_key = grid.key_of(grid.clamp_point(bounds.min))?;
+    let max_key = grid.key_of(grid.clamp_point(bounds.max))?;
+    Ok(tree.leaves_in_key_box(min_key, max_key).collect())
+}
+
+/// True when any voxel overlapping `bounds` is occupied — the all-at-once
+/// collision check for a robot's bounding volume.
+///
+/// # Errors
+///
+/// See [`leaves_in_box`].
+pub fn any_occupied_in_box(tree: &OccupancyOcTree, bounds: &Aabb) -> Result<bool, GeomError> {
+    Ok(leaves_in_box(tree, bounds)?
+        .iter()
+        .any(|leaf| tree.params().is_occupied(leaf.log_odds)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insert;
+    use crate::occupancy::OccupancyParams;
+    use octocache_geom::VoxelGrid;
+
+    /// A map with a wall plane at x = 5 spanning y,z in [-2, 2].
+    fn walled_tree() -> OccupancyOcTree {
+        let grid = VoxelGrid::new(0.25, 8).unwrap();
+        let mut tree = OccupancyOcTree::new(grid, OccupancyParams::default());
+        let cloud: Vec<Point3> = (-8..=8)
+            .flat_map(|y| (-8..=8).map(move |z| Point3::new(5.0, y as f64 * 0.25, z as f64 * 0.25)))
+            .collect();
+        for _ in 0..2 {
+            insert::insert_point_cloud(&mut tree, Point3::ZERO, &cloud, 20.0).unwrap();
+        }
+        tree
+    }
+
+    #[test]
+    fn cast_ray_hits_wall() {
+        let tree = walled_tree();
+        let result = cast_ray(
+            &tree,
+            Point3::ZERO,
+            Point3::new(1.0, 0.0, 0.0),
+            20.0,
+            true,
+        )
+        .unwrap();
+        match result {
+            RayCastResult::Hit { distance, key } => {
+                assert!((distance - 5.0).abs() < 0.5, "distance {distance}");
+                assert_eq!(tree.is_occupied(key), Some(true));
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cast_ray_miss_within_free_space() {
+        let tree = walled_tree();
+        // Cast away from the wall but only through scanned free space.
+        let result = cast_ray(
+            &tree,
+            Point3::ZERO,
+            Point3::new(1.0, 0.0, 0.0),
+            2.0, // stops before the wall
+            true,
+        )
+        .unwrap();
+        assert_eq!(result, RayCastResult::Miss);
+    }
+
+    #[test]
+    fn cast_ray_reports_unknown() {
+        let tree = walled_tree();
+        // Cast backwards into never-scanned space.
+        let result = cast_ray(
+            &tree,
+            Point3::ZERO,
+            Point3::new(-1.0, 0.0, 0.0),
+            10.0,
+            false,
+        )
+        .unwrap();
+        assert!(matches!(result, RayCastResult::Unknown { .. }));
+        // With ignore_unknown it sails through.
+        let result = cast_ray(
+            &tree,
+            Point3::ZERO,
+            Point3::new(-1.0, 0.0, 0.0),
+            10.0,
+            true,
+        )
+        .unwrap();
+        assert_eq!(result, RayCastResult::Miss);
+    }
+
+    #[test]
+    fn cast_ray_rejects_degenerate_direction() {
+        let tree = walled_tree();
+        assert!(matches!(
+            cast_ray(&tree, Point3::ZERO, Point3::ZERO, 10.0, true),
+            Err(GeomError::DegenerateRay)
+        ));
+    }
+
+    #[test]
+    fn search_at_level_zero_matches_search() {
+        let tree = walled_tree();
+        let key = tree.grid().key_of(Point3::new(5.0, 0.0, 0.0)).unwrap();
+        assert_eq!(search_at_level(&tree, key, 0), tree.search(key));
+    }
+
+    #[test]
+    fn search_at_level_aggregates_upward() {
+        let tree = walled_tree();
+        let key = tree.grid().key_of(Point3::new(5.0, 0.0, 0.0)).unwrap();
+        // The inner node covering the wall voxel holds the max of its
+        // children, so the coarse lookup is also occupied.
+        let coarse = search_at_level(&tree, key, 3).unwrap();
+        assert!(tree.params().is_occupied(coarse));
+        // Root level equals the root value.
+        let root = search_at_level(&tree, key, tree.grid().depth()).unwrap();
+        assert_eq!(root, tree.root().unwrap().log_odds());
+    }
+
+    #[test]
+    fn search_at_level_unknown_space() {
+        let grid = VoxelGrid::new(0.25, 8).unwrap();
+        let tree = OccupancyOcTree::new(grid, OccupancyParams::default());
+        assert_eq!(search_at_level(&tree, VoxelKey::new(1, 1, 1), 2), None);
+    }
+
+    #[test]
+    fn leaves_in_box_finds_wall_only() {
+        let tree = walled_tree();
+        // A box tight around part of the wall.
+        let wall_box = Aabb::new(Point3::new(4.8, -1.0, -1.0), Point3::new(5.4, 1.0, 1.0));
+        let leaves = leaves_in_box(&tree, &wall_box).unwrap();
+        assert!(!leaves.is_empty());
+        assert!(leaves
+            .iter()
+            .any(|l| tree.params().is_occupied(l.log_odds)));
+
+        // A box in free space between origin and wall.
+        let free_box = Aabb::new(Point3::new(1.0, -0.5, -0.5), Point3::new(2.0, 0.5, 0.5));
+        let free_leaves = leaves_in_box(&tree, &free_box).unwrap();
+        assert!(free_leaves
+            .iter()
+            .all(|l| !tree.params().is_occupied(l.log_odds)));
+    }
+
+    #[test]
+    fn any_occupied_in_box_collision_check() {
+        let tree = walled_tree();
+        let hit = Aabb::new(Point3::new(4.5, -0.5, -0.5), Point3::new(5.5, 0.5, 0.5));
+        let free = Aabb::new(Point3::new(1.0, -0.5, -0.5), Point3::new(2.0, 0.5, 0.5));
+        assert!(any_occupied_in_box(&tree, &hit).unwrap());
+        assert!(!any_occupied_in_box(&tree, &free).unwrap());
+    }
+
+    #[test]
+    fn box_descent_matches_full_scan_filter() {
+        use proptest::prelude::*;
+        use proptest::test_runner::TestRunner;
+        let tree = walled_tree();
+        let mut runner = TestRunner::default();
+        runner
+            .run(
+                &(
+                    (32700u16..32850, 32700u16..32850, 32700u16..32850),
+                    (1u16..60, 1u16..60, 1u16..60),
+                ),
+                |((x, y, z), (dx, dy, dz))| {
+                    let min = VoxelKey::new(x, y, z);
+                    let max = VoxelKey::new(x + dx, y + dy, z + dz);
+                    let mut fast: Vec<_> = tree
+                        .leaves_in_key_box(min, max)
+                        .map(|l| (l.key, l.level))
+                        .collect();
+                    let mut slow: Vec<_> = tree
+                        .leaves()
+                        .filter(|leaf| {
+                            let size = leaf.size_in_voxels();
+                            let inside = |lo: u16, v: u16, hi: u16| {
+                                (v as u32) <= hi as u32 && v as u32 + size > lo as u32
+                            };
+                            inside(min.x, leaf.key.x, max.x)
+                                && inside(min.y, leaf.key.y, max.y)
+                                && inside(min.z, leaf.key.z, max.z)
+                        })
+                        .map(|l| (l.key, l.level))
+                        .collect();
+                    fast.sort();
+                    slow.sort();
+                    prop_assert_eq!(fast, slow);
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn leaves_in_box_covers_pruned_cubes() {
+        // Build a pruned occupied cube and query a box inside it: the
+        // covering pruned leaf must be reported.
+        let grid = VoxelGrid::new(1.0, 4).unwrap();
+        let mut tree = OccupancyOcTree::new(grid, OccupancyParams::default());
+        for x in 8..10u16 {
+            for y in 8..10u16 {
+                for z in 8..10u16 {
+                    for _ in 0..10 {
+                        tree.update_node(VoxelKey::new(x, y, z), true);
+                    }
+                }
+            }
+        }
+        let b = Aabb::new(Point3::new(0.2, 0.2, 0.2), Point3::new(0.8, 0.8, 0.8));
+        let leaves = leaves_in_box(&tree, &b).unwrap();
+        assert_eq!(leaves.len(), 1);
+        assert!(leaves[0].level >= 1, "expected a pruned cube");
+    }
+}

@@ -1,0 +1,230 @@
+//! Node-visit instrumentation.
+//!
+//! The paper's bottleneck analysis (§3.2) is about *memory accesses*: a voxel
+//! update performs a root-to-leaf round trip, touching up to `2 × depth`
+//! nodes. Wall-clock time on any particular host is a noisy proxy for that;
+//! these counters record the node touches directly, giving a
+//! hardware-independent signal that benches report alongside timings.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// Counters accumulated by an [`OccupancyOcTree`](crate::OccupancyOcTree).
+///
+/// Interior-mutable (`Cell`) so that read-only operations like queries can
+/// also be counted. The tree is consequently not `Sync`; the parallel
+/// OctoCache pipeline serialises all tree access behind a mutex anyway
+/// (paper §4.4), so nothing is lost.
+#[derive(Debug, Default)]
+pub struct TreeStats {
+    node_visits: Cell<u64>,
+    nodes_created: Cell<u64>,
+    leaf_updates: Cell<u64>,
+    queries: Cell<u64>,
+    prunes: Cell<u64>,
+    expansions: Cell<u64>,
+}
+
+impl TreeStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        TreeStats::default()
+    }
+
+    /// Total tree nodes touched (descent + unwind), the paper's
+    /// memory-access proxy.
+    pub fn node_visits(&self) -> u64 {
+        self.node_visits.get()
+    }
+
+    /// Nodes allocated.
+    pub fn nodes_created(&self) -> u64 {
+        self.nodes_created.get()
+    }
+
+    /// Leaf-level occupancy updates applied.
+    pub fn leaf_updates(&self) -> u64 {
+        self.leaf_updates.get()
+    }
+
+    /// Point queries served.
+    pub fn queries(&self) -> u64 {
+        self.queries.get()
+    }
+
+    /// Prune operations performed.
+    pub fn prunes(&self) -> u64 {
+        self.prunes.get()
+    }
+
+    /// Expansions of pruned nodes during descent.
+    pub fn expansions(&self) -> u64 {
+        self.expansions.get()
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.node_visits.set(0);
+        self.nodes_created.set(0);
+        self.leaf_updates.set(0);
+        self.queries.set(0);
+        self.prunes.set(0);
+        self.expansions.set(0);
+    }
+
+    /// Takes a copyable snapshot of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            node_visits: self.node_visits(),
+            nodes_created: self.nodes_created(),
+            leaf_updates: self.leaf_updates(),
+            queries: self.queries(),
+            prunes: self.prunes(),
+            expansions: self.expansions(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn count_visit(&self) {
+        self.node_visits.set(self.node_visits.get() + 1);
+    }
+
+    #[inline]
+    pub(crate) fn count_visits(&self, n: u64) {
+        self.node_visits.set(self.node_visits.get() + n);
+    }
+
+    #[inline]
+    pub(crate) fn count_created(&self) {
+        self.nodes_created.set(self.nodes_created.get() + 1);
+    }
+
+    #[inline]
+    pub(crate) fn count_leaf_update(&self) {
+        self.leaf_updates.set(self.leaf_updates.get() + 1);
+    }
+
+    #[inline]
+    pub(crate) fn count_query(&self) {
+        self.queries.set(self.queries.get() + 1);
+    }
+
+    #[inline]
+    pub(crate) fn count_prune(&self) {
+        self.prunes.set(self.prunes.get() + 1);
+    }
+
+    #[inline]
+    pub(crate) fn count_expansion(&self) {
+        self.expansions.set(self.expansions.get() + 1);
+    }
+}
+
+/// A plain-data snapshot of [`TreeStats`], safe to move across threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total tree nodes touched.
+    pub node_visits: u64,
+    /// Nodes allocated.
+    pub nodes_created: u64,
+    /// Leaf-level occupancy updates applied.
+    pub leaf_updates: u64,
+    /// Point queries served.
+    pub queries: u64,
+    /// Prune operations performed.
+    pub prunes: u64,
+    /// Expansions of pruned nodes during descent.
+    pub expansions: u64,
+}
+
+impl StatsSnapshot {
+    /// Difference between two snapshots (`self` minus the earlier `base`).
+    pub fn since(&self, base: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            node_visits: self.node_visits - base.node_visits,
+            nodes_created: self.nodes_created - base.nodes_created,
+            leaf_updates: self.leaf_updates - base.leaf_updates,
+            queries: self.queries - base.queries,
+            prunes: self.prunes - base.prunes,
+            expansions: self.expansions - base.expansions,
+        }
+    }
+
+    /// Average node visits per leaf update (the paper's per-voxel memory
+    /// access count). Returns 0 when no updates occurred.
+    pub fn visits_per_update(&self) -> f64 {
+        if self.leaf_updates == 0 {
+            0.0
+        } else {
+            self.node_visits as f64 / self.leaf_updates as f64
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "visits={} created={} updates={} queries={} prunes={} expansions={}",
+            self.node_visits,
+            self.nodes_created,
+            self.leaf_updates,
+            self.queries,
+            self.prunes,
+            self.expansions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = TreeStats::new();
+        s.count_visit();
+        s.count_visits(4);
+        s.count_created();
+        s.count_leaf_update();
+        s.count_query();
+        s.count_prune();
+        s.count_expansion();
+        assert_eq!(s.node_visits(), 5);
+        assert_eq!(s.nodes_created(), 1);
+        assert_eq!(s.leaf_updates(), 1);
+        assert_eq!(s.queries(), 1);
+        assert_eq!(s.prunes(), 1);
+        assert_eq!(s.expansions(), 1);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_since_subtracts() {
+        let s = TreeStats::new();
+        s.count_visits(10);
+        let base = s.snapshot();
+        s.count_visits(7);
+        s.count_leaf_update();
+        let diff = s.snapshot().since(&base);
+        assert_eq!(diff.node_visits, 7);
+        assert_eq!(diff.leaf_updates, 1);
+    }
+
+    #[test]
+    fn visits_per_update_handles_zero() {
+        assert_eq!(StatsSnapshot::default().visits_per_update(), 0.0);
+        let s = StatsSnapshot {
+            node_visits: 32,
+            leaf_updates: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.visits_per_update(), 16.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!StatsSnapshot::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,902 @@
+use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
+
+use crate::node::OcTreeNode;
+use crate::occupancy::OccupancyParams;
+use crate::stats::TreeStats;
+
+/// A leaf of the octree together with its position and size.
+///
+/// `level` counts levels above the finest resolution: a leaf at level 0 is a
+/// single voxel; a leaf at level `l` is a pruned cube of `2^l` voxels per
+/// axis whose minimum-corner key is `key` (low `l` bits zero).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeafEntry {
+    /// Minimum-corner voxel key of the leaf cube.
+    pub key: VoxelKey,
+    /// Levels above the finest resolution (0 = single voxel).
+    pub level: u8,
+    /// The leaf's log-odds occupancy.
+    pub log_odds: f32,
+}
+
+impl LeafEntry {
+    /// Edge length of the leaf cube in voxels.
+    pub fn size_in_voxels(&self) -> u32 {
+        1u32 << self.level
+    }
+
+    /// True when this leaf covers the given finest-level voxel key.
+    pub fn covers(&self, key: VoxelKey) -> bool {
+        key.ancestor_at(self.level) == self.key
+    }
+}
+
+/// The OctoMap occupancy octree.
+///
+/// Stores clamped log-odds occupancy in a pointer-based octree of depth
+/// [`VoxelGrid::depth`]. Every update is a root-to-leaf round trip: descend
+/// to the leaf (expanding pruned aggregates on the way), apply the update,
+/// then propagate values back up (inner value = max of children) and prune
+/// equal-valued sibling sets — the exact workflow of reference OctoMap and
+/// the cost model of the paper's §2.2/Figure 5.
+///
+/// # Example
+///
+/// ```
+/// # use octocache_octomap::{OccupancyOcTree, OccupancyParams};
+/// # use octocache_geom::{VoxelGrid, VoxelKey};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let grid = VoxelGrid::new(0.1, 16)?;
+/// let mut tree = OccupancyOcTree::new(grid, OccupancyParams::default());
+/// let key = VoxelKey::origin(16);
+/// tree.update_node(key, true);
+/// assert_eq!(tree.is_occupied(key), Some(true));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct OccupancyOcTree {
+    grid: VoxelGrid,
+    params: OccupancyParams,
+    root: Option<Box<OcTreeNode>>,
+    stats: TreeStats,
+    auto_prune: bool,
+}
+
+impl OccupancyOcTree {
+    /// Creates an empty tree over the given grid with the given sensor model.
+    pub fn new(grid: VoxelGrid, params: OccupancyParams) -> Self {
+        OccupancyOcTree {
+            grid,
+            params,
+            root: None,
+            stats: TreeStats::new(),
+            auto_prune: true,
+        }
+    }
+
+    /// The world↔key mapping this tree uses.
+    pub fn grid(&self) -> &VoxelGrid {
+        &self.grid
+    }
+
+    /// The sensor model.
+    pub fn params(&self) -> &OccupancyParams {
+        &self.params
+    }
+
+    /// Node-visit instrumentation counters.
+    pub fn stats(&self) -> &TreeStats {
+        &self.stats
+    }
+
+    /// Disables/enables pruning during updates. Reference OctoMap calls this
+    /// `lazy_eval`; disabling trades memory for update speed.
+    pub fn set_auto_prune(&mut self, on: bool) {
+        self.auto_prune = on;
+    }
+
+    /// True when the tree stores no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Removes every node.
+    pub fn clear(&mut self) {
+        self.root = None;
+    }
+
+    /// The root node, if any.
+    pub fn root(&self) -> Option<&OcTreeNode> {
+        self.root.as_deref()
+    }
+
+    /// Installs a deserialised root (see [`crate::io`]).
+    pub(crate) fn install_root(&mut self, root: Option<Box<OcTreeNode>>) {
+        self.root = root;
+    }
+
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.root.as_ref().map_or(0, |r| r.count_nodes())
+    }
+
+    /// Number of leaves (pruned cubes count once).
+    pub fn num_leaves(&self) -> usize {
+        self.root.as_ref().map_or(0, |r| r.count_leaves())
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_usage(&self) -> usize {
+        self.root.as_ref().map_or(0, |r| r.memory_usage())
+    }
+
+    /// Integrates one occupancy observation at `key` (the paper's per-voxel
+    /// update: `±δ` with clamping) and returns the new log-odds.
+    pub fn update_node(&mut self, key: VoxelKey, occupied: bool) -> f32 {
+        self.apply_at_leaf(key, LeafOp::Observe { occupied })
+    }
+
+    /// Adds an arbitrary accumulated log-odds `delta` at `key` (clamped) and
+    /// returns the new value. This is the operation a cache eviction uses
+    /// when it has folded several observations into one value.
+    pub fn update_node_log_odds(&mut self, key: VoxelKey, delta: f32) -> f32 {
+        self.apply_at_leaf(key, LeafOp::Add { delta })
+    }
+
+    /// Overwrites the log-odds at `key` (clamped) and returns the stored
+    /// value. Used when evicted cache entries already carry the *absolute*
+    /// accumulated occupancy (paper §4.2: "any voxel evicted from the cache
+    /// will overwrite its occupancy value to the octree").
+    pub fn set_node_log_odds(&mut self, key: VoxelKey, value: f32) -> f32 {
+        self.apply_at_leaf(key, LeafOp::Set { value })
+    }
+
+    fn apply_at_leaf(&mut self, key: VoxelKey, op: LeafOp) -> f32 {
+        let depth = self.grid.depth();
+        let prior = self.params.threshold;
+        let mut root_created = false;
+        let root = self.root.get_or_insert_with(|| {
+            self.stats.count_created();
+            root_created = true;
+            Box::new(OcTreeNode::new(prior))
+        });
+        Self::update_recurs(
+            root,
+            root_created,
+            key,
+            depth,
+            &self.params,
+            &self.stats,
+            self.auto_prune,
+            op,
+        )
+    }
+
+    /// Recursive descent + unwind. `level` is the current node's height above
+    /// the leaves (`depth` at the root, 0 at a leaf). `is_fresh` marks nodes
+    /// created during *this* descent, which must not be expanded (they are
+    /// not pruned aggregates) — reference OctoMap's `created_node` flag.
+    #[allow(clippy::too_many_arguments)]
+    fn update_recurs(
+        node: &mut OcTreeNode,
+        is_fresh: bool,
+        key: VoxelKey,
+        level: u8,
+        params: &OccupancyParams,
+        stats: &TreeStats,
+        auto_prune: bool,
+        op: LeafOp,
+    ) -> f32 {
+        stats.count_visit();
+        if level == 0 {
+            let new = match op {
+                LeafOp::Observe { occupied } => params.apply(node.log_odds(), occupied),
+                LeafOp::Add { delta } => params.clamp(node.log_odds() + delta),
+                LeafOp::Set { value } => params.clamp(value),
+            };
+            node.set_log_odds(new);
+            stats.count_leaf_update();
+            return new;
+        }
+
+        let child_idx = key.child_index(level - 1);
+        if !is_fresh && !node.has_children() {
+            // This childless inner node is a pruned aggregate: expand it so
+            // the sibling octants keep their value.
+            node.expand();
+            stats.count_expansion();
+            stats.count_visits(8);
+        }
+        let (child, created) = node.child_or_create(child_idx, params.threshold);
+        if created {
+            stats.count_created();
+        }
+        let leaf_value =
+            Self::update_recurs(child, created, key, level - 1, params, stats, auto_prune, op);
+
+        // Unwind: refresh this node from its children (the paper's
+        // "trace-back from N_u to the root"), prune when possible.
+        stats.count_visit();
+        if auto_prune && node.is_prunable() {
+            node.prune();
+            stats.count_prune();
+        } else if let Some(max) = node.max_child_log_odds() {
+            node.set_log_odds(max);
+        }
+        leaf_value
+    }
+
+    /// Looks up the log-odds at `key`, descending until a leaf or pruned
+    /// aggregate covers it. `None` means the voxel is in unknown space.
+    pub fn search(&self, key: VoxelKey) -> Option<f32> {
+        self.stats.count_query();
+        let mut node = self.root.as_deref()?;
+        self.stats.count_visit();
+        let mut level = self.grid.depth();
+        while level > 0 {
+            if !node.has_children() {
+                // Pruned aggregate covering this voxel — but distinguish the
+                // "fresh root" case where nothing was ever inserted.
+                return Some(node.log_odds());
+            }
+            node = node.child(key.child_index(level - 1))?;
+            self.stats.count_visit();
+            level -= 1;
+        }
+        Some(node.log_odds())
+    }
+
+    /// Occupancy decision at `key`: `Some(true)` occupied, `Some(false)`
+    /// free, `None` unknown.
+    pub fn is_occupied(&self, key: VoxelKey) -> Option<bool> {
+        self.search(key).map(|l| self.params.is_occupied(l))
+    }
+
+    /// Occupancy probability at `key`, or `None` for unknown space.
+    pub fn occupancy_probability(&self, key: VoxelKey) -> Option<f64> {
+        self.search(key).map(crate::occupancy::logodds_to_prob)
+    }
+
+    /// Convenience: occupancy decision at a world point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GeomError`] when the point is outside the grid.
+    pub fn is_occupied_at(&self, p: Point3) -> Result<Option<bool>, GeomError> {
+        Ok(self.is_occupied(self.grid.key_of(p)?))
+    }
+
+    /// Prunes the whole tree bottom-up (useful after bulk updates with
+    /// auto-prune disabled).
+    pub fn prune(&mut self) {
+        let depth = self.grid.depth();
+        if let Some(root) = self.root.as_deref_mut() {
+            Self::prune_recurs(root, depth, &self.stats);
+        }
+    }
+
+    fn prune_recurs(node: &mut OcTreeNode, level: u8, stats: &TreeStats) {
+        if level == 0 || !node.has_children() {
+            return;
+        }
+        for i in octocache_geom::ChildIndex::all() {
+            if let Some(c) = node.child_mut(i) {
+                Self::prune_recurs(c, level - 1, stats);
+            }
+        }
+        if node.is_prunable() {
+            node.prune();
+            stats.count_prune();
+        } else if let Some(max) = node.max_child_log_odds() {
+            node.set_log_odds(max);
+        }
+    }
+
+    /// Iterates over all leaves (pruned cubes yield one entry).
+    pub fn leaves(&self) -> Leaves<'_> {
+        let mut stack = Vec::new();
+        if let Some(root) = self.root.as_deref() {
+            stack.push((root, VoxelKey::new(0, 0, 0), self.grid.depth()));
+        }
+        Leaves { stack }
+    }
+
+    /// Validates the tree's structural invariants, returning a description
+    /// of the first violation found:
+    ///
+    /// * every inner node's value equals the maximum over its children;
+    /// * every value lies within the clamping bounds;
+    /// * no node sits below the finest level.
+    ///
+    /// Intended for tests and debugging after bulk operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn recurse(
+            node: &OcTreeNode,
+            level: u8,
+            params: &OccupancyParams,
+        ) -> Result<(), String> {
+            let v = node.log_odds();
+            if !(params.clamp_min..=params.clamp_max).contains(&v) {
+                return Err(format!("value {v} outside clamp range at level {level}"));
+            }
+            if node.has_children() {
+                if level == 0 {
+                    return Err("leaf-level node has children".into());
+                }
+                let max = node.max_child_log_odds().expect("has children");
+                if (max - v).abs() > 1e-6 {
+                    return Err(format!(
+                        "inner node holds {v} but max child is {max} at level {level}"
+                    ));
+                }
+                for (_, child) in node.children() {
+                    recurse(child, level - 1, params)?;
+                }
+            }
+            Ok(())
+        }
+        match self.root.as_deref() {
+            None => Ok(()),
+            Some(root) => {
+                // A fresh never-updated root may carry the prior unclamped
+                // threshold; treat the threshold as always legal.
+                if !root.has_children() && root.log_odds() == self.params.threshold {
+                    return Ok(());
+                }
+                recurse(root, self.grid.depth(), &self.params)
+            }
+        }
+    }
+
+    /// Merges `other` into `self`, assuming the two trees populate disjoint
+    /// top-level octants (as the shards of a spatially-partitioned map do).
+    /// Subtrees are deep-cloned; the root value is refreshed afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when both trees populate the same top-level octant
+    /// or when either tree is pruned all the way to a childless root while
+    /// the other holds data (the octant ownership is then ambiguous).
+    pub fn merge_disjoint_top_level(&mut self, other: &OccupancyOcTree) -> Result<(), String> {
+        let Some(other_root) = other.root.as_deref() else {
+            return Ok(()); // nothing to merge
+        };
+        if self.root.is_none() {
+            self.root = Some(Box::new(other_root.clone()));
+            return Ok(());
+        }
+        let self_root = self.root.as_deref_mut().expect("checked above");
+        if !other_root.has_children() || !self_root.has_children() {
+            return Err("cannot merge trees pruned to a childless root".into());
+        }
+        for (i, child) in other_root.children() {
+            if self_root.child(i).is_some() {
+                return Err(format!("both trees populate top-level octant {i}"));
+            }
+            let (slot, _) = self_root.child_or_create(i, self.params.threshold);
+            *slot = child.clone();
+        }
+        if let Some(max) = self_root.max_child_log_odds() {
+            self_root.set_log_odds(max);
+        }
+        Ok(())
+    }
+
+    /// Iterates over the leaves whose cubes intersect the key-space box
+    /// `[min, max]` (inclusive), pruning whole subtrees outside it — an
+    /// O(answer × depth) descent rather than a full-tree scan.
+    pub fn leaves_in_key_box(&self, min: VoxelKey, max: VoxelKey) -> BoxLeaves<'_> {
+        let mut stack = Vec::new();
+        if let Some(root) = self.root.as_deref() {
+            stack.push((root, VoxelKey::new(0, 0, 0), self.grid.depth()));
+        }
+        BoxLeaves { stack, min, max }
+    }
+
+    /// Iterates over the occupied leaves only.
+    pub fn occupied_leaves(&self) -> impl Iterator<Item = LeafEntry> + '_ {
+        let params = self.params;
+        self.leaves().filter(move |l| params.is_occupied(l.log_odds))
+    }
+
+    /// The tight key-space bounding box (inclusive min and max voxel keys)
+    /// of all occupied space, or `None` when nothing is occupied. Used by
+    /// planners to bound their search region.
+    pub fn occupied_bounding_box(&self) -> Option<(VoxelKey, VoxelKey)> {
+        let mut min: Option<VoxelKey> = None;
+        let mut max: Option<VoxelKey> = None;
+        for leaf in self.occupied_leaves() {
+            let hi_off = (leaf.size_in_voxels() - 1) as u16;
+            let hi = VoxelKey::new(
+                leaf.key.x + hi_off,
+                leaf.key.y + hi_off,
+                leaf.key.z + hi_off,
+            );
+            min = Some(match min {
+                None => leaf.key,
+                Some(m) => VoxelKey::new(m.x.min(leaf.key.x), m.y.min(leaf.key.y), m.z.min(leaf.key.z)),
+            });
+            max = Some(match max {
+                None => hi,
+                Some(m) => VoxelKey::new(m.x.max(hi.x), m.y.max(hi.y), m.z.max(hi.z)),
+            });
+        }
+        min.zip(max)
+    }
+
+    /// Counts leaves at the finest level whose value crosses the occupancy
+    /// threshold, expanding pruned cubes. (Voxel-weighted occupied volume.)
+    pub fn occupied_voxel_count(&self) -> u64 {
+        self.leaves()
+            .filter(|l| self.params.is_occupied(l.log_odds))
+            .map(|l| {
+                let edge = l.size_in_voxels() as u64;
+                edge * edge * edge
+            })
+            .sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LeafOp {
+    Observe { occupied: bool },
+    Add { delta: f32 },
+    Set { value: f32 },
+}
+
+/// Iterator over a tree's leaves. Created by [`OccupancyOcTree::leaves`].
+#[derive(Debug)]
+pub struct Leaves<'a> {
+    stack: Vec<(&'a OcTreeNode, VoxelKey, u8)>,
+}
+
+impl<'a> Iterator for Leaves<'a> {
+    type Item = LeafEntry;
+
+    fn next(&mut self) -> Option<LeafEntry> {
+        while let Some((node, base, level)) = self.stack.pop() {
+            if !node.has_children() {
+                return Some(LeafEntry {
+                    key: base,
+                    level,
+                    log_odds: node.log_odds(),
+                });
+            }
+            let child_bit = level - 1;
+            for (i, child) in node.children() {
+                let c = i.as_usize() as u16;
+                let child_key = VoxelKey::new(
+                    base.x | ((c & 1) << child_bit),
+                    base.y | (((c >> 1) & 1) << child_bit),
+                    base.z | (((c >> 2) & 1) << child_bit),
+                );
+                self.stack.push((child, child_key, child_bit));
+            }
+        }
+        None
+    }
+}
+
+/// Iterator over the leaves intersecting a key-space box. Created by
+/// [`OccupancyOcTree::leaves_in_key_box`].
+#[derive(Debug)]
+pub struct BoxLeaves<'a> {
+    stack: Vec<(&'a OcTreeNode, VoxelKey, u8)>,
+    min: VoxelKey,
+    max: VoxelKey,
+}
+
+impl BoxLeaves<'_> {
+    /// True when the node cube `[base, base + 2^level)` intersects the box.
+    fn intersects(&self, base: VoxelKey, level: u8) -> bool {
+        let size = 1u32 << level;
+        let lo = |b: u16| b as u32;
+        let hi = |b: u16| b as u32 + size; // exclusive
+        lo(base.x) <= self.max.x as u32
+            && hi(base.x) > self.min.x as u32
+            && lo(base.y) <= self.max.y as u32
+            && hi(base.y) > self.min.y as u32
+            && lo(base.z) <= self.max.z as u32
+            && hi(base.z) > self.min.z as u32
+    }
+}
+
+impl Iterator for BoxLeaves<'_> {
+    type Item = LeafEntry;
+
+    fn next(&mut self) -> Option<LeafEntry> {
+        while let Some((node, base, level)) = self.stack.pop() {
+            if !self.intersects(base, level) {
+                continue;
+            }
+            if !node.has_children() {
+                return Some(LeafEntry {
+                    key: base,
+                    level,
+                    log_odds: node.log_odds(),
+                });
+            }
+            let child_bit = level - 1;
+            for (i, child) in node.children() {
+                let c = i.as_usize() as u16;
+                let child_key = VoxelKey::new(
+                    base.x | ((c & 1) << child_bit),
+                    base.y | (((c >> 1) & 1) << child_bit),
+                    base.z | (((c >> 2) & 1) << child_bit),
+                );
+                self.stack.push((child, child_key, child_bit));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octocache_geom::morton;
+    use proptest::prelude::*;
+
+    fn small_tree() -> OccupancyOcTree {
+        let grid = VoxelGrid::new(1.0, 4).unwrap();
+        OccupancyOcTree::new(grid, OccupancyParams::default())
+    }
+
+    #[test]
+    fn empty_tree_returns_unknown() {
+        let tree = small_tree();
+        assert_eq!(tree.search(VoxelKey::new(1, 2, 3)), None);
+        assert_eq!(tree.is_occupied(VoxelKey::new(1, 2, 3)), None);
+        assert!(tree.is_empty());
+        assert_eq!(tree.num_nodes(), 0);
+    }
+
+    #[test]
+    fn single_update_is_searchable() {
+        let mut tree = small_tree();
+        let key = VoxelKey::new(3, 7, 11);
+        let v = tree.update_node(key, true);
+        assert_eq!(tree.search(key), Some(v));
+        assert!(v > 0.0);
+        assert_eq!(tree.is_occupied(key), Some(true));
+        // A different voxel is still unknown.
+        assert_eq!(tree.search(VoxelKey::new(0, 0, 0)), None);
+    }
+
+    #[test]
+    fn repeated_updates_accumulate_and_clamp() {
+        let mut tree = small_tree();
+        let key = VoxelKey::new(5, 5, 5);
+        let mut last = f32::MIN;
+        for _ in 0..10 {
+            let v = tree.update_node(key, true);
+            assert!(v >= last);
+            last = v;
+        }
+        assert_eq!(last, tree.params().clamp_max);
+        for _ in 0..20 {
+            last = tree.update_node(key, false);
+        }
+        assert_eq!(last, tree.params().clamp_min);
+        assert_eq!(tree.is_occupied(key), Some(false));
+    }
+
+    #[test]
+    fn set_node_overwrites() {
+        let mut tree = small_tree();
+        let key = VoxelKey::new(2, 2, 2);
+        tree.update_node(key, true);
+        let v = tree.set_node_log_odds(key, -1.0);
+        assert_eq!(v, -1.0);
+        assert_eq!(tree.search(key), Some(-1.0));
+        // Setting beyond the clamp range clamps.
+        assert_eq!(tree.set_node_log_odds(key, 100.0), tree.params().clamp_max);
+    }
+
+    #[test]
+    fn update_log_odds_adds_delta() {
+        let mut tree = small_tree();
+        let key = VoxelKey::new(9, 1, 4);
+        tree.set_node_log_odds(key, 1.0);
+        let v = tree.update_node_log_odds(key, -0.25);
+        assert!((v - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inner_nodes_hold_max_of_children() {
+        let mut tree = small_tree();
+        tree.set_node_log_odds(VoxelKey::new(0, 0, 0), -1.0);
+        tree.set_node_log_odds(VoxelKey::new(1, 0, 0), 2.0);
+        let root = tree.root().unwrap();
+        assert_eq!(root.log_odds(), 2.0);
+    }
+
+    #[test]
+    fn pruning_merges_equal_siblings() {
+        let mut tree = small_tree();
+        // Fill one complete parent octant (keys 0..2 per axis) to the
+        // clamped max so all 8 leaves carry the same value.
+        for x in 0..2u16 {
+            for y in 0..2u16 {
+                for z in 0..2u16 {
+                    for _ in 0..10 {
+                        tree.update_node(VoxelKey::new(x, y, z), true);
+                    }
+                }
+            }
+        }
+        // The 8 leaves must have merged: search still works...
+        assert_eq!(tree.is_occupied(VoxelKey::new(1, 1, 1)), Some(true));
+        // ...and fewer than 8 leaf nodes exist below that parent. The
+        // pruned cube shows up as a single leaf at level >= 1.
+        let leaf = tree
+            .leaves()
+            .find(|l| l.covers(VoxelKey::new(0, 0, 0)))
+            .unwrap();
+        assert!(leaf.level >= 1);
+        assert!(tree.stats().prunes() > 0);
+    }
+
+    #[test]
+    fn expansion_preserves_sibling_values() {
+        let mut tree = small_tree();
+        // Create a pruned occupied cube...
+        for x in 0..2u16 {
+            for y in 0..2u16 {
+                for z in 0..2u16 {
+                    for _ in 0..10 {
+                        tree.update_node(VoxelKey::new(x, y, z), true);
+                    }
+                }
+            }
+        }
+        let max = tree.params().clamp_max;
+        // ...then update one voxel inside it as free; siblings must keep max.
+        tree.update_node(VoxelKey::new(0, 0, 0), false);
+        assert_eq!(tree.search(VoxelKey::new(1, 1, 1)), Some(max));
+        let v = tree.search(VoxelKey::new(0, 0, 0)).unwrap();
+        assert!(v < max);
+    }
+
+    #[test]
+    fn node_visits_track_round_trip() {
+        let mut tree = small_tree();
+        let key = VoxelKey::new(3, 3, 3);
+        tree.stats().reset();
+        tree.update_node(key, true);
+        let s = tree.stats().snapshot();
+        // depth 4: descent visits 4 levels + root creation etc.; unwind
+        // re-visits inner nodes. At minimum 2*depth visits per paper.
+        assert!(
+            s.node_visits >= 2 * 4 - 1,
+            "expected >= 7 visits, got {}",
+            s.node_visits
+        );
+        assert_eq!(s.leaf_updates, 1);
+    }
+
+    #[test]
+    fn leaves_cover_all_updates() {
+        let mut tree = small_tree();
+        let keys = [
+            VoxelKey::new(0, 0, 0),
+            VoxelKey::new(15, 15, 15),
+            VoxelKey::new(7, 8, 9),
+        ];
+        for &k in &keys {
+            tree.update_node(k, true);
+        }
+        for &k in &keys {
+            assert!(
+                tree.leaves().any(|l| l.covers(k)),
+                "no leaf covers {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn occupied_voxel_count_weights_pruned_cubes() {
+        let mut tree = small_tree();
+        for x in 0..2u16 {
+            for y in 0..2u16 {
+                for z in 0..2u16 {
+                    for _ in 0..10 {
+                        tree.update_node(VoxelKey::new(x, y, z), true);
+                    }
+                }
+            }
+        }
+        assert_eq!(tree.occupied_voxel_count(), 8);
+    }
+
+    #[test]
+    fn clear_resets_tree() {
+        let mut tree = small_tree();
+        tree.update_node(VoxelKey::new(1, 1, 1), true);
+        assert!(!tree.is_empty());
+        tree.clear();
+        assert!(tree.is_empty());
+        assert_eq!(tree.search(VoxelKey::new(1, 1, 1)), None);
+    }
+
+    #[test]
+    fn world_point_query() {
+        let grid = VoxelGrid::new(0.5, 8).unwrap();
+        let mut tree = OccupancyOcTree::new(grid, OccupancyParams::default());
+        let p = Point3::new(1.2, -0.7, 3.3);
+        let key = grid.key_of(p).unwrap();
+        tree.update_node(key, true);
+        assert_eq!(tree.is_occupied_at(p).unwrap(), Some(true));
+        assert!(tree.is_occupied_at(Point3::new(1e9, 0.0, 0.0)).is_err());
+    }
+
+    #[test]
+    fn occupied_bounding_box_is_tight() {
+        let mut tree = small_tree();
+        assert_eq!(tree.occupied_bounding_box(), None);
+        tree.update_node(VoxelKey::new(3, 7, 2), true);
+        tree.update_node(VoxelKey::new(9, 1, 5), true);
+        tree.update_node(VoxelKey::new(5, 5, 5), false); // free: excluded
+        let (min, max) = tree.occupied_bounding_box().unwrap();
+        assert_eq!(min, VoxelKey::new(3, 1, 2));
+        assert_eq!(max, VoxelKey::new(9, 7, 5));
+        assert_eq!(tree.occupied_leaves().count(), 2);
+    }
+
+    #[test]
+    fn merge_disjoint_octants() {
+        // Tree A populates the low octant, tree B the high one.
+        let mut a = small_tree();
+        a.update_node(VoxelKey::new(1, 2, 3), true);
+        a.update_node(VoxelKey::new(4, 5, 6), false);
+        let mut b = small_tree();
+        b.update_node(VoxelKey::new(12, 13, 14), true);
+
+        let mut merged = small_tree();
+        merged.merge_disjoint_top_level(&a).unwrap();
+        merged.merge_disjoint_top_level(&b).unwrap();
+        merged.check_invariants().unwrap();
+        assert_eq!(
+            merged.search(VoxelKey::new(1, 2, 3)),
+            a.search(VoxelKey::new(1, 2, 3))
+        );
+        assert_eq!(
+            merged.search(VoxelKey::new(4, 5, 6)),
+            a.search(VoxelKey::new(4, 5, 6))
+        );
+        assert_eq!(
+            merged.search(VoxelKey::new(12, 13, 14)),
+            b.search(VoxelKey::new(12, 13, 14))
+        );
+        // Unpopulated space stays unknown.
+        assert_eq!(merged.search(VoxelKey::new(9, 1, 1)), None);
+    }
+
+    #[test]
+    fn merge_conflicting_octants_rejected() {
+        let mut a = small_tree();
+        a.update_node(VoxelKey::new(1, 1, 1), true);
+        let mut b = small_tree();
+        b.update_node(VoxelKey::new(2, 2, 2), true); // same low octant
+        let mut merged = small_tree();
+        merged.merge_disjoint_top_level(&a).unwrap();
+        assert!(merged.merge_disjoint_top_level(&b).is_err());
+    }
+
+    #[test]
+    fn merge_empty_is_noop() {
+        let mut merged = small_tree();
+        let empty = small_tree();
+        merged.merge_disjoint_top_level(&empty).unwrap();
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn manual_prune_after_lazy_updates() {
+        let mut tree = small_tree();
+        tree.set_auto_prune(false);
+        for x in 0..2u16 {
+            for y in 0..2u16 {
+                for z in 0..2u16 {
+                    for _ in 0..10 {
+                        tree.update_node(VoxelKey::new(x, y, z), true);
+                    }
+                }
+            }
+        }
+        let nodes_before = tree.num_nodes();
+        tree.prune();
+        assert!(tree.num_nodes() < nodes_before);
+        assert_eq!(tree.is_occupied(VoxelKey::new(1, 0, 1)), Some(true));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Whatever sequence of observations is applied, search returns the
+        /// same value as a flat reference map that applies the paper's
+        /// update rule per voxel.
+        #[test]
+        fn prop_matches_flat_reference(
+            ops in proptest::collection::vec(
+                ((0u16..16, 0u16..16, 0u16..16), any::<bool>()),
+                1..200
+            )
+        ) {
+            use std::collections::HashMap;
+            let mut tree = small_tree();
+            let params = *tree.params();
+            let mut reference: HashMap<VoxelKey, f32> = HashMap::new();
+            for ((x, y, z), occ) in ops {
+                let key = VoxelKey::new(x, y, z);
+                let e = reference.entry(key).or_insert(params.threshold);
+                *e = params.apply(*e, occ);
+                tree.update_node(key, occ);
+            }
+            for (key, expected) in &reference {
+                prop_assert_eq!(tree.search(*key), Some(*expected));
+            }
+        }
+
+        /// Invariants hold after any interleaving of observe / add / set
+        /// operations (with and without a final manual prune).
+        #[test]
+        fn prop_invariants_hold_under_mixed_ops(
+            ops in proptest::collection::vec(
+                ((0u16..16, 0u16..16, 0u16..16), 0u8..3, -3.0f32..3.0),
+                1..150
+            ),
+            lazy in proptest::bool::ANY,
+        ) {
+            let mut tree = small_tree();
+            tree.set_auto_prune(!lazy);
+            for ((x, y, z), kind, value) in ops {
+                let key = VoxelKey::new(x, y, z);
+                match kind {
+                    0 => {
+                        tree.update_node(key, value > 0.0);
+                    }
+                    1 => {
+                        tree.update_node_log_odds(key, value);
+                    }
+                    _ => {
+                        tree.set_node_log_odds(key, value);
+                    }
+                }
+            }
+            tree.check_invariants().unwrap();
+            tree.prune();
+            tree.check_invariants().unwrap();
+        }
+
+        /// Leaves are disjoint and cover exactly the updated space.
+        #[test]
+        fn prop_leaves_partition(
+            keys in proptest::collection::vec((0u16..16, 0u16..16, 0u16..16), 1..60)
+        ) {
+            let mut tree = small_tree();
+            for &(x, y, z) in &keys {
+                tree.update_node(VoxelKey::new(x, y, z), (x + y + z) % 2 == 0);
+            }
+            let leaves: Vec<LeafEntry> = tree.leaves().collect();
+            // No two leaves overlap: compare Morton ranges.
+            let mut ranges: Vec<(u64, u64)> = leaves
+                .iter()
+                .map(|l| {
+                    let start = morton::encode(l.key);
+                    let len = 1u64 << (3 * l.level as u32);
+                    (start, start + len)
+                })
+                .collect();
+            ranges.sort_unstable();
+            for w in ranges.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlapping leaves");
+            }
+        }
+    }
+}

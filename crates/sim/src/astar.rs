@@ -1,0 +1,413 @@
+//! Grid-lattice A* path planning over an occupancy map.
+//!
+//! MAVBench's planning stage runs sampling/graph-based motion planners that
+//! issue large numbers of occupancy queries (the workload the paper's
+//! planning stage models). This module provides a classic 8-connected A*
+//! over a horizontal lattice with collision checks against any
+//! [`MappingSystem`], plus line-of-sight path smoothing. Unknown space is
+//! traversable (the optimistic convention, like the reactive
+//! [`Planner`](crate::Planner)).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use octocache::MappingSystem;
+use octocache_geom::Point3;
+
+/// Configuration of the A* lattice planner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AStarConfig {
+    /// Lattice cell edge (metres); typically ≥ the mapping resolution.
+    pub cell: f64,
+    /// Abort after this many node expansions (guards unreachable goals).
+    pub max_expansions: usize,
+    /// Half-width of the robot body for collision checks (metres): a cell
+    /// is blocked when any sampled point of the body disc is occupied.
+    pub body_radius: f64,
+}
+
+impl Default for AStarConfig {
+    fn default() -> Self {
+        AStarConfig {
+            cell: 0.5,
+            max_expansions: 200_000,
+            body_radius: 0.3,
+        }
+    }
+}
+
+/// A planned path with its search statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedPath {
+    /// Waypoints from start to goal inclusive.
+    pub waypoints: Vec<Point3>,
+    /// A* node expansions performed.
+    pub expansions: usize,
+    /// Occupancy queries issued.
+    pub queries: usize,
+}
+
+impl PlannedPath {
+    /// Total metric length of the path.
+    pub fn length(&self) -> f64 {
+        self.waypoints
+            .windows(2)
+            .map(|w| w[0].distance(w[1]))
+            .sum()
+    }
+}
+
+/// Integer lattice coordinate (relative to the start cell).
+type Cell = (i32, i32);
+
+#[derive(Debug, PartialEq)]
+struct QueueEntry {
+    f_score: f64,
+    cell: Cell,
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on f_score.
+        other
+            .f_score
+            .partial_cmp(&self.f_score)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The A* lattice planner. See the [module docs](self).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AStarPlanner {
+    config: AStarConfig,
+}
+
+impl AStarPlanner {
+    /// Creates a planner.
+    pub fn new(config: AStarConfig) -> Self {
+        AStarPlanner { config }
+    }
+
+    /// Plans a path from `start` to `goal` at `start.z` altitude.
+    ///
+    /// Returns `None` when no path exists within the expansion budget.
+    pub fn plan<M: MappingSystem + ?Sized>(
+        &self,
+        map: &mut M,
+        start: Point3,
+        goal: Point3,
+    ) -> Option<PlannedPath> {
+        let cell = self.config.cell;
+        let altitude = start.z;
+        let to_cell = |p: Point3| -> Cell {
+            (
+                ((p.x - start.x) / cell).round() as i32,
+                ((p.y - start.y) / cell).round() as i32,
+            )
+        };
+        let to_point = |c: Cell| -> Point3 {
+            Point3::new(
+                start.x + c.0 as f64 * cell,
+                start.y + c.1 as f64 * cell,
+                altitude,
+            )
+        };
+        let goal_cell = to_cell(goal);
+        let heuristic = |c: Cell| -> f64 {
+            let dx = (c.0 - goal_cell.0) as f64;
+            let dy = (c.1 - goal_cell.1) as f64;
+            (dx * dx + dy * dy).sqrt() * cell
+        };
+
+        let mut queries = 0usize;
+        let mut blocked_cache: HashMap<Cell, bool> = HashMap::new();
+        let mut is_blocked = |map: &mut M, c: Cell| -> bool {
+            if let Some(&b) = blocked_cache.get(&c) {
+                return b;
+            }
+            let center = to_point(c);
+            let r = self.config.body_radius;
+            let samples = [
+                center,
+                center + Point3::new(r, 0.0, 0.0),
+                center + Point3::new(-r, 0.0, 0.0),
+                center + Point3::new(0.0, r, 0.0),
+                center + Point3::new(0.0, -r, 0.0),
+            ];
+            let mut blocked = false;
+            for p in samples {
+                queries += 1;
+                match map.is_occupied_at(p) {
+                    Ok(Some(true)) => {
+                        blocked = true;
+                        break;
+                    }
+                    Ok(_) => {}
+                    Err(_) => {
+                        blocked = true; // outside the map: treat as blocked
+                        break;
+                    }
+                }
+            }
+            blocked_cache.insert(c, blocked);
+            blocked
+        };
+
+        let start_cell = (0, 0);
+        if is_blocked(map, start_cell) || is_blocked(map, goal_cell) {
+            return None;
+        }
+
+        let mut open = BinaryHeap::new();
+        let mut g_score: HashMap<Cell, f64> = HashMap::new();
+        let mut came_from: HashMap<Cell, Cell> = HashMap::new();
+        g_score.insert(start_cell, 0.0);
+        open.push(QueueEntry {
+            f_score: heuristic(start_cell),
+            cell: start_cell,
+        });
+
+        const DIAG: f64 = std::f64::consts::SQRT_2;
+        let neighbours: [(i32, i32, f64); 8] = [
+            (1, 0, 1.0),
+            (-1, 0, 1.0),
+            (0, 1, 1.0),
+            (0, -1, 1.0),
+            (1, 1, DIAG),
+            (1, -1, DIAG),
+            (-1, 1, DIAG),
+            (-1, -1, DIAG),
+        ];
+
+        let mut expansions = 0usize;
+        while let Some(QueueEntry { cell: current, .. }) = open.pop() {
+            if current == goal_cell {
+                // Reconstruct.
+                let mut path = vec![goal];
+                let mut c = current;
+                while let Some(&prev) = came_from.get(&c) {
+                    path.push(to_point(prev));
+                    c = prev;
+                }
+                path.reverse();
+                path[0] = start;
+                return Some(PlannedPath {
+                    waypoints: path,
+                    expansions,
+                    queries,
+                });
+            }
+            expansions += 1;
+            if expansions > self.config.max_expansions {
+                return None;
+            }
+            let current_g = g_score[&current];
+            for &(dx, dy, step) in &neighbours {
+                let next = (current.0 + dx, current.1 + dy);
+                if is_blocked(map, next) {
+                    continue;
+                }
+                let tentative = current_g + step * cell;
+                if tentative < *g_score.get(&next).unwrap_or(&f64::INFINITY) {
+                    g_score.insert(next, tentative);
+                    came_from.insert(next, current);
+                    open.push(QueueEntry {
+                        f_score: tentative + heuristic(next),
+                        cell: next,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Shortcut smoothing: greedily replaces waypoint chains with straight
+    /// segments that pass the same collision check.
+    pub fn smooth<M: MappingSystem + ?Sized>(
+        &self,
+        map: &mut M,
+        path: &PlannedPath,
+    ) -> PlannedPath {
+        let wp = &path.waypoints;
+        if wp.len() <= 2 {
+            return path.clone();
+        }
+        let mut queries = 0usize;
+        let mut out = vec![wp[0]];
+        let mut i = 0usize;
+        while i + 1 < wp.len() {
+            // Find the farthest j reachable in a straight free segment.
+            let mut best = i + 1;
+            for j in (i + 2..wp.len()).rev() {
+                if self.segment_free(map, wp[i], wp[j], &mut queries) {
+                    best = j;
+                    break;
+                }
+            }
+            out.push(wp[best]);
+            i = best;
+        }
+        PlannedPath {
+            waypoints: out,
+            expansions: path.expansions,
+            queries: path.queries + queries,
+        }
+    }
+
+    fn segment_free<M: MappingSystem + ?Sized>(
+        &self,
+        map: &mut M,
+        a: Point3,
+        b: Point3,
+        queries: &mut usize,
+    ) -> bool {
+        let d = b - a;
+        let len = d.norm();
+        let steps = (len / (self.config.cell * 0.5)).ceil().max(1.0) as usize;
+        for s in 1..=steps {
+            let p = a + d * (s as f64 / steps as f64);
+            *queries += 1;
+            match map.is_occupied_at(p) {
+                Ok(Some(true)) | Err(_) => return false,
+                Ok(_) => {}
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octocache::pipeline::OctoMapSystem;
+    use octocache_geom::VoxelGrid;
+    use octocache_octomap::OccupancyParams;
+
+    fn empty_map() -> OctoMapSystem {
+        OctoMapSystem::new(VoxelGrid::new(0.25, 8).unwrap(), OccupancyParams::default())
+    }
+
+    /// A map with a wall at x = 5 spanning y in [-4, 4], z in [0, 2.5].
+    fn walled_map() -> OctoMapSystem {
+        let mut map = empty_map();
+        let cloud: Vec<Point3> = (-16..=16)
+            .flat_map(|y| (0..=10).map(move |z| Point3::new(5.0, y as f64 * 0.25, z as f64 * 0.25)))
+            .collect();
+        for origin in [Point3::new(1.0, 0.0, 1.0), Point3::new(2.0, 1.0, 1.0)] {
+            map.insert_scan(origin, &cloud, 20.0).unwrap();
+        }
+        map
+    }
+
+    #[test]
+    fn straight_path_in_empty_space() {
+        let mut map = empty_map();
+        let planner = AStarPlanner::default();
+        let start = Point3::new(0.0, 0.0, 1.0);
+        let goal = Point3::new(6.0, 0.0, 1.0);
+        let path = planner.plan(&mut map, start, goal).expect("path exists");
+        assert_eq!(*path.waypoints.first().unwrap(), start);
+        assert_eq!(*path.waypoints.last().unwrap(), goal);
+        // Optimal lattice path length equals the straight distance.
+        assert!((path.length() - 6.0).abs() < 0.5, "{}", path.length());
+        assert!(path.queries > 0);
+    }
+
+    #[test]
+    fn path_detours_around_wall() {
+        let mut map = walled_map();
+        let planner = AStarPlanner::default();
+        let start = Point3::new(0.0, 0.0, 1.0);
+        let goal = Point3::new(9.0, 0.0, 1.0);
+        let path = planner.plan(&mut map, start, goal).expect("path exists");
+        // Must be longer than straight-line (goes around y = ±4).
+        assert!(path.length() > 10.0, "suspiciously short: {}", path.length());
+        // Every waypoint stays out of occupied space.
+        for wp in &path.waypoints {
+            assert_ne!(
+                map.is_occupied_at(*wp).unwrap(),
+                Some(true),
+                "waypoint {wp} in a wall"
+            );
+        }
+        // And the detour exceeds the wall extent in y at some point.
+        assert!(path.waypoints.iter().any(|p| p.y.abs() > 3.8));
+    }
+
+    #[test]
+    fn unreachable_goal_returns_none() {
+        let mut map = walled_map();
+        // Box the start in on all sides by marking a ring occupied.
+        let mut ring = Vec::new();
+        for i in 0..256 {
+            let a = i as f64 / 256.0 * std::f64::consts::TAU;
+            for r in [1.2, 1.4, 1.6] {
+                for z in [0.5, 1.0, 1.5] {
+                    ring.push(Point3::new(a.cos() * r, a.sin() * r, z));
+                }
+            }
+        }
+        map.insert_scan(Point3::new(0.0, 0.0, 1.0), &ring, 10.0).unwrap();
+        let planner = AStarPlanner::new(AStarConfig {
+            max_expansions: 5_000,
+            ..Default::default()
+        });
+        let path = planner.plan(&mut map, Point3::new(0.0, 0.0, 1.0), Point3::new(9.0, 0.0, 1.0));
+        assert!(path.is_none());
+    }
+
+    #[test]
+    fn blocked_start_or_goal_fails_fast() {
+        let mut map = walled_map();
+        let planner = AStarPlanner::default();
+        // Goal inside the wall.
+        let path = planner.plan(
+            &mut map,
+            Point3::new(0.0, 0.0, 1.0),
+            Point3::new(5.0, 0.0, 1.0),
+        );
+        assert!(path.is_none());
+    }
+
+    #[test]
+    fn smoothing_shortens_and_stays_free() {
+        let mut map = walled_map();
+        let planner = AStarPlanner::default();
+        let start = Point3::new(0.0, 0.0, 1.0);
+        let goal = Point3::new(9.0, 0.0, 1.0);
+        let path = planner.plan(&mut map, start, goal).unwrap();
+        let smoothed = planner.smooth(&mut map, &path);
+        assert!(smoothed.waypoints.len() <= path.waypoints.len());
+        assert!(smoothed.length() <= path.length() + 1e-9);
+        assert_eq!(*smoothed.waypoints.first().unwrap(), start);
+        assert_eq!(*smoothed.waypoints.last().unwrap(), goal);
+        for wp in &smoothed.waypoints {
+            assert_ne!(map.is_occupied_at(*wp).unwrap(), Some(true));
+        }
+    }
+
+    #[test]
+    fn works_against_octocache_backend() {
+        use octocache::{CacheConfig, SerialOctoCache};
+        let grid = VoxelGrid::new(0.25, 8).unwrap();
+        let cfg = CacheConfig::builder().num_buckets(1 << 10).tau(4).build().unwrap();
+        let mut map = SerialOctoCache::new(grid, OccupancyParams::default(), cfg);
+        let cloud: Vec<Point3> = (-16..=16)
+            .flat_map(|y| (0..=10).map(move |z| Point3::new(5.0, y as f64 * 0.25, z as f64 * 0.25)))
+            .collect();
+        map.insert_scan(Point3::new(1.0, 0.0, 1.0), &cloud, 20.0).unwrap();
+        let planner = AStarPlanner::default();
+        let path = planner
+            .plan(&mut map, Point3::new(0.0, 0.0, 1.0), Point3::new(9.0, 0.0, 1.0))
+            .expect("path exists around the wall");
+        assert!(path.length() > 9.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! UAV energy accounting.
+//!
+//! The paper motivates mission completion time as the end-to-end metric
+//! because "it also directly correlates with energy usage: 95 % of the UAV
+//! energy is consumed by the rotor during the entire flight" (§5.1, citing
+//! Krishnan et al.). This module makes that correlation explicit: a simple
+//! rotor power model integrated over a mission.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mission::MissionReport;
+use crate::uav::UavModel;
+
+/// Hover power constant, W per kg^1.5 (momentum theory with a typical
+/// quad-rotor disc loading and figure of merit; gives ≈ 256 W for the
+/// 1.87 kg Pelican and ≈ 21 W for the 0.35 kg Spark).
+const HOVER_POWER_PER_KG15: f64 = 100.0;
+/// Parasitic (airframe drag) power coefficient, W per (m/s)³ per kg.
+const DRAG_COEFF: f64 = 0.05;
+/// Share of total energy that is rotor energy (paper: 95 %).
+const ROTOR_SHARE: f64 = 0.95;
+
+/// Electrical power draw (watts) at steady forward speed `v` (m/s).
+///
+/// Momentum-theory shape: hover-induced power (∝ m^1.5) that *decreases*
+/// with translational lift, plus a parasitic drag term growing with v³.
+pub fn rotor_power(uav: &UavModel, v: f64) -> f64 {
+    let hover_power = HOVER_POWER_PER_KG15 * uav.mass_kg.powf(1.5);
+    let translational_relief = 1.0 / (1.0 + 0.05 * v * v).sqrt();
+    let parasitic = DRAG_COEFF * uav.mass_kg * v * v * v;
+    hover_power * translational_relief + parasitic
+}
+
+/// Energy summary of a mission.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Rotor energy over the flight, joules.
+    pub rotor_energy_j: f64,
+    /// Total energy estimate (rotor / 0.95), joules.
+    pub total_energy_j: f64,
+    /// Mean electrical power during the mission, watts.
+    pub mean_power_w: f64,
+}
+
+/// Integrates the rotor power model over a mission's duration at its mean
+/// velocity.
+pub fn mission_energy(uav: &UavModel, report: &MissionReport) -> EnergyReport {
+    let power = rotor_power(uav, report.avg_velocity);
+    let rotor_energy_j = power * report.completion_time_s;
+    EnergyReport {
+        rotor_energy_j,
+        total_energy_j: rotor_energy_j / ROTOR_SHARE,
+        mean_power_w: power,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::Environment;
+    use crate::mission::{Mission, MissionConfig};
+    use octocache::pipeline::OctoMapSystem;
+    use octocache_geom::VoxelGrid;
+    use octocache_octomap::OccupancyParams;
+
+    #[test]
+    fn hover_power_positive_and_mass_ordered() {
+        let pelican = UavModel::asctec_pelican();
+        let spark = UavModel::dji_spark();
+        assert!(rotor_power(&pelican, 0.0) > rotor_power(&spark, 0.0));
+        assert!(rotor_power(&spark, 0.0) > 0.0);
+    }
+
+    #[test]
+    fn power_curve_shape() {
+        let uav = UavModel::asctec_pelican();
+        let hover = rotor_power(&uav, 0.0);
+        let cruise = rotor_power(&uav, 6.0);
+        let sprint = rotor_power(&uav, 20.0);
+        // Moderate forward flight is cheaper than hover (translational
+        // lift); sprinting costs more than hover (drag cubes).
+        assert!(cruise < hover, "cruise {cruise} vs hover {hover}");
+        assert!(sprint > hover, "sprint {sprint} vs hover {hover}");
+    }
+
+    #[test]
+    fn shorter_missions_cost_less_energy() {
+        let env = Environment::Openland;
+        let uav = UavModel::asctec_pelican();
+        let grid = VoxelGrid::new(env.baseline_params().resolution, 16).unwrap();
+        let report = Mission::new(env, uav, MissionConfig::tiny())
+            .run(OctoMapSystem::new(grid, OccupancyParams::default()))
+            .unwrap();
+        let energy = mission_energy(&uav, &report);
+        assert!(energy.rotor_energy_j > 0.0);
+        assert!(energy.total_energy_j > energy.rotor_energy_j);
+
+        // A hypothetical faster mission (same report, 20 % shorter) costs
+        // proportionally less.
+        let mut faster = report;
+        faster.completion_time_s *= 0.8;
+        let e2 = mission_energy(&uav, &faster);
+        assert!(e2.rotor_energy_j < energy.rotor_energy_j);
+        assert!((e2.rotor_energy_j / energy.rotor_energy_j - 0.8).abs() < 1e-9);
+    }
+}

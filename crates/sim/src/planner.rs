@@ -1,0 +1,237 @@
+use octocache::MappingSystem;
+use octocache_geom::Point3;
+
+/// Configuration of the collision-checking waypoint planner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerConfig {
+    /// How far ahead a candidate segment is validated (metres); typically
+    /// the sensing range.
+    pub lookahead: f64,
+    /// Spacing of occupancy queries along a candidate segment (metres);
+    /// typically the mapping resolution.
+    pub sample_spacing: f64,
+    /// Number of detour headings tried on *each* side of the direct one.
+    pub detour_steps: usize,
+    /// Angular spacing between detour headings (radians).
+    pub detour_angle: f64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            lookahead: 5.0,
+            sample_spacing: 0.25,
+            detour_steps: 6,
+            detour_angle: 0.3,
+        }
+    }
+}
+
+/// The planner's decision for one cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanOutcome {
+    /// The waypoint to fly toward (equal to the current position when
+    /// every candidate heading is blocked).
+    pub waypoint: Point3,
+    /// Occupancy queries issued while validating candidates.
+    pub queries: usize,
+    /// Whether the direct heading to the goal was free.
+    pub direct: bool,
+}
+
+/// A simple reactive planner: validate the straight segment toward the goal
+/// with occupancy queries; when blocked, fan out alternate headings left and
+/// right until a free segment is found (the paper's planning stage —
+/// "checking voxels along potential trajectories for obstacles", §2.1).
+///
+/// Unknown space is treated as free (the optimistic convention MAVBench
+/// uses at mission start, when everything is unknown).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Planner {
+    config: PlannerConfig,
+}
+
+impl Planner {
+    /// Creates a planner.
+    pub fn new(config: PlannerConfig) -> Self {
+        Planner { config }
+    }
+
+    /// Plans one step from `position` toward `goal`, querying `map`.
+    pub fn plan<M: MappingSystem + ?Sized>(
+        &self,
+        map: &mut M,
+        position: Point3,
+        goal: Point3,
+    ) -> PlanOutcome {
+        let mut queries = 0usize;
+        let to_goal = goal - position;
+        let distance = to_goal.norm();
+        if distance < 1e-9 {
+            return PlanOutcome {
+                waypoint: goal,
+                queries,
+                direct: true,
+            };
+        }
+        let reach = distance.min(self.config.lookahead);
+        let base_yaw = to_goal.y.atan2(to_goal.x);
+
+        // Candidate headings: direct first, then alternating left/right.
+        let mut candidates = Vec::with_capacity(1 + 2 * self.config.detour_steps);
+        candidates.push(0.0);
+        for i in 1..=self.config.detour_steps {
+            let a = i as f64 * self.config.detour_angle;
+            candidates.push(a);
+            candidates.push(-a);
+        }
+
+        for (idx, offset) in candidates.iter().enumerate() {
+            let yaw = base_yaw + offset;
+            // Detours keep the goal's altitude plane.
+            let dir = Point3::new(yaw.cos(), yaw.sin(), to_goal.z / distance);
+            let end = position + dir * reach;
+            if self.segment_free(map, position, end, &mut queries) {
+                return PlanOutcome {
+                    waypoint: end,
+                    queries,
+                    direct: idx == 0,
+                };
+            }
+        }
+        PlanOutcome {
+            waypoint: position,
+            queries,
+            direct: false,
+        }
+    }
+
+    /// Validates a segment with sampled occupancy queries; occupied blocks,
+    /// unknown passes.
+    fn segment_free<M: MappingSystem + ?Sized>(
+        &self,
+        map: &mut M,
+        from: Point3,
+        to: Point3,
+        queries: &mut usize,
+    ) -> bool {
+        let d = to - from;
+        let len = d.norm();
+        let steps = (len / self.config.sample_spacing).ceil().max(1.0) as usize;
+        for i in 1..=steps {
+            let p = from + d * (i as f64 / steps as f64);
+            *queries += 1;
+            match map.is_occupied_at(p) {
+                Ok(Some(true)) => return false,
+                Ok(_) => {}
+                Err(_) => return false, // outside the map: treat as blocked
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octocache::pipeline::OctoMapSystem;
+    use octocache_geom::VoxelGrid;
+    use octocache_octomap::OccupancyParams;
+
+    fn empty_map() -> OctoMapSystem {
+        OctoMapSystem::new(VoxelGrid::new(0.25, 8).unwrap(), OccupancyParams::default())
+    }
+
+    /// Builds a map with a wall at x = 4 spanning y in [-3, 3].
+    fn walled_map() -> OctoMapSystem {
+        let mut map = empty_map();
+        let cloud: Vec<Point3> = (-30..=30)
+            .flat_map(|y| {
+                (0..=8).map(move |z| Point3::new(4.0, y as f64 * 0.1, z as f64 * 0.25))
+            })
+            .collect();
+        map.insert_scan(Point3::new(0.0, 0.0, 1.0), &cloud, 20.0)
+            .unwrap();
+        map
+    }
+
+    #[test]
+    fn unknown_space_is_traversable() {
+        let mut map = empty_map();
+        let planner = Planner::default();
+        let out = planner.plan(&mut map, Point3::new(0.0, 0.0, 1.0), Point3::new(10.0, 0.0, 1.0));
+        assert!(out.direct);
+        assert!(out.queries > 0);
+        // Waypoint lies on the direct line, lookahead-limited.
+        assert!((out.waypoint.y).abs() < 1e-9);
+        assert!((out.waypoint.x - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_forces_detour() {
+        let mut map = walled_map();
+        let planner = Planner::default();
+        let pos = Point3::new(0.0, 0.0, 1.0);
+        let goal = Point3::new(10.0, 0.0, 1.0);
+        let out = planner.plan(&mut map, pos, goal);
+        assert!(!out.direct, "wall at x=4 must block the direct heading");
+        // The detour waypoint must not cross the known wall.
+        assert!(out.waypoint != pos, "planner found no way around");
+        assert!(
+            out.waypoint.y.abs() > 1.0,
+            "detour should veer sideways, got {}",
+            out.waypoint
+        );
+    }
+
+    #[test]
+    fn fully_enclosed_start_stalls() {
+        let mut map = empty_map();
+        // Occupy a ring of voxels around the start at radius ~1 m.
+        let mut cloud = Vec::new();
+        for i in 0..128 {
+            let a = i as f64 / 128.0 * std::f64::consts::TAU;
+            for r in [1.0, 1.2, 1.4] {
+                for z in [0.6, 1.0, 1.4] {
+                    cloud.push(Point3::new(a.cos() * r, a.sin() * r, z));
+                }
+            }
+        }
+        map.insert_scan(Point3::new(0.0, 0.0, 1.0), &cloud, 10.0)
+            .unwrap();
+        let planner = Planner::new(PlannerConfig {
+            lookahead: 4.0,
+            ..Default::default()
+        });
+        let pos = Point3::new(0.0, 0.0, 1.0);
+        let out = planner.plan(&mut map, pos, Point3::new(10.0, 0.0, 1.0));
+        assert_eq!(out.waypoint, pos, "enclosed start must stall");
+    }
+
+    #[test]
+    fn goal_within_reach_is_targeted_exactly() {
+        let mut map = empty_map();
+        let planner = Planner::default();
+        let goal = Point3::new(2.0, 0.5, 1.0);
+        let out = planner.plan(&mut map, Point3::new(0.0, 0.0, 1.0), goal);
+        assert!((out.waypoint - goal).norm() < 1e-9);
+    }
+
+    #[test]
+    fn query_count_scales_with_lookahead() {
+        let mut map = empty_map();
+        let short = Planner::new(PlannerConfig {
+            lookahead: 2.0,
+            ..Default::default()
+        });
+        let long = Planner::new(PlannerConfig {
+            lookahead: 8.0,
+            ..Default::default()
+        });
+        let pos = Point3::new(0.0, 0.0, 1.0);
+        let goal = Point3::new(20.0, 0.0, 1.0);
+        let a = short.plan(&mut map, pos, goal).queries;
+        let b = long.plan(&mut map, pos, goal).queries;
+        assert!(b > a);
+    }
+}

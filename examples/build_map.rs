@@ -1,0 +1,71 @@
+//! 3D environment construction (the paper's §5.2 workload): build the
+//! FR-079-corridor-like dataset with vanilla OctoMap and with OctoCache,
+//! compare runtimes, and serialise the resulting octree.
+//!
+//! ```sh
+//! cargo run --release --example build_map
+//! ```
+
+use std::time::Instant;
+
+use octocache::pipeline::{MappingSystem, OctoMapSystem};
+use octocache::{CacheConfig, SerialOctoCache};
+use octocache_datasets::{Dataset, DatasetConfig};
+use octocache_geom::VoxelGrid;
+use octocache_octomap::{io, OccupancyParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = Dataset::Fr079Corridor;
+    let seq = dataset.generate(&DatasetConfig::default());
+    let resolution = 0.1;
+    let grid = VoxelGrid::new(resolution, 16)?;
+    println!(
+        "dataset {}: {} scans, {} points, {} m range, {} m resolution",
+        seq.name(),
+        seq.scans().len(),
+        seq.total_points(),
+        seq.max_range(),
+        resolution
+    );
+
+    // Vanilla OctoMap.
+    let mut octomap = OctoMapSystem::new(grid, OccupancyParams::default());
+    let t0 = Instant::now();
+    for scan in seq.scans() {
+        octomap.insert_scan(scan.origin, &scan.points, seq.max_range())?;
+    }
+    let octomap_time = t0.elapsed();
+    println!("octomap:   {octomap_time:?}");
+
+    // Serial OctoCache, sized per the paper's 3-4x rule.
+    let cache = CacheConfig::builder().num_buckets(1 << 15).tau(4).build()?;
+    let mut cached = SerialOctoCache::new(grid, OccupancyParams::default(), cache);
+    let t1 = Instant::now();
+    for scan in seq.scans() {
+        cached.insert_scan(scan.origin, &scan.points, seq.max_range())?;
+    }
+    cached.finish();
+    let cached_time = t1.elapsed();
+    println!(
+        "octocache: {cached_time:?}  ({:.2}x, {:.1}% hit rate)",
+        octomap_time.as_secs_f64() / cached_time.as_secs_f64(),
+        cached.cache_stats().hit_rate() * 100.0
+    );
+
+    // Both maps agree — serialise the OctoCache one.
+    let tree = cached.into_tree();
+    let bytes = io::write_tree(&tree);
+    let path = std::env::temp_dir().join("octocache_map.ot1");
+    std::fs::write(&path, &bytes)?;
+    println!(
+        "serialised {} nodes to {} ({:.1} KiB)",
+        tree.num_nodes(),
+        path.display(),
+        bytes.len() as f64 / 1024.0
+    );
+
+    let restored = io::read_tree(&std::fs::read(&path)?)?;
+    assert_eq!(restored.num_nodes(), tree.num_nodes());
+    println!("roundtrip OK: {} nodes", restored.num_nodes());
+    Ok(())
+}

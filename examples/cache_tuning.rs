@@ -1,0 +1,65 @@
+//! Cache tuning walkthrough (the paper's §6.2.3/§6.2.4): how hit rate and
+//! construction time respond to cache size and bucket depth τ.
+//!
+//! ```sh
+//! cargo run --release --example cache_tuning
+//! ```
+
+use std::time::Instant;
+
+use octocache::pipeline::MappingSystem;
+use octocache::{CacheConfig, SerialOctoCache};
+use octocache_datasets::{Dataset, DatasetConfig};
+use octocache_geom::VoxelGrid;
+use octocache_octomap::OccupancyParams;
+
+fn run(seq: &octocache_datasets::ScanSequence, cfg: CacheConfig) -> (f64, f64) {
+    let grid = VoxelGrid::new(0.2, 16).expect("valid grid");
+    let mut map = SerialOctoCache::new(grid, OccupancyParams::default(), cfg);
+    let t = Instant::now();
+    for scan in seq.scans() {
+        map.insert_scan(scan.origin, &scan.points, seq.max_range())
+            .expect("in-grid scan");
+    }
+    map.finish();
+    (t.elapsed().as_secs_f64(), map.cache_stats().hit_rate())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seq = Dataset::NewCollege.generate(&DatasetConfig::default());
+    println!(
+        "dataset {}: {} scans, {} points",
+        seq.name(),
+        seq.scans().len(),
+        seq.total_points()
+    );
+
+    println!("\n-- cache size sweep (tau = 4) --");
+    println!("{:>10} {:>10} {:>9} {:>9}", "buckets", "capacity", "time(s)", "hit-rate");
+    for k in [8u32, 10, 12, 14, 16] {
+        let cfg = CacheConfig::builder().num_buckets(1 << k).tau(4).build()?;
+        let (time, hits) = run(&seq, cfg);
+        println!(
+            "{:>10} {:>10} {:>9.3} {:>8.1}%",
+            format!("2^{k}"),
+            cfg.capacity_after_eviction(),
+            time,
+            hits * 100.0
+        );
+    }
+
+    println!("\n-- tau sweep at fixed capacity (2^16 cells) --");
+    println!("{:>6} {:>10} {:>9} {:>9}", "tau", "buckets", "time(s)", "hit-rate");
+    for tau in [1usize, 2, 4, 8, 16] {
+        let buckets = (1usize << 16) / tau;
+        let cfg = CacheConfig::builder()
+            .num_buckets(buckets.next_power_of_two())
+            .tau(tau)
+            .build()?;
+        let (time, hits) = run(&seq, cfg);
+        println!("{tau:>6} {buckets:>10} {time:>9.3} {:>8.1}%", hits * 100.0);
+    }
+
+    println!("\npaper: hit rate plateaus with size; optimal tau is 2-4");
+    Ok(())
+}

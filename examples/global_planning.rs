@@ -1,0 +1,77 @@
+//! Global path planning on an OctoCache-built map: build the Factory
+//! environment map from simulated scans, then plan a start→goal path with
+//! the A* lattice planner and smooth it.
+//!
+//! ```sh
+//! cargo run --release --example global_planning
+//! ```
+
+use octocache::pipeline::MappingSystem;
+use octocache::{CacheConfig, SerialOctoCache};
+use octocache_datasets::DepthSensor;
+use octocache_datasets::Pose;
+use octocache_geom::{Point3, VoxelGrid};
+use octocache_octomap::OccupancyParams;
+use octocache_sim::astar::{AStarConfig, AStarPlanner};
+use octocache_sim::Environment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = Environment::Factory;
+    let scene = env.scene(7);
+    let params = env.baseline_params();
+    let grid = VoxelGrid::new(params.resolution, 16)?;
+    let cache = CacheConfig::builder().num_buckets(1 << 14).tau(4).build()?;
+    let mut map = SerialOctoCache::new(grid, OccupancyParams::default(), cache);
+
+    // Survey flight: scan the environment along the nominal corridor.
+    let sensor = DepthSensor::new(2.0, 1.0, 96, 64, params.sensing_range);
+    let altitude = env.flight_altitude();
+    let mut scans = 0;
+    let mut x = 0.0;
+    while x < env.goal_distance() {
+        let pose = Pose::new(Point3::new(x, 0.0, altitude), 0.0);
+        let cloud = sensor.scan(&scene, &pose, 11 + scans as u64);
+        if !cloud.is_empty() {
+            map.insert_scan(pose.position, &cloud, params.sensing_range)?;
+        }
+        scans += 1;
+        x += params.sensing_range * 0.4;
+    }
+    println!(
+        "surveyed {} scans; cache hit rate {:.1} %",
+        scans,
+        map.cache_stats().hit_rate() * 100.0
+    );
+
+    // Plan through the mapped space.
+    let planner = AStarPlanner::new(AStarConfig {
+        cell: params.resolution.max(0.25),
+        ..Default::default()
+    });
+    let start = env.start();
+    let goal = env.goal();
+    let Some(path) = planner.plan(&mut map, start, goal) else {
+        println!("no path found (try more survey scans)");
+        return Ok(());
+    };
+    println!(
+        "A*: {} waypoints, {:.1} m, {} expansions, {} occupancy queries",
+        path.waypoints.len(),
+        path.length(),
+        path.expansions,
+        path.queries
+    );
+    let smoothed = planner.smooth(&mut map, &path);
+    println!(
+        "smoothed: {} waypoints, {:.1} m",
+        smoothed.waypoints.len(),
+        smoothed.length()
+    );
+    for wp in smoothed.waypoints.iter().take(10) {
+        println!("  {wp}");
+    }
+    if smoothed.waypoints.len() > 10 {
+        println!("  … ({} more)", smoothed.waypoints.len() - 10);
+    }
+    Ok(())
+}

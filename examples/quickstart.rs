@@ -1,0 +1,60 @@
+//! Quickstart: build an OctoCache-backed map, insert scans, query it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use octocache::pipeline::MappingSystem;
+use octocache::{CacheConfig, SerialOctoCache};
+use octocache_geom::{Point3, VoxelGrid};
+use octocache_octomap::OccupancyParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 10 cm map over a 16-level octree, with the paper's default sensor
+    // model and a 2^14-bucket cache (tau = 4).
+    let grid = VoxelGrid::new(0.1, 16)?;
+    let cache = CacheConfig::builder().num_buckets(1 << 14).tau(4).build()?;
+    let mut map = SerialOctoCache::new(grid, OccupancyParams::default(), cache);
+
+    // Simulate a sensor seeing a wall at x = 3 m from two nearby poses.
+    for step in 0..5 {
+        let origin = Point3::new(0.1 * step as f64, 0.0, 1.0);
+        let cloud: Vec<Point3> = (-20..=20)
+            .flat_map(|y| {
+                (0..10).map(move |z| Point3::new(3.0, y as f64 * 0.05, 0.8 + z as f64 * 0.05))
+            })
+            .collect();
+        let report = map.insert_scan(origin, &cloud, 10.0)?;
+        println!(
+            "scan {step}: {} observations, {} cache hits, {} voxels to octree, {:?} total",
+            report.observations,
+            report.cache_hits,
+            report.octree_updates,
+            report.times.total()
+        );
+    }
+
+    // Queries are OctoMap-consistent and served through the cache.
+    let wall = Point3::new(3.0, 0.0, 1.0);
+    let free = Point3::new(1.5, 0.0, 1.0);
+    println!("wall voxel occupied: {:?}", map.is_occupied_at(wall)?);
+    println!("mid-air voxel occupied: {:?}", map.is_occupied_at(free)?);
+
+    let stats = map.cache_stats();
+    println!(
+        "cache: {} insertions, {:.1}% hit rate, {} evictions",
+        stats.insertions,
+        stats.hit_rate() * 100.0,
+        stats.evictions
+    );
+
+    // Flush the cache and hand the completed octree over.
+    let tree = map.into_tree();
+    println!(
+        "final octree: {} nodes, {} leaves, {:.1} KiB",
+        tree.num_nodes(),
+        tree.num_leaves(),
+        tree.memory_usage() as f64 / 1024.0
+    );
+    Ok(())
+}

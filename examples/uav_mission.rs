@@ -1,0 +1,61 @@
+//! A closed-loop UAV navigation mission (the paper's §5.1 workload): fly an
+//! AscTec Pelican through the Room environment with OctoMap and with
+//! OctoCache and compare end-to-end metrics.
+//!
+//! ```sh
+//! cargo run --release --example uav_mission
+//! ```
+
+use octocache::pipeline::OctoMapSystem;
+use octocache::{CacheConfig, ParallelOctoCache};
+use octocache_geom::VoxelGrid;
+use octocache_octomap::OccupancyParams;
+use octocache_sim::{Environment, Mission, MissionConfig, MissionReport, UavModel};
+
+fn show(label: &str, r: &MissionReport) {
+    println!(
+        "{label:<22} reached={} cycles={} e2e={:.1}ms v̄={:.2}m/s T={:.1}s collisions={}",
+        r.reached_goal,
+        r.cycles,
+        r.avg_cycle_compute_s * 1e3,
+        r.avg_velocity,
+        r.completion_time_s,
+        r.collisions
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = Environment::Room;
+    let uav = UavModel::asctec_pelican();
+    let params = env.baseline_params();
+    let grid = VoxelGrid::new(params.resolution, 16)?;
+    let config = MissionConfig {
+        sensing_range: Some(params.sensing_range),
+        ..MissionConfig::default()
+    };
+    println!(
+        "environment {env}: goal {} m, range {} m, resolution {} m",
+        env.goal_distance(),
+        params.sensing_range,
+        params.resolution
+    );
+
+    let base = Mission::new(env, uav, config)
+        .run(OctoMapSystem::new(grid, OccupancyParams::default()))?;
+    show("octomap", &base);
+
+    let cache = CacheConfig::builder().num_buckets(1 << 16).tau(4).build()?;
+    let cached = Mission::new(env, uav, config).run(ParallelOctoCache::new(
+        grid,
+        OccupancyParams::default(),
+        cache,
+    ))?;
+    show("octocache-parallel", &cached);
+
+    println!(
+        "speedup: e2e {:.2}x, mission time saved {:.0}%",
+        base.avg_cycle_compute_s / cached.avg_cycle_compute_s.max(1e-12),
+        (1.0 - cached.completion_time_s / base.completion_time_s) * 100.0
+    );
+    Ok(())
+}

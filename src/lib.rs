@@ -1,0 +1,12 @@
+//! Umbrella crate for the OctoCache reproduction workspace.
+//!
+//! This crate only re-exports the member crates so that the repository-level
+//! `examples/` and `tests/` directories can exercise the whole system through
+//! one dependency. Library users should depend on the individual crates
+//! ([`octocache`], [`octocache_octomap`], …) directly.
+
+pub use octocache;
+pub use octocache_datasets as datasets;
+pub use octocache_geom as geom;
+pub use octocache_octomap as octomap;
+pub use octocache_sim as sim;

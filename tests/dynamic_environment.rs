@@ -1,0 +1,75 @@
+//! Dynamic-environment integration: the paper's §2.2 rationale for log-odds
+//! clamping is that a changed world (an obstacle that disappears) can be
+//! re-learned quickly. Both the OctoMap baseline and the cached pipelines
+//! must flip the vacated voxels from occupied back to free.
+
+use octocache_repro::datasets::dynamic::{vanishing_obstacle, OBSTACLE_FACE};
+use octocache_repro::geom::VoxelGrid;
+use octocache_repro::octocache::pipeline::{MappingSystem, OctoMapSystem};
+use octocache_repro::octocache::{CacheConfig, ParallelOctoCache, SerialOctoCache};
+use octocache_repro::octomap::OccupancyParams;
+
+fn run_backend(mut map: impl MappingSystem) -> (Option<bool>, Option<bool>) {
+    let seq = vanishing_obstacle(4, 17);
+    let half = seq.scans().len() / 2;
+    let mut mid_state = None;
+    for (i, scan) in seq.scans().iter().enumerate() {
+        map.insert_scan(scan.origin, &scan.points, seq.max_range())
+            .unwrap();
+        if i + 1 == half {
+            mid_state = map.is_occupied_at(OBSTACLE_FACE).unwrap();
+        }
+    }
+    let end_state = map.is_occupied_at(OBSTACLE_FACE).unwrap();
+    (mid_state, end_state)
+}
+
+fn grid() -> VoxelGrid {
+    VoxelGrid::new(0.25, 16).unwrap()
+}
+
+fn cache() -> CacheConfig {
+    CacheConfig::builder().num_buckets(1 << 10).tau(4).build().unwrap()
+}
+
+#[test]
+fn octomap_relearns_vanished_obstacle() {
+    let params = OccupancyParams::default();
+    let (mid, end) = run_backend(OctoMapSystem::new(grid(), params));
+    assert_eq!(mid, Some(true), "obstacle not learned while present");
+    assert_eq!(end, Some(false), "obstacle not unlearned after removal");
+}
+
+#[test]
+fn serial_octocache_relearns_vanished_obstacle() {
+    let params = OccupancyParams::default();
+    let (mid, end) = run_backend(SerialOctoCache::new(grid(), params, cache()));
+    assert_eq!(mid, Some(true));
+    assert_eq!(end, Some(false));
+}
+
+#[test]
+fn parallel_octocache_relearns_vanished_obstacle() {
+    let params = OccupancyParams::default();
+    let (mid, end) = run_backend(ParallelOctoCache::new(grid(), params, cache()));
+    assert_eq!(mid, Some(true));
+    assert_eq!(end, Some(false));
+}
+
+#[test]
+fn clamping_is_what_makes_relearning_fast() {
+    // With an absurdly high clamp, the occupied value saturates so far up
+    // that the second half cannot pull it below threshold — demonstrating
+    // that the bounded log-odds (min_occ/max_occ) are load-bearing.
+    let params = OccupancyParams {
+        clamp_max: 100.0,
+        ..OccupancyParams::default()
+    };
+    let (mid, end) = run_backend(OctoMapSystem::new(grid(), params));
+    assert_eq!(mid, Some(true));
+    assert_eq!(
+        end,
+        Some(true),
+        "without clamping the stale obstacle should persist"
+    );
+}

@@ -1,0 +1,71 @@
+//! End-to-end integration: dataset generation → map construction →
+//! serialisation → UAV mission, across crate boundaries.
+
+use octocache_repro::datasets::{stats, Dataset, DatasetConfig};
+use octocache_repro::geom::VoxelGrid;
+use octocache_repro::octocache::pipeline::MappingSystem;
+use octocache_repro::octocache::{CacheConfig, SerialOctoCache};
+use octocache_repro::octomap::{io, OccupancyParams};
+use octocache_repro::sim::{Environment, Mission, MissionConfig, UavModel};
+
+#[test]
+fn construct_serialize_restore() {
+    let seq = Dataset::NewCollege.generate(&DatasetConfig::tiny());
+    let grid = VoxelGrid::new(0.4, 16).unwrap();
+    let cache = CacheConfig::builder().num_buckets(1 << 10).tau(4).build().unwrap();
+    let mut map = SerialOctoCache::new(grid, OccupancyParams::default(), cache);
+    for scan in seq.scans() {
+        map.insert_scan(scan.origin, &scan.points, seq.max_range())
+            .unwrap();
+    }
+    let tree = map.into_tree();
+    assert!(tree.num_nodes() > 100, "map too small: {}", tree.num_nodes());
+
+    let bytes = io::write_tree(&tree);
+    let restored = io::read_tree(&bytes).unwrap();
+    assert_eq!(restored.num_nodes(), tree.num_nodes());
+    assert_eq!(
+        restored.occupied_voxel_count(),
+        tree.occupied_voxel_count()
+    );
+}
+
+#[test]
+fn cache_absorbs_documented_duplication() {
+    // The whole premise: the duplication measured by the dataset stats must
+    // show up as cache hits during construction.
+    let seq = Dataset::Fr079Corridor.generate(&DatasetConfig::tiny());
+    let grid = VoxelGrid::new(0.2, 16).unwrap();
+    let row = stats::table2_row(&seq, 0.2).unwrap();
+    let expected_dup_ratio = row.duplicate_voxels as f64 / row.nonduplicate_voxels as f64;
+    assert!(expected_dup_ratio > 1.5, "dataset not duplicated enough");
+
+    let cache = CacheConfig::builder().num_buckets(1 << 14).tau(4).build().unwrap();
+    let mut map = SerialOctoCache::new(grid, OccupancyParams::default(), cache);
+    for scan in seq.scans() {
+        map.insert_scan(scan.origin, &scan.points, seq.max_range())
+            .unwrap();
+    }
+    let hit_rate = map.cache_stats().hit_rate();
+    // With a generous cache, the hit rate approaches 1 - 1/dup_ratio.
+    let ideal = 1.0 - 1.0 / expected_dup_ratio;
+    assert!(
+        hit_rate > ideal * 0.85,
+        "hit rate {hit_rate:.3} far below ideal {ideal:.3}"
+    );
+}
+
+#[test]
+fn mission_on_every_environment_with_octocache() {
+    for env in Environment::ALL {
+        let p = env.baseline_params();
+        let grid = VoxelGrid::new(p.resolution, 16).unwrap();
+        let cache = CacheConfig::builder().num_buckets(1 << 12).tau(4).build().unwrap();
+        let map = SerialOctoCache::new(grid, OccupancyParams::default(), cache);
+        let report = Mission::new(env, UavModel::asctec_pelican(), MissionConfig::tiny())
+            .run(map)
+            .unwrap();
+        assert!(report.reached_goal, "{env}: {report:?}");
+        assert_eq!(report.collisions, 0, "{env} collided");
+    }
+}
