@@ -31,8 +31,7 @@ fn main() {
         ]);
 
         for shards in [2usize, 4, 8] {
-            let mut sharded =
-                ShardedOctoMap::new(grid(res), OccupancyParams::default(), shards);
+            let mut sharded = ShardedOctoMap::new(grid(res), OccupancyParams::default(), shards);
             let t0 = std::time::Instant::now();
             for scan in seq.scans() {
                 sharded
@@ -54,7 +53,10 @@ fn main() {
             dataset.name().to_string(),
             cached.backend.to_string(),
             secs(cached.total),
-            format!("{:.2}x", base.total.as_secs_f64() / cached.total.as_secs_f64()),
+            format!(
+                "{:.2}x",
+                base.total.as_secs_f64() / cached.total.as_secs_f64()
+            ),
             "-".into(),
         ]);
     }

@@ -52,13 +52,7 @@ fn main() {
     }
     print_table(
         "Ablation C — scan-to-queries-answered latency",
-        &[
-            "dataset",
-            "backend",
-            "total(s)",
-            "per-scan(ms)",
-            "queries",
-        ],
+        &["dataset", "backend", "total(s)", "per-scan(ms)", "queries"],
         &rows,
     );
     println!("\nexpected: octocache backends answer queries sooner (no octree update on the path)");

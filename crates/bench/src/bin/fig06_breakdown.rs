@@ -5,8 +5,8 @@
 //! dataset with vanilla OctoMap at several resolutions and prints the
 //! ray-tracing vs octree-update split.
 
-use octocache_bench::{construct, grid, load_dataset, print_table, secs, Backend};
 use octocache::CacheConfig;
+use octocache_bench::{construct, grid, load_dataset, print_table, secs, Backend};
 use octocache_datasets::Dataset;
 
 fn main() {
@@ -15,7 +15,10 @@ fn main() {
     for dataset in Dataset::ALL {
         let seq = load_dataset(dataset);
         for &res in &resolutions {
-            let result = construct(&seq, Backend::OctoMap.build(grid(res), CacheConfig::default()));
+            let result = construct(
+                &seq,
+                Backend::OctoMap.build(grid(res), CacheConfig::default()),
+            );
             let ray = result.phases.ray_tracing;
             let tree = result.phases.octree_update;
             let denom = (ray + tree).as_secs_f64().max(1e-12);

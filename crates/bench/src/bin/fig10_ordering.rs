@@ -61,8 +61,7 @@ fn main() {
                     visits = tree.stats().snapshot().visits_per_update();
                 }
             }
-            let per_voxel_ns =
-                total_ns as f64 / repetitions as f64 / ordered.len().max(1) as f64;
+            let per_voxel_ns = total_ns as f64 / repetitions as f64 / ordered.len().max(1) as f64;
             order_rows.push((
                 per_voxel_ns,
                 vec![
@@ -98,5 +97,7 @@ fn main() {
         ],
         &rows,
     );
-    println!("\npaper: morton 1.34-1.38x vs original, 1.97-3.32x vs random; speed correlates with F");
+    println!(
+        "\npaper: morton 1.34-1.38x vs original, 1.97-3.32x vs random; speed correlates with F"
+    );
 }

@@ -72,5 +72,7 @@ fn main() {
         "Figure 18(c,d) — fixed resolution 0.15 m, range sweep",
         &fixed_res,
     );
-    println!("\npaper: speedup grows with finer res / longer range (2.46x @4m/0.15m, 3.66x @3m/0.1m)");
+    println!(
+        "\npaper: speedup grows with finer res / longer range (2.46x @4m/0.15m, 3.66x @3m/0.1m)"
+    );
 }

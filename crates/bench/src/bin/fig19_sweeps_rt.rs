@@ -68,5 +68,7 @@ fn main() {
         "Figure 19(c,d) — RT variants: fixed resolution 0.15 m, range sweep",
         &fixed_res,
     );
-    println!("\npaper: octocache-rt 25%/17% faster in the two highlighted scenarios; up to 37x at 0.01m");
+    println!(
+        "\npaper: octocache-rt 25%/17% faster in the two highlighted scenarios; up to 37x at 0.01m"
+    );
 }

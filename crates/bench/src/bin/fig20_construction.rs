@@ -24,7 +24,10 @@ fn main() {
                 secs(base.total),
                 secs(serial.total),
                 secs(parallel.total),
-                format!("{:.2}x", base.total.as_secs_f64() / serial.total.as_secs_f64()),
+                format!(
+                    "{:.2}x",
+                    base.total.as_secs_f64() / serial.total.as_secs_f64()
+                ),
                 format!(
                     "{:.2}x",
                     base.total.as_secs_f64() / parallel.total.as_secs_f64()

@@ -62,5 +62,7 @@ fn main() {
         ],
         &rows,
     );
-    println!("\npaper: cache insert 2.57-5.85x faster than octree update; residual octree 9.7-23.8%");
+    println!(
+        "\npaper: cache insert 2.57-5.85x faster than octree update; residual octree 9.7-23.8%"
+    );
 }

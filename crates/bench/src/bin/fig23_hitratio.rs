@@ -6,8 +6,8 @@
 //! reaches > 93 % hits.
 
 use octocache::MappingSystem;
-use octocache_bench::{cache_with, grid, load_dataset, print_table, reference_resolution};
 use octocache::SerialOctoCache;
+use octocache_bench::{cache_with, grid, load_dataset, print_table, reference_resolution};
 use octocache_datasets::Dataset;
 use octocache_octomap::OccupancyParams;
 
@@ -34,7 +34,10 @@ fn main() {
                 format!("{}", cache_cfg.capacity_after_eviction()),
                 format!("{:.1}", cache_bytes as f64 / 1024.0 / 1024.0),
                 format!("{:.1}", octree_bytes as f64 / 1024.0 / 1024.0),
-                format!("{:.3}%", cache_bytes as f64 / octree_bytes.max(1) as f64 * 100.0),
+                format!(
+                    "{:.3}%",
+                    cache_bytes as f64 / octree_bytes.max(1) as f64 * 100.0
+                ),
                 format!("{:.1}%", hit_rate * 100.0),
             ]);
         }
@@ -52,5 +55,7 @@ fn main() {
         ],
         &rows,
     );
-    println!("\npaper: hit ratio plateaus with size; 0.23% of octree size -> >93% hits (dataset 3)");
+    println!(
+        "\npaper: hit ratio plateaus with size; 0.23% of octree size -> >93% hits (dataset 3)"
+    );
 }

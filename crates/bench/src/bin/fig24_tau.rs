@@ -4,8 +4,8 @@
 //! The paper finds the optimum at τ = 2–4: τ = 1 forces early evictions on
 //! collisions, large τ inflates per-insertion search cost.
 
-use octocache_bench::{cache_for, construct, grid, load_dataset, print_table, secs, Backend};
 use octocache::CacheConfig;
+use octocache_bench::{cache_for, construct, grid, load_dataset, print_table, secs, Backend};
 use octocache_datasets::Dataset;
 
 fn main() {
@@ -37,7 +37,9 @@ fn main() {
     }
     print_table(
         "Figure 24 — construction time and hit ratio vs tau at fixed capacity",
-        &["dataset", "tau", "buckets", "capacity", "time(s)", "hit-rate"],
+        &[
+            "dataset", "tau", "buckets", "capacity", "time(s)", "hit-rate",
+        ],
         &rows,
     );
     println!("\npaper: optimum tau between 2 and 4 for most datasets");

@@ -45,5 +45,7 @@ fn main() {
         ],
         &rows,
     );
-    println!("\npaper: enqueue/dequeue negligible (e.g. FR-079: 0.017/0.050 s vs 16.4 s insertion)");
+    println!(
+        "\npaper: enqueue/dequeue negligible (e.g. FR-079: 0.017/0.050 s vs 16.4 s insertion)"
+    );
 }

@@ -6,9 +6,12 @@
 //!   synthetic scan log (datasets: `fr079-corridor`, `freiburg-campus`,
 //!   `new-college`).
 //! * `build <in.scanlog> <out.map> [--backend B] [--resolution R]
-//!   [--buckets N] [--tau T]` — build an occupancy map (backends:
-//!   `octomap`, `octomap-rt`, `serial`, `serial-rt`, `parallel`,
-//!   `parallel-rt`), printing per-phase timings and cache statistics.
+//!   [--buckets N] [--tau T] [--trace out.jsonl]` — build an occupancy map
+//!   (backends: `octomap`, `octomap-rt`, `serial`, `serial-rt`, `parallel`,
+//!   `parallel-rt`), printing per-phase timings and cache statistics;
+//!   `--trace` streams one JSON scan record per line to a file.
+//! * `report <trace.jsonl>` — per-phase latency percentiles and the cache
+//!   hit-ratio time series of a recorded trace.
 //! * `info <map>` — structural statistics of a serialised map.
 //! * `query <map> <x> <y> <z>` — occupancy at a world point.
 //! * `diff <map_a> <map_b>` — voxel-level agreement between two maps.
@@ -39,6 +42,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     match it.next().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("build") => cmd_build(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
@@ -52,7 +56,8 @@ fn usage() -> String {
 
 USAGE:
   octocache generate <dataset> <out.scanlog> [--scale S] [--seed N]
-  octocache build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T] [--format ot|bt]
+  octocache build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T] [--format ot|bt] [--trace out.jsonl]
+  octocache report <trace.jsonl>
   octocache info <map>
   octocache query <map> <x> <y> <z>
   octocache diff <map_a> <map_b>
@@ -164,8 +169,7 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
         Some(s) => parse_f64(s, "--resolution")?,
         None => 0.2,
     };
-    let grid =
-        VoxelGrid::new(resolution, 16).map_err(|e| format!("invalid resolution: {e}"))?;
+    let grid = VoxelGrid::new(resolution, 16).map_err(|e| format!("invalid resolution: {e}"))?;
     let buckets = match flag(&flags, "buckets") {
         Some(s) => parse_usize(s, "--buckets")?,
         None => 1 << 14,
@@ -183,7 +187,11 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     let params = OccupancyParams::default();
     let mut backend: Box<dyn MappingSystem> = match backend_name {
         "octomap" => Box::new(OctoMapSystem::new(grid, params)),
-        "octomap-rt" => Box::new(OctoMapSystem::with_ray_tracer(grid, params, RayTracer::Dedup)),
+        "octomap-rt" => Box::new(OctoMapSystem::with_ray_tracer(
+            grid,
+            params,
+            RayTracer::Dedup,
+        )),
         "serial" => Box::new(SerialOctoCache::new(grid, params, cache)),
         "serial-rt" => Box::new(SerialOctoCache::with_ray_tracer(
             grid,
@@ -200,6 +208,12 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
         )),
         other => return Err(format!("unknown backend `{other}`")),
     };
+    let trace_path = flag(&flags, "trace");
+    if let Some(path) = trace_path {
+        let recorder = octocache::JsonlRecorder::create(path)
+            .map_err(|e| format!("create trace {path}: {e}"))?;
+        backend.set_recorder(Box::new(recorder));
+    }
 
     let t0 = std::time::Instant::now();
     let mut observations = 0usize;
@@ -214,6 +228,8 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     backend.finish();
     let elapsed = t0.elapsed();
     let times = backend.phase_times();
+    let cache_stats = backend.cache_stats();
+    let tree_stats = backend.tree_stats();
 
     let tree = backend.take_tree();
     let bytes = match flag(&flags, "format") {
@@ -239,6 +255,26 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
         }
     );
     let _ = writeln!(out, "  phases: {times}");
+    if let Some(cs) = cache_stats {
+        let _ = writeln!(
+            out,
+            "  cache: hit rate {:.1} %, {} evictions, {} octree seeds",
+            cs.hit_rate() * 100.0,
+            cs.evictions,
+            cs.octree_seeds
+        );
+    }
+    if let Some(ts) = tree_stats {
+        let _ = writeln!(
+            out,
+            "  octree: {} node visits, {:.2} visits/update",
+            ts.node_visits,
+            ts.visits_per_update()
+        );
+    }
+    if let Some(path) = trace_path {
+        let _ = writeln!(out, "  trace: {} scan records -> {path}", seq.scans().len());
+    }
     let _ = write!(
         out,
         "  tree: {} nodes, {} leaves, {:.1} KiB serialised",
@@ -247,6 +283,18 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
         bytes.len() as f64 / 1024.0
     );
     Ok(out)
+}
+
+fn cmd_report(args: &[String]) -> Result<String, CliError> {
+    let (pos, _) = parse_flags(args)?;
+    let [path] = pos.as_slice() else {
+        return Err("usage: report <trace.jsonl>".into());
+    };
+    let records = octocache_telemetry::read_jsonl_path(path)?;
+    if records.is_empty() {
+        return Ok(format!("{path}: empty trace"));
+    }
+    Ok(octocache_telemetry::TraceSummary::from_records(&records).render())
 }
 
 fn cmd_info(args: &[String]) -> Result<String, CliError> {
@@ -276,11 +324,7 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
         return Err("usage: query <map> <x> <y> <z>".into());
     };
     let tree = load_map(path)?;
-    let p = Point3::new(
-        parse_f64(x, "x")?,
-        parse_f64(y, "y")?,
-        parse_f64(z, "z")?,
-    );
+    let p = Point3::new(parse_f64(x, "x")?, parse_f64(y, "y")?, parse_f64(z, "z")?);
     let key = tree
         .grid()
         .key_of(p)
@@ -359,14 +403,33 @@ mod tests {
         assert!(out.contains("scans"), "{out}");
 
         let map_a = temp_path("a.map");
-        let out = run(&s(&["build", &log, &map_a, "--backend", "serial", "--resolution", "0.4"]))
-            .unwrap();
+        let out = run(&s(&[
+            "build",
+            &log,
+            &map_a,
+            "--backend",
+            "serial",
+            "--resolution",
+            "0.4",
+        ]))
+        .unwrap();
         assert!(out.contains("built"), "{out}");
         assert!(out.contains("cache hits"), "{out}");
+        assert!(out.contains("hit rate"), "{out}");
+        assert!(out.contains("evictions"), "{out}");
+        assert!(out.contains("visits/update"), "{out}");
 
         let map_b = temp_path("b.map");
-        run(&s(&["build", &log, &map_b, "--backend", "octomap", "--resolution", "0.4"]))
-            .unwrap();
+        run(&s(&[
+            "build",
+            &log,
+            &map_b,
+            "--backend",
+            "octomap",
+            "--resolution",
+            "0.4",
+        ]))
+        .unwrap();
 
         let info = run(&s(&["info", &map_a])).unwrap();
         assert!(info.contains("nodes:"), "{info}");
@@ -387,7 +450,13 @@ mod tests {
         run(&s(&["generate", "fr079-corridor", &log, "--scale", "0.05"])).unwrap();
         let map = temp_path("bt.map");
         let out = run(&s(&[
-            "build", &log, &map, "--resolution", "0.4", "--format", "bt",
+            "build",
+            &log,
+            &map,
+            "--resolution",
+            "0.4",
+            "--format",
+            "bt",
         ]))
         .unwrap();
         assert!(out.contains("built"), "{out}");
@@ -397,6 +466,49 @@ mod tests {
         assert!(q.contains("free"), "{q}");
         // Unknown format rejected.
         assert!(run(&s(&["build", &log, &map, "--format", "xyz"])).is_err());
+    }
+
+    #[test]
+    fn build_trace_then_report_prints_percentile_table() {
+        let log = temp_path("trace.scanlog");
+        run(&s(&["generate", "fr079-corridor", &log, "--scale", "0.05"])).unwrap();
+        let map = temp_path("trace.map");
+        let trace = temp_path("trace.jsonl");
+        let out = run(&s(&[
+            "build",
+            &log,
+            &map,
+            "--backend",
+            "parallel",
+            "--resolution",
+            "0.4",
+            "--trace",
+            &trace,
+        ]))
+        .unwrap();
+        assert!(out.contains("trace:"), "{out}");
+
+        // The trace is valid JSONL with one record per scan.
+        let records = octocache_telemetry::read_jsonl_path(&trace).unwrap();
+        assert!(!records.is_empty());
+        assert!(records.iter().all(|r| r.backend == "octocache-parallel"));
+        assert!(records.iter().enumerate().all(|(i, r)| r.seq == i as u64));
+
+        // The report renders the per-phase percentile table and hit-ratio
+        // series (the acceptance criterion for the telemetry layer).
+        let report = run(&s(&["report", &trace])).unwrap();
+        assert!(report.contains("p50(us)"), "{report}");
+        assert!(report.contains("p99(us)"), "{report}");
+        assert!(report.contains("ray_tracing"), "{report}");
+        assert!(report.contains("hit-ratio over scans"), "{report}");
+
+        // Missing and empty traces are handled.
+        assert!(run(&s(&["report", "/nonexistent.jsonl"])).is_err());
+        let empty = temp_path("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        assert!(run(&s(&["report", &empty]))
+            .unwrap()
+            .contains("empty trace"));
     }
 
     #[test]
@@ -414,9 +526,7 @@ mod tests {
         assert!(run(&s(&["generate", "nope", "/tmp/x"])).is_err());
         let log = temp_path("y.scanlog");
         assert!(run(&s(&["generate", "fr079-corridor", &log, "--scale"])).is_err());
-        assert!(
-            run(&s(&["generate", "fr079-corridor", &log, "--scale", "abc"])).is_err()
-        );
+        assert!(run(&s(&["generate", "fr079-corridor", &log, "--scale", "abc"])).is_err());
         assert!(run(&s(&["query", "/nonexistent.map", "0", "0", "0"])).is_err());
     }
 

@@ -68,6 +68,33 @@ impl CacheStats {
             self.hits as f64 / self.insertions as f64
         }
     }
+
+    /// Counter deltas since an earlier snapshot `base` (mirrors
+    /// `StatsSnapshot::since` on the octree side). Saturating, so a stats
+    /// reset between the two snapshots yields zeros rather than wrapping.
+    pub fn since(&self, base: &CacheStats) -> CacheStats {
+        CacheStats {
+            insertions: self.insertions.saturating_sub(base.insertions),
+            hits: self.hits.saturating_sub(base.hits),
+            misses: self.misses.saturating_sub(base.misses),
+            octree_seeds: self.octree_seeds.saturating_sub(base.octree_seeds),
+            evictions: self.evictions.saturating_sub(base.evictions),
+            query_hits: self.query_hits.saturating_sub(base.query_hits),
+            query_misses: self.query_misses.saturating_sub(base.query_misses),
+        }
+    }
+
+    /// Adds another stats block's counters into `self` (aggregating shards
+    /// or runs).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.insertions += other.insertions;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.octree_seeds += other.octree_seeds;
+        self.evictions += other.evictions;
+        self.query_hits += other.query_hits;
+        self.query_misses += other.query_misses;
+    }
 }
 
 /// The OctoCache voxel cache.
@@ -423,8 +450,7 @@ impl AdaptiveController {
         let window_hits = now.hits - self.window_start.hits;
         let rate = window_hits as f64 / window_insertions as f64;
         self.window_start = now;
-        if rate < policy.target_hit_rate && cache.config().num_buckets() * 2 <= policy.max_buckets
-        {
+        if rate < policy.target_hit_rate && cache.config().num_buckets() * 2 <= policy.max_buckets {
             cache.grow();
             self.growths += 1;
             true
@@ -450,7 +476,11 @@ mod tests {
     use super::*;
 
     fn cache(w: usize, tau: usize) -> VoxelCache {
-        let cfg = CacheConfig::builder().num_buckets(w).tau(tau).build().unwrap();
+        let cfg = CacheConfig::builder()
+            .num_buckets(w)
+            .tau(tau)
+            .build()
+            .unwrap();
         VoxelCache::new(cfg, OccupancyParams::default())
     }
 
@@ -667,7 +697,11 @@ mod tests {
         }
         let hist = c.bucket_occupancy_histogram();
         // No bucket should hold a wildly disproportionate share.
-        assert!(hist.len() - 1 <= 16, "max occupancy {} too high", hist.len() - 1);
+        assert!(
+            hist.len() - 1 <= 16,
+            "max occupancy {} too high",
+            hist.len() - 1
+        );
     }
 
     #[test]
@@ -720,7 +754,11 @@ mod tests {
 
     #[test]
     fn adaptive_controller_grows_under_low_hit_rate() {
-        let cfg = CacheConfig::builder().num_buckets(2).tau(1).build().unwrap();
+        let cfg = CacheConfig::builder()
+            .num_buckets(2)
+            .tau(1)
+            .build()
+            .unwrap();
         let mut c = VoxelCache::new(cfg, OccupancyParams::default());
         let mut ctl = AdaptiveController::new(Some(AdaptivePolicy {
             target_hit_rate: 0.9,
@@ -743,7 +781,11 @@ mod tests {
 
     #[test]
     fn adaptive_controller_disabled_is_inert() {
-        let cfg = CacheConfig::builder().num_buckets(2).tau(1).build().unwrap();
+        let cfg = CacheConfig::builder()
+            .num_buckets(2)
+            .tau(1)
+            .build()
+            .unwrap();
         let mut c = VoxelCache::new(cfg, OccupancyParams::default());
         let mut ctl = AdaptiveController::new(None);
         for i in 0..100u16 {
@@ -755,7 +797,11 @@ mod tests {
 
     #[test]
     fn adaptive_controller_respects_memory_cap() {
-        let cfg = CacheConfig::builder().num_buckets(4).tau(1).build().unwrap();
+        let cfg = CacheConfig::builder()
+            .num_buckets(4)
+            .tau(1)
+            .build()
+            .unwrap();
         let mut c = VoxelCache::new(cfg, OccupancyParams::default());
         let mut ctl = AdaptiveController::new(Some(AdaptivePolicy {
             target_hit_rate: 1.0, // unreachable: always wants to grow

@@ -271,7 +271,11 @@ mod tests {
             CacheConfig::builder().tau(0).build(),
             Err(ConfigError::ZeroTau)
         );
-        assert!(CacheConfig::builder().num_buckets(64).tau(2).build().is_ok());
+        assert!(CacheConfig::builder()
+            .num_buckets(64)
+            .tau(2)
+            .build()
+            .is_ok());
     }
 
     #[test]

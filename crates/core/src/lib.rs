@@ -56,7 +56,6 @@ pub mod pipeline;
 pub mod serial;
 pub mod sharded;
 pub mod spsc;
-mod timing;
 
 pub use cache::{AdaptiveController, AdaptivePolicy, CacheStats, EvictedCell, VoxelCache};
 pub use config::{CacheConfig, CacheConfigBuilder, ConfigError, EvictionOrder, IndexPolicy};
@@ -64,4 +63,10 @@ pub use parallel::ParallelOctoCache;
 pub use pipeline::MappingSystem;
 pub use serial::SerialOctoCache;
 pub use sharded::ShardedOctoMap;
-pub use timing::PhaseTimes;
+// Telemetry primitives live in `octocache-telemetry`; `PhaseTimes` is
+// re-exported here because it predates that crate and every downstream
+// consumer imports it from `octocache`.
+pub use octocache_telemetry::{
+    JsonlRecorder, MemoryRecorder, NullRecorder, PhaseHistograms, PhaseTimes, Recorder, ScanRecord,
+    SharedRecorder,
+};

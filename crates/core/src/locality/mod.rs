@@ -170,7 +170,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn keys_from(coords: &[(u16, u16, u16)]) -> Vec<VoxelKey> {
-        coords.iter().map(|&(x, y, z)| VoxelKey::new(x, y, z)).collect()
+        coords
+            .iter()
+            .map(|&(x, y, z)| VoxelKey::new(x, y, z))
+            .collect()
     }
 
     #[test]
@@ -187,7 +190,9 @@ mod tests {
     fn morton_beats_or_ties_other_orders() {
         // A 4x4x2 block of voxels.
         let keys: Vec<VoxelKey> = (0..4u16)
-            .flat_map(|x| (0..4u16).flat_map(move |y| (0..2u16).map(move |z| VoxelKey::new(x, y, z))))
+            .flat_map(|x| {
+                (0..4u16).flat_map(move |y| (0..2u16).map(move |z| VoxelKey::new(x, y, z)))
+            })
             .collect();
         let report = order_report(&keys, 16);
         let morton_f = report

@@ -30,17 +30,18 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
+use octocache_octomap::stats::StatsSnapshot;
 use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
+use octocache_telemetry::{PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry};
 use parking_lot::Mutex;
 
 use crate::cache::{CacheStats, EvictedCell, VoxelCache};
 use crate::config::CacheConfig;
 use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
 use crate::spsc::{self, Producer};
-use crate::timing::PhaseTimes;
 
 /// Items flowing through the shared buffer.
 ///
@@ -66,6 +67,9 @@ struct WorkerShared {
     dequeue_nanos: AtomicU64,
     octree_nanos: AtomicU64,
     cells_applied: AtomicU64,
+    /// Queue depth (in chunk messages, including the one just popped)
+    /// observed by the worker at the start of the most recent batch drain.
+    queue_depth_dequeue: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -90,7 +94,29 @@ pub struct ParallelOctoCache {
     shared: Arc<WorkerShared>,
     worker: Option<JoinHandle<()>>,
     batches_sent: u64,
-    times: PhaseTimes,
+    telemetry: Telemetry,
+    /// Tree counters at the end of the previous scan, for per-scan deltas.
+    last_tree_stats: StatsSnapshot,
+    /// Worker nanos already attributed to recorded scans; the difference to
+    /// the live atomics is the not-yet-attributed residual.
+    worker_dequeue_seen: u64,
+    worker_octree_seen: u64,
+}
+
+/// What [`ParallelOctoCache::evict_and_enqueue`] produced.
+///
+/// Back-pressure — waiting for thread 2 to make room in a full queue — is
+/// reported separately from the enqueue cost proper, matching the paper's
+/// Table 3 where enqueue is the pure buffer-write overhead.
+struct EnqueueOutcome {
+    /// Evicted (and enqueued) voxels.
+    count: usize,
+    evict: Duration,
+    enqueue: Duration,
+    backpressure: Duration,
+    /// Largest producer-side queue depth seen while enqueueing, in chunk
+    /// messages.
+    queue_depth: u64,
 }
 
 impl ParallelOctoCache {
@@ -130,7 +156,10 @@ impl ParallelOctoCache {
             shared,
             worker: Some(worker),
             batches_sent: 0,
-            times: PhaseTimes::default(),
+            telemetry: Telemetry::new(format!("octocache-parallel{}", ray_tracer.suffix())),
+            last_tree_stats: StatsSnapshot::default(),
+            worker_dequeue_seen: 0,
+            worker_octree_seen: 0,
         }
     }
 
@@ -178,47 +207,40 @@ impl ParallelOctoCache {
         }
     }
 
-    /// Evicts the pending batch and enqueues it for thread 2. Returns
-    /// (evicted count, evict time, enqueue time, back-pressure time).
-    ///
-    /// Back-pressure — waiting for thread 2 to make room in a full queue —
-    /// is reported separately from the enqueue cost proper, matching the
-    /// paper's Table 3 where enqueue is the pure buffer-write overhead.
-    fn evict_and_enqueue(
-        &mut self,
-    ) -> (
-        usize,
-        std::time::Duration,
-        std::time::Duration,
-        std::time::Duration,
-    ) {
+    /// Evicts the pending batch and enqueues it for thread 2, sampling the
+    /// producer-side queue depth along the way.
+    fn evict_and_enqueue(&mut self) -> EnqueueOutcome {
         use crate::spsc::Full;
 
         let t0 = Instant::now();
         let mut evicted: Vec<EvictedCell> = Vec::new();
         self.cache.evict_into(&mut evicted);
-        let evict_time = t0.elapsed();
+        let evict = t0.elapsed();
 
         let t1 = Instant::now();
-        let mut backpressure = std::time::Duration::ZERO;
-        let mut send = |producer: &mut Producer<Item>, mut item: Item| loop {
-            match producer.push(item) {
-                Ok(()) => break,
-                Err(Full(v)) => {
-                    item = v;
-                    let tb = Instant::now();
-                    let mut spins = 0u32;
-                    while producer.len() >= producer.capacity() {
-                        spins += 1;
-                        if spins > 64 {
-                            std::thread::yield_now();
-                        } else {
-                            std::hint::spin_loop();
+        let mut backpressure = Duration::ZERO;
+        let mut queue_depth = 0u64;
+        let mut send = |producer: &mut Producer<Item>, mut item: Item| {
+            loop {
+                match producer.push(item) {
+                    Ok(()) => break,
+                    Err(Full(v)) => {
+                        item = v;
+                        let tb = Instant::now();
+                        let mut spins = 0u32;
+                        while producer.len() >= producer.capacity() {
+                            spins += 1;
+                            if spins > 64 {
+                                std::thread::yield_now();
+                            } else {
+                                std::hint::spin_loop();
+                            }
                         }
+                        backpressure += tb.elapsed();
                     }
-                    backpressure += tb.elapsed();
                 }
             }
+            queue_depth = queue_depth.max(producer.len() as u64);
         };
         let count = evicted.len();
         for chunk in evicted.chunks(CHUNK_CELLS) {
@@ -226,8 +248,14 @@ impl ParallelOctoCache {
         }
         send(&mut self.producer, Item::BatchEnd);
         self.batches_sent += 1;
-        let enqueue_time = t1.elapsed().saturating_sub(backpressure);
-        (count, evict_time, enqueue_time, backpressure)
+        let enqueue = t1.elapsed().saturating_sub(backpressure);
+        EnqueueOutcome {
+            count,
+            evict,
+            enqueue,
+            backpressure,
+            queue_depth,
+        }
     }
 
     fn shutdown_worker(&mut self) {
@@ -237,15 +265,25 @@ impl ParallelOctoCache {
         }
     }
 
-    /// Worker-side counters folded into a [`PhaseTimes`].
-    fn worker_times(&self) -> PhaseTimes {
+    /// Worker time accumulated since the last attribution, folded into a
+    /// [`PhaseTimes`] and marked as attributed. Called once per scan, so
+    /// each scan's record carries the worker time of the batch it waited
+    /// on (the batch evicted one scan earlier — the pipeline offset of the
+    /// paper's Figure 13(b)).
+    fn take_worker_delta(&mut self) -> PhaseTimes {
+        let delta = self.worker_residual();
+        self.worker_dequeue_seen = self.shared.dequeue_nanos.load(Ordering::Relaxed);
+        self.worker_octree_seen = self.shared.octree_nanos.load(Ordering::Relaxed);
+        delta
+    }
+
+    /// Worker time not yet attributed to any scan.
+    fn worker_residual(&self) -> PhaseTimes {
+        let dq = self.shared.dequeue_nanos.load(Ordering::Relaxed);
+        let oc = self.shared.octree_nanos.load(Ordering::Relaxed);
         PhaseTimes {
-            dequeue: std::time::Duration::from_nanos(
-                self.shared.dequeue_nanos.load(Ordering::Relaxed),
-            ),
-            octree_update: std::time::Duration::from_nanos(
-                self.shared.octree_nanos.load(Ordering::Relaxed),
-            ),
+            dequeue: Duration::from_nanos(dq.saturating_sub(self.worker_dequeue_seen)),
+            octree_update: Duration::from_nanos(oc.saturating_sub(self.worker_octree_seen)),
             ..Default::default()
         }
     }
@@ -266,8 +304,10 @@ impl MappingSystem for ParallelOctoCache {
         cloud: &[Point3],
         max_range: f64,
     ) -> Result<ScanReport, GeomError> {
+        let cache_before = *self.cache.stats();
+
         // Phase 1: evict the previous batch and hand it to thread 2.
-        let (octree_updates, cache_evict, enqueue, backpressure) = self.evict_and_enqueue();
+        let enq = self.evict_and_enqueue();
 
         // Phase 2: ray-trace the new scan, overlapping thread 2's update.
         let grid = self.grid;
@@ -287,35 +327,57 @@ impl MappingSystem for ParallelOctoCache {
         // any back-pressure absorbed during enqueue).
         let t1 = Instant::now();
         self.wait_for_worker();
-        let wait = t1.elapsed() + backpressure;
+        let wait = t1.elapsed() + enq.backpressure;
 
         // Phase 4: cache insertion under the octree mutex (seeding misses).
-        let hits_before = self.cache.stats().hits;
         let t2 = Instant::now();
-        {
+        let (mutex_wait, tree_after) = {
             let guard = self.tree.lock();
+            let mutex_wait = t2.elapsed();
             let cache = &mut self.cache;
             for u in batch.iter() {
                 cache.insert(u.key, u.occupied, |k| guard.search(k));
             }
-        }
+            (mutex_wait, guard.stats().snapshot())
+        };
         let cache_insert = t2.elapsed();
         let observations = batch.len();
 
+        // This scan's times carry the worker-side cost of the batch it
+        // waited on, so cross-scan totals cover both threads.
         let times = PhaseTimes {
             ray_tracing,
             cache_insert,
-            cache_evict,
-            enqueue,
+            cache_evict: enq.evict,
+            enqueue: enq.enqueue,
             wait,
             ..Default::default()
-        };
-        self.times += times;
+        } + self.take_worker_delta();
+
+        let tree_delta = tree_after.since(&self.last_tree_stats);
+        self.last_tree_stats = tree_after;
+        let cache_delta = self.cache.stats().since(&cache_before);
+        self.telemetry.record(ScanRecord {
+            times,
+            observations: observations as u64,
+            cache_hits: cache_delta.hits,
+            cache_misses: cache_delta.misses,
+            cache_insertions: cache_delta.insertions,
+            cache_evictions: cache_delta.evictions,
+            octree_node_visits: tree_delta.node_visits,
+            octree_leaf_updates: tree_delta.leaf_updates,
+            octree_nodes_created: tree_delta.nodes_created,
+            queue_depth_enqueue: enq.queue_depth,
+            queue_depth_dequeue: self.shared.queue_depth_dequeue.load(Ordering::Relaxed),
+            mutex_wait,
+            ..Default::default()
+        });
+
         Ok(ScanReport {
             times,
             observations,
-            cache_hits: self.cache.stats().hits - hits_before,
-            octree_updates,
+            cache_hits: cache_delta.hits,
+            octree_updates: enq.count,
         })
     }
 
@@ -333,7 +395,7 @@ impl MappingSystem for ParallelOctoCache {
 
     fn finish(&mut self) -> PhaseTimes {
         // Flush the pending eviction batch…
-        let (_, evict1, enq1, bp1) = self.evict_and_enqueue();
+        let enq1 = self.evict_and_enqueue();
         // …then drain everything left in the cache as a final batch.
         let t0 = Instant::now();
         let drained = self.cache.drain_all();
@@ -348,20 +410,40 @@ impl MappingSystem for ParallelOctoCache {
 
         let t2 = Instant::now();
         self.wait_for_worker();
-        let wait = t2.elapsed() + bp1;
+        let wait = t2.elapsed() + enq1.backpressure;
 
         let times = PhaseTimes {
-            cache_evict: evict1 + evict2,
-            enqueue: enq1 + enq2,
+            cache_evict: enq1.evict + evict2,
+            enqueue: enq1.enqueue + enq2,
             wait,
             ..Default::default()
         };
-        self.times += times;
+        // The final flush belongs to no scan: fold its thread-1 times and
+        // the worker time it triggered into the totals only.
+        let with_worker = times + self.take_worker_delta();
+        self.telemetry.add_times(with_worker);
+        self.telemetry.flush();
         times
     }
 
     fn phase_times(&self) -> PhaseTimes {
-        self.times + self.worker_times()
+        self.telemetry.totals() + self.worker_residual()
+    }
+
+    fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.telemetry.set_recorder(recorder);
+    }
+
+    fn phase_histograms(&self) -> Option<&PhaseHistograms> {
+        Some(self.telemetry.histograms())
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(*self.cache.stats())
+    }
+
+    fn tree_stats(&self) -> Option<StatsSnapshot> {
+        Some(self.tree.lock().stats().snapshot())
     }
 
     fn take_tree(self: Box<Self>) -> OccupancyOcTree {
@@ -403,6 +485,10 @@ fn worker_loop(
                 shared.batches_done.fetch_add(1, Ordering::Release);
             }
             Item::Chunk(chunk) => {
+                // Depth at the start of the drain, counting the popped chunk.
+                shared
+                    .queue_depth_dequeue
+                    .store(consumer.len() as u64 + 1, Ordering::Relaxed);
                 // Per-cell `Instant` calls would dominate the work at these
                 // batch sizes, so timing is per segment: total drain time,
                 // minus measured producer-stall spins, split into octree
@@ -449,10 +535,7 @@ fn worker_loop(
                         }
                     }
                 }
-                let busy_ns = guard_start
-                    .elapsed()
-                    .saturating_sub(stall)
-                    .as_nanos() as u64;
+                let busy_ns = guard_start.elapsed().saturating_sub(stall).as_nanos() as u64;
                 drop(guard);
                 let dequeue_ns = pops * pop_cost_ns();
                 shared
@@ -495,7 +578,11 @@ mod tests {
 
     fn system(w: usize, tau: usize) -> ParallelOctoCache {
         let grid = VoxelGrid::new(0.5, 8).unwrap();
-        let config = CacheConfig::builder().num_buckets(w).tau(tau).build().unwrap();
+        let config = CacheConfig::builder()
+            .num_buckets(w)
+            .tau(tau)
+            .build()
+            .unwrap();
         ParallelOctoCache::new(grid, OccupancyParams::default(), config)
     }
 
@@ -551,7 +638,11 @@ mod tests {
     fn into_tree_matches_serial_and_octomap() {
         let grid = VoxelGrid::new(0.5, 8).unwrap();
         let params = OccupancyParams::default();
-        let cfg = CacheConfig::builder().num_buckets(1 << 8).tau(2).build().unwrap();
+        let cfg = CacheConfig::builder()
+            .num_buckets(1 << 8)
+            .tau(2)
+            .build()
+            .unwrap();
         let mut par = ParallelOctoCache::new(grid, params, cfg);
         let mut ser = crate::serial::SerialOctoCache::new(grid, params, cfg);
         let mut plain = OccupancyOcTree::new(grid, params);
@@ -606,7 +697,11 @@ mod tests {
     #[test]
     fn rt_variant_name_and_behaviour() {
         let grid = VoxelGrid::new(0.5, 8).unwrap();
-        let cfg = CacheConfig::builder().num_buckets(1 << 8).tau(4).build().unwrap();
+        let cfg = CacheConfig::builder()
+            .num_buckets(1 << 8)
+            .tau(4)
+            .build()
+            .unwrap();
         let mut s = ParallelOctoCache::with_ray_tracer(
             grid,
             OccupancyParams::default(),

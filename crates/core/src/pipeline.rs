@@ -9,9 +9,11 @@
 use std::time::Instant;
 
 use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
+use octocache_octomap::stats::StatsSnapshot;
 use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
+use octocache_telemetry::{PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry};
 
-use crate::timing::PhaseTimes;
+use crate::cache::CacheStats;
 
 /// Which ray-tracing front-end a backend uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -99,6 +101,31 @@ pub trait MappingSystem {
     /// thread-2 work for parallel backends).
     fn phase_times(&self) -> PhaseTimes;
 
+    /// Attaches a telemetry [`Recorder`] that receives one [`ScanRecord`]
+    /// per `insert_scan`. Recording must never change mapping behaviour.
+    /// The default implementation drops the recorder, for implementors
+    /// without telemetry wiring.
+    fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        drop(recorder);
+    }
+
+    /// Per-phase latency histograms over every scan inserted so far, when
+    /// the backend tracks them.
+    fn phase_histograms(&self) -> Option<&PhaseHistograms> {
+        None
+    }
+
+    /// Voxel-cache counters; `None` for cache-less backends.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+
+    /// Octree instrumentation counters (summed across shards or read
+    /// through the pipeline mutex), when the backend can reach them.
+    fn tree_stats(&self) -> Option<StatsSnapshot> {
+        None
+    }
+
     /// Consumes the backend, flushing all pending state, and returns the
     /// completed octree (for serialisation, diffing, offline queries).
     fn take_tree(self: Box<Self>) -> OccupancyOcTree;
@@ -134,6 +161,18 @@ impl<M: MappingSystem + ?Sized> MappingSystem for Box<M> {
     fn phase_times(&self) -> PhaseTimes {
         (**self).phase_times()
     }
+    fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        (**self).set_recorder(recorder)
+    }
+    fn phase_histograms(&self) -> Option<&PhaseHistograms> {
+        (**self).phase_histograms()
+    }
+    fn cache_stats(&self) -> Option<CacheStats> {
+        (**self).cache_stats()
+    }
+    fn tree_stats(&self) -> Option<StatsSnapshot> {
+        (**self).tree_stats()
+    }
     fn take_tree(self: Box<Self>) -> OccupancyOcTree {
         (*self).take_tree()
     }
@@ -144,7 +183,7 @@ impl<M: MappingSystem + ?Sized> MappingSystem for Box<M> {
 pub struct OctoMapSystem {
     tree: OccupancyOcTree,
     ray_tracer: RayTracer,
-    times: PhaseTimes,
+    telemetry: Telemetry,
     batch: insert::VoxelBatch,
 }
 
@@ -159,7 +198,7 @@ impl OctoMapSystem {
         OctoMapSystem {
             tree: OccupancyOcTree::new(grid, params),
             ray_tracer: rt,
-            times: PhaseTimes::default(),
+            telemetry: Telemetry::new(format!("octomap{}", rt.suffix())),
             batch: insert::VoxelBatch::new(),
         }
     }
@@ -190,6 +229,7 @@ impl MappingSystem for OctoMapSystem {
         cloud: &[Point3],
         max_range: f64,
     ) -> Result<ScanReport, GeomError> {
+        let tree_before = self.tree.stats().snapshot();
         let t0 = Instant::now();
         insert::compute_update(self.tree.grid(), origin, cloud, max_range, &mut self.batch)?;
         let (observations, ray_tracing, octree_update) = match self.ray_tracer {
@@ -212,7 +252,15 @@ impl MappingSystem for OctoMapSystem {
             octree_update,
             ..Default::default()
         };
-        self.times += times;
+        let tree_delta = self.tree.stats().snapshot().since(&tree_before);
+        self.telemetry.record(ScanRecord {
+            times,
+            observations: observations as u64,
+            octree_node_visits: tree_delta.node_visits,
+            octree_leaf_updates: tree_delta.leaf_updates,
+            octree_nodes_created: tree_delta.nodes_created,
+            ..Default::default()
+        });
         Ok(ScanReport {
             times,
             observations,
@@ -230,11 +278,24 @@ impl MappingSystem for OctoMapSystem {
     }
 
     fn finish(&mut self) -> PhaseTimes {
+        self.telemetry.flush();
         PhaseTimes::default()
     }
 
     fn phase_times(&self) -> PhaseTimes {
-        self.times
+        self.telemetry.totals()
+    }
+
+    fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.telemetry.set_recorder(recorder);
+    }
+
+    fn phase_histograms(&self) -> Option<&PhaseHistograms> {
+        Some(self.telemetry.histograms())
+    }
+
+    fn tree_stats(&self) -> Option<StatsSnapshot> {
+        Some(self.tree.stats().snapshot())
     }
 
     fn take_tree(self: Box<Self>) -> OccupancyOcTree {
@@ -260,11 +321,8 @@ mod tests {
     fn names() {
         let a = OctoMapSystem::new(grid(), OccupancyParams::default());
         assert_eq!(a.name(), "octomap");
-        let b = OctoMapSystem::with_ray_tracer(
-            grid(),
-            OccupancyParams::default(),
-            RayTracer::Dedup,
-        );
+        let b =
+            OctoMapSystem::with_ray_tracer(grid(), OccupancyParams::default(), RayTracer::Dedup);
         assert_eq!(b.name(), "octomap-rt");
     }
 
@@ -290,11 +348,8 @@ mod tests {
     fn rt_variant_applies_fewer_updates() {
         let cloud = wall_cloud();
         let mut raw = OctoMapSystem::new(grid(), OccupancyParams::default());
-        let mut ded = OctoMapSystem::with_ray_tracer(
-            grid(),
-            OccupancyParams::default(),
-            RayTracer::Dedup,
-        );
+        let mut ded =
+            OctoMapSystem::with_ray_tracer(grid(), OccupancyParams::default(), RayTracer::Dedup);
         let r1 = raw.insert_scan(Point3::ZERO, &cloud, 20.0).unwrap();
         let r2 = ded.insert_scan(Point3::ZERO, &cloud, 20.0).unwrap();
         assert!(r2.octree_updates <= r1.octree_updates);

@@ -10,12 +10,13 @@
 use std::time::Instant;
 
 use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
+use octocache_octomap::stats::StatsSnapshot;
 use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
+use octocache_telemetry::{PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry};
 
 use crate::cache::{AdaptiveController, AdaptivePolicy, CacheStats, EvictedCell, VoxelCache};
 use crate::config::CacheConfig;
 use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
-use crate::timing::PhaseTimes;
 
 /// The serial OctoCache mapping system.
 ///
@@ -28,7 +29,7 @@ pub struct SerialOctoCache {
     batch: insert::VoxelBatch,
     evict_buf: Vec<EvictedCell>,
     adaptive: AdaptiveController,
-    times: PhaseTimes,
+    telemetry: Telemetry,
 }
 
 impl SerialOctoCache {
@@ -52,7 +53,7 @@ impl SerialOctoCache {
             batch: insert::VoxelBatch::new(),
             evict_buf: Vec::new(),
             adaptive: AdaptiveController::new(None),
-            times: PhaseTimes::default(),
+            telemetry: Telemetry::new(format!("octocache-serial{}", ray_tracer.suffix())),
         }
     }
 
@@ -96,7 +97,8 @@ impl SerialOctoCache {
     /// update), bypassing ray tracing. Used by benches that isolate the
     /// cache from the front-end.
     pub fn insert_batch(&mut self, batch: &insert::VoxelBatch) -> ScanReport {
-        let hits_before = self.cache.stats().hits;
+        let cache_before = *self.cache.stats();
+        let tree_before = self.tree.stats().snapshot();
 
         let t1 = Instant::now();
         let cache = &mut self.cache;
@@ -123,13 +125,37 @@ impl SerialOctoCache {
             octree_update,
             ..Default::default()
         };
-        self.times += times;
+        let cache_delta = self.cache.stats().since(&cache_before);
+        self.record_scan(times, batch.len(), &cache_delta, tree_before);
         ScanReport {
             times,
             observations: batch.len(),
-            cache_hits: self.cache.stats().hits - hits_before,
+            cache_hits: cache_delta.hits,
             octree_updates: self.evict_buf.len(),
         }
+    }
+
+    /// Folds one scan's timings and counter deltas into the telemetry state.
+    fn record_scan(
+        &mut self,
+        times: PhaseTimes,
+        observations: usize,
+        cache_delta: &CacheStats,
+        tree_before: StatsSnapshot,
+    ) {
+        let tree_delta = self.tree.stats().snapshot().since(&tree_before);
+        self.telemetry.record(ScanRecord {
+            times,
+            observations: observations as u64,
+            cache_hits: cache_delta.hits,
+            cache_misses: cache_delta.misses,
+            cache_insertions: cache_delta.insertions,
+            cache_evictions: cache_delta.evictions,
+            octree_node_visits: tree_delta.node_visits,
+            octree_leaf_updates: tree_delta.leaf_updates,
+            octree_nodes_created: tree_delta.nodes_created,
+            ..Default::default()
+        });
     }
 }
 
@@ -148,6 +174,8 @@ impl MappingSystem for SerialOctoCache {
         cloud: &[Point3],
         max_range: f64,
     ) -> Result<ScanReport, GeomError> {
+        let cache_before = *self.cache.stats();
+        let tree_before = self.tree.stats().snapshot();
         let t0 = Instant::now();
         insert::compute_update(self.tree.grid(), origin, cloud, max_range, &mut self.batch)?;
         let deduped;
@@ -160,7 +188,6 @@ impl MappingSystem for SerialOctoCache {
         };
         let ray_tracing = t0.elapsed();
 
-        let hits_before = self.cache.stats().hits;
         let t1 = Instant::now();
         let cache = &mut self.cache;
         let tree = &self.tree;
@@ -190,11 +217,12 @@ impl MappingSystem for SerialOctoCache {
             octree_update,
             ..Default::default()
         };
-        self.times += times;
+        let cache_delta = self.cache.stats().since(&cache_before);
+        self.record_scan(times, observations, &cache_delta, tree_before);
         Ok(ScanReport {
             times,
             observations,
-            cache_hits: self.cache.stats().hits - hits_before,
+            cache_hits: cache_delta.hits,
             octree_updates: self.evict_buf.len(),
         })
     }
@@ -227,12 +255,29 @@ impl MappingSystem for SerialOctoCache {
             octree_update,
             ..Default::default()
         };
-        self.times += times;
+        self.telemetry.add_times(times);
+        self.telemetry.flush();
         times
     }
 
     fn phase_times(&self) -> PhaseTimes {
-        self.times
+        self.telemetry.totals()
+    }
+
+    fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.telemetry.set_recorder(recorder);
+    }
+
+    fn phase_histograms(&self) -> Option<&PhaseHistograms> {
+        Some(self.telemetry.histograms())
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(*self.cache.stats())
+    }
+
+    fn tree_stats(&self) -> Option<StatsSnapshot> {
+        Some(self.tree.stats().snapshot())
     }
 
     fn take_tree(self: Box<Self>) -> OccupancyOcTree {
@@ -246,7 +291,11 @@ mod tests {
 
     fn system(w: usize, tau: usize) -> SerialOctoCache {
         let grid = VoxelGrid::new(0.5, 8).unwrap();
-        let config = CacheConfig::builder().num_buckets(w).tau(tau).build().unwrap();
+        let config = CacheConfig::builder()
+            .num_buckets(w)
+            .tau(tau)
+            .build()
+            .unwrap();
         SerialOctoCache::new(grid, OccupancyParams::default(), config)
     }
 
@@ -261,7 +310,11 @@ mod tests {
     fn name_includes_rt_suffix() {
         assert_eq!(system(64, 4).name(), "octocache-serial");
         let grid = VoxelGrid::new(0.5, 8).unwrap();
-        let cfg = CacheConfig::builder().num_buckets(64).tau(4).build().unwrap();
+        let cfg = CacheConfig::builder()
+            .num_buckets(64)
+            .tau(4)
+            .build()
+            .unwrap();
         let s = SerialOctoCache::with_ray_tracer(
             grid,
             OccupancyParams::default(),
@@ -309,7 +362,9 @@ mod tests {
         assert!(s.cache().is_empty());
         // The tree alone answers correctly now.
         assert_eq!(
-            s.tree().is_occupied_at(Point3::new(6.0, 0.0, 0.25)).unwrap(),
+            s.tree()
+                .is_occupied_at(Point3::new(6.0, 0.0, 0.25))
+                .unwrap(),
             Some(true)
         );
     }
@@ -320,7 +375,11 @@ mod tests {
         // OctoMap fed the same scans.
         let grid = VoxelGrid::new(0.5, 8).unwrap();
         let params = OccupancyParams::default();
-        let cfg = CacheConfig::builder().num_buckets(1 << 8).tau(2).build().unwrap();
+        let cfg = CacheConfig::builder()
+            .num_buckets(1 << 8)
+            .tau(2)
+            .build()
+            .unwrap();
         let mut cached = SerialOctoCache::new(grid, params, cfg);
         let mut plain = OccupancyOcTree::new(grid, params);
 
@@ -359,7 +418,11 @@ mod tests {
         // OctoMap's (the cache serves accumulated values).
         let grid = VoxelGrid::new(0.5, 8).unwrap();
         let params = OccupancyParams::default();
-        let cfg = CacheConfig::builder().num_buckets(1 << 6).tau(2).build().unwrap();
+        let cfg = CacheConfig::builder()
+            .num_buckets(1 << 6)
+            .tau(2)
+            .build()
+            .unwrap();
         let mut cached = SerialOctoCache::new(grid, params, cfg);
         let mut plain = OccupancyOcTree::new(grid, params);
 

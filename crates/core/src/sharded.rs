@@ -12,10 +12,11 @@
 use std::time::Instant;
 
 use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
+use octocache_octomap::stats::StatsSnapshot;
 use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
+use octocache_telemetry::{PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry};
 
 use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
-use crate::timing::PhaseTimes;
 
 /// OctoMap sharded by spatial octant, with per-scan parallel shard updates.
 #[derive(Debug)]
@@ -28,7 +29,9 @@ pub struct ShardedOctoMap {
     ray_tracer: RayTracer,
     batch: insert::VoxelBatch,
     shard_updates: Vec<u64>,
-    times: PhaseTimes,
+    telemetry: Telemetry,
+    /// Summed shard counters at the end of the previous scan.
+    last_tree_stats: StatsSnapshot,
 }
 
 impl ShardedOctoMap {
@@ -53,6 +56,7 @@ impl ShardedOctoMap {
         ray_tracer: RayTracer,
     ) -> Self {
         let shard_bits = num_shards.trailing_zeros() as u8;
+        let backend = format!("octomap-sharded{}x{}", ray_tracer.suffix(), num_shards);
         ShardedOctoMap {
             shards: (0..num_shards)
                 .map(|_| OccupancyOcTree::new(grid, params))
@@ -63,8 +67,18 @@ impl ShardedOctoMap {
             ray_tracer,
             batch: insert::VoxelBatch::new(),
             shard_updates: vec![0; num_shards],
-            times: PhaseTimes::default(),
+            telemetry: Telemetry::new(backend),
+            last_tree_stats: StatsSnapshot::default(),
         }
+    }
+
+    /// Sums the instrumentation counters of every shard.
+    fn summed_tree_stats(&self) -> StatsSnapshot {
+        let mut total = StatsSnapshot::default();
+        for shard in &self.shards {
+            total.merge(&shard.stats().snapshot());
+        }
+        total
     }
 
     /// Number of shards.
@@ -163,7 +177,17 @@ impl MappingSystem for ShardedOctoMap {
             octree_update,
             ..Default::default()
         };
-        self.times += times;
+        let tree_after = self.summed_tree_stats();
+        let tree_delta = tree_after.since(&self.last_tree_stats);
+        self.last_tree_stats = tree_after;
+        self.telemetry.record(ScanRecord {
+            times,
+            observations: observations as u64,
+            octree_node_visits: tree_delta.node_visits,
+            octree_leaf_updates: tree_delta.leaf_updates,
+            octree_nodes_created: tree_delta.nodes_created,
+            ..Default::default()
+        });
         Ok(ScanReport {
             times,
             observations,
@@ -182,11 +206,24 @@ impl MappingSystem for ShardedOctoMap {
     }
 
     fn finish(&mut self) -> PhaseTimes {
+        self.telemetry.flush();
         PhaseTimes::default()
     }
 
     fn phase_times(&self) -> PhaseTimes {
-        self.times
+        self.telemetry.totals()
+    }
+
+    fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.telemetry.set_recorder(recorder);
+    }
+
+    fn phase_histograms(&self) -> Option<&PhaseHistograms> {
+        Some(self.telemetry.histograms())
+    }
+
+    fn tree_stats(&self) -> Option<StatsSnapshot> {
+        Some(self.summed_tree_stats())
     }
 
     fn take_tree(self: Box<Self>) -> OccupancyOcTree {

@@ -134,7 +134,9 @@ impl<T> Producer<T> {
         unsafe {
             (*self.ring.buf[tail & self.ring.mask].get()).write(value);
         }
-        self.ring.tail.store(tail.wrapping_add(1), Ordering::Release);
+        self.ring
+            .tail
+            .store(tail.wrapping_add(1), Ordering::Release);
         Ok(())
     }
 
@@ -184,7 +186,9 @@ impl<T> Consumer<T> {
         // (observed via the acquire load of `tail`), and the producer will
         // not reuse it until `head` advances.
         let value = unsafe { (*self.ring.buf[head & self.ring.mask].get()).assume_init_read() };
-        self.ring.head.store(head.wrapping_add(1), Ordering::Release);
+        self.ring
+            .head
+            .store(head.wrapping_add(1), Ordering::Release);
         Some(value)
     }
 

@@ -224,7 +224,10 @@ fn generate_corridor(config: &DatasetConfig) -> ScanSequence {
 /// Freiburg campus: a 140 m square with building-sized boxes; 6 m strides
 /// between scans give the paper's ≈ 40 % overlap.
 fn generate_campus(config: &DatasetConfig) -> ScanSequence {
-    let bounds = Aabb::new(Point3::new(-70.0, -70.0, 0.0), Point3::new(70.0, 70.0, 18.0));
+    let bounds = Aabb::new(
+        Point3::new(-70.0, -70.0, 0.0),
+        Point3::new(70.0, 70.0, 18.0),
+    );
     let mut scene = Scene::new(bounds);
     scene.add_floor(0.0, 0.5);
 
@@ -237,9 +240,8 @@ fn generate_campus(config: &DatasetConfig) -> ScanSequence {
     let scans = config.scaled(81, 6);
     let legs = scans.div_ceil(STEPS_PER_LEG).max(1);
     let origin = Point3::new(-45.0, -24.0, 1.8);
-    let trajectory =
-        Trajectory::boustrophedon(origin, LEG_LENGTH, SPACING, legs, STEPS_PER_LEG)
-            .truncated(scans);
+    let trajectory = Trajectory::boustrophedon(origin, LEG_LENGTH, SPACING, legs, STEPS_PER_LEG)
+        .truncated(scans);
     debug_assert!((LEG_LENGTH / (STEPS_PER_LEG - 1) as f64 - STEP).abs() < 1.0);
 
     let keep_clear: Vec<Aabb> = (0..legs)
@@ -269,7 +271,10 @@ fn generate_campus(config: &DatasetConfig) -> ScanSequence {
 /// New College: a courtyard loop; the sensor circles the quad looking
 /// outward at the enclosing buildings, in ≈ 0.63 m steps along the arc.
 fn generate_college(config: &DatasetConfig) -> ScanSequence {
-    let bounds = Aabb::new(Point3::new(-40.0, -40.0, 0.0), Point3::new(40.0, 40.0, 12.0));
+    let bounds = Aabb::new(
+        Point3::new(-40.0, -40.0, 0.0),
+        Point3::new(40.0, 40.0, 12.0),
+    );
     let mut scene = Scene::new(bounds);
     scene.add_walls(0.6); // enclosing buildings
     scene.add_floor(0.0, 0.5);
@@ -291,14 +296,7 @@ fn generate_college(config: &DatasetConfig) -> ScanSequence {
     const ANGLE_STEP: f64 = 0.5 / RADIUS;
     let scans = config.scaled(240, 8);
     let span = (ANGLE_STEP * (scans - 1) as f64).min(std::f64::consts::TAU);
-    let trajectory = Trajectory::arc(
-        Point3::new(0.0, 0.0, 1.5),
-        RADIUS,
-        0.0,
-        span,
-        scans,
-        true,
-    );
+    let trajectory = Trajectory::arc(Point3::new(0.0, 0.0, 1.5), RADIUS, 0.0, span, scans, true);
     let sensor = DepthSensor::new(
         1.8,
         0.8,
@@ -346,7 +344,10 @@ mod tests {
             scale: 0.05,
             seed: 1,
         });
-        let large = Dataset::Fr079Corridor.generate(&DatasetConfig { scale: 0.3, seed: 1 });
+        let large = Dataset::Fr079Corridor.generate(&DatasetConfig {
+            scale: 0.3,
+            seed: 1,
+        });
         assert!(large.scans().len() > small.scans().len());
         assert!(large.total_points() > small.total_points());
     }
@@ -365,7 +366,10 @@ mod tests {
 
     #[test]
     fn scan_count_tracks_paper_shape() {
-        let cfg = DatasetConfig { scale: 1.0, seed: 1 };
+        let cfg = DatasetConfig {
+            scale: 1.0,
+            seed: 1,
+        };
         // At scale 1.0 the scan counts match the paper's Table 2 for the two
         // small datasets.
         assert_eq!(Dataset::Fr079Corridor.generate(&cfg).scans().len(), 66);

@@ -232,7 +232,11 @@ mod tests {
         let mut scene = Scene::new(bounds());
         scene.add_floor(0.0, 0.5);
         let t = scene
-            .ray_cast(Point3::new(0.0, 0.0, 3.0), Point3::new(0.0, 0.0, -1.0), 10.0)
+            .ray_cast(
+                Point3::new(0.0, 0.0, 3.0),
+                Point3::new(0.0, 0.0, -1.0),
+                10.0,
+            )
             .unwrap();
         assert!((t - 3.0).abs() < 1e-9);
     }
@@ -263,9 +267,6 @@ mod tests {
         ));
         assert!(scene.segment_blocked(Point3::ZERO, Point3::new(10.0, 0.0, 0.0)));
         assert!(!scene.segment_blocked(Point3::ZERO, Point3::new(3.0, 0.0, 0.0)));
-        assert!(!scene.segment_blocked(
-            Point3::new(0.0, 5.0, 0.0),
-            Point3::new(10.0, 5.0, 0.0)
-        ));
+        assert!(!scene.segment_blocked(Point3::new(0.0, 5.0, 0.0), Point3::new(10.0, 5.0, 0.0)));
     }
 }

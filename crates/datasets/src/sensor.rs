@@ -150,7 +150,9 @@ mod tests {
         let cloud = sensor.scan(&scene, &Pose::new(Point3::ZERO, 0.0), 1);
         assert!(cloud.is_empty());
         let longer = sensor.with_max_range(12.0);
-        assert!(!longer.scan(&scene, &Pose::new(Point3::ZERO, 0.0), 1).is_empty());
+        assert!(!longer
+            .scan(&scene, &Pose::new(Point3::ZERO, 0.0), 1)
+            .is_empty());
     }
 
     #[test]

@@ -74,11 +74,7 @@ pub fn for_each_observation(
 /// # Errors
 ///
 /// See [`for_each_observation`].
-pub fn batch_stats(
-    scan: &Scan,
-    grid: &VoxelGrid,
-    max_range: f64,
-) -> Result<BatchStats, GeomError> {
+pub fn batch_stats(scan: &Scan, grid: &VoxelGrid, max_range: f64) -> Result<BatchStats, GeomError> {
     let mut total = 0usize;
     let mut distinct: HashSet<VoxelKey> = HashSet::new();
     for_each_observation(scan, grid, max_range, |k, _| {

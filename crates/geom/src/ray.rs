@@ -151,8 +151,7 @@ pub fn trace_into(
         }
         if step[i] != 0 {
             // Distance from the origin to the first boundary crossed along i.
-            let voxel_border =
-                center_arr[i] + step[i] as f64 * res * 0.5 - origin_arr[i];
+            let voxel_border = center_arr[i] + step[i] as f64 * res * 0.5 - origin_arr[i];
             t_max[i] = voxel_border / dir_arr[i];
             t_delta[i] = res / dir_arr[i].abs();
         }
@@ -256,12 +255,7 @@ mod tests {
     #[test]
     fn consecutive_keys_are_face_adjacent() {
         let g = grid();
-        let r = trace(
-            &g,
-            Point3::new(0.1, 0.2, 0.3),
-            Point3::new(9.8, 7.6, -5.4),
-        )
-        .unwrap();
+        let r = trace(&g, Point3::new(0.1, 0.2, 0.3), Point3::new(9.8, 7.6, -5.4)).unwrap();
         for w in r.as_slice().windows(2) {
             assert_eq!(w[0].manhattan_distance(w[1]), 1, "{} -> {}", w[0], w[1]);
         }

@@ -399,8 +399,7 @@ mod tests {
         let mut t1 = tree();
         let raw = insert_point_cloud(&mut t1, Point3::ZERO, &cloud, 20.0).unwrap();
         let mut t2 = tree();
-        let disc =
-            insert_point_cloud_discretized(&mut t2, Point3::ZERO, &cloud, 20.0).unwrap();
+        let disc = insert_point_cloud_discretized(&mut t2, Point3::ZERO, &cloud, 20.0).unwrap();
         assert!(disc.updates_applied < raw.updates_applied);
         assert_eq!(disc.updates_applied, raw.distinct_voxels);
         // Both agree the surface voxel is occupied.

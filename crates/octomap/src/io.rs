@@ -114,8 +114,7 @@ pub fn read_tree(bytes: &[u8]) -> Result<OccupancyOcTree, ReadError> {
     }
     let resolution = buf.get_f64();
     let depth = buf.get_u8();
-    let grid =
-        VoxelGrid::new(resolution, depth).map_err(|e| ReadError::BadGrid(e.to_string()))?;
+    let grid = VoxelGrid::new(resolution, depth).map_err(|e| ReadError::BadGrid(e.to_string()))?;
     let params = OccupancyParams {
         delta_occupied: buf.get_f32(),
         delta_free: buf.get_f32(),
@@ -184,10 +183,7 @@ mod tests {
         let restored = read_tree(&bytes).unwrap();
         assert_eq!(restored.num_nodes(), tree.num_nodes());
         assert_eq!(restored.num_leaves(), tree.num_leaves());
-        assert_eq!(
-            restored.grid().resolution(),
-            tree.grid().resolution()
-        );
+        assert_eq!(restored.grid().resolution(), tree.grid().resolution());
         // Compare every leaf.
         let mut a: Vec<_> = tree.leaves().map(|l| (l.key, l.level)).collect();
         let mut b: Vec<_> = restored.leaves().map(|l| (l.key, l.level)).collect();

@@ -86,8 +86,7 @@ pub fn read_binary_tree(bytes: &[u8]) -> Result<OccupancyOcTree, ReadError> {
     }
     let resolution = buf.get_f64();
     let depth = buf.get_u8();
-    let grid =
-        VoxelGrid::new(resolution, depth).map_err(|e| ReadError::BadGrid(e.to_string()))?;
+    let grid = VoxelGrid::new(resolution, depth).map_err(|e| ReadError::BadGrid(e.to_string()))?;
     let params = OccupancyParams {
         clamp_min: buf.get_f32(),
         clamp_max: buf.get_f32(),
@@ -240,7 +239,10 @@ mod tests {
 
     #[test]
     fn malformed_input_rejected_without_panic() {
-        assert!(matches!(read_binary_tree(b"XXXX"), Err(ReadError::BadMagic)));
+        assert!(matches!(
+            read_binary_tree(b"XXXX"),
+            Err(ReadError::BadMagic)
+        ));
         let tree = sample_tree();
         let bytes = write_binary_tree(&tree).to_vec();
         for cut in [3usize, 10, 18, bytes.len() - 1] {

@@ -103,12 +103,14 @@ impl OcTreeNode {
     /// and the rule the paper states in §2.2: "the occupancy value of each
     /// node equals the maximum among its 8 children".
     pub fn max_child_log_odds(&self) -> Option<f32> {
-        self.children().map(|(_, c)| c.log_odds).fold(None, |acc, v| {
-            Some(match acc {
-                Some(a) => a.max(v),
-                None => v,
+        self.children()
+            .map(|(_, c)| c.log_odds)
+            .fold(None, |acc, v| {
+                Some(match acc {
+                    Some(a) => a.max(v),
+                    None => v,
+                })
             })
-        })
     }
 
     /// True when this node can be pruned: all eight children exist, none has

@@ -63,11 +63,11 @@ pub struct OccupancyParams {
 impl Default for OccupancyParams {
     fn default() -> Self {
         OccupancyParams {
-            delta_occupied: prob_to_logodds(0.7),  // ≈ +0.85
-            delta_free: -prob_to_logodds(0.4),     // ≈ +0.41 (subtracted)
-            clamp_min: prob_to_logodds(0.12),      // ≈ -2.0
-            clamp_max: prob_to_logodds(0.97),      // ≈ +3.5
-            threshold: prob_to_logodds(0.5),       // 0.0
+            delta_occupied: prob_to_logodds(0.7), // ≈ +0.85
+            delta_free: -prob_to_logodds(0.4),    // ≈ +0.41 (subtracted)
+            clamp_min: prob_to_logodds(0.12),     // ≈ -2.0
+            clamp_max: prob_to_logodds(0.97),     // ≈ +3.5
+            threshold: prob_to_logodds(0.5),      // 0.0
         }
     }
 }

@@ -149,14 +149,7 @@ mod tests {
     #[test]
     fn cast_ray_hits_wall() {
         let tree = walled_tree();
-        let result = cast_ray(
-            &tree,
-            Point3::ZERO,
-            Point3::new(1.0, 0.0, 0.0),
-            20.0,
-            true,
-        )
-        .unwrap();
+        let result = cast_ray(&tree, Point3::ZERO, Point3::new(1.0, 0.0, 0.0), 20.0, true).unwrap();
         match result {
             RayCastResult::Hit { distance, key } => {
                 assert!((distance - 5.0).abs() < 0.5, "distance {distance}");
@@ -195,14 +188,8 @@ mod tests {
         .unwrap();
         assert!(matches!(result, RayCastResult::Unknown { .. }));
         // With ignore_unknown it sails through.
-        let result = cast_ray(
-            &tree,
-            Point3::ZERO,
-            Point3::new(-1.0, 0.0, 0.0),
-            10.0,
-            true,
-        )
-        .unwrap();
+        let result =
+            cast_ray(&tree, Point3::ZERO, Point3::new(-1.0, 0.0, 0.0), 10.0, true).unwrap();
         assert_eq!(result, RayCastResult::Miss);
     }
 
@@ -249,9 +236,7 @@ mod tests {
         let wall_box = Aabb::new(Point3::new(4.8, -1.0, -1.0), Point3::new(5.4, 1.0, 1.0));
         let leaves = leaves_in_box(&tree, &wall_box).unwrap();
         assert!(!leaves.is_empty());
-        assert!(leaves
-            .iter()
-            .any(|l| tree.params().is_occupied(l.log_odds)));
+        assert!(leaves.iter().any(|l| tree.params().is_occupied(l.log_odds)));
 
         // A box in free space between origin and wall.
         let free_box = Aabb::new(Point3::new(1.0, -0.5, -0.5), Point3::new(2.0, 0.5, 0.5));

@@ -22,8 +22,7 @@ use crate::tree::OccupancyOcTree;
 /// with occupied observations taking precedence over free ones (reference
 /// OctoMap's `insertPointCloud` semantics).
 pub fn dedup_batch(batch: &VoxelBatch) -> VoxelBatch {
-    let mut index: HashMap<octocache_geom::VoxelKey, usize> =
-        HashMap::with_capacity(batch.len());
+    let mut index: HashMap<octocache_geom::VoxelKey, usize> = HashMap::with_capacity(batch.len());
     let mut out: Vec<crate::insert::VoxelUpdate> = Vec::with_capacity(batch.len() / 2);
     for u in batch.iter() {
         match index.get(&u.key) {

@@ -9,6 +9,8 @@
 use std::cell::Cell;
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 /// Counters accumulated by an [`OccupancyOcTree`](crate::OccupancyOcTree).
 ///
 /// Interior-mutable (`Cell`) so that read-only operations like queries can
@@ -121,7 +123,7 @@ impl TreeStats {
 }
 
 /// A plain-data snapshot of [`TreeStats`], safe to move across threads.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StatsSnapshot {
     /// Total tree nodes touched.
     pub node_visits: u64,
@@ -148,6 +150,17 @@ impl StatsSnapshot {
             prunes: self.prunes - base.prunes,
             expansions: self.expansions - base.expansions,
         }
+    }
+
+    /// Adds another snapshot's counters into `self` (aggregating shards or
+    /// worker threads).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.node_visits += other.node_visits;
+        self.nodes_created += other.nodes_created;
+        self.leaf_updates += other.leaf_updates;
+        self.queries += other.queries;
+        self.prunes += other.prunes;
+        self.expansions += other.expansions;
     }
 
     /// Average node visits per leaf update (the paper's per-voxel memory
@@ -210,6 +223,26 @@ mod tests {
         let diff = s.snapshot().since(&base);
         assert_eq!(diff.node_visits, 7);
         assert_eq!(diff.leaf_updates, 1);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_and_serde_round_trips() {
+        let mut a = StatsSnapshot {
+            node_visits: 10,
+            leaf_updates: 2,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            node_visits: 5,
+            nodes_created: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.node_visits, 15);
+        assert_eq!(a.nodes_created, 3);
+        assert_eq!(a.leaf_updates, 2);
+        let back: StatsSnapshot = serde::json::from_str(&serde::json::to_string(&a)).unwrap();
+        assert_eq!(back, a);
     }
 
     #[test]

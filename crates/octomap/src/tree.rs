@@ -212,8 +212,16 @@ impl OccupancyOcTree {
         if created {
             stats.count_created();
         }
-        let leaf_value =
-            Self::update_recurs(child, created, key, level - 1, params, stats, auto_prune, op);
+        let leaf_value = Self::update_recurs(
+            child,
+            created,
+            key,
+            level - 1,
+            params,
+            stats,
+            auto_prune,
+            op,
+        );
 
         // Unwind: refresh this node from its children (the paper's
         // "trace-back from N_u to the root"), prune when possible.
@@ -315,11 +323,7 @@ impl OccupancyOcTree {
     ///
     /// Returns a human-readable description of the violated invariant.
     pub fn check_invariants(&self) -> Result<(), String> {
-        fn recurse(
-            node: &OcTreeNode,
-            level: u8,
-            params: &OccupancyParams,
-        ) -> Result<(), String> {
+        fn recurse(node: &OcTreeNode, level: u8, params: &OccupancyParams) -> Result<(), String> {
             let v = node.log_odds();
             if !(params.clamp_min..=params.clamp_max).contains(&v) {
                 return Err(format!("value {v} outside clamp range at level {level}"));
@@ -401,7 +405,8 @@ impl OccupancyOcTree {
     /// Iterates over the occupied leaves only.
     pub fn occupied_leaves(&self) -> impl Iterator<Item = LeafEntry> + '_ {
         let params = self.params;
-        self.leaves().filter(move |l| params.is_occupied(l.log_odds))
+        self.leaves()
+            .filter(move |l| params.is_occupied(l.log_odds))
     }
 
     /// The tight key-space bounding box (inclusive min and max voxel keys)
@@ -419,7 +424,11 @@ impl OccupancyOcTree {
             );
             min = Some(match min {
                 None => leaf.key,
-                Some(m) => VoxelKey::new(m.x.min(leaf.key.x), m.y.min(leaf.key.y), m.z.min(leaf.key.z)),
+                Some(m) => VoxelKey::new(
+                    m.x.min(leaf.key.x),
+                    m.y.min(leaf.key.y),
+                    m.z.min(leaf.key.z),
+                ),
             });
             max = Some(match max {
                 None => hi,
@@ -692,10 +701,7 @@ mod tests {
             tree.update_node(k, true);
         }
         for &k in &keys {
-            assert!(
-                tree.leaves().any(|l| l.covers(k)),
-                "no leaf covers {k}"
-            );
+            assert!(tree.leaves().any(|l| l.covers(k)), "no leaf covers {k}");
         }
     }
 

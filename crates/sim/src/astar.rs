@@ -50,10 +50,7 @@ pub struct PlannedPath {
 impl PlannedPath {
     /// Total metric length of the path.
     pub fn length(&self) -> f64 {
-        self.waypoints
-            .windows(2)
-            .map(|w| w[0].distance(w[1]))
-            .sum()
+        self.waypoints.windows(2).map(|w| w[0].distance(w[1])).sum()
     }
 }
 
@@ -329,7 +326,11 @@ mod tests {
         let goal = Point3::new(9.0, 0.0, 1.0);
         let path = planner.plan(&mut map, start, goal).expect("path exists");
         // Must be longer than straight-line (goes around y = ±4).
-        assert!(path.length() > 10.0, "suspiciously short: {}", path.length());
+        assert!(
+            path.length() > 10.0,
+            "suspiciously short: {}",
+            path.length()
+        );
         // Every waypoint stays out of occupied space.
         for wp in &path.waypoints {
             assert_ne!(
@@ -355,12 +356,17 @@ mod tests {
                 }
             }
         }
-        map.insert_scan(Point3::new(0.0, 0.0, 1.0), &ring, 10.0).unwrap();
+        map.insert_scan(Point3::new(0.0, 0.0, 1.0), &ring, 10.0)
+            .unwrap();
         let planner = AStarPlanner::new(AStarConfig {
             max_expansions: 5_000,
             ..Default::default()
         });
-        let path = planner.plan(&mut map, Point3::new(0.0, 0.0, 1.0), Point3::new(9.0, 0.0, 1.0));
+        let path = planner.plan(
+            &mut map,
+            Point3::new(0.0, 0.0, 1.0),
+            Point3::new(9.0, 0.0, 1.0),
+        );
         assert!(path.is_none());
     }
 
@@ -398,15 +404,24 @@ mod tests {
     fn works_against_octocache_backend() {
         use octocache::{CacheConfig, SerialOctoCache};
         let grid = VoxelGrid::new(0.25, 8).unwrap();
-        let cfg = CacheConfig::builder().num_buckets(1 << 10).tau(4).build().unwrap();
+        let cfg = CacheConfig::builder()
+            .num_buckets(1 << 10)
+            .tau(4)
+            .build()
+            .unwrap();
         let mut map = SerialOctoCache::new(grid, OccupancyParams::default(), cfg);
         let cloud: Vec<Point3> = (-16..=16)
             .flat_map(|y| (0..=10).map(move |z| Point3::new(5.0, y as f64 * 0.25, z as f64 * 0.25)))
             .collect();
-        map.insert_scan(Point3::new(1.0, 0.0, 1.0), &cloud, 20.0).unwrap();
+        map.insert_scan(Point3::new(1.0, 0.0, 1.0), &cloud, 20.0)
+            .unwrap();
         let planner = AStarPlanner::default();
         let path = planner
-            .plan(&mut map, Point3::new(0.0, 0.0, 1.0), Point3::new(9.0, 0.0, 1.0))
+            .plan(
+                &mut map,
+                Point3::new(0.0, 0.0, 1.0),
+                Point3::new(9.0, 0.0, 1.0),
+            )
             .expect("path exists around the wall");
         assert!(path.length() > 9.0);
     }

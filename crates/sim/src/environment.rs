@@ -156,10 +156,8 @@ impl Environment {
             }
             Environment::Room => {
                 // Indoor: walls all around plus furniture.
-                let bounds = Aabb::new(
-                    Point3::new(-2.0, -4.0, 0.0),
-                    Point3::new(d + 2.0, 4.0, 2.8),
-                );
+                let bounds =
+                    Aabb::new(Point3::new(-2.0, -4.0, 0.0), Point3::new(d + 2.0, 4.0, 2.8));
                 let mut scene = Scene::new(bounds);
                 scene.add_walls(0.3);
                 scene.add_floor(0.0, 0.3);

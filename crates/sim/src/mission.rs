@@ -255,8 +255,8 @@ impl Mission {
             let planning_time = t1.elapsed();
             queries += plan.queries;
 
-            let compute = mapping_time + planning_time
-                + Duration::from_secs_f64(self.config.control_time_s);
+            let compute =
+                mapping_time + planning_time + Duration::from_secs_f64(self.config.control_time_s);
             compute_total += compute;
             mapping_total += mapping_time;
             planning_total += planning_time;
@@ -320,9 +320,9 @@ impl Mission {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use octocache_geom::Point3;
     use octocache::pipeline::OctoMapSystem;
     use octocache::{CacheConfig, SerialOctoCache};
+    use octocache_geom::Point3;
     use octocache_geom::VoxelGrid;
     use octocache_octomap::OccupancyParams;
 
@@ -352,15 +352,15 @@ mod tests {
 
     #[test]
     fn room_mission_completes_with_octocache() {
-        let grid = VoxelGrid::new(
-            Environment::Room.baseline_params().resolution,
-            16,
-        )
-        .unwrap();
+        let grid = VoxelGrid::new(Environment::Room.baseline_params().resolution, 16).unwrap();
         let map = SerialOctoCache::new(
             grid,
             OccupancyParams::default(),
-            CacheConfig::builder().num_buckets(1 << 12).tau(4).build().unwrap(),
+            CacheConfig::builder()
+                .num_buckets(1 << 12)
+                .tau(4)
+                .build()
+                .unwrap(),
         );
         let mission = Mission::new(
             Environment::Room,
@@ -398,6 +398,44 @@ mod tests {
         assert_eq!(report.collisions, 0);
         // A* queries show up in the totals.
         assert!(report.planner_queries > 0);
+    }
+
+    #[test]
+    fn shared_recorder_captures_per_scan_telemetry_through_a_mission() {
+        use octocache::SharedRecorder;
+
+        // The mission consumes the backend by value; a SharedRecorder clone
+        // attached beforehand is how callers read the trace back out.
+        let grid = VoxelGrid::new(Environment::Openland.baseline_params().resolution, 16).unwrap();
+        let mut map = SerialOctoCache::new(
+            grid,
+            OccupancyParams::default(),
+            CacheConfig::builder()
+                .num_buckets(1 << 12)
+                .tau(4)
+                .build()
+                .unwrap(),
+        );
+        let recorder = SharedRecorder::new();
+        octocache::MappingSystem::set_recorder(&mut map, Box::new(recorder.clone()));
+
+        let mission = Mission::new(
+            Environment::Openland,
+            UavModel::asctec_pelican(),
+            MissionConfig::tiny(),
+        );
+        let report = mission.run(map).unwrap();
+
+        let records = recorder.records();
+        // One ScanRecord per mapping cycle, in order.
+        assert_eq!(records.len(), report.cycles);
+        for (i, rec) in records.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64);
+            assert_eq!(rec.backend, "octocache-serial");
+            assert!(rec.observations > 0);
+        }
+        // Duplicated voxel observations produce cache hits over the flight.
+        assert!(records.iter().map(|r| r.cache_hits).sum::<u64>() > 0);
     }
 
     #[test]

@@ -146,9 +146,7 @@ mod tests {
     fn walled_map() -> OctoMapSystem {
         let mut map = empty_map();
         let cloud: Vec<Point3> = (-30..=30)
-            .flat_map(|y| {
-                (0..=8).map(move |z| Point3::new(4.0, y as f64 * 0.1, z as f64 * 0.25))
-            })
+            .flat_map(|y| (0..=8).map(move |z| Point3::new(4.0, y as f64 * 0.1, z as f64 * 0.25)))
             .collect();
         map.insert_scan(Point3::new(0.0, 0.0, 1.0), &cloud, 20.0)
             .unwrap();
@@ -159,7 +157,11 @@ mod tests {
     fn unknown_space_is_traversable() {
         let mut map = empty_map();
         let planner = Planner::default();
-        let out = planner.plan(&mut map, Point3::new(0.0, 0.0, 1.0), Point3::new(10.0, 0.0, 1.0));
+        let out = planner.plan(
+            &mut map,
+            Point3::new(0.0, 0.0, 1.0),
+            Point3::new(10.0, 0.0, 1.0),
+        );
         assert!(out.direct);
         assert!(out.queries > 0);
         // Waypoint lies on the direct line, lookahead-limited.

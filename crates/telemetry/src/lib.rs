@@ -1,0 +1,54 @@
+//! # OctoCache telemetry
+//!
+//! A dependency-free observability layer shared by every mapping backend in
+//! the OctoCache reproduction. Three pieces fit together:
+//!
+//! 1. **Metric primitives** — a log-bucketed latency [`Histogram`]
+//!    (p50/p90/p99/max, mergeable across shards and runs) and a plain
+//!    [`Counter`], both serde-serialisable.
+//! 2. **Per-scan trace events** — a [`ScanRecord`] captures one
+//!    `insert_scan` call: phase durations ([`PhaseTimes`]), cache
+//!    hit/miss/eviction deltas, octree node-visit deltas, SPSC queue depth
+//!    sampled at enqueue/dequeue, and octree-mutex wait time. Backends hand
+//!    records to a [`Recorder`] (no-op [`NullRecorder`], in-memory
+//!    [`MemoryRecorder`]/[`SharedRecorder`], or streaming [`JsonlRecorder`]).
+//! 3. **Trace analysis** — [`TraceSummary`] folds a recorded trace back into
+//!    per-phase percentile tables and a cache hit-ratio time series (the
+//!    `octocache report` subcommand).
+//!
+//! The paper's evaluation (Figures 13/22/23, Table 3) reports exactly these
+//! quantities; the field mapping is documented in `DESIGN.md`.
+//!
+//! ```
+//! use octocache_telemetry::{Histogram, PhaseTimes, ScanRecord, Telemetry};
+//! use std::time::Duration;
+//!
+//! let mut t = Telemetry::new("example");
+//! t.record(ScanRecord {
+//!     times: PhaseTimes { ray_tracing: Duration::from_micros(120), ..Default::default() },
+//!     observations: 64,
+//!     cache_hits: 48,
+//!     ..Default::default()
+//! });
+//! assert_eq!(t.scans(), 1);
+//! assert!(t.totals().ray_tracing >= Duration::from_micros(120));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod hist;
+mod phase;
+mod record;
+mod recorder;
+mod trace;
+
+pub use hist::{Counter, Histogram};
+pub use phase::{Phase, PhaseHistograms, PhaseTimes};
+pub use record::ScanRecord;
+pub use recorder::{
+    JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, SharedRecorder, Telemetry,
+};
+pub use trace::{
+    read_jsonl, read_jsonl_path, write_jsonl, HitRatioPoint, PhaseQuantiles, TraceSummary,
+};

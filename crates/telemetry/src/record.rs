@@ -1,0 +1,99 @@
+//! The per-scan trace event emitted by every mapping backend.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::phase::PhaseTimes;
+
+/// Everything one `insert_scan` call did, in one flat event.
+///
+/// Every backend emits the same schema; fields that do not apply to a
+/// backend stay zero (e.g. queue depths on the serial backend). A recorded
+/// run is a JSONL stream of these, one per line — see
+/// [`crate::write_jsonl`] / [`crate::read_jsonl`] and [`crate::TraceSummary`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScanRecord {
+    /// Scan index within the run (0-based, assigned by
+    /// [`crate::Telemetry`]).
+    pub seq: u64,
+    /// Backend name (e.g. `octocache-serial`), assigned by
+    /// [`crate::Telemetry`].
+    pub backend: String,
+    /// Per-phase wall-clock durations of this scan.
+    pub times: PhaseTimes,
+    /// Voxel observations produced by ray tracing this scan.
+    pub observations: u64,
+    /// Observations absorbed by the cache (hits).
+    pub cache_hits: u64,
+    /// Cache misses (entry allocated / octree fall-through).
+    pub cache_misses: u64,
+    /// Cache insertions performed.
+    pub cache_insertions: u64,
+    /// Cells evicted from the cache to the octree this scan.
+    pub cache_evictions: u64,
+    /// Octree nodes visited (descents) this scan.
+    pub octree_node_visits: u64,
+    /// Octree leaf log-odds updates this scan.
+    pub octree_leaf_updates: u64,
+    /// Octree nodes created this scan.
+    pub octree_nodes_created: u64,
+    /// SPSC queue depth sampled right after this scan's enqueue
+    /// (parallel backend only).
+    pub queue_depth_enqueue: u64,
+    /// SPSC queue depth sampled by the worker at the first dequeue of this
+    /// scan's batch (parallel backend only).
+    pub queue_depth_dequeue: u64,
+    /// Time thread 1 spent blocked acquiring the octree mutex this scan
+    /// (parallel backend only; the serial backends have no mutex).
+    pub mutex_wait: Duration,
+}
+
+impl ScanRecord {
+    /// Cache hit ratio of this scan (0 when it saw no observations).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.observations == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.observations as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_round_trip() {
+        let r = ScanRecord {
+            seq: 7,
+            backend: "octocache-parallel".to_string(),
+            times: PhaseTimes {
+                ray_tracing: Duration::from_micros(120),
+                wait: Duration::from_nanos(35),
+                ..Default::default()
+            },
+            observations: 4096,
+            cache_hits: 3000,
+            cache_misses: 1096,
+            cache_insertions: 4096,
+            cache_evictions: 800,
+            octree_node_visits: 12_000,
+            octree_leaf_updates: 800,
+            octree_nodes_created: 20,
+            queue_depth_enqueue: 3,
+            queue_depth_dequeue: 1,
+            mutex_wait: Duration::from_nanos(90),
+        };
+        let json = serde::json::to_string(&r);
+        let back: ScanRecord = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert!((back.hit_ratio() - 3000.0 / 4096.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_ratio_handles_empty_scan() {
+        assert_eq!(ScanRecord::default().hit_ratio(), 0.0);
+    }
+}

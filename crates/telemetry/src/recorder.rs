@@ -1,0 +1,308 @@
+//! Recorder sinks for [`ScanRecord`] streams and the per-backend
+//! [`Telemetry`] aggregator.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::phase::{PhaseHistograms, PhaseTimes};
+use crate::record::ScanRecord;
+
+/// A sink for per-scan trace events.
+///
+/// Backends call [`Recorder::record_scan`] once per `insert_scan`;
+/// recording must never change mapping behaviour (the repository's
+/// `NullRecorder`-equivalence test checks map contents are identical with
+/// and without a recorder attached).
+pub trait Recorder: Send {
+    /// Consumes one per-scan event.
+    fn record_scan(&mut self, record: &ScanRecord);
+
+    /// Flushes buffered output (called by backends from `finish`).
+    fn flush(&mut self) {}
+}
+
+/// Discards every event. Useful to exercise the recording path with no
+/// observable output.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record_scan(&mut self, _record: &ScanRecord) {}
+}
+
+/// Buffers every event in memory.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryRecorder {
+    records: Vec<ScanRecord>,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events.
+    pub fn records(&self) -> &[ScanRecord] {
+        &self.records
+    }
+
+    /// Consumes the recorder, returning the events.
+    pub fn into_records(self) -> Vec<ScanRecord> {
+        self.records
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record_scan(&mut self, record: &ScanRecord) {
+        self.records.push(record.clone());
+    }
+}
+
+/// A cloneable in-memory recorder: every clone appends to the same shared
+/// buffer. This is how callers read a trace back out of a backend that was
+/// consumed by value (e.g. a UAV mission run or a bench harness).
+#[derive(Debug, Clone, Default)]
+pub struct SharedRecorder {
+    records: Arc<Mutex<Vec<ScanRecord>>>,
+}
+
+impl SharedRecorder {
+    /// An empty shared recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the events recorded so far.
+    pub fn records(&self) -> Vec<ScanRecord> {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for SharedRecorder {
+    fn record_scan(&mut self, record: &ScanRecord) {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record.clone());
+    }
+}
+
+/// Streams events as JSON Lines to any writer (one record per line).
+///
+/// Buffered output is flushed on [`Recorder::flush`] and on drop, so a
+/// trace file is complete once the owning backend is dropped.
+pub struct JsonlRecorder<W: Write + Send> {
+    out: W,
+}
+
+impl JsonlRecorder<std::io::BufWriter<std::fs::File>> {
+    /// Creates (truncates) a trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlRecorder {
+            out: std::io::BufWriter::new(file),
+        })
+    }
+}
+
+impl<W: Write + Send> JsonlRecorder<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        JsonlRecorder { out }
+    }
+}
+
+impl<W: Write + Send> std::fmt::Debug for JsonlRecorder<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlRecorder").finish_non_exhaustive()
+    }
+}
+
+impl<W: Write + Send> Recorder for JsonlRecorder<W> {
+    fn record_scan(&mut self, record: &ScanRecord) {
+        // Trace output is best-effort: a full disk must not abort mapping.
+        let _ = writeln!(self.out, "{}", serde::json::to_string(record));
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlRecorder<W> {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Per-backend telemetry state: cumulative [`PhaseTimes`], per-phase
+/// latency [`PhaseHistograms`], and an optional attached [`Recorder`].
+///
+/// Backends own one of these instead of a bare `PhaseTimes` accumulator.
+/// [`Telemetry::record`] stamps the scan sequence number and backend name
+/// onto the event, folds it into the totals and histograms, and forwards it
+/// to the recorder (if any). With no recorder attached the cost is a few
+/// histogram increments per scan and mapping behaviour is unchanged.
+pub struct Telemetry {
+    backend: String,
+    seq: u64,
+    totals: PhaseTimes,
+    hists: PhaseHistograms,
+    recorder: Option<Box<dyn Recorder>>,
+}
+
+impl Telemetry {
+    /// Fresh telemetry for a backend with the given display name.
+    pub fn new(backend: impl Into<String>) -> Self {
+        Telemetry {
+            backend: backend.into(),
+            seq: 0,
+            totals: PhaseTimes::default(),
+            hists: PhaseHistograms::new(),
+            recorder: None,
+        }
+    }
+
+    /// Attaches a recorder (replacing any previous one).
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Records one scan: stamps `seq` and `backend`, accumulates totals and
+    /// per-phase histograms, and forwards the event to the recorder.
+    pub fn record(&mut self, mut record: ScanRecord) {
+        record.seq = self.seq;
+        record.backend.clone_from(&self.backend);
+        self.seq += 1;
+        self.totals += record.times;
+        self.hists.record_times(&record.times);
+        if let Some(r) = self.recorder.as_mut() {
+            r.record_scan(&record);
+        }
+    }
+
+    /// Adds phase time that belongs to no single scan (e.g. final flush
+    /// work) to the totals only.
+    pub fn add_times(&mut self, times: PhaseTimes) {
+        self.totals += times;
+    }
+
+    /// Scans recorded so far.
+    pub fn scans(&self) -> u64 {
+        self.seq
+    }
+
+    /// Cumulative phase times (the historical `PhaseTimes` summary view).
+    pub fn totals(&self) -> PhaseTimes {
+        self.totals
+    }
+
+    /// Per-phase latency histograms over the recorded scans.
+    pub fn histograms(&self) -> &PhaseHistograms {
+        &self.hists
+    }
+
+    /// Flushes the attached recorder, if any.
+    pub fn flush(&mut self) {
+        if let Some(r) = self.recorder.as_mut() {
+            r.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("backend", &self.backend)
+            .field("scans", &self.seq)
+            .field("totals", &self.totals)
+            .field("recorder", &self.recorder.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn scan(ray_us: u64, obs: u64, hits: u64) -> ScanRecord {
+        ScanRecord {
+            times: PhaseTimes {
+                ray_tracing: Duration::from_micros(ray_us),
+                ..Default::default()
+            },
+            observations: obs,
+            cache_hits: hits,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn telemetry_stamps_seq_and_backend() {
+        let shared = SharedRecorder::new();
+        let mut t = Telemetry::new("test-backend");
+        t.set_recorder(Box::new(shared.clone()));
+        t.record(scan(100, 10, 5));
+        t.record(scan(300, 20, 9));
+        t.flush();
+        let records = shared.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].seq, 0);
+        assert_eq!(records[1].seq, 1);
+        assert!(records.iter().all(|r| r.backend == "test-backend"));
+        assert_eq!(t.scans(), 2);
+        assert_eq!(t.totals().ray_tracing, Duration::from_micros(400));
+        assert_eq!(t.histograms().get(crate::Phase::RayTracing).count(), 2);
+    }
+
+    #[test]
+    fn add_times_skips_histograms() {
+        let mut t = Telemetry::new("x");
+        t.add_times(PhaseTimes {
+            octree_update: Duration::from_millis(3),
+            ..Default::default()
+        });
+        assert_eq!(t.scans(), 0);
+        assert_eq!(t.totals().octree_update, Duration::from_millis(3));
+        assert_eq!(t.histograms().samples(), 0);
+    }
+
+    #[test]
+    fn memory_recorder_buffers() {
+        let mut m = MemoryRecorder::new();
+        m.record_scan(&scan(1, 2, 1));
+        assert_eq!(m.records().len(), 1);
+        assert_eq!(m.into_records().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_recorder_writes_one_line_per_record() {
+        let mut r = JsonlRecorder::new(Vec::new());
+        r.record_scan(&scan(10, 4, 2));
+        r.record_scan(&scan(20, 4, 3));
+        let text = String::from_utf8(std::mem::take(&mut r.out)).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let first: ScanRecord = serde::json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(first.observations, 4);
+    }
+}

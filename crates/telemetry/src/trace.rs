@@ -1,0 +1,350 @@
+//! JSONL trace IO and the offline report built from a recorded trace.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::phase::{Phase, PhaseHistograms, PhaseTimes};
+use crate::record::ScanRecord;
+
+/// Writes records as JSON Lines (one per line).
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_jsonl<W: Write>(mut out: W, records: &[ScanRecord]) -> std::io::Result<()> {
+    for r in records {
+        writeln!(out, "{}", serde::json::to_string(r))?;
+    }
+    Ok(())
+}
+
+/// Reads a JSONL trace; blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn read_jsonl<R: BufRead>(input: R) -> Result<Vec<ScanRecord>, String> {
+    let mut records = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", i + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = serde::json::from_str(&line).map_err(|e| format!("line {}: {e:?}", i + 1))?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Reads a JSONL trace file.
+///
+/// # Errors
+///
+/// Returns a message for I/O or parse failures.
+pub fn read_jsonl_path(path: impl AsRef<Path>) -> Result<Vec<ScanRecord>, String> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    read_jsonl(std::io::BufReader::new(file))
+}
+
+/// Percentiles of one phase over a trace, in microseconds (the `report`
+/// table row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseQuantiles {
+    /// Phase label.
+    pub phase: String,
+    /// Scans in which this phase ran (non-zero duration).
+    pub count: u64,
+    /// Median, µs.
+    pub p50_us: f64,
+    /// 90th percentile, µs.
+    pub p90_us: f64,
+    /// 99th percentile, µs.
+    pub p99_us: f64,
+    /// Maximum, µs.
+    pub max_us: f64,
+    /// Total across the trace, ms.
+    pub total_ms: f64,
+}
+
+/// One point of the cache hit-ratio time series: a window of consecutive
+/// scans and its aggregate hit ratio.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HitRatioPoint {
+    /// First scan of the window (inclusive).
+    pub first_scan: u64,
+    /// Last scan of the window (inclusive).
+    pub last_scan: u64,
+    /// Observations in the window.
+    pub observations: u64,
+    /// Aggregate cache hit ratio of the window, in `[0, 1]`.
+    pub hit_ratio: f64,
+}
+
+/// Aggregate view of a recorded trace: per-phase latency histograms, cache
+/// totals, and the hit-ratio time series — what `octocache report` prints
+/// and what `BENCH_telemetry.json` stores per run.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Backend name (from the first record; traces are per-run).
+    pub backend: String,
+    /// Scans in the trace.
+    pub scans: u64,
+    /// Total voxel observations.
+    pub observations: u64,
+    /// Total cache hits.
+    pub cache_hits: u64,
+    /// Total cache evictions.
+    pub cache_evictions: u64,
+    /// Total octree node visits.
+    pub octree_node_visits: u64,
+    /// Total octree leaf updates.
+    pub octree_leaf_updates: u64,
+    /// Largest SPSC queue depth seen at enqueue.
+    pub max_queue_depth: u64,
+    /// Cumulative phase times.
+    pub totals: PhaseTimes,
+    /// Per-phase latency histograms (nanoseconds).
+    pub per_phase: PhaseHistograms,
+    /// Windowed cache hit-ratio series.
+    pub hit_ratio_series: Vec<HitRatioPoint>,
+}
+
+/// Number of windows the hit-ratio series is bucketed into (fewer when the
+/// trace has fewer scans).
+const SERIES_WINDOWS: usize = 20;
+
+impl TraceSummary {
+    /// Folds a record stream into a summary. The hit-ratio series uses at
+    /// most [`SERIES_WINDOWS`] equal windows of consecutive scans.
+    pub fn from_records(records: &[ScanRecord]) -> Self {
+        let mut s = TraceSummary {
+            backend: records
+                .first()
+                .map(|r| r.backend.clone())
+                .unwrap_or_default(),
+            scans: records.len() as u64,
+            ..Default::default()
+        };
+        for r in records {
+            s.observations += r.observations;
+            s.cache_hits += r.cache_hits;
+            s.cache_evictions += r.cache_evictions;
+            s.octree_node_visits += r.octree_node_visits;
+            s.octree_leaf_updates += r.octree_leaf_updates;
+            s.max_queue_depth = s.max_queue_depth.max(r.queue_depth_enqueue);
+            s.totals += r.times;
+            s.per_phase.record_times(&r.times);
+        }
+        let window = records.len().div_ceil(SERIES_WINDOWS).max(1);
+        for chunk in records.chunks(window) {
+            let observations: u64 = chunk.iter().map(|r| r.observations).sum();
+            let hits: u64 = chunk.iter().map(|r| r.cache_hits).sum();
+            s.hit_ratio_series.push(HitRatioPoint {
+                first_scan: chunk.first().map(|r| r.seq).unwrap_or(0),
+                last_scan: chunk.last().map(|r| r.seq).unwrap_or(0),
+                observations,
+                hit_ratio: if observations == 0 {
+                    0.0
+                } else {
+                    hits as f64 / observations as f64
+                },
+            });
+        }
+        s
+    }
+
+    /// Aggregate cache hit ratio of the whole trace.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.observations == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.observations as f64
+        }
+    }
+
+    /// Octree node visits per leaf update (the tree-locality metric of the
+    /// paper's §4.3); 0 when no leaves were updated.
+    pub fn visits_per_update(&self) -> f64 {
+        if self.octree_leaf_updates == 0 {
+            0.0
+        } else {
+            self.octree_node_visits as f64 / self.octree_leaf_updates as f64
+        }
+    }
+
+    /// The per-phase percentile table rows (phases that never ran are
+    /// omitted).
+    pub fn phase_quantiles(&self) -> Vec<PhaseQuantiles> {
+        let us = |nanos: u64| nanos as f64 / 1e3;
+        Phase::ALL
+            .iter()
+            .map(|&p| (p, self.per_phase.get(p)))
+            .filter(|(_, h)| !h.is_empty())
+            .map(|(p, h)| PhaseQuantiles {
+                phase: p.label().to_string(),
+                count: h.count(),
+                p50_us: us(h.p50()),
+                p90_us: us(h.p90()),
+                p99_us: us(h.p99()),
+                max_us: us(h.max()),
+                total_ms: h.sum() as f64 / 1e6,
+            })
+            .collect()
+    }
+
+    /// Renders the human-readable report: a per-phase percentile table
+    /// followed by the hit-ratio time series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} scans, backend {}",
+            self.scans,
+            if self.backend.is_empty() {
+                "?"
+            } else {
+                &self.backend
+            }
+        );
+        let _ = writeln!(
+            out,
+            "  observations {}, cache hits {} ({:.1} %), evictions {}",
+            self.observations,
+            self.cache_hits,
+            self.hit_ratio() * 100.0,
+            self.cache_evictions
+        );
+        let _ = writeln!(
+            out,
+            "  octree: {} node visits, {} leaf updates ({:.2} visits/update)",
+            self.octree_node_visits,
+            self.octree_leaf_updates,
+            self.visits_per_update()
+        );
+        if self.max_queue_depth > 0 {
+            let _ = writeln!(
+                out,
+                "  max queue depth at enqueue: {}",
+                self.max_queue_depth
+            );
+        }
+
+        let _ = writeln!(out, "\nper-phase latency percentiles (per scan):");
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>7} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            "phase", "scans", "p50(us)", "p90(us)", "p99(us)", "max(us)", "total(ms)"
+        );
+        for q in self.phase_quantiles() {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>7} {:>11.1} {:>11.1} {:>11.1} {:>11.1} {:>11.3}",
+                q.phase, q.count, q.p50_us, q.p90_us, q.p99_us, q.max_us, q.total_ms
+            );
+        }
+
+        let _ = writeln!(out, "\ncache hit-ratio over scans:");
+        for p in &self.hit_ratio_series {
+            let bar_len = (p.hit_ratio * 40.0).round() as usize;
+            let _ = writeln!(
+                out,
+                "  scans {:>6}-{:<6} {:>5.1} % |{:<40}|",
+                p.first_scan,
+                p.last_scan,
+                p.hit_ratio * 100.0,
+                "#".repeat(bar_len.min(40))
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn records(n: u64) -> Vec<ScanRecord> {
+        (0..n)
+            .map(|i| ScanRecord {
+                seq: i,
+                backend: "octocache-serial".to_string(),
+                times: PhaseTimes {
+                    ray_tracing: Duration::from_micros(100 + i),
+                    octree_update: Duration::from_micros(10 + i % 5),
+                    ..Default::default()
+                },
+                observations: 100,
+                cache_hits: i.min(90),
+                cache_evictions: 7,
+                octree_node_visits: 50,
+                octree_leaf_updates: 10,
+                ..Default::default()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let recs = records(25);
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &recs).unwrap();
+        let back = read_jsonl(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn read_jsonl_skips_blank_and_reports_bad_lines() {
+        let text = "\n\n";
+        assert!(read_jsonl(text.as_bytes()).unwrap().is_empty());
+        let err = read_jsonl("{not json}".as_bytes()).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn summary_aggregates_and_windows() {
+        let recs = records(100);
+        let s = TraceSummary::from_records(&recs);
+        assert_eq!(s.scans, 100);
+        assert_eq!(s.observations, 100 * 100);
+        assert_eq!(s.cache_evictions, 700);
+        assert_eq!(s.backend, "octocache-serial");
+        assert!((s.visits_per_update() - 5.0).abs() < 1e-12);
+        // 100 scans in 20 windows of 5.
+        assert_eq!(s.hit_ratio_series.len(), 20);
+        assert_eq!(s.hit_ratio_series[0].first_scan, 0);
+        assert_eq!(s.hit_ratio_series[0].last_scan, 4);
+        // Hit ratio ramps up as the synthetic hits grow with i.
+        assert!(s.hit_ratio_series[19].hit_ratio > s.hit_ratio_series[0].hit_ratio);
+        // Phase table has exactly the phases that ran.
+        let table = s.phase_quantiles();
+        let names: Vec<&str> = table.iter().map(|q| q.phase.as_str()).collect();
+        assert_eq!(names, ["ray_tracing", "octree_update"]);
+        assert_eq!(table[0].count, 100);
+        assert!(table[0].p50_us >= 100.0 && table[0].p99_us <= 220.0);
+    }
+
+    #[test]
+    fn render_contains_table_and_series() {
+        let s = TraceSummary::from_records(&records(40));
+        let text = s.render();
+        assert!(text.contains("p50(us)"), "{text}");
+        assert!(text.contains("p99(us)"), "{text}");
+        assert!(text.contains("ray_tracing"), "{text}");
+        assert!(text.contains("hit-ratio over scans"), "{text}");
+        assert!(text.contains('|'), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_summarises_cleanly() {
+        let s = TraceSummary::from_records(&[]);
+        assert_eq!(s.scans, 0);
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert!(s.phase_quantiles().is_empty());
+        let _ = s.render();
+    }
+}

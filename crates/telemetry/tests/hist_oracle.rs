@@ -1,0 +1,96 @@
+//! Property test: histogram quantiles against a sorted-vector oracle.
+//!
+//! The log-bucketed [`Histogram`] promises that `quantile(q)` is an upper
+//! bound on the exact rank-`ceil(q·n)` sample, within one sub-bucket
+//! (≤ 6.25 % relative error), and never above the exact maximum.
+
+use octocache_telemetry::Histogram;
+use proptest::collection;
+use proptest::prelude::*;
+
+/// The exact quantile the histogram approximates: the sample of rank
+/// `ceil(q · n)` (1-based) in sorted order.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn quantiles_bound_the_oracle(
+        values in collection::vec(0u64..2_000_000_000, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+
+        let exact = oracle_quantile(&sorted, q);
+        let approx = hist.quantile(q);
+        // Lower bound: never under-reports the exact quantile.
+        prop_assert!(approx >= exact, "q={q}: approx {approx} < exact {exact}");
+        // Upper bound: within one log-linear bucket (6.25 %) of the exact
+        // value, and never above the true maximum.
+        let slack = exact / 16 + 1;
+        prop_assert!(
+            approx <= exact.saturating_add(slack),
+            "q={q}: approx {approx} > exact {exact} + {slack}"
+        );
+        prop_assert!(approx <= *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn count_sum_max_are_exact(values in collection::vec(0u64..1_000_000, 0..200)) {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        prop_assert_eq!(hist.count(), values.len() as u64);
+        prop_assert_eq!(hist.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(hist.max(), values.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn merge_matches_single_histogram(
+        a in collection::vec(0u64..1_000_000_000, 0..150),
+        b in collection::vec(0u64..1_000_000_000, 0..150),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hall = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        let mut hb = Histogram::new();
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        prop_assert_eq!(ha.sum(), hall.sum());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(ha.quantile(q), hall.quantile(q));
+        }
+    }
+
+    #[test]
+    fn serde_round_trip(values in collection::vec(0u64..u64::MAX, 0..100)) {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let json = serde::json::to_string(&hist);
+        let back: Histogram = serde::json::from_str(&json).unwrap();
+        prop_assert_eq!(back.count(), hist.count());
+        prop_assert_eq!(back.sum(), hist.sum());
+        prop_assert_eq!(back.max(), hist.max());
+        prop_assert_eq!(back.p99(), hist.p99());
+    }
+}

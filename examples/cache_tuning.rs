@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\n-- cache size sweep (tau = 4) --");
-    println!("{:>10} {:>10} {:>9} {:>9}", "buckets", "capacity", "time(s)", "hit-rate");
+    println!(
+        "{:>10} {:>10} {:>9} {:>9}",
+        "buckets", "capacity", "time(s)", "hit-rate"
+    );
     for k in [8u32, 10, 12, 14, 16] {
         let cfg = CacheConfig::builder().num_buckets(1 << k).tau(4).build()?;
         let (time, hits) = run(&seq, cfg);
@@ -49,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n-- tau sweep at fixed capacity (2^16 cells) --");
-    println!("{:>6} {:>10} {:>9} {:>9}", "tau", "buckets", "time(s)", "hit-rate");
+    println!(
+        "{:>6} {:>10} {:>9} {:>9}",
+        "tau", "buckets", "time(s)", "hit-rate"
+    );
     for tau in [1usize, 2, 4, 8, 16] {
         let buckets = (1usize << 16) / tau;
         let cfg = CacheConfig::builder()

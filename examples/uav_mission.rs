@@ -40,8 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         params.resolution
     );
 
-    let base = Mission::new(env, uav, config)
-        .run(OctoMapSystem::new(grid, OccupancyParams::default()))?;
+    let base =
+        Mission::new(env, uav, config).run(OctoMapSystem::new(grid, OccupancyParams::default()))?;
     show("octomap", &base);
 
     let cache = CacheConfig::builder().num_buckets(1 << 16).tau(4).build()?;

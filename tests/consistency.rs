@@ -2,10 +2,10 @@
 //! OctoCache variant answers occupancy queries exactly like vanilla OctoMap,
 //! both mid-stream (cache + octree) and after a final flush (octree only).
 
+use octocache_repro::datasets::{Dataset, DatasetConfig};
 use octocache_repro::geom::{Point3, VoxelGrid, VoxelKey};
 use octocache_repro::octocache::pipeline::{MappingSystem, OctoMapSystem, RayTracer};
 use octocache_repro::octocache::{CacheConfig, ParallelOctoCache, SerialOctoCache};
-use octocache_repro::datasets::{Dataset, DatasetConfig};
 use octocache_repro::octomap::OccupancyParams;
 
 fn grid() -> VoxelGrid {
@@ -14,7 +14,11 @@ fn grid() -> VoxelGrid {
 
 fn small_cache() -> CacheConfig {
     // Deliberately small so evictions happen constantly.
-    CacheConfig::builder().num_buckets(1 << 8).tau(2).build().unwrap()
+    CacheConfig::builder()
+        .num_buckets(1 << 8)
+        .tau(2)
+        .build()
+        .unwrap()
 }
 
 /// Sampled keys covering the corridor region of the tiny dataset.

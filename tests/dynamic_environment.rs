@@ -29,7 +29,11 @@ fn grid() -> VoxelGrid {
 }
 
 fn cache() -> CacheConfig {
-    CacheConfig::builder().num_buckets(1 << 10).tau(4).build().unwrap()
+    CacheConfig::builder()
+        .num_buckets(1 << 10)
+        .tau(4)
+        .build()
+        .unwrap()
 }
 
 #[test]

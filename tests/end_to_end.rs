@@ -12,22 +12,27 @@ use octocache_repro::sim::{Environment, Mission, MissionConfig, UavModel};
 fn construct_serialize_restore() {
     let seq = Dataset::NewCollege.generate(&DatasetConfig::tiny());
     let grid = VoxelGrid::new(0.4, 16).unwrap();
-    let cache = CacheConfig::builder().num_buckets(1 << 10).tau(4).build().unwrap();
+    let cache = CacheConfig::builder()
+        .num_buckets(1 << 10)
+        .tau(4)
+        .build()
+        .unwrap();
     let mut map = SerialOctoCache::new(grid, OccupancyParams::default(), cache);
     for scan in seq.scans() {
         map.insert_scan(scan.origin, &scan.points, seq.max_range())
             .unwrap();
     }
     let tree = map.into_tree();
-    assert!(tree.num_nodes() > 100, "map too small: {}", tree.num_nodes());
+    assert!(
+        tree.num_nodes() > 100,
+        "map too small: {}",
+        tree.num_nodes()
+    );
 
     let bytes = io::write_tree(&tree);
     let restored = io::read_tree(&bytes).unwrap();
     assert_eq!(restored.num_nodes(), tree.num_nodes());
-    assert_eq!(
-        restored.occupied_voxel_count(),
-        tree.occupied_voxel_count()
-    );
+    assert_eq!(restored.occupied_voxel_count(), tree.occupied_voxel_count());
 }
 
 #[test]
@@ -40,7 +45,11 @@ fn cache_absorbs_documented_duplication() {
     let expected_dup_ratio = row.duplicate_voxels as f64 / row.nonduplicate_voxels as f64;
     assert!(expected_dup_ratio > 1.5, "dataset not duplicated enough");
 
-    let cache = CacheConfig::builder().num_buckets(1 << 14).tau(4).build().unwrap();
+    let cache = CacheConfig::builder()
+        .num_buckets(1 << 14)
+        .tau(4)
+        .build()
+        .unwrap();
     let mut map = SerialOctoCache::new(grid, OccupancyParams::default(), cache);
     for scan in seq.scans() {
         map.insert_scan(scan.origin, &scan.points, seq.max_range())
@@ -60,7 +69,11 @@ fn mission_on_every_environment_with_octocache() {
     for env in Environment::ALL {
         let p = env.baseline_params();
         let grid = VoxelGrid::new(p.resolution, 16).unwrap();
-        let cache = CacheConfig::builder().num_buckets(1 << 12).tau(4).build().unwrap();
+        let cache = CacheConfig::builder()
+            .num_buckets(1 << 12)
+            .tau(4)
+            .build()
+            .unwrap();
         let map = SerialOctoCache::new(grid, OccupancyParams::default(), cache);
         let report = Mission::new(env, UavModel::asctec_pelican(), MissionConfig::tiny())
             .run(map)

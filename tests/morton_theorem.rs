@@ -2,10 +2,8 @@
 //! crates: Morton order minimises the locality functional 𝓕(S), and lower 𝓕
 //! corresponds to fewer octree node visits (the mechanism behind Figure 10).
 
-use octocache_repro::octocache::locality::{
-    locality_f, morton_is_optimal_for, VoxelOrder,
-};
 use octocache_repro::geom::{VoxelGrid, VoxelKey};
+use octocache_repro::octocache::locality::{locality_f, morton_is_optimal_for, VoxelOrder};
 use octocache_repro::octomap::{OccupancyOcTree, OccupancyParams};
 use proptest::prelude::*;
 

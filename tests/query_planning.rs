@@ -13,7 +13,11 @@ use octocache_repro::octomap::OccupancyParams;
 fn corridor_tree() -> octocache_repro::octomap::OccupancyOcTree {
     let seq = Dataset::Fr079Corridor.generate(&DatasetConfig::tiny());
     let grid = VoxelGrid::new(0.2, 16).unwrap();
-    let cache = CacheConfig::builder().num_buckets(1 << 10).tau(4).build().unwrap();
+    let cache = CacheConfig::builder()
+        .num_buckets(1 << 10)
+        .tau(4)
+        .build()
+        .unwrap();
     let mut map = SerialOctoCache::new(grid, OccupancyParams::default(), cache);
     for scan in seq.scans() {
         map.insert_scan(scan.origin, &scan.points, seq.max_range())

@@ -1,0 +1,250 @@
+//! Offline stand-in for `bytes` (see `vendor/README.md`).
+//!
+//! [`BytesMut`]/[`Bytes`] over `Vec<u8>`, with big-endian [`Buf`]/[`BufMut`]
+//! covering the accessors this workspace uses.
+
+use std::ops::Deref;
+
+/// Immutable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Converts to an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Big-endian write access.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `f32`.
+    fn put_f32(&mut self, v: f32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Big-endian read access over a cursor-like buffer.
+///
+/// Methods panic when the buffer is exhausted, matching upstream; callers
+/// in this workspace check `remaining()` before every typed read.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copies `dst.len()` bytes out and advances.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// True if any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `f32`.
+    fn get_f32(&mut self) -> f32 {
+        f32::from_be_bytes({
+            let mut b = [0u8; 4];
+            self.copy_to_slice(&mut b);
+            b
+        })
+    }
+
+    /// Reads a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes({
+            let mut b = [0u8; 8];
+            self.copy_to_slice(&mut b);
+            b
+        })
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "read past end of buffer");
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_slice(b"MAGC");
+        buf.put_f64(0.05);
+        buf.put_u8(16);
+        buf.put_f32(-1.5);
+        let bytes = buf.freeze();
+
+        let mut rd: &[u8] = &bytes;
+        assert_eq!(&rd[..4], b"MAGC");
+        rd.advance(4);
+        assert_eq!(rd.get_f64(), 0.05);
+        assert_eq!(rd.get_u8(), 16);
+        assert_eq!(rd.get_f32(), -1.5);
+        assert!(!rd.has_remaining());
+    }
+}

@@ -1,0 +1,634 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Sampling-based property testing with upstream's call syntax: the
+//! [`proptest!`] macro, `prop_assert*!`/[`prop_assume!`], range / tuple /
+//! [`Just`] / [`prop_oneof!`] / `collection::{vec, hash_set}` strategies,
+//! and a [`test_runner::TestRunner`]. Unlike upstream it samples randomly
+//! (seeded deterministically per test name) and does **not** shrink —
+//! failures report the raw failing inputs via `Debug`.
+
+/// Strategy combinators and implementations.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Constant strategy: always yields a clone of the value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Full-domain strategy for `T` (see [`any`]).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Uniform samples over `T`'s full domain.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy,
+    {
+        Any(std::marker::PhantomData)
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = self.end.abs_diff(self.start) as u128;
+                    self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple {
+        ($($name:ident/$idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple!(A / 0);
+    impl_tuple!(A / 0, B / 1);
+    impl_tuple!(A / 0, B / 1, C / 2);
+    impl_tuple!(A / 0, B / 1, C / 2, D / 3);
+    impl_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    impl_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+    impl_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+    impl_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+
+    /// Weighted choice between boxed strategies (see [`prop_oneof!`]).
+    pub struct Union<T: Debug> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// Builds a union from `(weight, strategy)` arms.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+
+        /// Boxes one arm (helper for [`prop_oneof!`]).
+        pub fn arm<S: Strategy<Value = T> + 'static>(s: S) -> Box<dyn Strategy<Value = T>> {
+            Box::new(s)
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rng.next_u64() % total.max(1);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.sample(rng);
+                }
+                pick -= *w as u64;
+            }
+            self.arms[0].1.sample(rng)
+        }
+    }
+}
+
+/// Collection strategies (`vec`, `hash_set`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::fmt::Debug;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Yields `Vec`s with length drawn from `size` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Yields `HashSet`s with size drawn from `size` and elements from
+    /// `element` (resampling on collision, best-effort up to a retry cap).
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        assert!(size.start < size.end, "empty size range");
+        HashSetStrategy { element, size }
+    }
+
+    /// See [`hash_set`].
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 64 * target.max(1) {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::strategy::{Any, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Uniform over `{false, true}`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct AnyBool;
+
+    /// Uniform over `{false, true}` (upstream `proptest::bool::ANY`).
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            Any::<bool>::default().sample(rng)
+        }
+    }
+}
+
+/// Test execution: RNG, config, runner, and error types.
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use std::fmt;
+
+    /// SplitMix64 RNG used for sampling.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// FNV-1a hash of a test name, for deterministic per-test seeds.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Per-case outcome: hard failure or input rejection.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum TestCaseError {
+        /// The property does not hold.
+        Fail(String),
+        /// The inputs were rejected by `prop_assume!`.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Constructs a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Constructs a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "inputs rejected: {m}"),
+            }
+        }
+    }
+
+    /// A failed run: the message plus the `Debug` form of the inputs.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct TestError {
+        /// Failure message.
+        pub message: String,
+        /// `Debug` rendering of the failing inputs.
+        pub input: String,
+    }
+
+    impl fmt::Display for TestError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{} (inputs: {})", self.message, self.input)
+        }
+    }
+
+    impl std::error::Error for TestError {}
+
+    /// Run configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Drives a strategy against a property closure.
+    #[derive(Debug, Default)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Runner with an explicit config.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Runs `test` against `config.cases` sampled inputs.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+        where
+            S: Strategy,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            let mut rng = TestRng::new(0x0c70_cac4e_u64);
+            let mut executed = 0u32;
+            let mut attempts = 0u32;
+            let max_attempts = self.config.cases.saturating_mul(10).max(16);
+            while executed < self.config.cases && attempts < max_attempts {
+                attempts += 1;
+                let value = strategy.sample(&mut rng);
+                let rendered = format!("{:?}", value);
+                match test(value) {
+                    Ok(()) => executed += 1,
+                    Err(TestCaseError::Reject(_)) => {}
+                    Err(TestCaseError::Fail(message)) => {
+                        return Err(TestError {
+                            message,
+                            input: rendered,
+                        });
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case unless `cond` holds (does not fail the test).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Weighted (or unweighted) choice between strategies yielding one type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:literal => $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( (($weight) as u32, $crate::strategy::Union::arm($strat)) ),+
+        ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Union::arm($strat)) ),+
+        ])
+    };
+}
+
+/// Declares property tests with upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop_name(x in 0u16..16, v in any::<bool>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let __seed = $crate::test_runner::seed_from_name(concat!(module_path!(), "::", stringify!($name)));
+            let mut __rng = $crate::test_runner::TestRng::new(__seed);
+            let mut __executed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __config.cases.saturating_mul(10).max(16);
+            while __executed < __config.cases && __attempts < __max_attempts {
+                __attempts += 1;
+                let __vals = ( $( $crate::strategy::Strategy::sample(&($strat), &mut __rng), )+ );
+                let __rendered = format!("{:?}", __vals);
+                let ( $($pat,)+ ) = __vals;
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match __outcome {
+                    Ok(()) => __executed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest case {} of {} failed: {}\ninputs: {}",
+                            __executed + 1, __config.cases, __msg, __rendered
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::{TestRng, TestRunner};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u16..16, (a, b) in (0u8..4, -1.0f64..1.0)) {
+            prop_assert!(x < 16);
+            prop_assert!(a < 4);
+            prop_assert!((-1.0..1.0).contains(&b));
+        }
+
+        #[test]
+        fn collections(v in crate::collection::vec(0u32..10, 1..20),
+                       s in crate::collection::hash_set(0u16..100, 2..7)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(s.len() < 7);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u8..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_cover_all_arms() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Op {
+            A(u8),
+            B,
+        }
+        let strat = prop_oneof![
+            3 => (0u8..4).prop_map(Op::A),
+            1 => Just(Op::B),
+        ];
+        let mut rng = TestRng::new(9);
+        let mut saw_a = false;
+        let mut saw_b = false;
+        for _ in 0..200 {
+            match strat.sample(&mut rng) {
+                Op::A(v) => {
+                    assert!(v < 4);
+                    saw_a = true;
+                }
+                Op::B => saw_b = true,
+            }
+        }
+        assert!(saw_a && saw_b);
+    }
+
+    #[test]
+    fn runner_reports_failing_input() {
+        let mut runner = TestRunner::default();
+        let err = runner
+            .run(&(0u32..100), |x| {
+                prop_assert!(x < 90, "x too big: {x}");
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.message.contains("too big"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for `rand` (see `vendor/README.md`).
+//!
+//! Provides [`rngs::StdRng`] (a SplitMix64 generator — deterministic per
+//! seed, but a different stream than upstream's ChaCha12-based `StdRng`),
+//! the [`SeedableRng`] constructor trait, and [`RngExt::random_range`].
+
+use std::ops::Range;
+
+/// Core generator interface: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods (upstream `Rng`).
+pub trait RngExt: RngCore {
+    /// Uniform sample from `range` (half-open).
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, &range)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    fn random<T: SampleUniform + Default>(&mut self) -> T {
+        T::sample_unit(self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `range`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self;
+    /// Uniform sample from the type's unit interval / full domain.
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self {
+        assert!(
+            range.start < range.end,
+            "random_range: empty range {}..{}",
+            range.start,
+            range.end
+        );
+        let unit = Self::sample_unit(rng);
+        range.start + unit * (range.end - range.start)
+    }
+
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self {
+        assert!(range.start < range.end, "random_range: empty range");
+        range.start + Self::sample_unit(rng) * (range.end - range.start)
+    }
+
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self {
+                assert!(range.start < range.end, "random_range: empty range");
+                let span = range.end.abs_diff(range.start) as u128;
+                // Modulo bias is negligible for the spans used here
+                // (u128 accumulator over a u64 draw).
+                let offset = (rng.next_u64() as u128 % span) as Self;
+                range.start.wrapping_add(offset as Self)
+            }
+
+            fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as Self
+            }
+        }
+    )*};
+}
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Standard generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 generator (stand-in for upstream's ChaCha12 `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(
+                a.random_range(0.0..1.0_f64).to_bits(),
+                b.random_range(0.0..1.0_f64).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: f64 = rng.random_range(-2.5..7.25);
+            assert!((-2.5..7.25).contains(&x));
+            let n: usize = rng.random_range(3..9);
+            assert!((3..9).contains(&n));
+        }
+    }
+}

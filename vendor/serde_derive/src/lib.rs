@@ -1,0 +1,314 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Hand-rolled token parsing (no `syn`/`quote`): supports named-field
+//! structs and unit-variant enums, plus the `#[serde(skip)]` field
+//! attribute (omitted on serialize, `Default::default()` on deserialize).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match (&item, mode) {
+        (Item::Struct { name, fields }, Mode::Serialize) => {
+            let pushes: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "__m.push(({n:?}.to_string(), serde::Serialize::to_value(&self.{n})));\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         let mut __m: Vec<(String, serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         serde::Value::Map(__m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::Struct { name, fields }, Mode::Deserialize) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: Default::default(),\n", f.name)
+                    } else {
+                        format!(
+                            "{n}: match __v.get({n:?}) {{\n\
+                                 Some(__x) => serde::Deserialize::from_value(__x)?,\n\
+                                 None => return Err(serde::Error::custom(concat!(\
+                                     \"missing field `\", {n:?}, \"` in \", {name:?}))),\n\
+                             }},\n",
+                            n = f.name,
+                            name = name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         if __v.as_map().is_none() {{\n\
+                             return Err(serde::Error::custom(concat!(\"expected map for \", {name:?})));\n\
+                         }}\n\
+                         Ok({name} {{\n\
+                             {inits}\
+                         }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::Enum { name, variants }, Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::Str({v:?}.to_string()),\n"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{\n\
+                             {arms}\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::Enum { name, variants }, Mode::Deserialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match __v.as_str() {{\n\
+                             Some(__s) => match __s {{\n\
+                                 {arms}\
+                                 __other => Err(serde::Error::custom(format!(\
+                                     \"unknown {name} variant `{{__other}}`\"))),\n\
+                             }},\n\
+                             None => Err(serde::Error::custom(concat!(\"expected string for \", {name:?}))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Parses a struct/enum item from the derive input token stream.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        _ => return Err("serde stand-in derive: expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stand-in derive: expected item name".to_string()),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive: generic item `{name}` is not supported"
+        ));
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "serde stand-in derive: tuple struct `{name}` is not supported"
+            ));
+        }
+        _ => {
+            return Err(format!(
+                "serde stand-in derive: expected braced body for `{name}`"
+            ));
+        }
+    };
+
+    if kind == "struct" {
+        Ok(Item::Struct {
+            name,
+            fields: parse_fields(body)?,
+        })
+    } else {
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        })
+    }
+}
+
+/// Advances past `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// True if an attribute group's content is `serde(... skip ...)`.
+fn attr_is_serde_skip(group: &TokenTree) -> bool {
+    let TokenTree::Group(g) = group else {
+        return false;
+    };
+    let mut inner = g.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match inner.next() {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Field attributes (collect skip markers).
+        let mut skip = false;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(attr) = tokens.get(i + 1) {
+                        skip |= attr_is_serde_skip(attr);
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            return Err("serde stand-in derive: expected field name".to_string());
+        };
+        let name = id.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "serde stand-in derive: expected `:` after field `{name}`"
+                ));
+            }
+        }
+        // Consume the type up to a top-level comma (angle-bracket aware).
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2; // variant attributes such as #[default]
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            return Err("serde stand-in derive: expected variant name".to_string());
+        };
+        let name = id.to_string();
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde stand-in derive: non-unit variant `{name}` is not supported"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde stand-in derive: discriminant on `{name}` is not supported"
+                ));
+            }
+            _ => return Err("serde stand-in derive: unexpected token in enum body".to_string()),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
