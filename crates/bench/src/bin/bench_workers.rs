@@ -1,0 +1,187 @@
+//! Worker-count sweep for the N-worker parallel pipeline: constructs each
+//! dataset with the parallel OctoCache at N ∈ {1, 2, 4, 8} octree-update
+//! workers and reports scan throughput, per-worker utilization (from the
+//! recorded busy/idle telemetry) and shard skew.
+//!
+//! Writes `BENCH_workers.json` (path overridable as the first argument):
+//! a JSON array with one object per dataset × worker count, the
+//! machine-readable record of how eviction-stream sharding scales.
+
+use octocache::pipeline::RayTracer;
+use octocache::{MappingSystem, ParallelOctoCache};
+use octocache_bench::{
+    cache_for, construct, grid, load_dataset, print_table, reference_resolution,
+};
+use octocache_datasets::Dataset;
+use octocache_octomap::OccupancyParams;
+use octocache_telemetry::{SharedRecorder, TraceSummary};
+use serde::Value;
+
+/// Worker counts swept (the cross-backend differential suite covers the
+/// same set).
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Construction attempts per configuration; the best throughput is kept so
+/// a scheduler hiccup on a loaded machine does not mask scaling.
+const REPS: usize = 2;
+
+struct Run {
+    dataset: &'static str,
+    workers: usize,
+    scans: u64,
+    total_s: f64,
+    scans_per_s: f64,
+    summary: TraceSummary,
+}
+
+fn run_value(r: &Run) -> Value {
+    Value::Map(vec![
+        ("dataset".to_string(), Value::Str(r.dataset.to_string())),
+        ("backend".to_string(), Value::Str(r.summary.backend.clone())),
+        ("workers".to_string(), Value::U64(r.workers as u64)),
+        ("scans".to_string(), Value::U64(r.scans)),
+        ("total_s".to_string(), Value::F64(r.total_s)),
+        ("scans_per_s".to_string(), Value::F64(r.scans_per_s)),
+        (
+            "observations".to_string(),
+            Value::U64(r.summary.observations),
+        ),
+        (
+            "cache_hit_ratio".to_string(),
+            Value::F64(r.summary.hit_ratio()),
+        ),
+        (
+            "worker_utilization".to_string(),
+            Value::Seq(
+                r.summary
+                    .worker_utilization()
+                    .into_iter()
+                    .map(Value::F64)
+                    .collect(),
+            ),
+        ),
+        (
+            "worker_busy_ns".to_string(),
+            Value::Seq(
+                r.summary
+                    .worker_busy_ns
+                    .iter()
+                    .map(|&n| Value::U64(n))
+                    .collect(),
+            ),
+        ),
+        (
+            "worker_idle_ns".to_string(),
+            Value::Seq(
+                r.summary
+                    .worker_idle_ns
+                    .iter()
+                    .map(|&n| Value::U64(n))
+                    .collect(),
+            ),
+        ),
+        (
+            "max_shard_skew".to_string(),
+            Value::F64(r.summary.max_shard_skew),
+        ),
+    ])
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_workers.json".to_string());
+
+    let mut runs: Vec<Run> = Vec::new();
+    let mut rows = Vec::new();
+    for dataset in Dataset::ALL {
+        let seq = load_dataset(dataset);
+        let res = reference_resolution(dataset);
+        let cache = cache_for(&seq, res);
+        for workers in WORKER_COUNTS {
+            let mut best: Option<Run> = None;
+            for _ in 0..REPS {
+                let recorder = SharedRecorder::new();
+                let mut system: Box<dyn MappingSystem> = Box::new(ParallelOctoCache::with_workers(
+                    grid(res),
+                    OccupancyParams::default(),
+                    cache,
+                    RayTracer::Standard,
+                    workers,
+                ));
+                system.set_recorder(Box::new(recorder.clone()));
+                let r = construct(&seq, system);
+                let summary = TraceSummary::from_records(&recorder.records());
+                let total_s = r.total.as_secs_f64();
+                let run = Run {
+                    dataset: dataset.name(),
+                    workers,
+                    scans: summary.scans,
+                    total_s,
+                    scans_per_s: summary.scans as f64 / total_s.max(1e-9),
+                    summary,
+                };
+                if best
+                    .as_ref()
+                    .is_none_or(|b| run.scans_per_s > b.scans_per_s)
+                {
+                    best = Some(run);
+                }
+            }
+            let run = best.expect("REPS >= 1");
+            let util = run.summary.worker_utilization();
+            let util_str = util
+                .iter()
+                .map(|u| format!("{:.0}%", u * 100.0))
+                .collect::<Vec<_>>()
+                .join("/");
+            rows.push(vec![
+                run.dataset.to_string(),
+                format!("{}", run.workers),
+                format!("{}", run.scans),
+                format!("{:.3}", run.total_s),
+                format!("{:.1}", run.scans_per_s),
+                format!("{:.3}", run.summary.hit_ratio()),
+                util_str,
+                format!("{:.2}", run.summary.max_shard_skew),
+            ]);
+            runs.push(run);
+        }
+    }
+
+    print_table(
+        "Worker sweep — parallel OctoCache with N octree-update workers",
+        &[
+            "dataset",
+            "workers",
+            "scans",
+            "total(s)",
+            "scans/s",
+            "hit-ratio",
+            "utilization",
+            "max-skew",
+        ],
+        &rows,
+    );
+
+    // The scaling headline: does N=4 beat N=2 anywhere?
+    for dataset in Dataset::ALL {
+        let tput = |w: usize| {
+            runs.iter()
+                .find(|r| r.dataset == dataset.name() && r.workers == w)
+                .map(|r| r.scans_per_s)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "{}: N=4 vs N=2 throughput ratio {:.3}",
+            dataset.name(),
+            tput(4) / tput(2).max(1e-9)
+        );
+    }
+
+    let json = serde::json::to_string(&Value::Seq(runs.iter().map(run_value).collect()));
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("\nfailed to write {out_path}: {e}"),
+    }
+}

@@ -6,10 +6,12 @@
 //!   synthetic scan log (datasets: `fr079-corridor`, `freiburg-campus`,
 //!   `new-college`).
 //! * `build <in.scanlog> <out.map> [--backend B] [--resolution R]
-//!   [--buckets N] [--tau T] [--trace out.jsonl]` — build an occupancy map
-//!   (backends: `octomap`, `octomap-rt`, `serial`, `serial-rt`, `parallel`,
-//!   `parallel-rt`), printing per-phase timings and cache statistics;
-//!   `--trace` streams one JSON scan record per line to a file.
+//!   [--buckets N] [--tau T] [--workers N] [--trace out.jsonl]` — build an
+//!   occupancy map (backends: `octomap`, `octomap-rt`, `serial`,
+//!   `serial-rt`, `parallel`, `parallel-rt`), printing per-phase timings and
+//!   cache statistics; `--workers N` (1, 2, 4 or 8; parallel backends only)
+//!   selects the number of octree-update workers; `--trace` streams one
+//!   JSON scan record per line to a file.
 //! * `report <trace.jsonl>` — per-phase latency percentiles and the cache
 //!   hit-ratio time series of a recorded trace.
 //! * `info <map>` — structural statistics of a serialised map.
@@ -56,7 +58,7 @@ fn usage() -> String {
 
 USAGE:
   octocache generate <dataset> <out.scanlog> [--scale S] [--seed N]
-  octocache build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T] [--format ot|bt] [--trace out.jsonl]
+  octocache build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T] [--workers N] [--format ot|bt] [--trace out.jsonl]
   octocache report <trace.jsonl>
   octocache info <map>
   octocache query <map> <x> <y> <z>
@@ -160,7 +162,7 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     let (pos, flags) = parse_flags(args)?;
     let [in_path, out_path] = pos.as_slice() else {
         return Err(
-            "usage: build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T]"
+            "usage: build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T] [--workers N]"
                 .into(),
         );
     };
@@ -184,6 +186,21 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
         .build()
         .map_err(|e| e.to_string())?;
     let backend_name = flag(&flags, "backend").unwrap_or("serial");
+    let workers = match flag(&flags, "workers") {
+        Some(s) => {
+            let n = parse_usize(s, "--workers")?;
+            if !matches!(n, 1 | 2 | 4 | 8) {
+                return Err(format!("--workers must be 1, 2, 4 or 8, got {n}"));
+            }
+            if !matches!(backend_name, "parallel" | "parallel-rt") {
+                return Err(format!(
+                    "--workers only applies to the parallel backends, not `{backend_name}`"
+                ));
+            }
+            n
+        }
+        None => 1,
+    };
     let params = OccupancyParams::default();
     let mut backend: Box<dyn MappingSystem> = match backend_name {
         "octomap" => Box::new(OctoMapSystem::new(grid, params)),
@@ -199,12 +216,19 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
             cache,
             RayTracer::Dedup,
         )),
-        "parallel" => Box::new(ParallelOctoCache::new(grid, params, cache)),
-        "parallel-rt" => Box::new(ParallelOctoCache::with_ray_tracer(
+        "parallel" => Box::new(ParallelOctoCache::with_workers(
+            grid,
+            params,
+            cache,
+            RayTracer::Standard,
+            workers,
+        )),
+        "parallel-rt" => Box::new(ParallelOctoCache::with_workers(
             grid,
             params,
             cache,
             RayTracer::Dedup,
+            workers,
         )),
         other => return Err(format!("unknown backend `{other}`")),
     };
@@ -509,6 +533,87 @@ mod tests {
         assert!(run(&s(&["report", &empty]))
             .unwrap()
             .contains("empty trace"));
+    }
+
+    #[test]
+    fn build_with_workers_sweeps_and_matches_serial() {
+        let log = temp_path("workers.scanlog");
+        run(&s(&["generate", "fr079-corridor", &log, "--scale", "0.05"])).unwrap();
+        let map_serial = temp_path("workers-serial.map");
+        run(&s(&[
+            "build",
+            &log,
+            &map_serial,
+            "--backend",
+            "serial",
+            "--resolution",
+            "0.4",
+        ]))
+        .unwrap();
+        for n in ["1", "2", "4"] {
+            let map = temp_path(&format!("workers-{n}.map"));
+            let trace = temp_path(&format!("workers-{n}.jsonl"));
+            let out = run(&s(&[
+                "build",
+                &log,
+                &map,
+                "--backend",
+                "parallel",
+                "--workers",
+                n,
+                "--resolution",
+                "0.4",
+                "--trace",
+                &trace,
+            ]))
+            .unwrap();
+            assert!(out.contains("built"), "{out}");
+            // The trace carries one queue-depth / shard-size entry per
+            // worker, and the merged map matches the serial build exactly.
+            let records = octocache_telemetry::read_jsonl_path(&trace).unwrap();
+            let workers: usize = n.parse().unwrap();
+            assert!(records
+                .iter()
+                .all(|r| r.worker_queue_depths.len() == workers
+                    && r.shard_batch_sizes.len() == workers));
+            let expected = if workers == 1 {
+                "octocache-parallel".to_string()
+            } else {
+                format!("octocache-parallelx{workers}")
+            };
+            assert!(records.iter().all(|r| r.backend == expected));
+            let d = run(&s(&["diff", &map_serial, &map])).unwrap();
+            assert!(d.contains("identical: yes"), "workers={n}: {d}");
+        }
+    }
+
+    #[test]
+    fn build_rejects_bad_worker_counts() {
+        let log = temp_path("badworkers.scanlog");
+        run(&s(&["generate", "fr079-corridor", &log, "--scale", "0.05"])).unwrap();
+        let map = temp_path("badworkers.map");
+        let err = run(&s(&[
+            "build",
+            &log,
+            &map,
+            "--backend",
+            "parallel",
+            "--workers",
+            "3",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("must be 1, 2, 4 or 8"), "{err}");
+        let err = run(&s(&[
+            "build",
+            &log,
+            &map,
+            "--backend",
+            "serial",
+            "--workers",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("parallel backends"), "{err}");
     }
 
     #[test]

@@ -53,14 +53,16 @@ mod config;
 pub mod locality;
 pub mod parallel;
 pub mod pipeline;
+pub mod routing;
 pub mod serial;
 pub mod sharded;
 pub mod spsc;
 
 pub use cache::{AdaptiveController, AdaptivePolicy, CacheStats, EvictedCell, VoxelCache};
 pub use config::{CacheConfig, CacheConfigBuilder, ConfigError, EvictionOrder, IndexPolicy};
-pub use parallel::ParallelOctoCache;
+pub use parallel::{ParallelOctoCache, ShardView};
 pub use pipeline::MappingSystem;
+pub use routing::OctantRouter;
 pub use serial::SerialOctoCache;
 pub use sharded::ShardedOctoMap;
 // Telemetry primitives live in `octocache-telemetry`; `PhaseTimes` is

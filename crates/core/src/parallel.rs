@@ -1,31 +1,44 @@
-//! The parallel OctoCache pipeline (paper §4.4, Figures 13(b)/14).
+//! The parallel OctoCache pipeline (paper §4.4, Figures 13(b)/14),
+//! generalised to N octree-update workers.
 //!
 //! Thread 1 (the caller's thread) runs ray tracing, cache insertion, queries
-//! and cache eviction; thread 2 dequeues evicted voxels from a shared SPSC
-//! buffer and applies them to the octree. One mutex serialises octree reads
-//! (cache-miss seeding, queries) against octree writes (thread 2's batch
-//! updates), eliminating data races exactly as the paper prescribes.
+//! and cache eviction; each of the N workers dequeues evicted voxels from
+//! its own SPSC buffer and applies them to its own octree shard. Evicted
+//! batches are split by top-level octant ([`OctantRouter`], the same
+//! routing as [`crate::sharded::ShardedOctoMap`]), so shards are disjoint
+//! and each worker's octree needs no cross-worker synchronisation — one
+//! mutex per shard serialises that shard's reads (cache-miss seeding,
+//! queries) against its worker's batch updates. With `N = 1` this is
+//! exactly the paper's two-thread layout.
+//!
+//! The paper dismisses naive octree sharding because a sensor's scan cone
+//! is spatially local, so per-scan batches are skewed and most shards idle
+//! (§4.4). Sharding the *eviction stream* evades that objection: the cache
+//! accumulates updates across many scans before τ-eviction, and the evicted
+//! batch covers everything the sensor swept since the last eviction — a far
+//! wider, better-balanced footprint. Per-scan skew is still measurable here
+//! (`shard_skew` in the trace records) so the claim can be checked.
 //!
 //! ## Phase ordering and consistency
 //!
 //! The paper's timeline runs, per batch: ray tracing → cache insertion →
-//! *queries* → cache eviction → (thread 2: octree update, overlapping the
+//! *queries* → cache eviction → (workers: octree update, overlapping the
 //! next batch's ray tracing). Queries therefore always execute when the
-//! shared buffer is empty: everything evicted earlier has been applied to
-//! the tree, and everything newer is in the cache. To expose the same
+//! shared buffers are empty: everything evicted earlier has been applied to
+//! the shards, and everything newer is in the cache. To expose the same
 //! guarantee through a call-based API, [`ParallelOctoCache::insert_scan`]
 //! **defers the eviction of the just-inserted batch to the start of the next
 //! call**:
 //!
-//! 1. evict the previous batch, enqueue it (thread 2 starts updating),
-//! 2. ray-trace the new scan — concurrently with thread 2's update,
-//! 3. wait for thread 2 to finish (the paper's thread-1 "gap", reported as
+//! 1. evict the previous batch, route it by octant, enqueue per worker,
+//! 2. ray-trace the new scan — concurrently with the workers' updates,
+//! 3. wait for every worker (the paper's thread-1 "gap", reported as
 //!    [`PhaseTimes::wait`]),
-//! 4. insert the new batch into the cache (octree reads are safe: the queue
-//!    is empty and the mutex is free).
+//! 4. insert the new batch into the cache (octree reads are safe: all
+//!    queues are empty and the shard mutexes are free).
 //!
-//! Between `insert_scan` calls the queue is thus always drained, so queries
-//! are OctoMap-consistent at every point the caller can observe.
+//! Between `insert_scan` calls the queues are thus always drained, so
+//! queries are OctoMap-consistent at every point the caller can observe.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -36,14 +49,15 @@ use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
 use octocache_octomap::stats::StatsSnapshot;
 use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
 use octocache_telemetry::{PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::cache::{CacheStats, EvictedCell, VoxelCache};
 use crate::config::CacheConfig;
 use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
+use crate::routing::{self, OctantRouter};
 use crate::spsc::{self, Producer};
 
-/// Items flowing through the shared buffer.
+/// Items flowing through a worker's buffer.
 ///
 /// Evicted voxels travel in chunks — the C++ `readerwriterqueue` the paper
 /// uses is itself a block-based ring, so chunking preserves its behaviour
@@ -53,19 +67,21 @@ use crate::spsc::{self, Producer};
 enum Item {
     /// A run of evicted voxels with their accumulated log-odds.
     Chunk(Vec<EvictedCell>),
-    /// Marks the end of a batch; thread 2 releases the octree mutex here.
+    /// Marks the end of a batch; the worker releases its shard mutex here.
     BatchEnd,
 }
 
 /// Evicted voxels per queue message.
 const CHUNK_CELLS: usize = 1024;
 
-/// Counters shared with the worker thread.
+/// Counters shared with one worker thread.
 #[derive(Debug, Default)]
 struct WorkerShared {
     batches_done: AtomicU64,
     dequeue_nanos: AtomicU64,
     octree_nanos: AtomicU64,
+    /// Time spent waiting for the first item of a batch (no work queued).
+    idle_nanos: AtomicU64,
     cells_applied: AtomicU64,
     /// Queue depth (in chunk messages, including the one just popped)
     /// observed by the worker at the start of the most recent batch drain.
@@ -73,39 +89,53 @@ struct WorkerShared {
     shutdown: AtomicBool,
 }
 
-/// Capacity of the shared buffer in chunk messages (≥ a million voxels in
-/// flight before the producer ever blocks — the paper reports enqueue
+/// Thread-1 state for one octree-update worker: its queue producer, its
+/// octree shard, the shared counters, and the attribution bookmarks.
+#[derive(Debug)]
+struct Worker {
+    producer: Producer<Item>,
+    tree: Arc<Mutex<OccupancyOcTree>>,
+    shared: Arc<WorkerShared>,
+    handle: Option<JoinHandle<()>>,
+    /// Worker nanos already attributed to recorded scans; the difference to
+    /// the live atomics is the not-yet-attributed residual.
+    dequeue_seen: u64,
+    octree_seen: u64,
+    idle_seen: u64,
+}
+
+/// Capacity of each worker's buffer in chunk messages (≥ a million voxels
+/// in flight before the producer ever blocks — the paper reports enqueue
 /// overhead as negligible, and a full queue would violate that).
 const QUEUE_CAPACITY: usize = 1 << 12;
 
-/// The parallel (two-thread) OctoCache mapping system.
+/// The parallel OctoCache mapping system: one mapping thread plus N
+/// octree-update workers over octant shards.
 ///
 /// See the [module docs](self) for the phase ordering; the public API is the
 /// same [`MappingSystem`] as every other backend.
 #[derive(Debug)]
 pub struct ParallelOctoCache {
     cache: VoxelCache,
-    tree: Arc<Mutex<OccupancyOcTree>>,
+    workers: Vec<Worker>,
+    router: OctantRouter,
     grid: VoxelGrid,
     params: OccupancyParams,
     ray_tracer: RayTracer,
     batch: insert::VoxelBatch,
-    producer: Producer<Item>,
-    shared: Arc<WorkerShared>,
-    worker: Option<JoinHandle<()>>,
+    /// Reusable per-shard partition buffers for batch routing.
+    route_bufs: Vec<Vec<EvictedCell>>,
+    /// Batches sent to (every one of) the workers so far.
     batches_sent: u64,
     telemetry: Telemetry,
-    /// Tree counters at the end of the previous scan, for per-scan deltas.
+    /// Summed shard counters at the end of the previous scan, for per-scan
+    /// deltas.
     last_tree_stats: StatsSnapshot,
-    /// Worker nanos already attributed to recorded scans; the difference to
-    /// the live atomics is the not-yet-attributed residual.
-    worker_dequeue_seen: u64,
-    worker_octree_seen: u64,
 }
 
 /// What [`ParallelOctoCache::evict_and_enqueue`] produced.
 ///
-/// Back-pressure — waiting for thread 2 to make room in a full queue — is
+/// Back-pressure — waiting for a worker to make room in a full queue — is
 /// reported separately from the enqueue cost proper, matching the paper's
 /// Table 3 where enqueue is the pure buffer-write overhead.
 struct EnqueueOutcome {
@@ -114,53 +144,182 @@ struct EnqueueOutcome {
     evict: Duration,
     enqueue: Duration,
     backpressure: Duration,
-    /// Largest producer-side queue depth seen while enqueueing, in chunk
-    /// messages.
-    queue_depth: u64,
+    /// Largest producer-side queue depth seen per worker while enqueueing,
+    /// in chunk messages.
+    queue_depths: Vec<u64>,
+    /// Evicted cells routed to each worker's shard.
+    shard_sizes: Vec<u64>,
+}
+
+/// A consistent read view over every octree shard, returned by
+/// [`ParallelOctoCache::with_tree`]: all shard mutexes are held for the
+/// view's lifetime, and point queries route through the same
+/// [`OctantRouter`] the writers use.
+pub struct ShardView<'a> {
+    guards: Vec<MutexGuard<'a, OccupancyOcTree>>,
+    router: OctantRouter,
+    grid: VoxelGrid,
+    params: OccupancyParams,
+}
+
+impl ShardView<'_> {
+    /// Number of octree shards in the view.
+    pub fn num_shards(&self) -> usize {
+        self.guards.len()
+    }
+
+    /// Direct access to shard `i`'s octree.
+    pub fn shard(&self, i: usize) -> &OccupancyOcTree {
+        &self.guards[i]
+    }
+
+    /// Accumulated log-odds of a voxel, from the shard that owns it.
+    pub fn search(&self, key: VoxelKey) -> Option<f32> {
+        self.guards[self.router.shard_of(key)].search(key)
+    }
+
+    /// Occupancy decision for a voxel key.
+    pub fn is_occupied(&self, key: VoxelKey) -> Option<bool> {
+        self.search(key).map(|l| self.params.is_occupied(l))
+    }
+
+    /// Occupancy decision at a world point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GeomError`] when the point is outside the grid.
+    pub fn is_occupied_at(&self, p: Point3) -> Result<Option<bool>, GeomError> {
+        Ok(self.is_occupied(self.grid.key_of(p)?))
+    }
+
+    /// Total allocated nodes across all shards.
+    pub fn num_nodes(&self) -> usize {
+        self.guards.iter().map(|g| g.num_nodes()).sum()
+    }
+}
+
+impl std::fmt::Debug for ShardView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardView")
+            .field("num_shards", &self.guards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Pushes one item, spinning through back-pressure when the queue is full;
+/// adds the stall to `backpressure` and returns the post-push queue depth.
+fn push_with_backpressure(
+    producer: &mut Producer<Item>,
+    mut item: Item,
+    backpressure: &mut Duration,
+) -> u64 {
+    use crate::spsc::Full;
+    loop {
+        match producer.push(item) {
+            Ok(()) => break,
+            Err(Full(v)) => {
+                item = v;
+                let tb = Instant::now();
+                let mut spins = 0u32;
+                while producer.len() >= producer.capacity() {
+                    spins += 1;
+                    if spins > 64 {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                *backpressure += tb.elapsed();
+            }
+        }
+    }
+    producer.len() as u64
 }
 
 impl ParallelOctoCache {
-    /// Creates a parallel OctoCache with the standard ray tracer, spawning
-    /// the octree-update worker thread.
+    /// Creates a parallel OctoCache with the standard ray tracer and one
+    /// octree-update worker (the paper's two-thread layout).
     pub fn new(grid: VoxelGrid, params: OccupancyParams, config: CacheConfig) -> Self {
         Self::with_ray_tracer(grid, params, config, RayTracer::Standard)
     }
 
     /// Creates a parallel OctoCache with a chosen ray-tracing front-end
-    /// (`RayTracer::Dedup` gives the paper's parallel OctoCache-RT).
+    /// (`RayTracer::Dedup` gives the paper's parallel OctoCache-RT) and one
+    /// worker.
     pub fn with_ray_tracer(
         grid: VoxelGrid,
         params: OccupancyParams,
         config: CacheConfig,
         ray_tracer: RayTracer,
     ) -> Self {
-        let tree = Arc::new(Mutex::new(OccupancyOcTree::new(grid, params)));
-        let shared = Arc::new(WorkerShared::default());
-        let (producer, consumer) = spsc::channel::<Item>(QUEUE_CAPACITY);
-        let worker = {
-            let tree = Arc::clone(&tree);
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("octocache-octree".into())
-                .spawn(move || worker_loop(consumer, tree, shared))
-                .expect("failed to spawn octree worker thread")
-        };
+        Self::with_workers(grid, params, config, ray_tracer, 1)
+    }
+
+    /// Creates a parallel OctoCache with `num_workers` ∈ {1, 2, 4, 8}
+    /// octree-update workers, each owning one octant shard of the key
+    /// space.
+    ///
+    /// # Panics
+    ///
+    /// Panics for worker counts other than 1, 2, 4 or 8 (the
+    /// [`OctantRouter`] validity rule).
+    pub fn with_workers(
+        grid: VoxelGrid,
+        params: OccupancyParams,
+        config: CacheConfig,
+        ray_tracer: RayTracer,
+        num_workers: usize,
+    ) -> Self {
+        let router = OctantRouter::new(num_workers, &grid);
+        let workers: Vec<Worker> = (0..num_workers)
+            .map(|i| {
+                let tree = Arc::new(Mutex::new(OccupancyOcTree::new(grid, params)));
+                let shared = Arc::new(WorkerShared::default());
+                let (producer, consumer) = spsc::channel::<Item>(QUEUE_CAPACITY);
+                let handle = {
+                    let tree = Arc::clone(&tree);
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("octocache-octree-{i}"))
+                        .spawn(move || worker_loop(consumer, tree, shared))
+                        .expect("failed to spawn octree worker thread")
+                };
+                Worker {
+                    producer,
+                    tree,
+                    shared,
+                    handle: Some(handle),
+                    dequeue_seen: 0,
+                    octree_seen: 0,
+                    idle_seen: 0,
+                }
+            })
+            .collect();
+        let backend = Self::backend_name(ray_tracer, num_workers);
         ParallelOctoCache {
             cache: VoxelCache::new(config, params),
-            tree,
+            workers,
+            router,
             grid,
             params,
             ray_tracer,
             batch: insert::VoxelBatch::new(),
-            producer,
-            shared,
-            worker: Some(worker),
+            route_bufs: vec![Vec::new(); num_workers],
             batches_sent: 0,
-            telemetry: Telemetry::new(format!("octocache-parallel{}", ray_tracer.suffix())),
+            telemetry: Telemetry::new(backend),
             last_tree_stats: StatsSnapshot::default(),
-            worker_dequeue_seen: 0,
-            worker_octree_seen: 0,
         }
+    }
+
+    /// The backend display name: `octocache-parallel[-rt][xN]` (the `xN`
+    /// suffix only for N > 1, so the single-worker layout keeps its
+    /// historical name).
+    fn backend_name(ray_tracer: RayTracer, num_workers: usize) -> String {
+        let mut name = format!("octocache-parallel{}", ray_tracer.suffix());
+        if num_workers > 1 {
+            name.push_str(&format!("x{num_workers}"));
+        }
+        name
     }
 
     /// The cache layer.
@@ -173,125 +332,205 @@ impl ParallelOctoCache {
         self.cache.stats()
     }
 
-    /// Runs `f` with shared access to the backing octree (the octree mutex
-    /// is held for the duration). Pending cache contents are not included;
-    /// call [`MappingSystem::finish`] first for a complete tree.
-    pub fn with_tree<R>(&self, f: impl FnOnce(&OccupancyOcTree) -> R) -> R {
-        f(&self.tree.lock())
+    /// Number of octree-update workers (= octree shards).
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
     }
 
-    /// Shuts the worker down and returns the octree (flushing the cache
-    /// first, so the tree is complete).
+    /// Runs `f` with shared access to the backing octree shards (every
+    /// shard mutex is held for the duration). Pending cache contents are
+    /// not included; call [`MappingSystem::finish`] first for a complete
+    /// tree.
+    pub fn with_tree<R>(&self, f: impl FnOnce(&ShardView<'_>) -> R) -> R {
+        let view = ShardView {
+            guards: self.workers.iter().map(|w| w.tree.lock()).collect(),
+            router: self.router,
+            grid: self.grid,
+            params: self.params,
+        };
+        f(&view)
+    }
+
+    /// Shuts the workers down and returns the merged octree (flushing the
+    /// cache first, so the tree is complete). Shards populate disjoint
+    /// top-level octant groups, so the merge is structural.
     pub fn into_tree(mut self) -> OccupancyOcTree {
         self.finish();
-        self.shutdown_worker();
-        let tree = Arc::clone(&self.tree);
-        drop(self); // drops producer & our Arc clones
-        match Arc::try_unwrap(tree) {
+        self.shutdown_workers();
+        let grid = self.grid;
+        let params = self.params;
+        let workers = std::mem::take(&mut self.workers);
+        drop(self); // drops producers & our Arc clones
+        let mut trees = workers.into_iter().map(|w| match Arc::try_unwrap(w.tree) {
             Ok(mutex) => mutex.into_inner(),
             Err(_) => unreachable!("worker joined; no other Arc holders remain"),
-        }
+        });
+        let first = trees
+            .next()
+            .unwrap_or_else(|| OccupancyOcTree::new(grid, params));
+        trees.fold(first, |mut merged, tree| {
+            merged
+                .merge_disjoint_top_level(&tree)
+                .expect("workers partition key space disjointly");
+            merged
+        })
     }
 
-    /// Spin-waits until thread 2 has applied every enqueued batch — the
-    /// thread-1 "gap" of the paper's Figure 13(b).
-    fn wait_for_worker(&self) {
-        let mut spins = 0u32;
-        while self.shared.batches_done.load(Ordering::Acquire) < self.batches_sent {
-            spins += 1;
-            if spins > 64 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
+    /// Spin-waits until every worker has applied every enqueued batch — the
+    /// thread-1 "gap" of the paper's Figure 13(b), extended to the worker
+    /// set.
+    fn wait_for_workers(&self) {
+        for w in &self.workers {
+            let mut spins = 0u32;
+            while w.shared.batches_done.load(Ordering::Acquire) < self.batches_sent {
+                spins += 1;
+                if spins > 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
             }
         }
     }
 
-    /// Evicts the pending batch and enqueues it for thread 2, sampling the
-    /// producer-side queue depth along the way.
-    fn evict_and_enqueue(&mut self) -> EnqueueOutcome {
-        use crate::spsc::Full;
+    /// Routes `cells` by octant and enqueues each shard's share to its
+    /// worker, closing the batch with a `BatchEnd` on **every** queue (even
+    /// empty shares) so `batches_done` stays aligned across the worker set.
+    fn send_batch(&mut self, cells: &[EvictedCell]) -> EnqueueOutcome {
+        let t1 = Instant::now();
+        let n = self.workers.len();
+        let mut backpressure = Duration::ZERO;
+        let mut queue_depths = vec![0u64; n];
+        let mut shard_sizes = vec![0u64; n];
 
+        if n == 1 {
+            // Single worker: no routing needed, chunk straight off the
+            // eviction buffer.
+            shard_sizes[0] = cells.len() as u64;
+            let w = &mut self.workers[0];
+            for chunk in cells.chunks(CHUNK_CELLS) {
+                let depth = push_with_backpressure(
+                    &mut w.producer,
+                    Item::Chunk(chunk.to_vec()),
+                    &mut backpressure,
+                );
+                queue_depths[0] = queue_depths[0].max(depth);
+            }
+        } else {
+            let mut bufs = std::mem::take(&mut self.route_bufs);
+            for buf in &mut bufs {
+                buf.clear();
+            }
+            for cell in cells {
+                bufs[self.router.shard_of(cell.key)].push(*cell);
+            }
+            for (i, buf) in bufs.iter().enumerate() {
+                shard_sizes[i] = buf.len() as u64;
+                let w = &mut self.workers[i];
+                for chunk in buf.chunks(CHUNK_CELLS) {
+                    let depth = push_with_backpressure(
+                        &mut w.producer,
+                        Item::Chunk(chunk.to_vec()),
+                        &mut backpressure,
+                    );
+                    queue_depths[i] = queue_depths[i].max(depth);
+                }
+            }
+            self.route_bufs = bufs;
+        }
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            let depth = push_with_backpressure(&mut w.producer, Item::BatchEnd, &mut backpressure);
+            queue_depths[i] = queue_depths[i].max(depth);
+        }
+        self.batches_sent += 1;
+        let enqueue = t1.elapsed().saturating_sub(backpressure);
+        EnqueueOutcome {
+            count: cells.len(),
+            evict: Duration::ZERO,
+            enqueue,
+            backpressure,
+            queue_depths,
+            shard_sizes,
+        }
+    }
+
+    /// Evicts the pending batch and enqueues it for the workers, sampling
+    /// the producer-side queue depths along the way.
+    fn evict_and_enqueue(&mut self) -> EnqueueOutcome {
         let t0 = Instant::now();
         let mut evicted: Vec<EvictedCell> = Vec::new();
         self.cache.evict_into(&mut evicted);
         let evict = t0.elapsed();
-
-        let t1 = Instant::now();
-        let mut backpressure = Duration::ZERO;
-        let mut queue_depth = 0u64;
-        let mut send = |producer: &mut Producer<Item>, mut item: Item| {
-            loop {
-                match producer.push(item) {
-                    Ok(()) => break,
-                    Err(Full(v)) => {
-                        item = v;
-                        let tb = Instant::now();
-                        let mut spins = 0u32;
-                        while producer.len() >= producer.capacity() {
-                            spins += 1;
-                            if spins > 64 {
-                                std::thread::yield_now();
-                            } else {
-                                std::hint::spin_loop();
-                            }
-                        }
-                        backpressure += tb.elapsed();
-                    }
-                }
-            }
-            queue_depth = queue_depth.max(producer.len() as u64);
-        };
-        let count = evicted.len();
-        for chunk in evicted.chunks(CHUNK_CELLS) {
-            send(&mut self.producer, Item::Chunk(chunk.to_vec()));
-        }
-        send(&mut self.producer, Item::BatchEnd);
-        self.batches_sent += 1;
-        let enqueue = t1.elapsed().saturating_sub(backpressure);
-        EnqueueOutcome {
-            count,
-            evict,
-            enqueue,
-            backpressure,
-            queue_depth,
-        }
+        let mut out = self.send_batch(&evicted);
+        out.evict = evict;
+        out
     }
 
-    fn shutdown_worker(&mut self) {
-        if let Some(handle) = self.worker.take() {
-            self.shared.shutdown.store(true, Ordering::Release);
-            let _ = handle.join();
+    fn shutdown_workers(&mut self) {
+        for w in &self.workers {
+            if w.handle.is_some() {
+                w.shared.shutdown.store(true, Ordering::Release);
+            }
+        }
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
         }
     }
 
     /// Worker time accumulated since the last attribution, folded into a
-    /// [`PhaseTimes`] and marked as attributed. Called once per scan, so
-    /// each scan's record carries the worker time of the batch it waited
-    /// on (the batch evicted one scan earlier — the pipeline offset of the
-    /// paper's Figure 13(b)).
-    fn take_worker_delta(&mut self) -> PhaseTimes {
-        let delta = self.worker_residual();
-        self.worker_dequeue_seen = self.shared.dequeue_nanos.load(Ordering::Relaxed);
-        self.worker_octree_seen = self.shared.octree_nanos.load(Ordering::Relaxed);
-        delta
+    /// [`PhaseTimes`] plus per-worker busy/idle nanos, and marked as
+    /// attributed. Called once per scan, so each scan's record carries the
+    /// worker time of the batch it waited on (the batch evicted one scan
+    /// earlier — the pipeline offset of the paper's Figure 13(b)).
+    fn take_worker_delta(&mut self) -> (PhaseTimes, Vec<u64>, Vec<u64>) {
+        let mut times = PhaseTimes::default();
+        let mut busy = Vec::with_capacity(self.workers.len());
+        let mut idle = Vec::with_capacity(self.workers.len());
+        for w in &mut self.workers {
+            let dq = w.shared.dequeue_nanos.load(Ordering::Relaxed);
+            let oc = w.shared.octree_nanos.load(Ordering::Relaxed);
+            let id = w.shared.idle_nanos.load(Ordering::Relaxed);
+            let d_dq = dq.saturating_sub(w.dequeue_seen);
+            let d_oc = oc.saturating_sub(w.octree_seen);
+            let d_id = id.saturating_sub(w.idle_seen);
+            w.dequeue_seen = dq;
+            w.octree_seen = oc;
+            w.idle_seen = id;
+            times.dequeue += Duration::from_nanos(d_dq);
+            times.octree_update += Duration::from_nanos(d_oc);
+            busy.push(d_dq + d_oc);
+            idle.push(d_id);
+        }
+        (times, busy, idle)
     }
 
     /// Worker time not yet attributed to any scan.
     fn worker_residual(&self) -> PhaseTimes {
-        let dq = self.shared.dequeue_nanos.load(Ordering::Relaxed);
-        let oc = self.shared.octree_nanos.load(Ordering::Relaxed);
-        PhaseTimes {
-            dequeue: Duration::from_nanos(dq.saturating_sub(self.worker_dequeue_seen)),
-            octree_update: Duration::from_nanos(oc.saturating_sub(self.worker_octree_seen)),
-            ..Default::default()
+        let mut times = PhaseTimes::default();
+        for w in &self.workers {
+            let dq = w.shared.dequeue_nanos.load(Ordering::Relaxed);
+            let oc = w.shared.octree_nanos.load(Ordering::Relaxed);
+            times.dequeue += Duration::from_nanos(dq.saturating_sub(w.dequeue_seen));
+            times.octree_update += Duration::from_nanos(oc.saturating_sub(w.octree_seen));
         }
+        times
+    }
+
+    /// Sums the instrumentation counters of every shard (locking each).
+    fn summed_tree_stats(&self) -> StatsSnapshot {
+        let mut total = StatsSnapshot::default();
+        for w in &self.workers {
+            total.merge(&w.tree.lock().stats().snapshot());
+        }
+        total
     }
 }
 
 impl MappingSystem for ParallelOctoCache {
     fn name(&self) -> String {
-        format!("octocache-parallel{}", self.ray_tracer.suffix())
+        Self::backend_name(self.ray_tracer, self.workers.len())
     }
 
     fn grid(&self) -> &VoxelGrid {
@@ -306,10 +545,10 @@ impl MappingSystem for ParallelOctoCache {
     ) -> Result<ScanReport, GeomError> {
         let cache_before = *self.cache.stats();
 
-        // Phase 1: evict the previous batch and hand it to thread 2.
+        // Phase 1: evict the previous batch and hand it to the workers.
         let enq = self.evict_and_enqueue();
 
-        // Phase 2: ray-trace the new scan, overlapping thread 2's update.
+        // Phase 2: ray-trace the new scan, overlapping the workers' update.
         let grid = self.grid;
         let t0 = Instant::now();
         insert::compute_update(&grid, origin, cloud, max_range, &mut self.batch)?;
@@ -323,28 +562,37 @@ impl MappingSystem for ParallelOctoCache {
         };
         let ray_tracing = t0.elapsed();
 
-        // Phase 3: wait for thread 2 — the paper's thread-1 gap (including
-        // any back-pressure absorbed during enqueue).
+        // Phase 3: wait for every worker — the paper's thread-1 gap
+        // (including any back-pressure absorbed during enqueue).
         let t1 = Instant::now();
-        self.wait_for_worker();
+        self.wait_for_workers();
         let wait = t1.elapsed() + enq.backpressure;
 
-        // Phase 4: cache insertion under the octree mutex (seeding misses).
+        // Phase 4: cache insertion under the shard mutexes (seeding misses
+        // from the owning shard). All queues are drained, so the locks are
+        // uncontended.
         let t2 = Instant::now();
         let (mutex_wait, tree_after) = {
-            let guard = self.tree.lock();
+            let guards: Vec<MutexGuard<'_, OccupancyOcTree>> =
+                self.workers.iter().map(|w| w.tree.lock()).collect();
             let mutex_wait = t2.elapsed();
+            let router = self.router;
             let cache = &mut self.cache;
             for u in batch.iter() {
-                cache.insert(u.key, u.occupied, |k| guard.search(k));
+                cache.insert(u.key, u.occupied, |k| guards[router.shard_of(k)].search(k));
             }
-            (mutex_wait, guard.stats().snapshot())
+            let mut tree_after = StatsSnapshot::default();
+            for g in &guards {
+                tree_after.merge(&g.stats().snapshot());
+            }
+            (mutex_wait, tree_after)
         };
         let cache_insert = t2.elapsed();
         let observations = batch.len();
 
         // This scan's times carry the worker-side cost of the batch it
-        // waited on, so cross-scan totals cover both threads.
+        // waited on, so cross-scan totals cover both sides of the pipeline.
+        let (worker_times, worker_busy_ns, worker_idle_ns) = self.take_worker_delta();
         let times = PhaseTimes {
             ray_tracing,
             cache_insert,
@@ -352,7 +600,7 @@ impl MappingSystem for ParallelOctoCache {
             enqueue: enq.enqueue,
             wait,
             ..Default::default()
-        } + self.take_worker_delta();
+        } + worker_times;
 
         let tree_delta = tree_after.since(&self.last_tree_stats);
         self.last_tree_stats = tree_after;
@@ -367,9 +615,19 @@ impl MappingSystem for ParallelOctoCache {
             octree_node_visits: tree_delta.node_visits,
             octree_leaf_updates: tree_delta.leaf_updates,
             octree_nodes_created: tree_delta.nodes_created,
-            queue_depth_enqueue: enq.queue_depth,
-            queue_depth_dequeue: self.shared.queue_depth_dequeue.load(Ordering::Relaxed),
+            queue_depth_enqueue: enq.queue_depths.iter().copied().max().unwrap_or(0),
+            queue_depth_dequeue: self
+                .workers
+                .iter()
+                .map(|w| w.shared.queue_depth_dequeue.load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0),
             mutex_wait,
+            shard_skew: routing::skew(&enq.shard_sizes),
+            worker_queue_depths: enq.queue_depths,
+            shard_batch_sizes: enq.shard_sizes,
+            worker_busy_ns,
+            worker_idle_ns,
             ..Default::default()
         });
 
@@ -384,7 +642,10 @@ impl MappingSystem for ParallelOctoCache {
     fn occupancy(&mut self, key: VoxelKey) -> Option<f32> {
         match self.cache.get(key) {
             Some(v) => Some(v),
-            None => self.tree.lock().search(key),
+            None => self.workers[self.router.shard_of(key)]
+                .tree
+                .lock()
+                .search(key),
         }
     }
 
@@ -400,27 +661,21 @@ impl MappingSystem for ParallelOctoCache {
         let t0 = Instant::now();
         let drained = self.cache.drain_all();
         let evict2 = t0.elapsed();
-        let t1 = Instant::now();
-        for chunk in drained.chunks(CHUNK_CELLS) {
-            self.producer.push_blocking(Item::Chunk(chunk.to_vec()));
-        }
-        self.producer.push_blocking(Item::BatchEnd);
-        self.batches_sent += 1;
-        let enq2 = t1.elapsed();
+        let enq2 = self.send_batch(&drained);
 
-        let t2 = Instant::now();
-        self.wait_for_worker();
-        let wait = t2.elapsed() + enq1.backpressure;
+        let t1 = Instant::now();
+        self.wait_for_workers();
+        let wait = t1.elapsed() + enq1.backpressure + enq2.backpressure;
 
         let times = PhaseTimes {
             cache_evict: enq1.evict + evict2,
-            enqueue: enq1.enqueue + enq2,
+            enqueue: enq1.enqueue + enq2.enqueue,
             wait,
             ..Default::default()
         };
         // The final flush belongs to no scan: fold its thread-1 times and
         // the worker time it triggered into the totals only.
-        let with_worker = times + self.take_worker_delta();
+        let with_worker = times + self.take_worker_delta().0;
         self.telemetry.add_times(with_worker);
         self.telemetry.flush();
         times
@@ -443,7 +698,7 @@ impl MappingSystem for ParallelOctoCache {
     }
 
     fn tree_stats(&self) -> Option<StatsSnapshot> {
-        Some(self.tree.lock().stats().snapshot())
+        Some(self.summed_tree_stats())
     }
 
     fn take_tree(self: Box<Self>) -> OccupancyOcTree {
@@ -453,31 +708,37 @@ impl MappingSystem for ParallelOctoCache {
 
 impl Drop for ParallelOctoCache {
     fn drop(&mut self) {
-        self.shutdown_worker();
+        self.shutdown_workers();
     }
 }
 
-/// Thread 2: dequeue evicted voxels and apply them to the octree, holding
-/// the octree mutex per batch.
+/// An octree-update worker: dequeue evicted voxels and apply them to this
+/// worker's octree shard, holding the shard mutex per batch.
 fn worker_loop(
     mut consumer: spsc::Consumer<Item>,
     tree: Arc<Mutex<OccupancyOcTree>>,
     shared: Arc<WorkerShared>,
 ) {
     'outer: loop {
-        // Wait (untimed — this is idle time, not dequeue cost) for work.
+        // Wait for work; this is idle time, not dequeue cost, and is
+        // reported separately so per-worker utilization is measurable.
+        let idle_start = Instant::now();
         let first = loop {
             if let Some(item) = consumer.try_pop() {
-                break item;
+                break Some(item);
             }
             if shared.shutdown.load(Ordering::Acquire) {
                 // Final double-check to avoid losing a racing push.
-                match consumer.try_pop() {
-                    Some(item) => break item,
-                    None => break 'outer,
-                }
+                break consumer.try_pop();
             }
             std::thread::yield_now();
+        };
+        shared
+            .idle_nanos
+            .fetch_add(idle_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let first = match first {
+            Some(item) => item,
+            None => break 'outer,
         };
 
         match first {
@@ -586,9 +847,40 @@ mod tests {
         ParallelOctoCache::new(grid, OccupancyParams::default(), config)
     }
 
+    fn system_n(workers: usize, w: usize, tau: usize) -> ParallelOctoCache {
+        let grid = VoxelGrid::new(0.5, 8).unwrap();
+        let config = CacheConfig::builder()
+            .num_buckets(w)
+            .tau(tau)
+            .build()
+            .unwrap();
+        ParallelOctoCache::with_workers(
+            grid,
+            OccupancyParams::default(),
+            config,
+            RayTracer::Standard,
+            workers,
+        )
+    }
+
     fn wall_cloud(offset: f64) -> Vec<Point3> {
         (0..50)
             .map(|i| Point3::new(6.0, -1.5 + offset + i as f64 * 0.05, 0.25))
+            .collect()
+    }
+
+    /// A cloud spanning several octants (both sides of the grid centre on
+    /// every axis), so multi-worker runs exercise more than one shard.
+    fn spread_cloud(offset: f64) -> Vec<Point3> {
+        (0..60)
+            .map(|i| {
+                let a = i as f64 * 0.41 + offset;
+                Point3::new(
+                    12.0 * a.sin(),
+                    12.0 * a.cos(),
+                    if i % 2 == 0 { 4.0 } else { -4.0 },
+                )
+            })
             .collect()
     }
 
@@ -597,6 +889,9 @@ mod tests {
         let mut s = system(64, 4);
         assert_eq!(s.name(), "octocache-parallel");
         s.finish();
+        let mut s4 = system_n(4, 64, 4);
+        assert_eq!(s4.name(), "octocache-parallelx4");
+        s4.finish();
     }
 
     #[test]
@@ -615,6 +910,29 @@ mod tests {
                 Some(false)
             );
         }
+    }
+
+    #[test]
+    fn insert_and_query_with_four_workers() {
+        let mut s = system_n(4, 1 << 6, 1); // tiny cache: constant eviction
+        let mut last = Vec::new();
+        for i in 0..6 {
+            let origin = Point3::new(0.0, 0.0, if i % 2 == 0 { 1.0 } else { -1.0 });
+            last = spread_cloud(i as f64 * 0.13);
+            s.insert_scan(origin, &last, 40.0).unwrap();
+        }
+        // The latest scan's endpoints span several octants, so these
+        // queries exercise every shard's cache-miss fall-through. All of
+        // them are known to the map, and most were just hit.
+        let mut occupied = 0;
+        for p in &last {
+            match s.is_occupied_at(*p).unwrap() {
+                Some(true) => occupied += 1,
+                Some(false) => {}
+                None => panic!("endpoint {p:?} unknown to the map"),
+            }
+        }
+        assert!(occupied > last.len() / 2, "{occupied}/{}", last.len());
     }
 
     #[test]
@@ -675,6 +993,42 @@ mod tests {
     }
 
     #[test]
+    fn multi_worker_into_tree_matches_single_worker() {
+        let grid = VoxelGrid::new(0.5, 8).unwrap();
+        let params = OccupancyParams::default();
+        let cfg = CacheConfig::builder()
+            .num_buckets(1 << 6)
+            .tau(1)
+            .build()
+            .unwrap();
+        let build = |n: usize| {
+            let mut s = ParallelOctoCache::with_workers(grid, params, cfg, RayTracer::Standard, n);
+            for i in 0..5 {
+                s.insert_scan(Point3::ZERO, &spread_cloud(i as f64 * 0.29), 40.0)
+                    .unwrap();
+            }
+            s.into_tree()
+        };
+        let t1 = build(1);
+        for n in [2, 4, 8] {
+            let tn = build(n);
+            assert_eq!(tn.num_nodes(), t1.num_nodes(), "{n} workers");
+            for x in (0..256u16).step_by(7) {
+                for y in (0..256u16).step_by(11) {
+                    let key = VoxelKey::new(x, y, 136);
+                    match (t1.search(key), tn.search(key)) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => {
+                            assert!((a - b).abs() < 1e-6, "{key} ({n} workers)")
+                        }
+                        other => panic!("{key} ({n} workers): {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn worker_times_are_recorded() {
         let mut s = system(1 << 6, 1); // tiny cache: lots of evictions
         for i in 0..8 {
@@ -684,14 +1038,47 @@ mod tests {
         s.finish();
         let t = s.phase_times();
         assert!(t.octree_update > std::time::Duration::ZERO);
-        assert!(s.shared.cells_applied.load(Ordering::Relaxed) > 0);
+        assert!(s.workers[0].shared.cells_applied.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn per_worker_telemetry_is_recorded() {
+        use octocache_telemetry::SharedRecorder;
+        let recorder = SharedRecorder::new();
+        let mut s = system_n(4, 1 << 6, 1);
+        s.set_recorder(Box::new(recorder.clone()));
+        for i in 0..6 {
+            s.insert_scan(Point3::ZERO, &spread_cloud(i as f64 * 0.17), 40.0)
+                .unwrap();
+        }
+        s.finish();
+        let records = recorder.records();
+        assert!(!records.is_empty());
+        for r in &records {
+            assert_eq!(r.worker_queue_depths.len(), 4);
+            assert_eq!(r.shard_batch_sizes.len(), 4);
+            assert_eq!(r.worker_busy_ns.len(), 4);
+            assert_eq!(r.worker_idle_ns.len(), 4);
+            assert!(r.shard_skew >= 1.0, "skew {}", r.shard_skew);
+        }
+        // The spread cloud reaches several octants, so after the first
+        // couple of evictions more than one shard must have received cells.
+        let active: usize = (0..4)
+            .filter(|&i| records.iter().any(|r| r.shard_batch_sizes[i] > 0))
+            .count();
+        assert!(active > 1, "expected >1 active shard, got {active}");
+        // Busy time must have accrued on every active shard's worker.
+        assert!(records
+            .iter()
+            .any(|r| r.worker_busy_ns.iter().any(|&b| b > 0)));
     }
 
     #[test]
     fn drop_without_finish_is_clean() {
-        let mut s = system(1 << 6, 2);
-        s.insert_scan(Point3::ZERO, &wall_cloud(0.0), 20.0).unwrap();
-        drop(s); // must join the worker without hanging or panicking
+        let mut s = system_n(4, 1 << 6, 2);
+        s.insert_scan(Point3::ZERO, &spread_cloud(0.0), 40.0)
+            .unwrap();
+        drop(s); // must join every worker without hanging or panicking
     }
 
     #[test]
@@ -713,5 +1100,21 @@ mod tests {
         // Dedup front-end: observations are distinct.
         assert!(report.observations > 0);
         s.finish();
+
+        let mut s2 = ParallelOctoCache::with_workers(
+            grid,
+            OccupancyParams::default(),
+            cfg,
+            RayTracer::Dedup,
+            2,
+        );
+        assert_eq!(s2.name(), "octocache-parallel-rtx2");
+        s2.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 1, 2, 4 or 8")]
+    fn rejects_invalid_worker_counts() {
+        system_n(3, 64, 4);
     }
 }

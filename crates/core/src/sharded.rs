@@ -17,13 +17,14 @@ use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
 use octocache_telemetry::{PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry};
 
 use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
+use crate::routing::{self, OctantRouter};
 
 /// OctoMap sharded by spatial octant, with per-scan parallel shard updates.
 #[derive(Debug)]
 pub struct ShardedOctoMap {
     shards: Vec<OccupancyOcTree>,
-    /// log2(number of shards), 0..=3.
-    shard_bits: u8,
+    /// Key → shard mapping, shared with the parallel pipeline.
+    router: OctantRouter,
     grid: VoxelGrid,
     params: OccupancyParams,
     ray_tracer: RayTracer,
@@ -37,14 +38,15 @@ pub struct ShardedOctoMap {
 impl ShardedOctoMap {
     /// Creates a sharded OctoMap with `num_shards` ∈ {1, 2, 4, 8} subtrees.
     ///
+    /// Key-to-shard routing is [`OctantRouter`], the helper shared with the
+    /// N-worker [`crate::parallel::ParallelOctoCache`], so the two backends
+    /// always partition the key space identically.
+    ///
     /// # Panics
     ///
-    /// Panics for shard counts other than 1, 2, 4 or 8.
+    /// Panics for shard counts other than 1, 2, 4 or 8 (the router's
+    /// validity rule — a shard is a bit-mask over the eight root octants).
     pub fn new(grid: VoxelGrid, params: OccupancyParams, num_shards: usize) -> Self {
-        assert!(
-            matches!(num_shards, 1 | 2 | 4 | 8),
-            "num_shards must be 1, 2, 4 or 8"
-        );
         Self::with_ray_tracer(grid, params, num_shards, RayTracer::Standard)
     }
 
@@ -55,13 +57,13 @@ impl ShardedOctoMap {
         num_shards: usize,
         ray_tracer: RayTracer,
     ) -> Self {
-        let shard_bits = num_shards.trailing_zeros() as u8;
+        let router = OctantRouter::new(num_shards, &grid);
         let backend = format!("octomap-sharded{}x{}", ray_tracer.suffix(), num_shards);
         ShardedOctoMap {
             shards: (0..num_shards)
                 .map(|_| OccupancyOcTree::new(grid, params))
                 .collect(),
-            shard_bits,
+            router,
             grid,
             params,
             ray_tracer,
@@ -86,14 +88,11 @@ impl ShardedOctoMap {
         self.shards.len()
     }
 
-    /// The shard a voxel belongs to: the top octant bits of its key.
+    /// The shard a voxel belongs to: the top octant bits of its key
+    /// (delegates to the shared [`OctantRouter`]).
     #[inline]
     pub fn shard_of(&self, key: VoxelKey) -> usize {
-        if self.shard_bits == 0 {
-            return 0;
-        }
-        let octant = key.child_index(self.grid.depth() - 1).as_usize();
-        octant & ((1 << self.shard_bits) - 1)
+        self.router.shard_of(key)
     }
 
     /// Updates routed to each shard so far.
@@ -105,12 +104,7 @@ impl ShardedOctoMap {
     /// share `1/num_shards`. A value of `num_shards` means one shard did
     /// all the work (total imbalance); `1.0` is perfect balance.
     pub fn imbalance(&self) -> f64 {
-        let total: u64 = self.shard_updates.iter().sum();
-        if total == 0 {
-            return 1.0;
-        }
-        let max = *self.shard_updates.iter().max().expect("non-empty") as f64;
-        max / (total as f64 / self.shards.len() as f64)
+        routing::skew(&self.shard_updates)
     }
 }
 

@@ -47,6 +47,21 @@ pub struct ScanRecord {
     /// Time thread 1 spent blocked acquiring the octree mutex this scan
     /// (parallel backend only; the serial backends have no mutex).
     pub mutex_wait: Duration,
+    /// Largest producer-side queue depth seen per worker while enqueueing
+    /// this scan's batch (N-worker parallel backend; empty elsewhere).
+    pub worker_queue_depths: Vec<u64>,
+    /// Evicted cells routed to each worker's shard this scan (N-worker
+    /// parallel backend; empty elsewhere).
+    pub shard_batch_sizes: Vec<u64>,
+    /// Load skew of `shard_batch_sizes`: busiest shard over the fair share,
+    /// `1.0` for a balanced (or empty) batch.
+    pub shard_skew: f64,
+    /// Per-worker busy time (dequeue + octree update) attributed to this
+    /// scan, in nanoseconds (N-worker parallel backend; empty elsewhere).
+    pub worker_busy_ns: Vec<u64>,
+    /// Per-worker idle time attributed to this scan, in nanoseconds
+    /// (N-worker parallel backend; empty elsewhere).
+    pub worker_idle_ns: Vec<u64>,
 }
 
 impl ScanRecord {
@@ -85,6 +100,11 @@ mod tests {
             queue_depth_enqueue: 3,
             queue_depth_dequeue: 1,
             mutex_wait: Duration::from_nanos(90),
+            worker_queue_depths: vec![3, 1],
+            shard_batch_sizes: vec![500, 300],
+            shard_skew: 1.25,
+            worker_busy_ns: vec![900, 450],
+            worker_idle_ns: vec![10, 460],
         };
         let json = serde::json::to_string(&r);
         let back: ScanRecord = serde::json::from_str(&json).unwrap();

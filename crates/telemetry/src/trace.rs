@@ -105,6 +105,15 @@ pub struct TraceSummary {
     pub octree_leaf_updates: u64,
     /// Largest SPSC queue depth seen at enqueue.
     pub max_queue_depth: u64,
+    /// Largest per-scan shard skew seen (N-worker parallel traces; 0 when
+    /// the trace carries no shard data).
+    pub max_shard_skew: f64,
+    /// Per-worker busy nanoseconds summed over the trace (N-worker parallel
+    /// traces; empty elsewhere).
+    pub worker_busy_ns: Vec<u64>,
+    /// Per-worker idle nanoseconds summed over the trace (N-worker parallel
+    /// traces; empty elsewhere).
+    pub worker_idle_ns: Vec<u64>,
     /// Cumulative phase times.
     pub totals: PhaseTimes,
     /// Per-phase latency histograms (nanoseconds).
@@ -136,6 +145,19 @@ impl TraceSummary {
             s.octree_node_visits += r.octree_node_visits;
             s.octree_leaf_updates += r.octree_leaf_updates;
             s.max_queue_depth = s.max_queue_depth.max(r.queue_depth_enqueue);
+            s.max_shard_skew = s.max_shard_skew.max(r.shard_skew);
+            if s.worker_busy_ns.len() < r.worker_busy_ns.len() {
+                s.worker_busy_ns.resize(r.worker_busy_ns.len(), 0);
+            }
+            for (acc, v) in s.worker_busy_ns.iter_mut().zip(&r.worker_busy_ns) {
+                *acc += v;
+            }
+            if s.worker_idle_ns.len() < r.worker_idle_ns.len() {
+                s.worker_idle_ns.resize(r.worker_idle_ns.len(), 0);
+            }
+            for (acc, v) in s.worker_idle_ns.iter_mut().zip(&r.worker_idle_ns) {
+                *acc += v;
+            }
             s.totals += r.times;
             s.per_phase.record_times(&r.times);
         }
@@ -174,6 +196,25 @@ impl TraceSummary {
         } else {
             self.octree_node_visits as f64 / self.octree_leaf_updates as f64
         }
+    }
+
+    /// Per-worker utilization over the trace: busy / (busy + idle), in
+    /// `[0, 1]`; one entry per octree-update worker, empty for traces with
+    /// no worker data.
+    pub fn worker_utilization(&self) -> Vec<f64> {
+        self.worker_busy_ns
+            .iter()
+            .enumerate()
+            .map(|(i, &busy)| {
+                let idle = self.worker_idle_ns.get(i).copied().unwrap_or(0);
+                let total = busy + idle;
+                if total == 0 {
+                    0.0
+                } else {
+                    busy as f64 / total as f64
+                }
+            })
+            .collect()
     }
 
     /// The per-phase percentile table rows (phases that never ran are
@@ -231,6 +272,18 @@ impl TraceSummary {
                 "  max queue depth at enqueue: {}",
                 self.max_queue_depth
             );
+        }
+        let util = self.worker_utilization();
+        if !util.is_empty() {
+            let cols: Vec<String> = util
+                .iter()
+                .enumerate()
+                .map(|(i, u)| format!("w{i} {:.1} %", u * 100.0))
+                .collect();
+            let _ = writeln!(out, "  worker utilization: {}", cols.join(", "));
+            if self.max_shard_skew > 0.0 {
+                let _ = writeln!(out, "  max shard skew: {:.2}", self.max_shard_skew);
+            }
         }
 
         let _ = writeln!(out, "\nper-phase latency percentiles (per scan):");
@@ -326,6 +379,32 @@ mod tests {
         assert_eq!(names, ["ray_tracing", "octree_update"]);
         assert_eq!(table[0].count, 100);
         assert!(table[0].p50_us >= 100.0 && table[0].p99_us <= 220.0);
+    }
+
+    #[test]
+    fn summary_aggregates_worker_stats() {
+        let recs: Vec<ScanRecord> = (0..4)
+            .map(|i| ScanRecord {
+                seq: i,
+                backend: "octocache-parallelx2".to_string(),
+                worker_busy_ns: vec![100, 50],
+                worker_idle_ns: vec![0, 50],
+                shard_batch_sizes: vec![30, 10],
+                shard_skew: 1.5,
+                ..Default::default()
+            })
+            .collect();
+        let s = TraceSummary::from_records(&recs);
+        assert_eq!(s.worker_busy_ns, vec![400, 200]);
+        assert_eq!(s.worker_idle_ns, vec![0, 200]);
+        assert_eq!(s.max_shard_skew, 1.5);
+        let util = s.worker_utilization();
+        assert_eq!(util.len(), 2);
+        assert!((util[0] - 1.0).abs() < 1e-12);
+        assert!((util[1] - 0.5).abs() < 1e-12);
+        let text = s.render();
+        assert!(text.contains("worker utilization"), "{text}");
+        assert!(text.contains("max shard skew"), "{text}");
     }
 
     #[test]
