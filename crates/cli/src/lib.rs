@@ -21,16 +21,86 @@
 //! The library surface exists so the whole tool is unit-testable without
 //! spawning processes; `main` is a thin wrapper around [`run`].
 
+use std::fmt;
 use std::fmt::Write as _;
 
 use octocache::pipeline::{MappingSystem, OctoMapSystem, RayTracer};
-use octocache::{CacheConfig, ParallelOctoCache, SerialOctoCache};
+use octocache::{CacheConfig, FaultPlan, ParallelOctoCache, PipelineError, SerialOctoCache};
 use octocache_datasets::{io as scanlog, Dataset, DatasetConfig};
 use octocache_geom::{Point3, VoxelGrid};
 use octocache_octomap::{compare, io as mapio, io_bt, OccupancyOcTree, OccupancyParams};
 
-/// CLI error: a human-readable message.
-pub type CliError = String;
+/// A typed CLI failure, each category mapped to a distinct process exit
+/// code (see [`CliError::exit_code`]) so scripts can tell classes of
+/// failure apart without parsing stderr.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation: unknown subcommand, malformed flag or value.
+    Usage(String),
+    /// A filesystem operation failed (open/create/read/write).
+    Io(String),
+    /// An input stream (scan log or trace) could not be parsed —
+    /// truncated, garbage, or the wrong format.
+    ScanLog(String),
+    /// A serialised map could not be parsed.
+    Map(String),
+    /// Well-formed input described invalid geometry (point outside the
+    /// mapped cube, non-finite coordinate).
+    Geom(String),
+    /// The mapping pipeline failed mid-build (worker fault).
+    Pipeline(PipelineError),
+}
+
+impl CliError {
+    /// The process exit code for this failure class: usage 2, I/O 3,
+    /// scan-log/trace parse 4, map parse 5, geometry 6, pipeline fault 7.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::ScanLog(_) => 4,
+            CliError::Map(_) => 5,
+            CliError::Geom(_) => 6,
+            CliError::Pipeline(_) => 7,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m)
+            | CliError::Io(m)
+            | CliError::ScanLog(m)
+            | CliError::Map(m)
+            | CliError::Geom(m) => f.write_str(m),
+            CliError::Pipeline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Usage(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> Self {
+        CliError::Usage(m.to_string())
+    }
+}
+
+impl From<PipelineError> for CliError {
+    fn from(e: PipelineError) -> Self {
+        match e {
+            PipelineError::Geom(g) => CliError::Geom(format!("invalid scan geometry: {g}")),
+            other => CliError::Pipeline(other),
+        }
+    }
+}
 
 /// Executes a command line (already split into arguments, program name
 /// excluded) and returns the text to print.
@@ -49,7 +119,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("query") => cmd_query(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("help") | None => Ok(usage()),
-        Some(other) => Err(format!("unknown subcommand `{other}`")),
+        Some(other) => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }
 }
 
@@ -58,7 +128,7 @@ fn usage() -> String {
 
 USAGE:
   octocache generate <dataset> <out.scanlog> [--scale S] [--seed N]
-  octocache build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T] [--workers N] [--format ot|bt] [--trace out.jsonl]
+  octocache build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T] [--workers N] [--format ot|bt] [--trace out.jsonl] [--strict] [--fault SPEC]
   octocache report <trace.jsonl>
   octocache info <map>
   octocache query <map> <x> <y> <z>
@@ -66,9 +136,14 @@ USAGE:
   octocache help
 
 datasets: fr079-corridor | freiburg-campus | new-college
-backends: octomap | octomap-rt | serial | serial-rt | parallel | parallel-rt"
+backends: octomap | octomap-rt | serial | serial-rt | parallel | parallel-rt
+
+exit codes: 0 ok | 2 usage | 3 I/O | 4 bad scan log/trace | 5 bad map | 6 bad geometry | 7 pipeline fault"
         .to_string()
 }
+
+/// Flags that take no value (presence-only).
+const BOOL_FLAGS: &[&str] = &["strict"];
 
 /// Positional arguments and `--key value` flag pairs.
 type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
@@ -80,9 +155,13 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs<'_>, CliError> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&key) {
+                flags.push((key, "true"));
+                continue;
+            }
             let value = it
                 .next()
-                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                .ok_or_else(|| CliError::Usage(format!("flag --{key} needs a value")))?;
             flags.push((key, value.as_str()));
         } else {
             positional.push(a.as_str());
@@ -97,19 +176,19 @@ fn flag<'a>(flags: &[(&str, &'a str)], key: &str) -> Option<&'a str> {
 
 fn parse_f64(s: &str, what: &str) -> Result<f64, CliError> {
     s.parse::<f64>()
-        .map_err(|_| format!("{what} must be a number, got `{s}`"))
+        .map_err(|_| CliError::Usage(format!("{what} must be a number, got `{s}`")))
 }
 
 fn parse_usize(s: &str, what: &str) -> Result<usize, CliError> {
     s.parse::<usize>()
-        .map_err(|_| format!("{what} must be an integer, got `{s}`"))
+        .map_err(|_| CliError::Usage(format!("{what} must be an integer, got `{s}`")))
 }
 
 fn dataset_by_name(name: &str) -> Result<Dataset, CliError> {
     Dataset::ALL
         .into_iter()
         .find(|d| d.name() == name)
-        .ok_or_else(|| format!("unknown dataset `{name}`"))
+        .ok_or_else(|| CliError::Usage(format!("unknown dataset `{name}`")))
 }
 
 fn cmd_generate(args: &[String]) -> Result<String, CliError> {
@@ -129,8 +208,10 @@ fn cmd_generate(args: &[String]) -> Result<String, CliError> {
         config.seed = parse_usize(s, "--seed")? as u64;
     }
     let seq = dataset.generate(&config);
-    let file = std::fs::File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
-    scanlog::write_scans(&seq, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+    let file = std::fs::File::create(out_path)
+        .map_err(|e| CliError::Io(format!("create {out_path}: {e}")))?;
+    scanlog::write_scans(&seq, std::io::BufWriter::new(file))
+        .map_err(|e| CliError::Io(format!("write {out_path}: {e}")))?;
     Ok(format!(
         "wrote {}: {} scans, {} points, range {} m (scale {})",
         out_path,
@@ -142,19 +223,19 @@ fn cmd_generate(args: &[String]) -> Result<String, CliError> {
 }
 
 fn load_scanlog(path: &str) -> Result<octocache_datasets::ScanSequence, CliError> {
-    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    scanlog::read_scans(std::io::BufReader::new(file)).map_err(|e| e.to_string())
+    let file = std::fs::File::open(path).map_err(|e| CliError::Io(format!("open {path}: {e}")))?;
+    scanlog::read_scans(std::io::BufReader::new(file))
+        .map_err(|e| CliError::ScanLog(format!("bad scan log {path}: {e}")))
 }
 
 fn load_map(path: &str) -> Result<OccupancyOcTree, CliError> {
-    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let bytes = std::fs::read(path).map_err(|e| CliError::Io(format!("read {path}: {e}")))?;
     // Auto-detect: full log-odds stream first, then the compact binary.
     match mapio::read_tree(&bytes) {
         Ok(tree) => Ok(tree),
-        Err(mapio::ReadError::BadMagic) => {
-            io_bt::read_binary_tree(&bytes).map_err(|e| e.to_string())
-        }
-        Err(e) => Err(e.to_string()),
+        Err(mapio::ReadError::BadMagic) => io_bt::read_binary_tree(&bytes)
+            .map_err(|e| CliError::Map(format!("bad map {path}: {e}"))),
+        Err(e) => Err(CliError::Map(format!("bad map {path}: {e}"))),
     }
 }
 
@@ -180,22 +261,47 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
         Some(s) => parse_usize(s, "--tau")?,
         None => 4,
     };
-    let cache = CacheConfig::builder()
+    let mut cache_builder = CacheConfig::builder();
+    cache_builder
         .num_buckets(buckets.next_power_of_two())
-        .tau(tau)
-        .build()
-        .map_err(|e| e.to_string())?;
+        .tau(tau);
+    // Deterministic fault injection: `--fault <spec>` (or the `OCTO_FAULT` /
+    // `OCTO_FAULT_SEED` environment variables) schedules a worker fault.
+    // The hooks only exist when the binary was built with the
+    // `fault-injection` feature; otherwise the flag is refused rather than
+    // silently ignored.
+    if let Some(spec) = flag(&flags, "fault") {
+        if !cfg!(feature = "fault-injection") {
+            return Err(CliError::Usage(
+                "--fault requires a binary built with `--features fault-injection`".into(),
+            ));
+        }
+        let plan = FaultPlan::from_spec(spec).ok_or_else(|| {
+            CliError::Usage(format!(
+                "malformed --fault spec `{spec}` (kill:<w>@<b> | stall:<w>@<b>:<us> | spawn:<w> | fill:<w> | seed:<n>)"
+            ))
+        })?;
+        cache_builder.fault_plan(plan);
+    } else if cfg!(feature = "fault-injection") {
+        if let Some(plan) = FaultPlan::from_env() {
+            cache_builder.fault_plan(plan);
+        }
+    }
+    let strict = flag(&flags, "strict").is_some();
+    let cache = cache_builder.build().map_err(|e| e.to_string())?;
     let backend_name = flag(&flags, "backend").unwrap_or("serial");
     let workers = match flag(&flags, "workers") {
         Some(s) => {
             let n = parse_usize(s, "--workers")?;
             if !matches!(n, 1 | 2 | 4 | 8) {
-                return Err(format!("--workers must be 1, 2, 4 or 8, got {n}"));
+                return Err(CliError::Usage(format!(
+                    "--workers must be 1, 2, 4 or 8, got {n}"
+                )));
             }
             if !matches!(backend_name, "parallel" | "parallel-rt") {
-                return Err(format!(
+                return Err(CliError::Usage(format!(
                     "--workers only applies to the parallel backends, not `{backend_name}`"
-                ));
+                )));
             }
             n
         }
@@ -230,7 +336,7 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
             RayTracer::Dedup,
             workers,
         )),
-        other => return Err(format!("unknown backend `{other}`")),
+        other => return Err(CliError::Usage(format!("unknown backend `{other}`"))),
     };
     let trace_path = flag(&flags, "trace");
     if let Some(path) = trace_path {
@@ -242,26 +348,45 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     let t0 = std::time::Instant::now();
     let mut observations = 0usize;
     let mut hits = 0u64;
-    for scan in seq.scans() {
-        let report = backend
-            .insert_scan(scan.origin, &scan.points, seq.max_range())
-            .map_err(|e| format!("scan outside grid: {e}"))?;
-        observations += report.observations;
-        hits += report.cache_hits;
+    // Worker faults degrade the build rather than abort it (the pipeline
+    // reroutes the dead worker's share inline); each one is reported as a
+    // diagnostic line. `--strict` makes the first fault fatal. Geometry
+    // errors always abort: the scan log itself is wrong.
+    let mut scan_faults: Vec<(usize, PipelineError)> = Vec::new();
+    for (i, scan) in seq.scans().iter().enumerate() {
+        match backend.insert_scan(scan.origin, &scan.points, seq.max_range()) {
+            Ok(report) => {
+                observations += report.observations;
+                hits += report.cache_hits;
+            }
+            Err(e @ PipelineError::Geom(_)) => return Err(e.into()),
+            Err(e) => {
+                if strict {
+                    return Err(e.into());
+                }
+                scan_faults.push((i, e));
+            }
+        }
     }
     backend.finish();
     let elapsed = t0.elapsed();
     let times = backend.phase_times();
     let cache_stats = backend.cache_stats();
     let tree_stats = backend.tree_stats();
+    let integrity = backend.integrity();
+    let fault_counters = backend.fault_counters();
 
     let tree = backend.take_tree();
     let bytes = match flag(&flags, "format") {
         None | Some("ot") => mapio::write_tree(&tree),
         Some("bt") => io_bt::write_binary_tree(&tree),
-        Some(other) => return Err(format!("unknown format `{other}` (use ot or bt)")),
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown format `{other}` (use ot or bt)"
+            )))
+        }
     };
-    std::fs::write(out_path, &bytes).map_err(|e| format!("write {out_path}: {e}"))?;
+    std::fs::write(out_path, &bytes).map_err(|e| CliError::Io(format!("write {out_path}: {e}")))?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -299,6 +424,22 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     if let Some(path) = trace_path {
         let _ = writeln!(out, "  trace: {} scan records -> {path}", seq.scans().len());
     }
+    for (i, e) in &scan_faults {
+        let _ = writeln!(out, "  scan {i}: {e}");
+    }
+    if integrity.is_degraded() {
+        let f = fault_counters;
+        let _ = writeln!(
+            out,
+            "  integrity: {integrity} — {} panics, {} spawn failures, {} stalls, \
+             {} partial batches, {} batches rerouted (use --strict to fail fast)",
+            f.worker_panics,
+            f.spawn_failures,
+            f.stall_timeouts,
+            f.partial_batches,
+            f.batches_rerouted
+        );
+    }
     let _ = write!(
         out,
         "  tree: {} nodes, {} leaves, {:.1} KiB serialised",
@@ -314,7 +455,13 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
     let [path] = pos.as_slice() else {
         return Err("usage: report <trace.jsonl>".into());
     };
-    let records = octocache_telemetry::read_jsonl_path(path)?;
+    let records = octocache_telemetry::read_jsonl_path(path).map_err(|e| {
+        if e.starts_with("open ") {
+            CliError::Io(e)
+        } else {
+            CliError::ScanLog(format!("bad trace {path}: {e}"))
+        }
+    })?;
     if records.is_empty() {
         return Ok(format!("{path}: empty trace"));
     }
@@ -352,7 +499,7 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
     let key = tree
         .grid()
         .key_of(p)
-        .map_err(|e| format!("point outside map: {e}"))?;
+        .map_err(|e| CliError::Geom(format!("point outside map: {e}")))?;
     Ok(match tree.search(key) {
         None => format!("{p}: unknown"),
         Some(l) => format!(
@@ -602,7 +749,7 @@ mod tests {
             "3",
         ]))
         .unwrap_err();
-        assert!(err.contains("must be 1, 2, 4 or 8"), "{err}");
+        assert!(err.to_string().contains("must be 1, 2, 4 or 8"), "{err}");
         let err = run(&s(&[
             "build",
             &log,
@@ -613,7 +760,7 @@ mod tests {
             "2",
         ]))
         .unwrap_err();
-        assert!(err.contains("parallel backends"), "{err}");
+        assert!(err.to_string().contains("parallel backends"), "{err}");
     }
 
     #[test]
@@ -622,7 +769,8 @@ mod tests {
         run(&s(&["generate", "fr079-corridor", &log, "--scale", "0.05"])).unwrap();
         let map = temp_path("x.map");
         let err = run(&s(&["build", &log, &map, "--backend", "magic"])).unwrap_err();
-        assert!(err.contains("unknown backend"));
+        assert!(err.to_string().contains("unknown backend"));
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]
@@ -642,6 +790,122 @@ mod tests {
         let map = temp_path("z.map");
         run(&s(&["build", &log, &map, "--resolution", "0.4"])).unwrap();
         let err = run(&s(&["query", &map, "1e9", "0", "0"])).unwrap_err();
-        assert!(err.contains("outside"), "{err}");
+        assert!(err.to_string().contains("outside"), "{err}");
+        assert_eq!(err.exit_code(), 6);
+    }
+
+    #[test]
+    fn garbage_and_truncated_inputs_are_typed_errors_not_panics() {
+        let map_out = temp_path("hardening.map");
+
+        // Garbage scan log: parse error, exit code 4.
+        let garbage = temp_path("garbage.scanlog");
+        std::fs::write(&garbage, b"this is not a scan log at all \xff\xfe\x00").unwrap();
+        let err = run(&s(&["build", &garbage, &map_out])).unwrap_err();
+        assert!(matches!(err, CliError::ScanLog(_)), "{err}");
+        assert_eq!(err.exit_code(), 4);
+
+        // Truncated scan log: also a parse error, never a panic.
+        let log = temp_path("trunc.scanlog");
+        run(&s(&["generate", "fr079-corridor", &log, "--scale", "0.05"])).unwrap();
+        let bytes = std::fs::read(&log).unwrap();
+        std::fs::write(&log, &bytes[..bytes.len() / 2]).unwrap();
+        let err = run(&s(&["build", &log, &map_out])).unwrap_err();
+        assert!(matches!(err, CliError::ScanLog(_)), "{err}");
+        assert_eq!(err.exit_code(), 4);
+
+        // Missing scan log: I/O, exit code 3.
+        let err = run(&s(&["build", "/nonexistent.scanlog", &map_out])).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)), "{err}");
+        assert_eq!(err.exit_code(), 3);
+
+        // Garbage map: map parse error, exit code 5 (info, query and diff
+        // all route through the same loader).
+        let bad_map = temp_path("garbage.map");
+        std::fs::write(&bad_map, b"\x00\x01\x02 nope").unwrap();
+        let err = run(&s(&["info", &bad_map])).unwrap_err();
+        assert!(matches!(err, CliError::Map(_)), "{err}");
+        assert_eq!(err.exit_code(), 5);
+        let err = run(&s(&["query", &bad_map, "0", "0", "0"])).unwrap_err();
+        assert_eq!(err.exit_code(), 5);
+
+        // Garbage trace: parse error, exit code 4.
+        let bad_trace = temp_path("garbage.jsonl");
+        std::fs::write(&bad_trace, "{not json\n").unwrap();
+        let err = run(&s(&["report", &bad_trace])).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+
+        // Usage errors stay exit code 2.
+        let err = run(&s(&["frobnicate"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn fault_flag_is_gated_and_validated() {
+        let log = temp_path("fault.scanlog");
+        run(&s(&["generate", "fr079-corridor", &log, "--scale", "0.05"])).unwrap();
+        let map = temp_path("fault.map");
+        if cfg!(feature = "fault-injection") {
+            // A malformed spec is a usage error under any build.
+            let err = run(&s(&[
+                "build",
+                &log,
+                &map,
+                "--backend",
+                "parallel",
+                "--fault",
+                "explode:9",
+            ]))
+            .unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{err}");
+
+            // A killed worker degrades the build: it completes, reports the
+            // fault inline and flags the integrity downgrade.
+            let out = run(&s(&[
+                "build",
+                &log,
+                &map,
+                "--backend",
+                "parallel",
+                "--resolution",
+                "0.4",
+                "--fault",
+                "kill:0@1",
+            ]))
+            .unwrap();
+            assert!(out.contains("integrity: degraded"), "{out}");
+            assert!(out.contains("1 panics"), "{out}");
+
+            // --strict turns the same fault into a fatal pipeline error.
+            let err = run(&s(&[
+                "build",
+                &log,
+                &map,
+                "--backend",
+                "parallel",
+                "--resolution",
+                "0.4",
+                "--fault",
+                "kill:0@1",
+                "--strict",
+            ]))
+            .unwrap_err();
+            assert!(matches!(err, CliError::Pipeline(_)), "{err}");
+            assert_eq!(err.exit_code(), 7);
+        } else {
+            // Without the feature the flag is refused, not silently ignored.
+            let err = run(&s(&[
+                "build",
+                &log,
+                &map,
+                "--backend",
+                "parallel",
+                "--fault",
+                "kill:0@1",
+            ]))
+            .unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{err}");
+            assert!(err.to_string().contains("fault-injection"), "{err}");
+        }
     }
 }

@@ -12,8 +12,10 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("run `octocache help` for usage");
-            ExitCode::FAILURE
+            if matches!(e, octocache_cli::CliError::Usage(_)) {
+                eprintln!("run `octocache help` for usage");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -1,6 +1,9 @@
 use std::fmt;
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
+
+use crate::fault::FaultPlan;
 
 /// How incoming voxels are mapped to cache buckets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -60,6 +63,9 @@ pub enum ConfigError {
     NoBuckets,
     /// `tau` must be at least 1.
     ZeroTau,
+    /// `stall_timeout` must be non-zero (it bounds every pipeline wait; a
+    /// zero deadline would fail scans spuriously).
+    ZeroStallTimeout,
 }
 
 impl fmt::Display for ConfigError {
@@ -70,6 +76,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::NoBuckets => write!(f, "num_buckets must be at least 1"),
             ConfigError::ZeroTau => write!(f, "tau must be at least 1"),
+            ConfigError::ZeroStallTimeout => {
+                write!(f, "stall_timeout must be non-zero")
+            }
         }
     }
 }
@@ -97,7 +106,16 @@ pub struct CacheConfig {
     tau: usize,
     index_policy: IndexPolicy,
     eviction_order: EvictionOrder,
+    stall_timeout: Duration,
+    #[serde(skip)]
+    fault_plan: Option<FaultPlan>,
 }
+
+/// Default bound on every parallel-pipeline wait. Generous on purpose: a
+/// healthy worker clears a batch in microseconds, so ten seconds only
+/// trips when a worker is genuinely dead or wedged (and must stay far
+/// above CI scheduling noise).
+const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(10);
 
 impl Default for CacheConfig {
     fn default() -> Self {
@@ -106,6 +124,8 @@ impl Default for CacheConfig {
             tau: 4,
             index_policy: IndexPolicy::Morton,
             eviction_order: EvictionOrder::BucketSequential,
+            stall_timeout: DEFAULT_STALL_TIMEOUT,
+            fault_plan: None,
         }
     }
 }
@@ -140,6 +160,24 @@ impl CacheConfig {
         self.eviction_order
     }
 
+    /// Upper bound on any single wait inside the parallel pipeline
+    /// (producer back-pressure, worker completion). When it expires the
+    /// wait becomes a typed
+    /// [`PipelineError::QueueStalled`](crate::fault::PipelineError) instead
+    /// of a hang.
+    #[inline]
+    pub fn stall_timeout(&self) -> Duration {
+        self.stall_timeout
+    }
+
+    /// The deterministic fault-injection schedule, if any. Only acted on
+    /// under `cfg(any(test, feature = "fault-injection"))`; never
+    /// serialised.
+    #[inline]
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault_plan
+    }
+
     /// Total cells retained after an eviction pass (`w × τ`).
     #[inline]
     pub fn capacity_after_eviction(&self) -> usize {
@@ -171,6 +209,8 @@ pub struct CacheConfigBuilder {
     tau: usize,
     index_policy: IndexPolicy,
     eviction_order: EvictionOrder,
+    stall_timeout: Duration,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl CacheConfigBuilder {
@@ -181,6 +221,8 @@ impl CacheConfigBuilder {
             tau: d.tau,
             index_policy: d.index_policy,
             eviction_order: d.eviction_order,
+            stall_timeout: d.stall_timeout,
+            fault_plan: d.fault_plan,
         }
     }
 
@@ -205,6 +247,20 @@ impl CacheConfigBuilder {
     /// Sets the eviction emission order.
     pub fn eviction_order(&mut self, o: EvictionOrder) -> &mut Self {
         self.eviction_order = o;
+        self
+    }
+
+    /// Bounds every parallel-pipeline wait; see
+    /// [`CacheConfig::stall_timeout`]. Must be non-zero.
+    pub fn stall_timeout(&mut self, timeout: Duration) -> &mut Self {
+        self.stall_timeout = timeout;
+        self
+    }
+
+    /// Schedules deterministic fault injection; see
+    /// [`CacheConfig::fault_plan`].
+    pub fn fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -235,11 +291,16 @@ impl CacheConfigBuilder {
         if self.tau == 0 {
             return Err(ConfigError::ZeroTau);
         }
+        if self.stall_timeout.is_zero() {
+            return Err(ConfigError::ZeroStallTimeout);
+        }
         Ok(CacheConfig {
             num_buckets: self.num_buckets,
             tau: self.tau,
             index_policy: self.index_policy,
             eviction_order: self.eviction_order,
+            stall_timeout: self.stall_timeout,
+            fault_plan: self.fault_plan,
         })
     }
 }
@@ -270,6 +331,10 @@ mod tests {
         assert_eq!(
             CacheConfig::builder().tau(0).build(),
             Err(ConfigError::ZeroTau)
+        );
+        assert_eq!(
+            CacheConfig::builder().stall_timeout(Duration::ZERO).build(),
+            Err(ConfigError::ZeroStallTimeout)
         );
         assert!(CacheConfig::builder()
             .num_buckets(64)
@@ -305,6 +370,31 @@ mod tests {
     }
 
     #[test]
+    fn stall_timeout_and_fault_plan_round_trip_through_builder() {
+        let plan = FaultPlan::from_seed(3);
+        let c = CacheConfig::builder()
+            .num_buckets(64)
+            .tau(2)
+            .stall_timeout(Duration::from_millis(50))
+            .fault_plan(plan)
+            .build()
+            .unwrap();
+        assert_eq!(c.stall_timeout(), Duration::from_millis(50));
+        assert_eq!(c.fault_plan(), Some(plan));
+        // Defaults: a generous bound and no injected faults.
+        let d = CacheConfig::default();
+        assert_eq!(d.stall_timeout(), Duration::from_secs(10));
+        assert_eq!(d.fault_plan(), None);
+        // The fault plan never reaches serialised configs.
+        let json = serde::json::to_string(&c);
+        assert!(!json.contains("fault"), "{json}");
+        let back: CacheConfig = serde::json::from_str(&json).unwrap();
+        assert_eq!(back.fault_plan(), None);
+        assert_eq!(back.stall_timeout(), c.stall_timeout());
+        assert_eq!(back.num_buckets(), c.num_buckets());
+    }
+
+    #[test]
     fn displays() {
         assert_eq!(IndexPolicy::Hash.to_string(), "hash");
         assert_eq!(IndexPolicy::Morton.to_string(), "morton");
@@ -316,6 +406,7 @@ mod tests {
             ConfigError::BucketsNotPowerOfTwo(3),
             ConfigError::NoBuckets,
             ConfigError::ZeroTau,
+            ConfigError::ZeroStallTimeout,
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -1,0 +1,504 @@
+//! Typed pipeline failures, map-integrity reporting, and deterministic
+//! fault injection for the parallel pipeline.
+//!
+//! The parallel OctoCache moves octree updates onto worker threads, which
+//! introduces failure modes the serial backends cannot have: a worker can
+//! panic mid-batch, wedge while holding its shard mutex, or never spawn at
+//! all. This module gives those failures names ([`PipelineError`]), gives
+//! the map a verdict after they happen ([`Integrity`]), counts them
+//! ([`FaultCounters`]), and — under `cfg(any(test, feature =
+//! "fault-injection"))` — lets tests schedule them deterministically
+//! ([`FaultPlan`]).
+//!
+//! The recovery contract (see `DESIGN.md`, "Failure model & degraded
+//! modes") rests on one property of the eviction stream: evicted cells
+//! carry the voxel's *absolute* accumulated log-odds and are applied with
+//! an overwriting store, so re-applying a batch — even one a dead worker
+//! half-applied — is idempotent and restores exactly the state a healthy
+//! worker would have produced.
+
+use std::fmt;
+use std::time::Duration;
+
+use octocache_geom::GeomError;
+
+/// A typed failure from a mapping pipeline.
+///
+/// Returned by [`crate::MappingSystem::insert_scan`]; the serial backends
+/// only ever produce the [`PipelineError::Geom`] variant, the parallel
+/// pipeline produces all of them. Every variant except `Geom` implies the
+/// pipeline has taken a worker out of rotation and the map's
+/// [`Integrity`] is no longer [`Integrity::Intact`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The scan itself was invalid (non-finite or out-of-grid origin).
+    /// The scan was not applied; the map is unchanged by it.
+    Geom(GeomError),
+    /// An octree-update worker panicked while processing `batch`. The
+    /// producer re-applied the retained batch inline, so the map stays
+    /// consistent; the worker's octants are served inline from now on.
+    WorkerPanicked {
+        /// Index of the dead worker.
+        worker: usize,
+        /// 0-based batch index the worker died on.
+        batch: u64,
+    },
+    /// A worker thread could not be spawned; its octant share is applied
+    /// inline on the producer thread instead.
+    WorkerSpawn {
+        /// Index of the worker that failed to spawn.
+        worker: usize,
+        /// The OS error message.
+        reason: String,
+    },
+    /// A worker stopped making progress and the bounded backoff expired
+    /// after `waited`. The worker is taken out of rotation but cannot be
+    /// joined (it may be wedged); see [`Integrity::Compromised`].
+    QueueStalled {
+        /// Index of the stalled worker.
+        worker: usize,
+        /// How long the producer waited before giving up.
+        waited: Duration,
+    },
+    /// A batch was abandoned midway and its tail could not be re-applied:
+    /// `cells_dropped` evicted cells may be missing from the map.
+    PartialScan {
+        /// Index of the worker that abandoned the batch.
+        worker: usize,
+        /// 0-based batch index that was cut short.
+        batch: u64,
+        /// Evicted cells of the batch that were not confirmed applied.
+        cells_dropped: u64,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Geom(e) => write!(f, "invalid scan geometry: {e}"),
+            PipelineError::WorkerPanicked { worker, batch } => {
+                write!(f, "octree worker {worker} panicked on batch {batch}")
+            }
+            PipelineError::WorkerSpawn { worker, reason } => {
+                write!(f, "octree worker {worker} failed to spawn: {reason}")
+            }
+            PipelineError::QueueStalled { worker, waited } => write!(
+                f,
+                "octree worker {worker} stalled (waited {:.1} ms past deadline)",
+                waited.as_secs_f64() * 1e3
+            ),
+            PipelineError::PartialScan {
+                worker,
+                batch,
+                cells_dropped,
+            } => write!(
+                f,
+                "worker {worker} abandoned batch {batch} with {cells_dropped} cells unapplied"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Geom(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeomError> for PipelineError {
+    fn from(e: GeomError) -> Self {
+        PipelineError::Geom(e)
+    }
+}
+
+/// The map-consistency verdict a mapping backend reports after faults.
+///
+/// Ordered by severity: [`Integrity::escalate`] only ever moves toward
+/// [`Integrity::Compromised`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Integrity {
+    /// No fault has occurred; full parallelism, map exact.
+    #[default]
+    Intact,
+    /// Parallelism was lost (a worker died, stalled, or never spawned)
+    /// but every evicted cell was confirmed applied or re-applied: the
+    /// map is still voxel-for-voxel what the serial backend would hold.
+    Degraded,
+    /// A worker may still apply stale values after newer inline writes,
+    /// or cells could not be re-applied: the map may diverge from the
+    /// serial reference.
+    Compromised,
+}
+
+impl Integrity {
+    /// True for any state other than [`Integrity::Intact`].
+    #[inline]
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, Integrity::Intact)
+    }
+
+    /// Raises the verdict to `to` if it is more severe than the current
+    /// state (never lowers it).
+    #[inline]
+    pub fn escalate(&mut self, to: Integrity) {
+        if to > *self {
+            *self = to;
+        }
+    }
+}
+
+impl fmt::Display for Integrity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Integrity::Intact => write!(f, "intact"),
+            Integrity::Degraded => write!(f, "degraded"),
+            Integrity::Compromised => write!(f, "compromised"),
+        }
+    }
+}
+
+/// Cumulative fault and degraded-mode counters of one pipeline instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounters {
+    /// Worker threads that died by panic.
+    pub worker_panics: u64,
+    /// Worker threads that failed to spawn.
+    pub spawn_failures: u64,
+    /// Bounded waits that expired ([`PipelineError::QueueStalled`]).
+    pub stall_timeouts: u64,
+    /// Batches a worker abandoned midway.
+    pub partial_batches: u64,
+    /// Batch shares applied inline because their worker was out of
+    /// rotation.
+    pub batches_rerouted: u64,
+    /// Evicted cells re-applied (or applied inline) by the producer.
+    pub cells_reapplied: u64,
+}
+
+impl FaultCounters {
+    /// Per-field difference `self - earlier` (saturating), for per-scan
+    /// telemetry deltas.
+    pub fn since(&self, earlier: &FaultCounters) -> FaultCounters {
+        FaultCounters {
+            worker_panics: self.worker_panics.saturating_sub(earlier.worker_panics),
+            spawn_failures: self.spawn_failures.saturating_sub(earlier.spawn_failures),
+            stall_timeouts: self.stall_timeouts.saturating_sub(earlier.stall_timeouts),
+            partial_batches: self.partial_batches.saturating_sub(earlier.partial_batches),
+            batches_rerouted: self
+                .batches_rerouted
+                .saturating_sub(earlier.batches_rerouted),
+            cells_reapplied: self.cells_reapplied.saturating_sub(earlier.cells_reapplied),
+        }
+    }
+
+    /// True when any counter is non-zero.
+    pub fn any(&self) -> bool {
+        *self != FaultCounters::default()
+    }
+}
+
+/// Kill coordinates: which worker dies, and on which batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultAt {
+    /// Worker index (taken modulo the actual worker count).
+    pub worker: usize,
+    /// 0-based batch index at which the fault fires.
+    pub batch: u64,
+}
+
+/// Stall coordinates: which worker sleeps, when, and for how long.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallAt {
+    /// Worker index (taken modulo the actual worker count).
+    pub worker: usize,
+    /// 0-based batch index at which the stall fires.
+    pub batch: u64,
+    /// Stall duration in microseconds.
+    pub micros: u64,
+}
+
+/// A deterministic fault-injection schedule for one pipeline instance.
+///
+/// Stored on [`crate::CacheConfig`] (via
+/// [`crate::CacheConfigBuilder::fault_plan`]); the hooks that act on it
+/// are compiled only under `cfg(any(test, feature = "fault-injection"))`
+/// and are zero-cost no-ops otherwise. Worker indices are taken modulo the
+/// actual worker count, so one plan is meaningful at every N ∈ {1,2,4,8}.
+///
+/// The CLI derives a plan from the `OCTO_FAULT` environment variable (or
+/// `--fault`); embedders can call [`FaultPlan::from_env`] themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Panic worker `kill.worker` at the start of batch `kill.batch`.
+    pub kill: Option<FaultAt>,
+    /// Sleep worker `stall.worker` for `stall.micros` µs at the start of
+    /// batch `stall.batch`.
+    pub stall: Option<StallAt>,
+    /// Fail the spawn of this worker index (modulo worker count).
+    pub fail_spawn: Option<usize>,
+    /// Shrink this worker's ring to near-zero capacity so back-pressure
+    /// fires on every chunk.
+    pub fill_ring: Option<usize>,
+}
+
+/// xorshift64* step — a tiny deterministic generator so plans need no RNG
+/// dependency.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+impl FaultPlan {
+    /// Derives a single-fault plan deterministically from `seed`: the
+    /// fault kind, target worker, batch index and stall length are all
+    /// pure functions of the seed.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let mut s = seed ^ 0x9E37_79B9_7F4A_7C15;
+        if s == 0 {
+            s = 1;
+        }
+        let kind = xorshift(&mut s) % 4;
+        let worker = (xorshift(&mut s) % 8) as usize;
+        let batch = xorshift(&mut s) % 6;
+        let micros = 100 + xorshift(&mut s) % 5_000;
+        let mut plan = FaultPlan::default();
+        match kind {
+            0 => {
+                plan.kill = Some(FaultAt { worker, batch });
+            }
+            1 => {
+                plan.stall = Some(StallAt {
+                    worker,
+                    batch,
+                    micros,
+                });
+            }
+            2 => plan.fail_spawn = Some(worker),
+            _ => plan.fill_ring = Some(worker),
+        }
+        plan
+    }
+
+    /// Parses a fault spec string:
+    ///
+    /// * `kill:<worker>@<batch>` — panic that worker at that batch,
+    /// * `stall:<worker>@<batch>:<micros>` — sleep that long instead,
+    /// * `spawn:<worker>` — fail that worker's thread spawn,
+    /// * `fill:<worker>` — shrink that worker's ring to force constant
+    ///   back-pressure,
+    /// * `seed:<n>` — same as [`FaultPlan::from_seed`].
+    ///
+    /// Returns `None` for anything malformed (injection is best-effort
+    /// tooling; a bad spec must never panic a host process).
+    pub fn from_spec(spec: &str) -> Option<FaultPlan> {
+        let (kind, rest) = spec.split_once(':')?;
+        let mut plan = FaultPlan::default();
+        match kind {
+            "kill" => {
+                let (w, b) = rest.split_once('@')?;
+                plan.kill = Some(FaultAt {
+                    worker: w.parse().ok()?,
+                    batch: b.parse().ok()?,
+                });
+            }
+            "stall" => {
+                let (w, rest) = rest.split_once('@')?;
+                let (b, us) = rest.split_once(':')?;
+                plan.stall = Some(StallAt {
+                    worker: w.parse().ok()?,
+                    batch: b.parse().ok()?,
+                    micros: us.parse().ok()?,
+                });
+            }
+            "spawn" => plan.fail_spawn = Some(rest.parse().ok()?),
+            "fill" => plan.fill_ring = Some(rest.parse().ok()?),
+            "seed" => return Some(FaultPlan::from_seed(rest.parse().ok()?)),
+            _ => return None,
+        }
+        Some(plan)
+    }
+
+    /// Reads a plan from the environment: `OCTO_FAULT` (a
+    /// [`FaultPlan::from_spec`] string) first, then `OCTO_FAULT_SEED` (a
+    /// [`FaultPlan::from_seed`] seed). `None` when neither is set or the
+    /// value is malformed.
+    pub fn from_env() -> Option<FaultPlan> {
+        if let Ok(spec) = std::env::var("OCTO_FAULT") {
+            return FaultPlan::from_spec(&spec);
+        }
+        if let Ok(seed) = std::env::var("OCTO_FAULT_SEED") {
+            return Some(FaultPlan::from_seed(seed.parse().ok()?));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let errors = [
+            PipelineError::Geom(GeomError::NotFinite),
+            PipelineError::WorkerPanicked {
+                worker: 2,
+                batch: 5,
+            },
+            PipelineError::WorkerSpawn {
+                worker: 0,
+                reason: "out of threads".into(),
+            },
+            PipelineError::QueueStalled {
+                worker: 1,
+                waited: Duration::from_millis(12),
+            },
+            PipelineError::PartialScan {
+                worker: 3,
+                batch: 7,
+                cells_dropped: 41,
+            },
+        ];
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+        }
+        // Geom errors keep their source chain for `?`-style reporting.
+        use std::error::Error as _;
+        assert!(errors[0].source().is_some());
+        assert!(errors[1].source().is_none());
+    }
+
+    #[test]
+    fn geom_errors_convert() {
+        fn takes_pipeline() -> Result<(), PipelineError> {
+            Err(GeomError::NotFinite)?
+        }
+        assert_eq!(
+            takes_pipeline(),
+            Err(PipelineError::Geom(GeomError::NotFinite))
+        );
+    }
+
+    #[test]
+    fn integrity_escalates_monotonically() {
+        let mut i = Integrity::Intact;
+        assert!(!i.is_degraded());
+        i.escalate(Integrity::Degraded);
+        assert_eq!(i, Integrity::Degraded);
+        assert!(i.is_degraded());
+        i.escalate(Integrity::Intact); // never lowers
+        assert_eq!(i, Integrity::Degraded);
+        i.escalate(Integrity::Compromised);
+        i.escalate(Integrity::Degraded);
+        assert_eq!(i, Integrity::Compromised);
+        assert_eq!(i.to_string(), "compromised");
+    }
+
+    #[test]
+    fn counters_since_and_any() {
+        let a = FaultCounters {
+            worker_panics: 2,
+            batches_rerouted: 10,
+            ..Default::default()
+        };
+        let b = FaultCounters {
+            worker_panics: 3,
+            batches_rerouted: 14,
+            cells_reapplied: 5,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.worker_panics, 1);
+        assert_eq!(d.batches_rerouted, 4);
+        assert_eq!(d.cells_reapplied, 5);
+        assert!(d.any());
+        assert!(!FaultCounters::default().any());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_single_fault() {
+        for seed in 0..64u64 {
+            let a = FaultPlan::from_seed(seed);
+            let b = FaultPlan::from_seed(seed);
+            assert_eq!(a, b, "seed {seed}");
+            let faults = [
+                a.kill.is_some(),
+                a.stall.is_some(),
+                a.fail_spawn.is_some(),
+                a.fill_ring.is_some(),
+            ];
+            assert_eq!(
+                faults.iter().filter(|&&f| f).count(),
+                1,
+                "seed {seed} must plan exactly one fault: {a:?}"
+            );
+        }
+        // Different seeds reach different plans (not a constant function).
+        let distinct: std::collections::HashSet<String> = (0..64u64)
+            .map(|s| format!("{:?}", FaultPlan::from_seed(s)))
+            .collect();
+        assert!(distinct.len() > 4, "only {} distinct plans", distinct.len());
+    }
+
+    #[test]
+    fn spec_parsing_round_trips_and_rejects_garbage() {
+        assert_eq!(
+            FaultPlan::from_spec("kill:2@5"),
+            Some(FaultPlan {
+                kill: Some(FaultAt {
+                    worker: 2,
+                    batch: 5
+                }),
+                ..Default::default()
+            })
+        );
+        assert_eq!(
+            FaultPlan::from_spec("stall:1@3:2500"),
+            Some(FaultPlan {
+                stall: Some(StallAt {
+                    worker: 1,
+                    batch: 3,
+                    micros: 2500
+                }),
+                ..Default::default()
+            })
+        );
+        assert_eq!(
+            FaultPlan::from_spec("spawn:7"),
+            Some(FaultPlan {
+                fail_spawn: Some(7),
+                ..Default::default()
+            })
+        );
+        assert_eq!(
+            FaultPlan::from_spec("fill:0"),
+            Some(FaultPlan {
+                fill_ring: Some(0),
+                ..Default::default()
+            })
+        );
+        assert_eq!(
+            FaultPlan::from_spec("seed:42"),
+            Some(FaultPlan::from_seed(42))
+        );
+        for bad in [
+            "",
+            "kill",
+            "kill:",
+            "kill:2",
+            "kill:x@y",
+            "stall:1@3",
+            "explode:1",
+            "spawn:abc",
+        ] {
+            assert_eq!(FaultPlan::from_spec(bad), None, "{bad:?} must not parse");
+        }
+    }
+}

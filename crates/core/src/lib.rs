@@ -50,6 +50,7 @@
 
 pub mod cache;
 mod config;
+pub mod fault;
 pub mod locality;
 pub mod parallel;
 pub mod pipeline;
@@ -60,6 +61,7 @@ pub mod spsc;
 
 pub use cache::{AdaptiveController, AdaptivePolicy, CacheStats, EvictedCell, VoxelCache};
 pub use config::{CacheConfig, CacheConfigBuilder, ConfigError, EvictionOrder, IndexPolicy};
+pub use fault::{FaultCounters, FaultPlan, Integrity, PipelineError};
 pub use parallel::{ParallelOctoCache, ShardView};
 pub use pipeline::MappingSystem;
 pub use routing::OctantRouter;

@@ -53,9 +53,12 @@ use parking_lot::{Mutex, MutexGuard};
 
 use crate::cache::{CacheStats, EvictedCell, VoxelCache};
 use crate::config::CacheConfig;
+#[cfg(any(test, feature = "fault-injection"))]
+use crate::fault::FaultPlan;
+use crate::fault::{FaultCounters, Integrity, PipelineError};
 use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
 use crate::routing::{self, OctantRouter};
-use crate::spsc::{self, Producer};
+use crate::spsc::{self, Backoff, Producer};
 
 /// Items flowing through a worker's buffer.
 ///
@@ -87,6 +90,20 @@ struct WorkerShared {
     /// observed by the worker at the start of the most recent batch drain.
     queue_depth_dequeue: AtomicU64,
     shutdown: AtomicBool,
+    /// Set (last) by the worker thread when it exits, for any reason.
+    dead: AtomicBool,
+    /// Set when the worker body unwound ([`std::panic::catch_unwind`]).
+    panicked: AtomicBool,
+    /// True while the worker is applying a batch (between popping a batch's
+    /// first item and publishing `batches_done`).
+    in_batch: AtomicBool,
+    /// Batches the worker abandoned midway (shutdown observed or the
+    /// mid-batch deadline expired before `BatchEnd` arrived).
+    partial_batches: AtomicU64,
+    /// Cells the worker had applied of the batch it abandoned.
+    partial_cells_applied: AtomicU64,
+    /// 0-based index of the abandoned batch.
+    partial_batch_index: AtomicU64,
 }
 
 /// Thread-1 state for one octree-update worker: its queue producer, its
@@ -97,6 +114,13 @@ struct Worker {
     tree: Arc<Mutex<OccupancyOcTree>>,
     shared: Arc<WorkerShared>,
     handle: Option<JoinHandle<()>>,
+    /// Batches fully enqueued (closed with `BatchEnd`) to this worker.
+    batches_sent: u64,
+    /// `partial_batches` already folded into the pipeline counters.
+    partials_seen: u64,
+    /// Why this worker left the rotation; `Some` means its octant share is
+    /// now applied inline on the producer thread.
+    failed: Option<PipelineError>,
     /// Worker nanos already attributed to recorded scans; the difference to
     /// the live atomics is the not-yet-attributed residual.
     dequeue_seen: u64,
@@ -123,10 +147,26 @@ pub struct ParallelOctoCache {
     params: OccupancyParams,
     ray_tracer: RayTracer,
     batch: insert::VoxelBatch,
-    /// Reusable per-shard partition buffers for batch routing.
+    /// Reusable per-shard partition buffers for batch routing. The previous
+    /// batch's shares are retained until the next send, so a dead worker's
+    /// share can be re-applied inline (cells carry absolute log-odds, so
+    /// re-application is idempotent).
     route_bufs: Vec<Vec<EvictedCell>>,
-    /// Batches sent to (every one of) the workers so far.
-    batches_sent: u64,
+    /// The whole retained batch (the single-worker share, and the routing
+    /// source for `route_bufs`).
+    evict_buf: Vec<EvictedCell>,
+    /// Deadline for every producer-side bounded wait
+    /// ([`CacheConfig::stall_timeout`]).
+    stall_timeout: Duration,
+    /// Cumulative fault counters ([`ParallelOctoCache::fault_counters`]).
+    faults: FaultCounters,
+    /// Counter values already attributed to recorded scans.
+    faults_reported: FaultCounters,
+    /// Map-consistency verdict ([`ParallelOctoCache::integrity`]).
+    integrity: Integrity,
+    /// First pipeline fault observed during the current scan, surfaced by
+    /// `insert_scan` exactly once.
+    scan_error: Option<PipelineError>,
     telemetry: Telemetry,
     /// Summed shard counters at the end of the previous scan, for per-scan
     /// deltas.
@@ -206,34 +246,272 @@ impl std::fmt::Debug for ShardView<'_> {
     }
 }
 
-/// Pushes one item, spinning through back-pressure when the queue is full;
-/// adds the stall to `backpressure` and returns the post-push queue depth.
-fn push_with_backpressure(
-    producer: &mut Producer<Item>,
-    mut item: Item,
+/// How a guarded push ended.
+enum PushOutcome {
+    /// Enqueued; carries the post-push queue depth in messages.
+    Pushed(u64),
+    /// The worker thread exited; the item was not delivered.
+    Dead,
+    /// The bounded backoff expired; carries how long the producer waited.
+    Stalled(Duration),
+}
+
+/// Pushes one item with bounded back-pressure: spins → yields → gives up
+/// after `stall_timeout`, and bails out early if the worker dies. Stall
+/// time is added to `backpressure`.
+fn push_guarded(
+    w: &mut Worker,
+    item: Item,
     backpressure: &mut Duration,
-) -> u64 {
+    stall_timeout: Duration,
+) -> PushOutcome {
     use crate::spsc::Full;
+    let mut item = item;
     loop {
-        match producer.push(item) {
-            Ok(()) => break,
+        if w.shared.dead.load(Ordering::Acquire) {
+            return PushOutcome::Dead;
+        }
+        match w.producer.push(item) {
+            Ok(()) => return PushOutcome::Pushed(w.producer.len() as u64),
             Err(Full(v)) => {
                 item = v;
                 let tb = Instant::now();
-                let mut spins = 0u32;
-                while producer.len() >= producer.capacity() {
-                    spins += 1;
-                    if spins > 64 {
-                        std::thread::yield_now();
-                    } else {
-                        std::hint::spin_loop();
+                let mut backoff = Backoff::new(stall_timeout);
+                loop {
+                    if w.shared.dead.load(Ordering::Acquire) {
+                        *backpressure += tb.elapsed();
+                        return PushOutcome::Dead;
+                    }
+                    if w.producer.len() < w.producer.capacity() {
+                        break;
+                    }
+                    if !backoff.snooze() {
+                        *backpressure += tb.elapsed();
+                        return PushOutcome::Stalled(backoff.waited());
                     }
                 }
                 *backpressure += tb.elapsed();
             }
         }
     }
-    producer.len() as u64
+}
+
+/// Re-applies `share` to `tree` under its mutex. Evicted cells carry the
+/// voxel's absolute accumulated log-odds and `set_node_log_odds` overwrites,
+/// so this restores exactly the state a healthy worker would have produced,
+/// whatever prefix of the batch was already applied.
+fn reapply_share(tree: &Mutex<OccupancyOcTree>, share: &[EvictedCell]) {
+    let mut guard = tree.lock();
+    for cell in share {
+        guard.set_node_log_odds(cell.key, cell.log_odds);
+    }
+}
+
+/// Takes a dead worker out of rotation: joins the thread, classifies the
+/// death (panic vs mid-batch abandonment), re-applies the retained batch
+/// share inline, and records the first error of the scan.
+fn fail_dead_worker(
+    w: &mut Worker,
+    index: usize,
+    share: &[EvictedCell],
+    faults: &mut FaultCounters,
+    integrity: &mut Integrity,
+    scan_error: &mut Option<PipelineError>,
+) {
+    if let Some(handle) = w.handle.take() {
+        let _ = handle.join();
+    }
+    let batch = w.shared.batches_done.load(Ordering::Acquire);
+    let partials = w.shared.partial_batches.load(Ordering::Acquire);
+    let err = if w.shared.panicked.load(Ordering::Acquire) {
+        faults.worker_panics += 1;
+        PipelineError::WorkerPanicked {
+            worker: index,
+            batch,
+        }
+    } else if partials > w.partials_seen {
+        faults.partial_batches += partials - w.partials_seen;
+        let applied = w.shared.partial_cells_applied.load(Ordering::Acquire);
+        PipelineError::PartialScan {
+            worker: index,
+            batch: w.shared.partial_batch_index.load(Ordering::Acquire),
+            cells_dropped: (share.len() as u64).saturating_sub(applied),
+        }
+    } else {
+        // Exited without a panic or a recorded partial (it saw shutdown
+        // between batches); report the in-flight batch.
+        PipelineError::WorkerPanicked {
+            worker: index,
+            batch,
+        }
+    };
+    w.partials_seen = partials;
+    // The thread has exited, so the shard mutex is free (parking_lot does
+    // not poison) and nothing races the inline re-apply.
+    reapply_share(&w.tree, share);
+    faults.cells_reapplied += share.len() as u64;
+    if !share.is_empty() {
+        faults.batches_rerouted += 1;
+    }
+    integrity.escalate(Integrity::Degraded);
+    if scan_error.is_none() {
+        *scan_error = Some(err.clone());
+    }
+    w.failed = Some(err);
+}
+
+/// Takes a stalled worker out of rotation after a bounded wait expired. The
+/// thread may be wedged (it cannot be joined here), so the re-apply is
+/// best-effort: if its shard mutex is unavailable the share is unconfirmed
+/// and the map is [`Integrity::Compromised`].
+fn fail_stalled_worker(
+    w: &mut Worker,
+    index: usize,
+    share: &[EvictedCell],
+    waited: Duration,
+    faults: &mut FaultCounters,
+    integrity: &mut Integrity,
+    scan_error: &mut Option<PipelineError>,
+) {
+    faults.stall_timeouts += 1;
+    // Ask the worker to exit whenever it wakes; the handle is joined later
+    // only once the worker is observed dead (a wedged thread must never
+    // hang the producer).
+    w.shared.shutdown.store(true, Ordering::Release);
+    let err = PipelineError::QueueStalled {
+        worker: index,
+        waited,
+    };
+    match w.tree.try_lock() {
+        Some(mut guard) => {
+            for cell in share {
+                guard.set_node_log_odds(cell.key, cell.log_odds);
+            }
+            drop(guard);
+            faults.cells_reapplied += share.len() as u64;
+            if !share.is_empty() {
+                faults.batches_rerouted += 1;
+            }
+            integrity.escalate(Integrity::Degraded);
+        }
+        // The wedged worker holds the shard mutex; the share could not be
+        // confirmed applied.
+        None => integrity.escalate(Integrity::Compromised),
+    }
+    if scan_error.is_none() {
+        *scan_error = Some(err.clone());
+    }
+    w.failed = Some(err);
+}
+
+/// Applies a batch share inline for a worker that is out of rotation
+/// (degraded mode). If the worker may still be alive (a stalled thread that
+/// never exited), it gets a bounded window to die; applying newer values
+/// while it could still write stale ones compromises the map.
+fn apply_inline(
+    w: &mut Worker,
+    index: usize,
+    share: &[EvictedCell],
+    stall_timeout: Duration,
+    faults: &mut FaultCounters,
+    integrity: &mut Integrity,
+    scan_error: &mut Option<PipelineError>,
+) {
+    if w.handle.is_some() {
+        let mut backoff = Backoff::new(stall_timeout);
+        while !w.shared.dead.load(Ordering::Acquire) {
+            if !backoff.snooze() {
+                break;
+            }
+        }
+        if w.shared.dead.load(Ordering::Acquire) {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        } else {
+            integrity.escalate(Integrity::Compromised);
+        }
+    }
+    if share.is_empty() {
+        return;
+    }
+    match w.tree.try_lock() {
+        Some(mut guard) => {
+            for cell in share {
+                guard.set_node_log_odds(cell.key, cell.log_odds);
+            }
+        }
+        None => {
+            // The wedged worker holds the shard mutex; these cells cannot
+            // be applied at all.
+            faults.partial_batches += 1;
+            integrity.escalate(Integrity::Compromised);
+            let err = PipelineError::PartialScan {
+                worker: index,
+                batch: w.batches_sent,
+                cells_dropped: share.len() as u64,
+            };
+            if scan_error.is_none() {
+                *scan_error = Some(err);
+            }
+            return;
+        }
+    }
+    faults.batches_rerouted += 1;
+    faults.cells_reapplied += share.len() as u64;
+}
+
+/// Per-worker fault-injection schedule, derived from the instance's
+/// [`FaultPlan`]. Without `cfg(any(test, feature = "fault-injection"))`
+/// this is a fieldless no-op and [`WorkerFaults::at_batch_start`] compiles
+/// to nothing.
+#[cfg(any(test, feature = "fault-injection"))]
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerFaults {
+    /// Panic at the start of this batch index.
+    kill_at: Option<u64>,
+    /// Sleep this many µs at the start of this batch index.
+    stall_at: Option<(u64, u64)>,
+}
+
+#[cfg(not(any(test, feature = "fault-injection")))]
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerFaults;
+
+impl WorkerFaults {
+    #[cfg(any(test, feature = "fault-injection"))]
+    fn for_worker(plan: &FaultPlan, index: usize, num_workers: usize) -> Self {
+        let mut wf = WorkerFaults::default();
+        if let Some(k) = plan.kill {
+            if k.worker % num_workers == index {
+                wf.kill_at = Some(k.batch);
+            }
+        }
+        if let Some(s) = plan.stall {
+            if s.worker % num_workers == index {
+                wf.stall_at = Some((s.batch, s.micros));
+            }
+        }
+        wf
+    }
+
+    /// Fires any fault scheduled for `batch` (kill = panic, stall = sleep).
+    #[inline]
+    fn at_batch_start(&self, batch: u64) {
+        #[cfg(any(test, feature = "fault-injection"))]
+        {
+            if self.kill_at == Some(batch) {
+                panic!("fault injection: killing worker at batch {batch}");
+            }
+            if let Some((b, micros)) = self.stall_at {
+                if b == batch {
+                    std::thread::sleep(Duration::from_micros(micros));
+                }
+            }
+        }
+        #[cfg(not(any(test, feature = "fault-injection")))]
+        let _ = batch;
+    }
 }
 
 impl ParallelOctoCache {
@@ -259,6 +537,11 @@ impl ParallelOctoCache {
     /// octree-update workers, each owning one octant shard of the key
     /// space.
     ///
+    /// A worker whose thread cannot be spawned does not abort construction:
+    /// its octant share is applied inline on the producer thread, the
+    /// downgrade is counted ([`FaultCounters::spawn_failures`]) and the
+    /// instance starts [`Integrity::Degraded`].
+    ///
     /// # Panics
     ///
     /// Panics for worker counts other than 1, 2, 4 or 8 (the
@@ -271,27 +554,90 @@ impl ParallelOctoCache {
         num_workers: usize,
     ) -> Self {
         let router = OctantRouter::new(num_workers, &grid);
+        let stall_timeout = config.stall_timeout();
+        // Workers give a silent producer 4x the producer's own stall budget
+        // before abandoning a mid-batch wait, so under a producer failure
+        // the producer-side deadline always fires first.
+        let mid_batch_deadline = stall_timeout.saturating_mul(4);
+        #[cfg(any(test, feature = "fault-injection"))]
+        let plan = config.fault_plan().unwrap_or_default();
+        let mut faults = FaultCounters::default();
+        let mut integrity = Integrity::default();
         let workers: Vec<Worker> = (0..num_workers)
             .map(|i| {
                 let tree = Arc::new(Mutex::new(OccupancyOcTree::new(grid, params)));
                 let shared = Arc::new(WorkerShared::default());
-                let (producer, consumer) = spsc::channel::<Item>(QUEUE_CAPACITY);
-                let handle = {
+                let capacity = QUEUE_CAPACITY;
+                #[cfg(any(test, feature = "fault-injection"))]
+                let capacity = if plan.fill_ring.map(|w| w % num_workers) == Some(i) {
+                    // Near-zero ring: back-pressure fires on every chunk,
+                    // exercising the bounded backoff without any failure.
+                    2
+                } else {
+                    capacity
+                };
+                let (producer, consumer) = spsc::channel::<Item>(capacity);
+                #[cfg(any(test, feature = "fault-injection"))]
+                let wf = WorkerFaults::for_worker(&plan, i, num_workers);
+                #[cfg(not(any(test, feature = "fault-injection")))]
+                let wf = WorkerFaults;
+                let inject_spawn_fail = {
+                    #[cfg(any(test, feature = "fault-injection"))]
+                    {
+                        plan.fail_spawn.map(|w| w % num_workers) == Some(i)
+                    }
+                    #[cfg(not(any(test, feature = "fault-injection")))]
+                    {
+                        false
+                    }
+                };
+                let spawned = if inject_spawn_fail {
+                    Err(std::io::Error::other(
+                        "fault injection: forced spawn failure",
+                    ))
+                } else {
                     let tree = Arc::clone(&tree);
                     let shared = Arc::clone(&shared);
                     std::thread::Builder::new()
                         .name(format!("octocache-octree-{i}"))
-                        .spawn(move || worker_loop(consumer, tree, shared))
-                        .expect("failed to spawn octree worker thread")
+                        .spawn(move || {
+                            worker_thread(consumer, tree, shared, mid_batch_deadline, wf)
+                        })
                 };
-                Worker {
-                    producer,
-                    tree,
-                    shared,
-                    handle: Some(handle),
-                    dequeue_seen: 0,
-                    octree_seen: 0,
-                    idle_seen: 0,
+                match spawned {
+                    Ok(handle) => Worker {
+                        producer,
+                        tree,
+                        shared,
+                        handle: Some(handle),
+                        batches_sent: 0,
+                        partials_seen: 0,
+                        failed: None,
+                        dequeue_seen: 0,
+                        octree_seen: 0,
+                        idle_seen: 0,
+                    },
+                    Err(e) => {
+                        // Degrade instead of panicking: this worker's
+                        // octants are served inline from the start.
+                        faults.spawn_failures += 1;
+                        integrity.escalate(Integrity::Degraded);
+                        Worker {
+                            producer,
+                            tree,
+                            shared,
+                            handle: None,
+                            batches_sent: 0,
+                            partials_seen: 0,
+                            failed: Some(PipelineError::WorkerSpawn {
+                                worker: i,
+                                reason: e.to_string(),
+                            }),
+                            dequeue_seen: 0,
+                            octree_seen: 0,
+                            idle_seen: 0,
+                        }
+                    }
                 }
             })
             .collect();
@@ -305,7 +651,12 @@ impl ParallelOctoCache {
             ray_tracer,
             batch: insert::VoxelBatch::new(),
             route_bufs: vec![Vec::new(); num_workers],
-            batches_sent: 0,
+            evict_buf: Vec::new(),
+            stall_timeout,
+            faults,
+            faults_reported: FaultCounters::default(),
+            integrity,
+            scan_error: None,
             telemetry: Telemetry::new(backend),
             last_tree_stats: StatsSnapshot::default(),
         }
@@ -337,6 +688,24 @@ impl ParallelOctoCache {
         self.workers.len()
     }
 
+    /// Workers still in rotation (alive and feeding their own shard).
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.failed.is_none()).count()
+    }
+
+    /// The map-consistency verdict after any faults. [`Integrity::Degraded`]
+    /// means parallelism was lost but the map is still voxel-for-voxel what
+    /// the serial backend would hold; [`Integrity::Compromised`] means it
+    /// may have diverged.
+    pub fn integrity(&self) -> Integrity {
+        self.integrity
+    }
+
+    /// Cumulative fault and degraded-mode counters.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+    }
+
     /// Runs `f` with shared access to the backing octree shards (every
     /// shard mutex is held for the duration). Pending cache contents are
     /// not included; call [`MappingSystem::finish`] first for a complete
@@ -363,7 +732,15 @@ impl ParallelOctoCache {
         drop(self); // drops producers & our Arc clones
         let mut trees = workers.into_iter().map(|w| match Arc::try_unwrap(w.tree) {
             Ok(mutex) => mutex.into_inner(),
-            Err(_) => unreachable!("worker joined; no other Arc holders remain"),
+            // A wedged (unjoinable) worker still holds an Arc clone; take
+            // its shard without risking a hang on its mutex. The map was
+            // already flagged Compromised when the worker wedged.
+            Err(arc) => match arc.try_lock() {
+                Some(mut guard) => {
+                    std::mem::replace(&mut *guard, OccupancyOcTree::new(grid, params))
+                }
+                None => OccupancyOcTree::new(grid, params),
+            },
         });
         let first = trees
             .next()
@@ -376,76 +753,141 @@ impl ParallelOctoCache {
         })
     }
 
-    /// Spin-waits until every worker has applied every enqueued batch — the
-    /// thread-1 "gap" of the paper's Figure 13(b), extended to the worker
-    /// set.
-    fn wait_for_workers(&self) {
-        for w in &self.workers {
-            let mut spins = 0u32;
-            while w.shared.batches_done.load(Ordering::Acquire) < self.batches_sent {
-                spins += 1;
-                if spins > 64 {
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
+    /// Waits (bounded) until every live worker has applied every batch
+    /// enqueued to it — the thread-1 "gap" of the paper's Figure 13(b),
+    /// extended to the worker set. A worker that dies here has its retained
+    /// batch share re-applied inline; one that exceeds [`Self::stall_timeout`]
+    /// is taken out of rotation as stalled.
+    fn wait_for_workers(&mut self) {
+        let n = self.workers.len();
+        let stall_timeout = self.stall_timeout;
+        let ParallelOctoCache {
+            workers,
+            route_bufs,
+            evict_buf,
+            faults,
+            integrity,
+            scan_error,
+            ..
+        } = self;
+        for (i, w) in workers.iter_mut().enumerate() {
+            if w.failed.is_some() {
+                continue;
+            }
+            let share: &[EvictedCell] = if n == 1 { evict_buf } else { &route_bufs[i] };
+            let mut backoff = Backoff::new(stall_timeout);
+            loop {
+                if w.shared.batches_done.load(Ordering::Acquire) >= w.batches_sent {
+                    break;
+                }
+                if w.shared.dead.load(Ordering::Acquire) {
+                    fail_dead_worker(w, i, share, faults, integrity, scan_error);
+                    break;
+                }
+                if !backoff.snooze() {
+                    fail_stalled_worker(
+                        w,
+                        i,
+                        share,
+                        backoff.waited(),
+                        faults,
+                        integrity,
+                        scan_error,
+                    );
+                    break;
                 }
             }
         }
     }
 
-    /// Routes `cells` by octant and enqueues each shard's share to its
-    /// worker, closing the batch with a `BatchEnd` on **every** queue (even
-    /// empty shares) so `batches_done` stays aligned across the worker set.
-    fn send_batch(&mut self, cells: &[EvictedCell]) -> EnqueueOutcome {
+    /// Routes the retained batch ([`Self::evict_buf`]) by octant and
+    /// enqueues each shard's share to its worker, closing the batch with a
+    /// `BatchEnd` on **every** live queue (even empty shares) so
+    /// `batches_done` stays aligned. Shares of workers out of rotation are
+    /// applied inline; a worker that dies or stalls mid-send is failed over
+    /// the same way.
+    fn send_batch(&mut self) -> EnqueueOutcome {
         let t1 = Instant::now();
         let n = self.workers.len();
         let mut backpressure = Duration::ZERO;
         let mut queue_depths = vec![0u64; n];
         let mut shard_sizes = vec![0u64; n];
 
-        if n == 1 {
-            // Single worker: no routing needed, chunk straight off the
-            // eviction buffer.
-            shard_sizes[0] = cells.len() as u64;
-            let w = &mut self.workers[0];
-            for chunk in cells.chunks(CHUNK_CELLS) {
-                let depth = push_with_backpressure(
-                    &mut w.producer,
-                    Item::Chunk(chunk.to_vec()),
-                    &mut backpressure,
-                );
-                queue_depths[0] = queue_depths[0].max(depth);
-            }
-        } else {
-            let mut bufs = std::mem::take(&mut self.route_bufs);
-            for buf in &mut bufs {
+        if n > 1 {
+            let ParallelOctoCache {
+                route_bufs,
+                evict_buf,
+                router,
+                ..
+            } = self;
+            for buf in route_bufs.iter_mut() {
                 buf.clear();
             }
-            for cell in cells {
-                bufs[self.router.shard_of(cell.key)].push(*cell);
+            for cell in evict_buf.iter() {
+                route_bufs[router.shard_of(cell.key)].push(*cell);
             }
-            for (i, buf) in bufs.iter().enumerate() {
-                shard_sizes[i] = buf.len() as u64;
-                let w = &mut self.workers[i];
-                for chunk in buf.chunks(CHUNK_CELLS) {
-                    let depth = push_with_backpressure(
-                        &mut w.producer,
-                        Item::Chunk(chunk.to_vec()),
-                        &mut backpressure,
-                    );
-                    queue_depths[i] = queue_depths[i].max(depth);
+        }
+
+        let count = self.evict_buf.len();
+        let stall_timeout = self.stall_timeout;
+        let ParallelOctoCache {
+            workers,
+            route_bufs,
+            evict_buf,
+            faults,
+            integrity,
+            scan_error,
+            ..
+        } = self;
+        for (i, w) in workers.iter_mut().enumerate() {
+            let share: &[EvictedCell] = if n == 1 { evict_buf } else { &route_bufs[i] };
+            shard_sizes[i] = share.len() as u64;
+            if w.failed.is_some() {
+                apply_inline(w, i, share, stall_timeout, faults, integrity, scan_error);
+                continue;
+            }
+            if w.shared.dead.load(Ordering::Acquire) {
+                fail_dead_worker(w, i, share, faults, integrity, scan_error);
+                continue;
+            }
+            let mut failed_mid_send = false;
+            for chunk in share.chunks(CHUNK_CELLS) {
+                match push_guarded(
+                    w,
+                    Item::Chunk(chunk.to_vec()),
+                    &mut backpressure,
+                    stall_timeout,
+                ) {
+                    PushOutcome::Pushed(depth) => queue_depths[i] = queue_depths[i].max(depth),
+                    PushOutcome::Dead => {
+                        fail_dead_worker(w, i, share, faults, integrity, scan_error);
+                        failed_mid_send = true;
+                        break;
+                    }
+                    PushOutcome::Stalled(waited) => {
+                        fail_stalled_worker(w, i, share, waited, faults, integrity, scan_error);
+                        failed_mid_send = true;
+                        break;
+                    }
                 }
             }
-            self.route_bufs = bufs;
+            if failed_mid_send {
+                continue;
+            }
+            match push_guarded(w, Item::BatchEnd, &mut backpressure, stall_timeout) {
+                PushOutcome::Pushed(depth) => {
+                    queue_depths[i] = queue_depths[i].max(depth);
+                    w.batches_sent += 1;
+                }
+                PushOutcome::Dead => fail_dead_worker(w, i, share, faults, integrity, scan_error),
+                PushOutcome::Stalled(waited) => {
+                    fail_stalled_worker(w, i, share, waited, faults, integrity, scan_error)
+                }
+            }
         }
-        for (i, w) in self.workers.iter_mut().enumerate() {
-            let depth = push_with_backpressure(&mut w.producer, Item::BatchEnd, &mut backpressure);
-            queue_depths[i] = queue_depths[i].max(depth);
-        }
-        self.batches_sent += 1;
         let enqueue = t1.elapsed().saturating_sub(backpressure);
         EnqueueOutcome {
-            count: cells.len(),
+            count,
             evict: Duration::ZERO,
             enqueue,
             backpressure,
@@ -454,14 +896,15 @@ impl ParallelOctoCache {
         }
     }
 
-    /// Evicts the pending batch and enqueues it for the workers, sampling
-    /// the producer-side queue depths along the way.
+    /// Evicts the pending batch into the retained buffer and enqueues it
+    /// for the workers, sampling the producer-side queue depths along the
+    /// way.
     fn evict_and_enqueue(&mut self) -> EnqueueOutcome {
         let t0 = Instant::now();
-        let mut evicted: Vec<EvictedCell> = Vec::new();
-        self.cache.evict_into(&mut evicted);
+        self.evict_buf.clear();
+        self.cache.evict_into(&mut self.evict_buf);
         let evict = t0.elapsed();
-        let mut out = self.send_batch(&evicted);
+        let mut out = self.send_batch();
         out.evict = evict;
         out
     }
@@ -474,7 +917,19 @@ impl ParallelOctoCache {
         }
         for w in &mut self.workers {
             if let Some(handle) = w.handle.take() {
-                let _ = handle.join();
+                if w.failed.is_none() || w.shared.dead.load(Ordering::Acquire) {
+                    let _ = handle.join();
+                }
+                // else: detach — a wedged worker must never hang shutdown;
+                // it exits on its own when (if) it wakes and sees the flag.
+            }
+            // Fold any mid-batch abandonment observed during shutdown into
+            // the counters: an abandoned batch is reported, never silent.
+            let partials = w.shared.partial_batches.load(Ordering::Acquire);
+            if partials > w.partials_seen {
+                self.faults.partial_batches += partials - w.partials_seen;
+                w.partials_seen = partials;
+                self.integrity.escalate(Integrity::Compromised);
             }
         }
     }
@@ -518,11 +973,19 @@ impl ParallelOctoCache {
         times
     }
 
-    /// Sums the instrumentation counters of every shard (locking each).
+    /// Sums the instrumentation counters of every shard (locking each; a
+    /// wedged worker's shard is skipped rather than risking a hang).
     fn summed_tree_stats(&self) -> StatsSnapshot {
         let mut total = StatsSnapshot::default();
         for w in &self.workers {
-            total.merge(&w.tree.lock().stats().snapshot());
+            let guard = if w.failed.is_some() {
+                w.tree.try_lock()
+            } else {
+                Some(w.tree.lock())
+            };
+            if let Some(g) = guard {
+                total.merge(&g.stats().snapshot());
+            }
         }
         total
     }
@@ -542,7 +1005,7 @@ impl MappingSystem for ParallelOctoCache {
         origin: Point3,
         cloud: &[Point3],
         max_range: f64,
-    ) -> Result<ScanReport, GeomError> {
+    ) -> Result<ScanReport, PipelineError> {
         let cache_before = *self.cache.stats();
 
         // Phase 1: evict the previous batch and hand it to the workers.
@@ -552,13 +1015,9 @@ impl MappingSystem for ParallelOctoCache {
         let grid = self.grid;
         let t0 = Instant::now();
         insert::compute_update(&grid, origin, cloud, max_range, &mut self.batch)?;
-        let deduped;
-        let batch: &insert::VoxelBatch = match self.ray_tracer {
-            RayTracer::Standard => &self.batch,
-            RayTracer::Dedup => {
-                deduped = rt::dedup_batch(&self.batch);
-                &deduped
-            }
+        let deduped: Option<insert::VoxelBatch> = match self.ray_tracer {
+            RayTracer::Standard => None,
+            RayTracer::Dedup => Some(rt::dedup_batch(&self.batch)),
         };
         let ray_tracing = t0.elapsed();
 
@@ -567,22 +1026,40 @@ impl MappingSystem for ParallelOctoCache {
         let t1 = Instant::now();
         self.wait_for_workers();
         let wait = t1.elapsed() + enq.backpressure;
+        let batch: &insert::VoxelBatch = deduped.as_ref().unwrap_or(&self.batch);
 
         // Phase 4: cache insertion under the shard mutexes (seeding misses
         // from the owning shard). All queues are drained, so the locks are
-        // uncontended.
+        // uncontended — except a wedged worker's, which is skipped (its
+        // shard seeds as unknown; the map is already Compromised).
         let t2 = Instant::now();
         let (mutex_wait, tree_after) = {
-            let guards: Vec<MutexGuard<'_, OccupancyOcTree>> =
-                self.workers.iter().map(|w| w.tree.lock()).collect();
+            let guards: Vec<Option<MutexGuard<'_, OccupancyOcTree>>> = self
+                .workers
+                .iter()
+                .map(|w| {
+                    if w.failed.is_some() {
+                        w.tree.try_lock()
+                    } else {
+                        Some(w.tree.lock())
+                    }
+                })
+                .collect();
+            if guards.iter().any(|g| g.is_none()) {
+                self.integrity.escalate(Integrity::Compromised);
+            }
             let mutex_wait = t2.elapsed();
             let router = self.router;
             let cache = &mut self.cache;
             for u in batch.iter() {
-                cache.insert(u.key, u.occupied, |k| guards[router.shard_of(k)].search(k));
+                cache.insert(u.key, u.occupied, |k| {
+                    guards[router.shard_of(k)]
+                        .as_ref()
+                        .and_then(|g| g.search(k))
+                });
             }
             let mut tree_after = StatsSnapshot::default();
-            for g in &guards {
+            for g in guards.iter().flatten() {
                 tree_after.merge(&g.stats().snapshot());
             }
             (mutex_wait, tree_after)
@@ -605,6 +1082,10 @@ impl MappingSystem for ParallelOctoCache {
         let tree_delta = tree_after.since(&self.last_tree_stats);
         self.last_tree_stats = tree_after;
         let cache_delta = self.cache.stats().since(&cache_before);
+        // Fault counters accrued since the last record (including
+        // construction-time spawn failures, which land on scan 0).
+        let fault_delta = self.faults.since(&self.faults_reported);
+        self.faults_reported = self.faults;
         self.telemetry.record(ScanRecord {
             times,
             observations: observations as u64,
@@ -628,9 +1109,20 @@ impl MappingSystem for ParallelOctoCache {
             shard_batch_sizes: enq.shard_sizes,
             worker_busy_ns,
             worker_idle_ns,
+            worker_panics: fault_delta.worker_panics,
+            spawn_failures: fault_delta.spawn_failures,
+            stall_timeouts: fault_delta.stall_timeouts,
+            partial_batches: fault_delta.partial_batches,
+            batches_rerouted: fault_delta.batches_rerouted,
+            degraded: self.integrity.is_degraded(),
             ..Default::default()
         });
 
+        // Surface the first fault of this scan exactly once; the map state
+        // behind it is described by `integrity()`.
+        if let Some(err) = self.scan_error.take() {
+            return Err(err);
+        }
         Ok(ScanReport {
             times,
             observations,
@@ -642,10 +1134,15 @@ impl MappingSystem for ParallelOctoCache {
     fn occupancy(&mut self, key: VoxelKey) -> Option<f32> {
         match self.cache.get(key) {
             Some(v) => Some(v),
-            None => self.workers[self.router.shard_of(key)]
-                .tree
-                .lock()
-                .search(key),
+            None => {
+                let w = &self.workers[self.router.shard_of(key)];
+                if w.failed.is_some() {
+                    // Never block on a possibly-wedged worker's mutex.
+                    w.tree.try_lock().and_then(|g| g.search(key))
+                } else {
+                    w.tree.lock().search(key)
+                }
+            }
         }
     }
 
@@ -655,17 +1152,22 @@ impl MappingSystem for ParallelOctoCache {
     }
 
     fn finish(&mut self) -> PhaseTimes {
-        // Flush the pending eviction batch…
+        // Flush the pending eviction batch, and wait it out so the retained
+        // copy stays valid for the whole batch (one batch in flight at a
+        // time is what makes dead-worker re-application exact).
         let enq1 = self.evict_and_enqueue();
+        let t_w = Instant::now();
+        self.wait_for_workers();
+        let wait1 = t_w.elapsed();
         // …then drain everything left in the cache as a final batch.
         let t0 = Instant::now();
-        let drained = self.cache.drain_all();
+        self.evict_buf = self.cache.drain_all();
         let evict2 = t0.elapsed();
-        let enq2 = self.send_batch(&drained);
+        let enq2 = self.send_batch();
 
         let t1 = Instant::now();
         self.wait_for_workers();
-        let wait = t1.elapsed() + enq1.backpressure + enq2.backpressure;
+        let wait = wait1 + t1.elapsed() + enq1.backpressure + enq2.backpressure;
 
         let times = PhaseTimes {
             cache_evict: enq1.evict + evict2,
@@ -701,6 +1203,14 @@ impl MappingSystem for ParallelOctoCache {
         Some(self.summed_tree_stats())
     }
 
+    fn integrity(&self) -> Integrity {
+        self.integrity
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        self.faults
+    }
+
     fn take_tree(self: Box<Self>) -> OccupancyOcTree {
         (*self).into_tree()
     }
@@ -712,13 +1222,37 @@ impl Drop for ParallelOctoCache {
     }
 }
 
+/// The worker thread body: runs [`worker_loop`] under `catch_unwind` so a
+/// panic (organic or injected) never unwinds into the runtime, and always
+/// publishes the death flags last — the producer detects `dead`, joins, and
+/// re-applies the retained batch.
+fn worker_thread(
+    consumer: spsc::Consumer<Item>,
+    tree: Arc<Mutex<OccupancyOcTree>>,
+    shared: Arc<WorkerShared>,
+    mid_batch_deadline: Duration,
+    faults: WorkerFaults,
+) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        worker_loop(consumer, &tree, &shared, mid_batch_deadline, faults)
+    }));
+    if result.is_err() {
+        shared.panicked.store(true, Ordering::Release);
+    }
+    shared.in_batch.store(false, Ordering::Release);
+    shared.dead.store(true, Ordering::Release);
+}
+
 /// An octree-update worker: dequeue evicted voxels and apply them to this
 /// worker's octree shard, holding the shard mutex per batch.
 fn worker_loop(
     mut consumer: spsc::Consumer<Item>,
-    tree: Arc<Mutex<OccupancyOcTree>>,
-    shared: Arc<WorkerShared>,
+    tree: &Mutex<OccupancyOcTree>,
+    shared: &WorkerShared,
+    mid_batch_deadline: Duration,
+    faults: WorkerFaults,
 ) {
+    let mut batch_index: u64 = 0;
     'outer: loop {
         // Wait for work; this is idle time, not dequeue cost, and is
         // reported separately so per-worker utilization is measurable.
@@ -740,6 +1274,8 @@ fn worker_loop(
             Some(item) => item,
             None => break 'outer,
         };
+        shared.in_batch.store(true, Ordering::Release);
+        faults.at_batch_start(batch_index);
 
         match first {
             Item::BatchEnd => {
@@ -757,6 +1293,7 @@ fn worker_loop(
                 let mut cells = chunk.len() as u64;
                 let mut pops = 1u64;
                 let mut stall = std::time::Duration::ZERO;
+                let mut abandoned_mid_batch = false;
                 let guard_start = Instant::now();
                 let mut guard = tree.lock();
                 for cell in &chunk {
@@ -777,20 +1314,27 @@ fn worker_loop(
                         }
                         None => {
                             // Producer is still enqueueing this batch; wait
-                            // (measured, attributed to neither component).
+                            // (measured, attributed to neither component),
+                            // bounded: a dead or wedged producer must not
+                            // pin this worker forever.
                             let t = Instant::now();
                             let mut abandoned = false;
+                            let mut backoff = Backoff::new(mid_batch_deadline);
                             while consumer.is_empty() {
                                 if shared.shutdown.load(Ordering::Acquire) {
-                                    // Producer died mid-batch (panic on
-                                    // thread 1); abandon the remainder.
+                                    // Producer is gone (panic on thread 1 or
+                                    // shutdown mid-batch).
                                     abandoned = true;
                                     break;
                                 }
-                                std::hint::spin_loop();
+                                if !backoff.snooze() {
+                                    abandoned = true;
+                                    break;
+                                }
                             }
                             stall += t.elapsed();
                             if abandoned && consumer.is_empty() {
+                                abandoned_mid_batch = true;
                                 break;
                             }
                         }
@@ -806,9 +1350,24 @@ fn worker_loop(
                     .dequeue_nanos
                     .fetch_add(dequeue_ns.min(busy_ns), Ordering::Relaxed);
                 shared.cells_applied.fetch_add(cells, Ordering::Relaxed);
+                if abandoned_mid_batch {
+                    // Record exactly what was cut short — which batch, and
+                    // how much of it was applied — then exit. A live
+                    // producer re-applies the retained batch and reports
+                    // `PipelineError::PartialScan`; a dying one folds these
+                    // counters in during shutdown. Never a silent drop.
+                    shared
+                        .partial_batch_index
+                        .store(batch_index, Ordering::Relaxed);
+                    shared.partial_cells_applied.store(cells, Ordering::Relaxed);
+                    shared.partial_batches.fetch_add(1, Ordering::Release);
+                    break 'outer;
+                }
                 shared.batches_done.fetch_add(1, Ordering::Release);
             }
         }
+        batch_index += 1;
+        shared.in_batch.store(false, Ordering::Release);
     }
 }
 
@@ -1116,5 +1675,243 @@ mod tests {
     #[should_panic(expected = "must be 1, 2, 4 or 8")]
     fn rejects_invalid_worker_counts() {
         system_n(3, 64, 4);
+    }
+
+    // ---- fault injection (hooks are active under cfg(test)) ----
+
+    use crate::fault::{FaultAt, StallAt};
+    use octocache_octomap::compare;
+
+    /// A pipeline with a fault plan, a tiny cache (constant eviction) and a
+    /// short stall budget so stall tests converge quickly.
+    fn faulty_system(workers: usize, plan: FaultPlan, stall_ms: u64) -> ParallelOctoCache {
+        let grid = VoxelGrid::new(0.5, 8).unwrap();
+        let config = CacheConfig::builder()
+            .num_buckets(1 << 6)
+            .tau(1)
+            .stall_timeout(Duration::from_millis(stall_ms))
+            .fault_plan(plan)
+            .build()
+            .unwrap();
+        ParallelOctoCache::with_workers(
+            grid,
+            OccupancyParams::default(),
+            config,
+            RayTracer::Standard,
+            workers,
+        )
+    }
+
+    /// Replays the standard fault-test scan sequence, collecting errors.
+    fn run_scans(s: &mut ParallelOctoCache) -> Vec<PipelineError> {
+        let mut errors = Vec::new();
+        for i in 0..6 {
+            let origin = Point3::new(0.0, 0.0, if i % 2 == 0 { 1.0 } else { -1.0 });
+            if let Err(e) = s.insert_scan(origin, &spread_cloud(i as f64 * 0.13), 40.0) {
+                errors.push(e);
+            }
+        }
+        errors
+    }
+
+    /// The no-fault reference tree for [`run_scans`]'s sequence.
+    fn reference_tree(workers: usize) -> OccupancyOcTree {
+        let mut s = faulty_system(workers, FaultPlan::default(), 5_000);
+        assert!(run_scans(&mut s).is_empty());
+        s.into_tree()
+    }
+
+    #[test]
+    fn spawn_failure_degrades_to_inline_apply() {
+        let plan = FaultPlan {
+            fail_spawn: Some(1),
+            ..Default::default()
+        };
+        let mut s = faulty_system(4, plan, 1_000);
+        assert_eq!(s.live_workers(), 3);
+        // Scans succeed throughout: the failed worker's share is applied
+        // inline, so degraded mode is not an error the caller must handle.
+        assert!(run_scans(&mut s).is_empty());
+        assert_eq!(s.integrity(), Integrity::Degraded);
+        let f = s.fault_counters();
+        assert_eq!(f.spawn_failures, 1);
+        assert_eq!(f.worker_panics, 0);
+        let d = compare::diff(&reference_tree(4), &s.into_tree(), 0.0);
+        assert!(
+            d.is_identical(),
+            "inline apply diverged: {} value / {} coverage mismatches",
+            d.value_mismatches,
+            d.coverage_mismatches
+        );
+    }
+
+    #[test]
+    fn killed_worker_is_reported_and_rerouted() {
+        let plan = FaultPlan {
+            kill: Some(FaultAt {
+                worker: 1,
+                batch: 1,
+            }),
+            ..Default::default()
+        };
+        let mut s = faulty_system(4, plan, 1_000);
+        let errors = run_scans(&mut s);
+        // Exactly one scan surfaces the fault; subsequent scans run in
+        // degraded mode and succeed.
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(
+            matches!(errors[0], PipelineError::WorkerPanicked { worker: 1, .. }),
+            "{:?}",
+            errors[0]
+        );
+        assert_eq!(s.live_workers(), 3);
+        assert_eq!(s.integrity(), Integrity::Degraded);
+        let f = s.fault_counters();
+        assert_eq!(f.worker_panics, 1);
+        // The retained batch was re-applied: the map must be exact.
+        let d = compare::diff(&reference_tree(4), &s.into_tree(), 0.0);
+        assert!(
+            d.is_identical(),
+            "re-apply diverged: {} value / {} coverage mismatches",
+            d.value_mismatches,
+            d.coverage_mismatches
+        );
+    }
+
+    #[test]
+    fn killed_single_worker_still_completes_the_run() {
+        let plan = FaultPlan {
+            kill: Some(FaultAt {
+                worker: 0,
+                batch: 2,
+            }),
+            ..Default::default()
+        };
+        let mut s = faulty_system(1, plan, 1_000);
+        let errors = run_scans(&mut s);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert_eq!(s.live_workers(), 0);
+        assert_eq!(s.integrity(), Integrity::Degraded);
+        let d = compare::diff(&reference_tree(1), &s.into_tree(), 0.0);
+        assert!(d.is_identical());
+    }
+
+    #[test]
+    fn stalled_worker_times_out_into_typed_error() {
+        // Worker 0 sleeps 400 ms at batch 1; the producer's stall budget is
+        // 20 ms, so the bounded wait expires long before the worker wakes.
+        let plan = FaultPlan {
+            stall: Some(StallAt {
+                worker: 0,
+                batch: 1,
+                micros: 400_000,
+            }),
+            ..Default::default()
+        };
+        let mut s = faulty_system(2, plan, 20);
+        let errors = run_scans(&mut s);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(
+            matches!(errors[0], PipelineError::QueueStalled { worker: 0, .. }),
+            "{:?}",
+            errors[0]
+        );
+        assert!(s.fault_counters().stall_timeouts >= 1);
+        assert!(s.integrity().is_degraded());
+        // The sleeping worker does not hold its shard mutex, so the share
+        // was re-applied inline and the map stays exact (Degraded, not
+        // Compromised); its stale writes after waking are idempotent.
+        let integrity = s.integrity();
+        let d = compare::diff(&reference_tree(2), &s.into_tree(), 0.0);
+        if integrity == Integrity::Degraded {
+            assert!(
+                d.is_identical(),
+                "degraded map diverged: {} value / {} coverage mismatches",
+                d.value_mismatches,
+                d.coverage_mismatches
+            );
+        }
+    }
+
+    #[test]
+    fn full_ring_is_backpressure_not_a_fault() {
+        let plan = FaultPlan {
+            fill_ring: Some(0),
+            ..Default::default()
+        };
+        let mut s = faulty_system(1, plan, 5_000);
+        assert!(run_scans(&mut s).is_empty());
+        assert_eq!(s.integrity(), Integrity::Intact);
+        assert!(!s.fault_counters().any());
+        let d = compare::diff(&reference_tree(1), &s.into_tree(), 0.0);
+        assert!(d.is_identical());
+    }
+
+    #[test]
+    fn mid_batch_abandonment_is_recorded_not_silent() {
+        // Drive a worker thread directly: send a chunk but never the
+        // BatchEnd, then request shutdown. The worker must record exactly
+        // which batch was cut short and how much of it had been applied.
+        let grid = VoxelGrid::new(0.5, 8).unwrap();
+        let tree = Arc::new(Mutex::new(OccupancyOcTree::new(
+            grid,
+            OccupancyParams::default(),
+        )));
+        let shared = Arc::new(WorkerShared::default());
+        let (mut producer, consumer) = spsc::channel::<Item>(16);
+        let handle = {
+            let tree = Arc::clone(&tree);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                worker_thread(
+                    consumer,
+                    tree,
+                    shared,
+                    Duration::from_secs(10),
+                    WorkerFaults::default(),
+                )
+            })
+        };
+        let cells: Vec<EvictedCell> = (0..10)
+            .map(|i| EvictedCell {
+                key: VoxelKey::new(100 + i as u16, 100, 100),
+                log_odds: 0.5,
+            })
+            .collect();
+        producer.push(Item::Chunk(cells)).unwrap();
+        while shared.cells_applied.load(Ordering::Acquire) < 10 {
+            std::thread::yield_now();
+        }
+        shared.shutdown.store(true, Ordering::Release);
+        handle.join().unwrap();
+        assert!(shared.dead.load(Ordering::Acquire));
+        assert!(!shared.panicked.load(Ordering::Acquire));
+        assert_eq!(shared.batches_done.load(Ordering::Acquire), 0);
+        assert_eq!(shared.partial_batches.load(Ordering::Acquire), 1);
+        assert_eq!(shared.partial_batch_index.load(Ordering::Acquire), 0);
+        assert_eq!(shared.partial_cells_applied.load(Ordering::Acquire), 10);
+    }
+
+    #[test]
+    fn fault_deltas_reach_telemetry_records() {
+        use octocache_telemetry::SharedRecorder;
+        let plan = FaultPlan {
+            kill: Some(FaultAt {
+                worker: 0,
+                batch: 1,
+            }),
+            ..Default::default()
+        };
+        let mut s = faulty_system(2, plan, 1_000);
+        let recorder = SharedRecorder::new();
+        s.set_recorder(Box::new(recorder.clone()));
+        let _ = run_scans(&mut s);
+        s.finish();
+        let records = recorder.records();
+        let panics: u64 = records.iter().map(|r| r.worker_panics).sum();
+        assert_eq!(panics, 1, "panic delta must land on exactly one record");
+        assert!(records.iter().any(|r| r.degraded));
+        // Records before the fault are not flagged.
+        assert!(!records[0].degraded);
     }
 }

@@ -14,6 +14,7 @@ use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
 use octocache_telemetry::{PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry};
 
 use crate::cache::CacheStats;
+use crate::fault::{FaultCounters, Integrity, PipelineError};
 
 /// Which ray-tracing front-end a backend uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,15 +67,22 @@ pub trait MappingSystem {
 
     /// Ray-traces and integrates one sensor scan.
     ///
+    /// Scan application is transactional at scan granularity: on `Ok` the
+    /// scan is applied voxel-for-voxel identically to the serial backend; on
+    /// `Err` the failure is typed and [`MappingSystem::integrity`] reports
+    /// whether the map may have diverged.
+    ///
     /// # Errors
     ///
-    /// Propagates [`GeomError`] for invalid origins.
+    /// Propagates [`PipelineError::Geom`] for invalid origins; parallel
+    /// backends additionally surface worker panics, spawn failures, stalls
+    /// and partially applied batches.
     fn insert_scan(
         &mut self,
         origin: Point3,
         cloud: &[Point3],
         max_range: f64,
-    ) -> Result<ScanReport, GeomError>;
+    ) -> Result<ScanReport, PipelineError>;
 
     /// Accumulated occupancy log-odds at a voxel; `None` = unknown space.
     fn occupancy(&mut self, key: VoxelKey) -> Option<f32>;
@@ -126,6 +134,20 @@ pub trait MappingSystem {
         None
     }
 
+    /// Whether the backend has degraded after a fault, and if so how far.
+    ///
+    /// Backends without failure modes (everything single-threaded) are
+    /// always [`Integrity::Intact`].
+    fn integrity(&self) -> Integrity {
+        Integrity::Intact
+    }
+
+    /// Cumulative fault/degraded-mode counters over the backend's lifetime.
+    /// All-zero for backends without failure modes.
+    fn fault_counters(&self) -> FaultCounters {
+        FaultCounters::default()
+    }
+
     /// Consumes the backend, flushing all pending state, and returns the
     /// completed octree (for serialisation, diffing, offline queries).
     fn take_tree(self: Box<Self>) -> OccupancyOcTree;
@@ -143,7 +165,7 @@ impl<M: MappingSystem + ?Sized> MappingSystem for Box<M> {
         origin: Point3,
         cloud: &[Point3],
         max_range: f64,
-    ) -> Result<ScanReport, GeomError> {
+    ) -> Result<ScanReport, PipelineError> {
         (**self).insert_scan(origin, cloud, max_range)
     }
     fn occupancy(&mut self, key: VoxelKey) -> Option<f32> {
@@ -172,6 +194,12 @@ impl<M: MappingSystem + ?Sized> MappingSystem for Box<M> {
     }
     fn tree_stats(&self) -> Option<StatsSnapshot> {
         (**self).tree_stats()
+    }
+    fn integrity(&self) -> Integrity {
+        (**self).integrity()
+    }
+    fn fault_counters(&self) -> FaultCounters {
+        (**self).fault_counters()
     }
     fn take_tree(self: Box<Self>) -> OccupancyOcTree {
         (*self).take_tree()
@@ -228,7 +256,7 @@ impl MappingSystem for OctoMapSystem {
         origin: Point3,
         cloud: &[Point3],
         max_range: f64,
-    ) -> Result<ScanReport, GeomError> {
+    ) -> Result<ScanReport, PipelineError> {
         let tree_before = self.tree.stats().snapshot();
         let t0 = Instant::now();
         insert::compute_update(self.tree.grid(), origin, cloud, max_range, &mut self.batch)?;

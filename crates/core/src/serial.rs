@@ -9,13 +9,14 @@
 
 use std::time::Instant;
 
-use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
+use octocache_geom::{Point3, VoxelGrid, VoxelKey};
 use octocache_octomap::stats::StatsSnapshot;
 use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
 use octocache_telemetry::{PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry};
 
 use crate::cache::{AdaptiveController, AdaptivePolicy, CacheStats, EvictedCell, VoxelCache};
 use crate::config::CacheConfig;
+use crate::fault::PipelineError;
 use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
 
 /// The serial OctoCache mapping system.
@@ -173,7 +174,7 @@ impl MappingSystem for SerialOctoCache {
         origin: Point3,
         cloud: &[Point3],
         max_range: f64,
-    ) -> Result<ScanReport, GeomError> {
+    ) -> Result<ScanReport, PipelineError> {
         let cache_before = *self.cache.stats();
         let tree_before = self.tree.stats().snapshot();
         let t0 = Instant::now();

@@ -11,11 +11,12 @@
 
 use std::time::Instant;
 
-use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
+use octocache_geom::{Point3, VoxelGrid, VoxelKey};
 use octocache_octomap::stats::StatsSnapshot;
 use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
 use octocache_telemetry::{PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry};
 
+use crate::fault::PipelineError;
 use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
 use crate::routing::{self, OctantRouter};
 
@@ -126,7 +127,7 @@ impl MappingSystem for ShardedOctoMap {
         origin: Point3,
         cloud: &[Point3],
         max_range: f64,
-    ) -> Result<ScanReport, GeomError> {
+    ) -> Result<ScanReport, PipelineError> {
         let t0 = Instant::now();
         insert::compute_update(&self.grid, origin, cloud, max_range, &mut self.batch)?;
         let deduped;

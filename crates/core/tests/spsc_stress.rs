@@ -123,6 +123,156 @@ fn non_blocking_push_returns_rejected_item_and_keeps_order() {
     }
 }
 
+/// Teardown while items are in flight: the consumer walks away mid-stream
+/// (simulating a dead worker), the producer keeps pushing until the ring
+/// jams, then both halves drop. Every item must be dropped exactly once —
+/// whether it was consumed, abandoned by the producer, or drained from the
+/// ring by the last half's `Drop`. Leaks or double-drops here would turn a
+/// worker fault into memory unsoundness in the pipeline.
+#[test]
+fn teardown_mid_stream_drops_every_item_exactly_once() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Counts its own drops; a clone of the shared counter per item.
+    struct Tracked(Arc<AtomicU64>);
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    const TOTAL: u64 = 500;
+    for rep in 0..repeats() {
+        for capacity in [1usize, 2, 8, 64] {
+            // Drain strictly fewer items than the producer offers, so the
+            // ring still holds (or will receive) items when the consumer
+            // abandons it.
+            for drain in [0u64, 1, TOTAL / 2] {
+                let drops = Arc::new(AtomicU64::new(0));
+                let (mut tx, mut rx) = channel::<Tracked>(capacity);
+
+                let d = Arc::clone(&drops);
+                // Returns how many `Tracked` items it created; every one
+                // must eventually be dropped exactly once.
+                let producer = thread::spawn(move || -> u64 {
+                    let mut created = 0u64;
+                    for _ in 0..TOTAL {
+                        let mut item = Tracked(Arc::clone(&d));
+                        created += 1;
+                        let mut attempts = 0u32;
+                        loop {
+                            match tx.push(item) {
+                                Ok(()) => break,
+                                Err(Full(rejected)) => {
+                                    item = rejected;
+                                    attempts += 1;
+                                    if attempts > 200 {
+                                        // Consumer is gone and the ring is
+                                        // jammed: abandon this item (drops
+                                        // here) and stop producing.
+                                        drop(item);
+                                        return created;
+                                    }
+                                    thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                    // `tx` drops here; if `rx` is already gone this is the
+                    // last half and `Ring::drop` drains the leftovers.
+                    created
+                });
+
+                let consumer = thread::spawn(move || -> u64 {
+                    let mut popped = 0u64;
+                    let mut empty_polls = 0u32;
+                    // Bounded patience so a producer that gave up (jammed
+                    // ring) cannot strand the consumer.
+                    while popped < drain && empty_polls < 100_000 {
+                        if rx.try_pop().is_some() {
+                            popped += 1;
+                            empty_polls = 0;
+                        } else {
+                            empty_polls += 1;
+                            thread::yield_now();
+                        }
+                    }
+                    // Walk away with items still in flight.
+                    drop(rx);
+                    popped
+                });
+
+                let created = producer.join().expect("producer panicked");
+                let popped = consumer.join().expect("consumer panicked");
+
+                // Both halves are gone, so the ring itself has been dropped
+                // and drained. Exactly-once: consumed + abandoned + drained
+                // must equal the number of items ever created.
+                let dropped = drops.load(Ordering::SeqCst);
+                assert_eq!(
+                    dropped,
+                    created,
+                    "capacity {capacity} drain {drain} rep {rep}: \
+                     {created} items created but {dropped} drops — \
+                     {}",
+                    if dropped < created {
+                        "leak"
+                    } else {
+                        "double drop"
+                    }
+                );
+                assert!(
+                    created >= popped && created <= TOTAL,
+                    "capacity {capacity} drain {drain} rep {rep}: \
+                     {created} created but {popped} consumed"
+                );
+            }
+        }
+    }
+}
+
+/// Same teardown, but with the producer finishing first: push everything,
+/// drop `tx`, then the consumer pops a few and drops `rx` with items still
+/// inside. The ring's own `Drop` must reclaim the rest — exactly once.
+#[test]
+fn consumer_abandonment_after_producer_exit_reclaims_ring_contents() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[derive(Debug)]
+    struct Tracked(Arc<AtomicU64>);
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    for capacity in [1usize, 4, 32] {
+        let real_capacity = capacity.next_power_of_two() as u64;
+        for consumed in 0..=real_capacity {
+            let drops = Arc::new(AtomicU64::new(0));
+            let (mut tx, mut rx) = channel::<Tracked>(capacity);
+            for _ in 0..real_capacity {
+                tx.push(Tracked(Arc::clone(&drops))).expect("fits");
+            }
+            drop(tx);
+            for _ in 0..consumed {
+                let item = rx.try_pop().expect("item available");
+                drop(item);
+            }
+            assert_eq!(drops.load(Ordering::SeqCst), consumed);
+            drop(rx); // last half: Ring::drop drains the remainder
+            assert_eq!(
+                drops.load(Ordering::SeqCst),
+                real_capacity,
+                "capacity {real_capacity} consumed {consumed}: \
+                 in-flight items not reclaimed exactly once"
+            );
+        }
+    }
+}
+
 /// `len`/`is_empty` observed from both ends stay within the ring's
 /// capacity and agree with the net flow, single-threaded edge-case sweep.
 #[test]

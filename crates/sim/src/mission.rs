@@ -1,8 +1,7 @@
 use std::time::{Duration, Instant};
 
-use octocache::{MappingSystem, PhaseTimes};
+use octocache::{MappingSystem, PhaseTimes, PipelineError};
 use octocache_datasets::{DepthSensor, Pose};
-use octocache_geom::GeomError;
 use serde::{Deserialize, Serialize};
 
 use crate::environment::Environment;
@@ -154,9 +153,11 @@ impl Mission {
     ///
     /// # Errors
     ///
-    /// Propagates [`GeomError`] when the flight leaves the mapped cube
-    /// (which indicates a mis-sized grid for the environment).
-    pub fn run<M: MappingSystem>(&self, map: M) -> Result<MissionReport, GeomError> {
+    /// Propagates [`PipelineError`] from the mapping backend: a
+    /// [`PipelineError::Geom`] when the flight leaves the mapped cube (which
+    /// indicates a mis-sized grid for the environment), or a worker fault
+    /// from the parallel backend.
+    pub fn run<M: MappingSystem>(&self, map: M) -> Result<MissionReport, PipelineError> {
         Ok(self.run_traced(map, false)?.0)
     }
 
@@ -170,7 +171,7 @@ impl Mission {
         &self,
         mut map: M,
         record: bool,
-    ) -> Result<(MissionReport, Vec<CycleRecord>), GeomError> {
+    ) -> Result<(MissionReport, Vec<CycleRecord>), PipelineError> {
         let scene = self.env.scene(self.config.seed);
         let sensing_range = self
             .config

@@ -62,6 +62,21 @@ pub struct ScanRecord {
     /// Per-worker idle time attributed to this scan, in nanoseconds
     /// (N-worker parallel backend; empty elsewhere).
     pub worker_idle_ns: Vec<u64>,
+    /// Worker threads observed dead by panic during this scan (parallel
+    /// backend; fault counters are deltas, zero on healthy scans).
+    pub worker_panics: u64,
+    /// Worker threads that failed to spawn (reported on the first scan).
+    pub spawn_failures: u64,
+    /// Bounded waits that expired into `QueueStalled` during this scan.
+    pub stall_timeouts: u64,
+    /// Batches a worker abandoned midway during this scan.
+    pub partial_batches: u64,
+    /// Batch shares applied inline on the producer because their worker was
+    /// out of rotation.
+    pub batches_rerouted: u64,
+    /// True once the backend has left the intact state (any fault so far —
+    /// sticky, unlike the per-scan counters above).
+    pub degraded: bool,
 }
 
 impl ScanRecord {
@@ -105,6 +120,12 @@ mod tests {
             shard_skew: 1.25,
             worker_busy_ns: vec![900, 450],
             worker_idle_ns: vec![10, 460],
+            worker_panics: 1,
+            spawn_failures: 0,
+            stall_timeouts: 2,
+            partial_batches: 1,
+            batches_rerouted: 3,
+            degraded: true,
         };
         let json = serde::json::to_string(&r);
         let back: ScanRecord = serde::json::from_str(&json).unwrap();

@@ -114,6 +114,18 @@ pub struct TraceSummary {
     /// Per-worker idle nanoseconds summed over the trace (N-worker parallel
     /// traces; empty elsewhere).
     pub worker_idle_ns: Vec<u64>,
+    /// Total worker panics over the trace.
+    pub worker_panics: u64,
+    /// Total worker spawn failures over the trace.
+    pub spawn_failures: u64,
+    /// Total expired bounded waits (`QueueStalled`) over the trace.
+    pub stall_timeouts: u64,
+    /// Total batches abandoned midway over the trace.
+    pub partial_batches: u64,
+    /// Total batch shares applied inline (degraded mode) over the trace.
+    pub batches_rerouted: u64,
+    /// Scans recorded while the backend was in a degraded state.
+    pub degraded_scans: u64,
     /// Cumulative phase times.
     pub totals: PhaseTimes,
     /// Per-phase latency histograms (nanoseconds).
@@ -158,6 +170,12 @@ impl TraceSummary {
             for (acc, v) in s.worker_idle_ns.iter_mut().zip(&r.worker_idle_ns) {
                 *acc += v;
             }
+            s.worker_panics += r.worker_panics;
+            s.spawn_failures += r.spawn_failures;
+            s.stall_timeouts += r.stall_timeouts;
+            s.partial_batches += r.partial_batches;
+            s.batches_rerouted += r.batches_rerouted;
+            s.degraded_scans += u64::from(r.degraded);
             s.totals += r.times;
             s.per_phase.record_times(&r.times);
         }
@@ -196,6 +214,17 @@ impl TraceSummary {
         } else {
             self.octree_node_visits as f64 / self.octree_leaf_updates as f64
         }
+    }
+
+    /// True when any fault or degraded scan was recorded in the trace.
+    pub fn any_faults(&self) -> bool {
+        self.worker_panics
+            + self.spawn_failures
+            + self.stall_timeouts
+            + self.partial_batches
+            + self.batches_rerouted
+            + self.degraded_scans
+            > 0
     }
 
     /// Per-worker utilization over the trace: busy / (busy + idle), in
@@ -284,6 +313,19 @@ impl TraceSummary {
             if self.max_shard_skew > 0.0 {
                 let _ = writeln!(out, "  max shard skew: {:.2}", self.max_shard_skew);
             }
+        }
+        if self.any_faults() {
+            let _ = writeln!(
+                out,
+                "  faults: {} panics, {} spawn failures, {} stalls, {} partial batches, \
+                 {} rerouted; {} degraded scans",
+                self.worker_panics,
+                self.spawn_failures,
+                self.stall_timeouts,
+                self.partial_batches,
+                self.batches_rerouted,
+                self.degraded_scans
+            );
         }
 
         let _ = writeln!(out, "\nper-phase latency percentiles (per scan):");
@@ -405,6 +447,32 @@ mod tests {
         let text = s.render();
         assert!(text.contains("worker utilization"), "{text}");
         assert!(text.contains("max shard skew"), "{text}");
+    }
+
+    #[test]
+    fn summary_aggregates_fault_counters() {
+        let mut recs = records(4);
+        recs[1].worker_panics = 1;
+        recs[1].batches_rerouted = 2;
+        recs[1].degraded = true;
+        recs[2].stall_timeouts = 1;
+        recs[2].partial_batches = 1;
+        recs[2].degraded = true;
+        recs[3].degraded = true;
+        let s = TraceSummary::from_records(&recs);
+        assert_eq!(s.worker_panics, 1);
+        assert_eq!(s.stall_timeouts, 1);
+        assert_eq!(s.partial_batches, 1);
+        assert_eq!(s.batches_rerouted, 2);
+        assert_eq!(s.degraded_scans, 3);
+        assert!(s.any_faults());
+        let text = s.render();
+        assert!(text.contains("faults: 1 panics"), "{text}");
+        assert!(text.contains("3 degraded scans"), "{text}");
+        // A healthy trace prints no fault line.
+        let healthy = TraceSummary::from_records(&records(4));
+        assert!(!healthy.any_faults());
+        assert!(!healthy.render().contains("faults:"));
     }
 
     #[test]
