@@ -1,0 +1,196 @@
+//! Storage-layout comparison: pointer-chasing nodes vs the arena node pool.
+//!
+//! Constructs freiburg-campus (the paper's largest environment) with the
+//! plain OctoMap pipeline, the serial OctoCache and the parallel OctoCache,
+//! each once per octree storage layout, and reports wall time, octree node
+//! visits and resident tree bytes. This is the measurement behind the
+//! arena's existence: identical maps, fewer bytes, no slower.
+//!
+//! Writes `BENCH_layout.json` (path overridable as the first argument): a
+//! JSON array with one object per backend × layout.
+
+use octocache::pipeline::{OctoMapSystem, RayTracer};
+use octocache::{CacheConfig, MappingSystem, ParallelOctoCache, SerialOctoCache, TreeLayout};
+use octocache_bench::{cache_for, grid, load_dataset, print_table, reference_resolution};
+use octocache_datasets::{Dataset, ScanSequence};
+use octocache_octomap::OccupancyParams;
+use octocache_telemetry::{SharedRecorder, TraceSummary};
+use serde::Value;
+use std::time::Instant;
+
+/// Construction attempts per configuration; the best wall time is kept so a
+/// scheduler hiccup does not mask the layout comparison.
+const REPS: usize = 2;
+
+/// The backends swept (cache sizing per the paper's §5.2 rule).
+const BACKENDS: [&str; 3] = ["octomap", "octocache-serial", "octocache-parallel"];
+
+struct Run {
+    backend: &'static str,
+    layout: TreeLayout,
+    scans: u64,
+    total_s: f64,
+    node_visits: u64,
+    tree_nodes: usize,
+    tree_leaves: usize,
+    resident_bytes: usize,
+    peak_memory_bytes: u64,
+}
+
+fn build_system(backend: &str, cache: CacheConfig, res: f64) -> Box<dyn MappingSystem> {
+    let params = OccupancyParams::default();
+    match backend {
+        "octomap" => Box::new(OctoMapSystem::with_layout(
+            grid(res),
+            params,
+            RayTracer::Standard,
+            cache.resolved_tree_layout(),
+        )),
+        "octocache-serial" => Box::new(SerialOctoCache::new(grid(res), params, cache)),
+        "octocache-parallel" => Box::new(ParallelOctoCache::with_workers(
+            grid(res),
+            params,
+            cache,
+            RayTracer::Standard,
+            2,
+        )),
+        other => panic!("unknown backend {other}"),
+    }
+}
+
+fn run_once(backend: &'static str, layout: TreeLayout, seq: &ScanSequence, res: f64) -> Run {
+    let base = cache_for(seq, res);
+    let cache = {
+        let mut b = CacheConfig::builder();
+        b.num_buckets(base.num_buckets())
+            .tau(base.tau())
+            .tree_layout(layout);
+        b.build().expect("valid cache config")
+    };
+    let recorder = SharedRecorder::new();
+    let mut system = build_system(backend, cache, res);
+    system.set_recorder(Box::new(recorder.clone()));
+    let t0 = Instant::now();
+    for scan in seq.scans() {
+        system
+            .insert_scan(scan.origin, &scan.points, seq.max_range())
+            .expect("scan within grid");
+    }
+    system.finish();
+    let total_s = t0.elapsed().as_secs_f64();
+    let stats = system.tree_stats().unwrap_or_default();
+    let summary = TraceSummary::from_records(&recorder.records());
+    let tree = system.take_tree();
+    assert_eq!(tree.layout(), layout, "{backend} ignored the layout");
+    Run {
+        backend,
+        layout,
+        scans: summary.scans,
+        total_s,
+        node_visits: stats.node_visits,
+        tree_nodes: tree.num_nodes(),
+        tree_leaves: tree.num_leaves(),
+        resident_bytes: tree.memory_usage(),
+        peak_memory_bytes: summary.peak_memory_bytes,
+    }
+}
+
+fn run_value(r: &Run) -> Value {
+    Value::Map(vec![
+        ("dataset".to_string(), Value::Str("freiburg-campus".into())),
+        ("backend".to_string(), Value::Str(r.backend.to_string())),
+        (
+            "layout".to_string(),
+            Value::Str(r.layout.name().to_string()),
+        ),
+        ("scans".to_string(), Value::U64(r.scans)),
+        ("total_s".to_string(), Value::F64(r.total_s)),
+        ("node_visits".to_string(), Value::U64(r.node_visits)),
+        ("tree_nodes".to_string(), Value::U64(r.tree_nodes as u64)),
+        ("tree_leaves".to_string(), Value::U64(r.tree_leaves as u64)),
+        (
+            "resident_bytes".to_string(),
+            Value::U64(r.resident_bytes as u64),
+        ),
+        (
+            "peak_memory_bytes".to_string(),
+            Value::U64(r.peak_memory_bytes),
+        ),
+    ])
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_layout.json".to_string());
+
+    let dataset = Dataset::FreiburgCampus;
+    let seq = load_dataset(dataset);
+    let res = reference_resolution(dataset);
+
+    let mut runs: Vec<Run> = Vec::new();
+    for backend in BACKENDS {
+        for layout in [TreeLayout::Pointer, TreeLayout::Arena] {
+            let mut best: Option<Run> = None;
+            for _ in 0..REPS {
+                let run = run_once(backend, layout, &seq, res);
+                if best.as_ref().is_none_or(|b| run.total_s < b.total_s) {
+                    best = Some(run);
+                }
+            }
+            runs.push(best.expect("REPS >= 1"));
+        }
+    }
+
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.backend.to_string(),
+                r.layout.name().to_string(),
+                format!("{}", r.scans),
+                format!("{:.3}", r.total_s),
+                format!("{}", r.node_visits),
+                format!("{}", r.tree_nodes),
+                format!("{:.1}", r.resident_bytes as f64 / 1024.0),
+                format!("{:.1}", r.peak_memory_bytes as f64 / 1024.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Storage layouts — pointer tree vs arena node pool (freiburg-campus)",
+        &[
+            "backend",
+            "layout",
+            "scans",
+            "total(s)",
+            "node-visits",
+            "nodes",
+            "tree(KiB)",
+            "peak(KiB)",
+        ],
+        &rows,
+    );
+
+    // The headline: per backend, arena relative to pointer.
+    for backend in BACKENDS {
+        let find = |layout: TreeLayout| {
+            runs.iter()
+                .find(|r| r.backend == backend && r.layout == layout)
+                .expect("both layouts ran")
+        };
+        let p = find(TreeLayout::Pointer);
+        let a = find(TreeLayout::Arena);
+        println!(
+            "{backend}: arena/pointer wall-time {:.3}, arena/pointer resident bytes {:.3}",
+            a.total_s / p.total_s.max(1e-9),
+            a.resident_bytes as f64 / (p.resident_bytes as f64).max(1.0),
+        );
+    }
+
+    let json = serde::json::to_string(&Value::Seq(runs.iter().map(run_value).collect()));
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("\nfailed to write {out_path}: {e}"),
+    }
+}

@@ -6,12 +6,14 @@
 //!   synthetic scan log (datasets: `fr079-corridor`, `freiburg-campus`,
 //!   `new-college`).
 //! * `build <in.scanlog> <out.map> [--backend B] [--resolution R]
-//!   [--buckets N] [--tau T] [--workers N] [--trace out.jsonl]` — build an
-//!   occupancy map (backends: `octomap`, `octomap-rt`, `serial`,
-//!   `serial-rt`, `parallel`, `parallel-rt`), printing per-phase timings and
-//!   cache statistics; `--workers N` (1, 2, 4 or 8; parallel backends only)
-//!   selects the number of octree-update workers; `--trace` streams one
-//!   JSON scan record per line to a file.
+//!   [--buckets N] [--tau T] [--workers N] [--tree-layout L]
+//!   [--trace out.jsonl]` — build an occupancy map (backends: `octomap`,
+//!   `octomap-rt`, `serial`, `serial-rt`, `parallel`, `parallel-rt`),
+//!   printing per-phase timings and cache statistics; `--workers N` (1, 2,
+//!   4 or 8; parallel backends only) selects the number of octree-update
+//!   workers; `--tree-layout` picks the octree storage layout (`pointer`
+//!   or `arena`); `--trace` streams one JSON scan record per line to a
+//!   file.
 //! * `report <trace.jsonl>` — per-phase latency percentiles and the cache
 //!   hit-ratio time series of a recorded trace.
 //! * `info <map>` — structural statistics of a serialised map.
@@ -25,7 +27,9 @@ use std::fmt;
 use std::fmt::Write as _;
 
 use octocache::pipeline::{MappingSystem, OctoMapSystem, RayTracer};
-use octocache::{CacheConfig, FaultPlan, ParallelOctoCache, PipelineError, SerialOctoCache};
+use octocache::{
+    CacheConfig, FaultPlan, ParallelOctoCache, PipelineError, SerialOctoCache, TreeLayout,
+};
 use octocache_datasets::{io as scanlog, Dataset, DatasetConfig};
 use octocache_geom::{Point3, VoxelGrid};
 use octocache_octomap::{compare, io as mapio, io_bt, OccupancyOcTree, OccupancyParams};
@@ -128,7 +132,7 @@ fn usage() -> String {
 
 USAGE:
   octocache generate <dataset> <out.scanlog> [--scale S] [--seed N]
-  octocache build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T] [--workers N] [--format ot|bt] [--trace out.jsonl] [--strict] [--fault SPEC]
+  octocache build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T] [--workers N] [--tree-layout pointer|arena] [--format ot|bt] [--trace out.jsonl] [--strict] [--fault SPEC]
   octocache report <trace.jsonl>
   octocache info <map>
   octocache query <map> <x> <y> <z>
@@ -137,6 +141,7 @@ USAGE:
 
 datasets: fr079-corridor | freiburg-campus | new-college
 backends: octomap | octomap-rt | serial | serial-rt | parallel | parallel-rt
+tree layouts: pointer (chased nodes, the paper's baseline) | arena (index-addressed node pool)
 
 exit codes: 0 ok | 2 usage | 3 I/O | 4 bad scan log/trace | 5 bad map | 6 bad geometry | 7 pipeline fault"
         .to_string()
@@ -265,6 +270,18 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     cache_builder
         .num_buckets(buckets.next_power_of_two())
         .tau(tau);
+    // Octree storage layout; the flag overrides the `OCTO_TREE_LAYOUT`
+    // environment default. Applies to every backend.
+    let layout = match flag(&flags, "tree-layout") {
+        Some(s) => {
+            let layout: TreeLayout = s
+                .parse()
+                .map_err(|e: octocache::ParseLayoutError| CliError::Usage(e.to_string()))?;
+            cache_builder.tree_layout(layout);
+            layout
+        }
+        None => TreeLayout::default_from_env(),
+    };
     // Deterministic fault injection: `--fault <spec>` (or the `OCTO_FAULT` /
     // `OCTO_FAULT_SEED` environment variables) schedules a worker fault.
     // The hooks only exist when the binary was built with the
@@ -309,11 +326,17 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     };
     let params = OccupancyParams::default();
     let mut backend: Box<dyn MappingSystem> = match backend_name {
-        "octomap" => Box::new(OctoMapSystem::new(grid, params)),
-        "octomap-rt" => Box::new(OctoMapSystem::with_ray_tracer(
+        "octomap" => Box::new(OctoMapSystem::with_layout(
+            grid,
+            params,
+            RayTracer::Standard,
+            layout,
+        )),
+        "octomap-rt" => Box::new(OctoMapSystem::with_layout(
             grid,
             params,
             RayTracer::Dedup,
+            layout,
         )),
         "serial" => Box::new(SerialOctoCache::new(grid, params, cache)),
         "serial-rt" => Box::new(SerialOctoCache::with_ray_tracer(
@@ -442,9 +465,11 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     }
     let _ = write!(
         out,
-        "  tree: {} nodes, {} leaves, {:.1} KiB serialised",
+        "  tree: {} nodes, {} leaves, {} layout, {:.1} KiB resident, {:.1} KiB serialised",
         tree.num_nodes(),
         tree.num_leaves(),
+        tree.layout(),
+        tree.memory_usage() as f64 / 1024.0,
         bytes.len() as f64 / 1024.0
     );
     Ok(out)
@@ -732,6 +757,69 @@ mod tests {
             let d = run(&s(&["diff", &map_serial, &map])).unwrap();
             assert!(d.contains("identical: yes"), "workers={n}: {d}");
         }
+    }
+
+    #[test]
+    fn build_with_tree_layouts_produces_identical_maps() {
+        let log = temp_path("layout.scanlog");
+        run(&s(&["generate", "fr079-corridor", &log, "--scale", "0.05"])).unwrap();
+        let map_pointer = temp_path("layout-pointer.map");
+        let out = run(&s(&[
+            "build",
+            &log,
+            &map_pointer,
+            "--backend",
+            "serial",
+            "--resolution",
+            "0.4",
+            "--tree-layout",
+            "pointer",
+        ]))
+        .unwrap();
+        assert!(out.contains("pointer layout"), "{out}");
+        for backend in ["serial", "octomap", "parallel"] {
+            let map_arena = temp_path(&format!("layout-arena-{backend}.map"));
+            let trace = temp_path(&format!("layout-arena-{backend}.jsonl"));
+            let out = run(&s(&[
+                "build",
+                &log,
+                &map_arena,
+                "--backend",
+                backend,
+                "--resolution",
+                "0.4",
+                "--tree-layout",
+                "arena",
+                "--trace",
+                &trace,
+            ]))
+            .unwrap();
+            assert!(out.contains("arena layout"), "{backend}: {out}");
+            // The trace carries the layout tag and a memory sample.
+            let records = octocache_telemetry::read_jsonl_path(&trace).unwrap();
+            assert!(
+                records.iter().all(|r| r.tree_layout == "arena"),
+                "{backend}"
+            );
+            // The uncached baseline grows its tree from scan one; the cached
+            // backends may hold everything in the cache until finish().
+            if backend == "octomap" {
+                assert!(records.last().unwrap().memory_bytes > 0, "{backend}");
+            }
+            // The arena-backed map is voxel-for-voxel the pointer map.
+            let d = run(&s(&["diff", &map_pointer, &map_arena])).unwrap();
+            assert!(d.contains("identical: yes"), "{backend}: {d}");
+        }
+        // Unknown layout is a usage error.
+        let err = run(&s(&[
+            "build",
+            &log,
+            &map_pointer,
+            "--tree-layout",
+            "linked-list",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
     }
 
     #[test]

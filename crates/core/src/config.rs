@@ -1,6 +1,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use octocache_octomap::TreeLayout;
 use serde::{Deserialize, Serialize};
 
 use crate::fault::FaultPlan;
@@ -107,6 +108,7 @@ pub struct CacheConfig {
     index_policy: IndexPolicy,
     eviction_order: EvictionOrder,
     stall_timeout: Duration,
+    tree_layout: Option<TreeLayout>,
     #[serde(skip)]
     fault_plan: Option<FaultPlan>,
 }
@@ -125,6 +127,7 @@ impl Default for CacheConfig {
             index_policy: IndexPolicy::Morton,
             eviction_order: EvictionOrder::BucketSequential,
             stall_timeout: DEFAULT_STALL_TIMEOUT,
+            tree_layout: None,
             fault_plan: None,
         }
     }
@@ -170,6 +173,24 @@ impl CacheConfig {
         self.stall_timeout
     }
 
+    /// The explicit octree storage layout, if one was requested. `None`
+    /// means "use the ambient default" — see
+    /// [`CacheConfig::resolved_tree_layout`].
+    #[inline]
+    pub fn tree_layout(&self) -> Option<TreeLayout> {
+        self.tree_layout
+    }
+
+    /// The octree storage layout every backend built from this config will
+    /// use: the explicit choice when set, otherwise
+    /// [`TreeLayout::default_from_env`] (the `OCTO_TREE_LAYOUT` environment
+    /// variable, falling back to the pointer layout).
+    #[inline]
+    pub fn resolved_tree_layout(&self) -> TreeLayout {
+        self.tree_layout
+            .unwrap_or_else(TreeLayout::default_from_env)
+    }
+
     /// The deterministic fault-injection schedule, if any. Only acted on
     /// under `cfg(any(test, feature = "fault-injection"))`; never
     /// serialised.
@@ -210,6 +231,7 @@ pub struct CacheConfigBuilder {
     index_policy: IndexPolicy,
     eviction_order: EvictionOrder,
     stall_timeout: Duration,
+    tree_layout: Option<TreeLayout>,
     fault_plan: Option<FaultPlan>,
 }
 
@@ -222,6 +244,7 @@ impl CacheConfigBuilder {
             index_policy: d.index_policy,
             eviction_order: d.eviction_order,
             stall_timeout: d.stall_timeout,
+            tree_layout: d.tree_layout,
             fault_plan: d.fault_plan,
         }
     }
@@ -254,6 +277,13 @@ impl CacheConfigBuilder {
     /// [`CacheConfig::stall_timeout`]. Must be non-zero.
     pub fn stall_timeout(&mut self, timeout: Duration) -> &mut Self {
         self.stall_timeout = timeout;
+        self
+    }
+
+    /// Pins the octree storage layout for every backend built from this
+    /// config; see [`CacheConfig::resolved_tree_layout`].
+    pub fn tree_layout(&mut self, layout: TreeLayout) -> &mut Self {
+        self.tree_layout = Some(layout);
         self
     }
 
@@ -300,6 +330,7 @@ impl CacheConfigBuilder {
             index_policy: self.index_policy,
             eviction_order: self.eviction_order,
             stall_timeout: self.stall_timeout,
+            tree_layout: self.tree_layout,
             fault_plan: self.fault_plan,
         })
     }
@@ -392,6 +423,24 @@ mod tests {
         assert_eq!(back.fault_plan(), None);
         assert_eq!(back.stall_timeout(), c.stall_timeout());
         assert_eq!(back.num_buckets(), c.num_buckets());
+    }
+
+    #[test]
+    fn tree_layout_round_trips_and_resolves() {
+        // No explicit layout: resolves to the ambient default.
+        let d = CacheConfig::default();
+        assert_eq!(d.tree_layout(), None);
+        assert_eq!(d.resolved_tree_layout(), TreeLayout::default_from_env());
+        // Explicit layout wins and survives serialisation.
+        let c = CacheConfig::builder()
+            .num_buckets(64)
+            .tree_layout(TreeLayout::Arena)
+            .build()
+            .unwrap();
+        assert_eq!(c.tree_layout(), Some(TreeLayout::Arena));
+        assert_eq!(c.resolved_tree_layout(), TreeLayout::Arena);
+        let back: CacheConfig = serde::json::from_str(&serde::json::to_string(&c)).unwrap();
+        assert_eq!(back.tree_layout(), Some(TreeLayout::Arena));
     }
 
     #[test]

@@ -67,6 +67,9 @@ pub use pipeline::MappingSystem;
 pub use routing::OctantRouter;
 pub use serial::SerialOctoCache;
 pub use sharded::ShardedOctoMap;
+// The octree storage-layout selector is re-exported so consumers picking a
+// layout through `CacheConfig` need only this crate.
+pub use octocache_octomap::{ParseLayoutError, TreeLayout};
 // Telemetry primitives live in `octocache-telemetry`; `PhaseTimes` is
 // re-exported here because it predates that crate and every downstream
 // consumer imports it from `octocache`.

@@ -47,7 +47,7 @@ use std::time::{Duration, Instant};
 
 use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
 use octocache_octomap::stats::StatsSnapshot;
-use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
+use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams, TreeLayout};
 use octocache_telemetry::{PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry};
 use parking_lot::{Mutex, MutexGuard};
 
@@ -145,6 +145,9 @@ pub struct ParallelOctoCache {
     router: OctantRouter,
     grid: VoxelGrid,
     params: OccupancyParams,
+    /// Octree storage layout of every worker shard (and any replacement
+    /// or merge-target tree).
+    layout: TreeLayout,
     ray_tracer: RayTracer,
     batch: insert::VoxelBatch,
     /// Reusable per-shard partition buffers for batch routing. The previous
@@ -554,6 +557,7 @@ impl ParallelOctoCache {
         num_workers: usize,
     ) -> Self {
         let router = OctantRouter::new(num_workers, &grid);
+        let layout = config.resolved_tree_layout();
         let stall_timeout = config.stall_timeout();
         // Workers give a silent producer 4x the producer's own stall budget
         // before abandoning a mid-batch wait, so under a producer failure
@@ -565,7 +569,9 @@ impl ParallelOctoCache {
         let mut integrity = Integrity::default();
         let workers: Vec<Worker> = (0..num_workers)
             .map(|i| {
-                let tree = Arc::new(Mutex::new(OccupancyOcTree::new(grid, params)));
+                let tree = Arc::new(Mutex::new(OccupancyOcTree::with_layout(
+                    grid, params, layout,
+                )));
                 let shared = Arc::new(WorkerShared::default());
                 let capacity = QUEUE_CAPACITY;
                 #[cfg(any(test, feature = "fault-injection"))]
@@ -648,6 +654,7 @@ impl ParallelOctoCache {
             router,
             grid,
             params,
+            layout,
             ray_tracer,
             batch: insert::VoxelBatch::new(),
             route_bufs: vec![Vec::new(); num_workers],
@@ -728,6 +735,7 @@ impl ParallelOctoCache {
         self.shutdown_workers();
         let grid = self.grid;
         let params = self.params;
+        let layout = self.layout;
         let workers = std::mem::take(&mut self.workers);
         drop(self); // drops producers & our Arc clones
         let mut trees = workers.into_iter().map(|w| match Arc::try_unwrap(w.tree) {
@@ -736,15 +744,16 @@ impl ParallelOctoCache {
             // its shard without risking a hang on its mutex. The map was
             // already flagged Compromised when the worker wedged.
             Err(arc) => match arc.try_lock() {
-                Some(mut guard) => {
-                    std::mem::replace(&mut *guard, OccupancyOcTree::new(grid, params))
-                }
-                None => OccupancyOcTree::new(grid, params),
+                Some(mut guard) => std::mem::replace(
+                    &mut *guard,
+                    OccupancyOcTree::with_layout(grid, params, layout),
+                ),
+                None => OccupancyOcTree::with_layout(grid, params, layout),
             },
         });
         let first = trees
             .next()
-            .unwrap_or_else(|| OccupancyOcTree::new(grid, params));
+            .unwrap_or_else(|| OccupancyOcTree::with_layout(grid, params, layout));
         trees.fold(first, |mut merged, tree| {
             merged
                 .merge_disjoint_top_level(&tree)
@@ -1033,7 +1042,7 @@ impl MappingSystem for ParallelOctoCache {
         // uncontended — except a wedged worker's, which is skipped (its
         // shard seeds as unknown; the map is already Compromised).
         let t2 = Instant::now();
-        let (mutex_wait, tree_after) = {
+        let (mutex_wait, tree_after, memory_bytes) = {
             let guards: Vec<Option<MutexGuard<'_, OccupancyOcTree>>> = self
                 .workers
                 .iter()
@@ -1059,10 +1068,12 @@ impl MappingSystem for ParallelOctoCache {
                 });
             }
             let mut tree_after = StatsSnapshot::default();
+            let mut memory_bytes = 0u64;
             for g in guards.iter().flatten() {
                 tree_after.merge(&g.stats().snapshot());
+                memory_bytes += g.memory_usage() as u64;
             }
-            (mutex_wait, tree_after)
+            (mutex_wait, tree_after, memory_bytes)
         };
         let cache_insert = t2.elapsed();
         let observations = batch.len();
@@ -1096,6 +1107,8 @@ impl MappingSystem for ParallelOctoCache {
             octree_node_visits: tree_delta.node_visits,
             octree_leaf_updates: tree_delta.leaf_updates,
             octree_nodes_created: tree_delta.nodes_created,
+            memory_bytes,
+            tree_layout: self.layout.name().to_string(),
             queue_depth_enqueue: enq.queue_depths.iter().copied().max().unwrap_or(0),
             queue_depth_dequeue: self
                 .workers

@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
 use octocache_octomap::stats::StatsSnapshot;
-use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
+use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams, TreeLayout};
 use octocache_telemetry::{PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry};
 
 use crate::cache::CacheStats;
@@ -223,8 +223,19 @@ impl OctoMapSystem {
 
     /// Creates the baseline with a chosen ray-tracing front-end.
     pub fn with_ray_tracer(grid: VoxelGrid, params: OccupancyParams, rt: RayTracer) -> Self {
+        Self::with_layout(grid, params, rt, TreeLayout::default_from_env())
+    }
+
+    /// Creates the baseline with a chosen ray tracer and octree storage
+    /// layout.
+    pub fn with_layout(
+        grid: VoxelGrid,
+        params: OccupancyParams,
+        rt: RayTracer,
+        layout: TreeLayout,
+    ) -> Self {
         OctoMapSystem {
-            tree: OccupancyOcTree::new(grid, params),
+            tree: OccupancyOcTree::with_layout(grid, params, layout),
             ray_tracer: rt,
             telemetry: Telemetry::new(format!("octomap{}", rt.suffix())),
             batch: insert::VoxelBatch::new(),
@@ -287,6 +298,8 @@ impl MappingSystem for OctoMapSystem {
             octree_node_visits: tree_delta.node_visits,
             octree_leaf_updates: tree_delta.leaf_updates,
             octree_nodes_created: tree_delta.nodes_created,
+            memory_bytes: self.tree.memory_usage() as u64,
+            tree_layout: self.tree.layout().name().to_string(),
             ..Default::default()
         });
         Ok(ScanReport {

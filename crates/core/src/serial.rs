@@ -47,9 +47,10 @@ impl SerialOctoCache {
         config: CacheConfig,
         ray_tracer: RayTracer,
     ) -> Self {
+        let layout = config.resolved_tree_layout();
         SerialOctoCache {
             cache: VoxelCache::new(config, params),
-            tree: OccupancyOcTree::new(grid, params),
+            tree: OccupancyOcTree::with_layout(grid, params, layout),
             ray_tracer,
             batch: insert::VoxelBatch::new(),
             evict_buf: Vec::new(),
@@ -155,6 +156,8 @@ impl SerialOctoCache {
             octree_node_visits: tree_delta.node_visits,
             octree_leaf_updates: tree_delta.leaf_updates,
             octree_nodes_created: tree_delta.nodes_created,
+            memory_bytes: self.tree.memory_usage() as u64,
+            tree_layout: self.tree.layout().name().to_string(),
             ..Default::default()
         });
     }

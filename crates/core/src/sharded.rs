@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use octocache_geom::{Point3, VoxelGrid, VoxelKey};
 use octocache_octomap::stats::StatsSnapshot;
-use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
+use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams, TreeLayout};
 use octocache_telemetry::{PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry};
 
 use crate::fault::PipelineError;
@@ -58,11 +58,29 @@ impl ShardedOctoMap {
         num_shards: usize,
         ray_tracer: RayTracer,
     ) -> Self {
+        Self::with_layout(
+            grid,
+            params,
+            num_shards,
+            ray_tracer,
+            TreeLayout::default_from_env(),
+        )
+    }
+
+    /// As [`ShardedOctoMap::with_ray_tracer`] with an explicit octree
+    /// storage layout for every shard (and the merged tree).
+    pub fn with_layout(
+        grid: VoxelGrid,
+        params: OccupancyParams,
+        num_shards: usize,
+        ray_tracer: RayTracer,
+        layout: TreeLayout,
+    ) -> Self {
         let router = OctantRouter::new(num_shards, &grid);
         let backend = format!("octomap-sharded{}x{}", ray_tracer.suffix(), num_shards);
         ShardedOctoMap {
             shards: (0..num_shards)
-                .map(|_| OccupancyOcTree::new(grid, params))
+                .map(|_| OccupancyOcTree::with_layout(grid, params, layout))
                 .collect(),
             router,
             grid,
@@ -181,6 +199,8 @@ impl MappingSystem for ShardedOctoMap {
             octree_node_visits: tree_delta.node_visits,
             octree_leaf_updates: tree_delta.leaf_updates,
             octree_nodes_created: tree_delta.nodes_created,
+            memory_bytes: self.shards.iter().map(|s| s.memory_usage() as u64).sum(),
+            tree_layout: self.shards[0].layout().name().to_string(),
             ..Default::default()
         });
         Ok(ScanReport {
@@ -226,7 +246,8 @@ impl MappingSystem for ShardedOctoMap {
         // fewer, disjoint octant groups, which still never collide because
         // a voxel routes to exactly one shard), so a structural merge
         // reassembles the map.
-        let mut merged = OccupancyOcTree::new(self.grid, self.params);
+        let mut merged =
+            OccupancyOcTree::with_layout(self.grid, self.params, self.shards[0].layout());
         for shard in &self.shards {
             merged
                 .merge_disjoint_top_level(shard)

@@ -13,7 +13,7 @@
 //! crank iterations (see `.github/workflows/ci.yml`).
 
 use octocache::pipeline::{MappingSystem, OctoMapSystem, RayTracer};
-use octocache::{CacheConfig, ParallelOctoCache, SerialOctoCache, ShardedOctoMap};
+use octocache::{CacheConfig, ParallelOctoCache, SerialOctoCache, ShardedOctoMap, TreeLayout};
 use octocache_geom::{Point3, VoxelGrid};
 use octocache_octomap::{compare, OccupancyOcTree, OccupancyParams};
 use rand::rngs::StdRng;
@@ -113,6 +113,16 @@ fn cache() -> CacheConfig {
         .unwrap()
 }
 
+/// As [`cache`], pinned to an explicit octree storage layout.
+fn cache_with(layout: TreeLayout) -> CacheConfig {
+    CacheConfig::builder()
+        .num_buckets(1 << 7)
+        .tau(2)
+        .tree_layout(layout)
+        .build()
+        .unwrap()
+}
+
 /// Replays `scans` through `backend` and returns the flushed tree.
 fn build_tree(mut backend: Box<dyn MappingSystem>, scans: &[Scan]) -> OccupancyOcTree {
     for scan in scans {
@@ -144,6 +154,49 @@ fn backends() -> Vec<(String, Box<dyn MappingSystem>)> {
                 grid(),
                 params,
                 cache(),
+                RayTracer::Standard,
+                n,
+            )),
+        ));
+    }
+    v
+}
+
+/// Every backend pinned to an explicit octree storage layout.
+fn backends_with(layout: TreeLayout) -> Vec<(String, Box<dyn MappingSystem>)> {
+    let params = OccupancyParams::default();
+    let mut v: Vec<(String, Box<dyn MappingSystem>)> = vec![
+        (
+            "octomap".to_string(),
+            Box::new(OctoMapSystem::with_layout(
+                grid(),
+                params,
+                RayTracer::Standard,
+                layout,
+            )),
+        ),
+        (
+            "serial".to_string(),
+            Box::new(SerialOctoCache::new(grid(), params, cache_with(layout))),
+        ),
+        (
+            "sharded-x8".to_string(),
+            Box::new(ShardedOctoMap::with_layout(
+                grid(),
+                params,
+                8,
+                RayTracer::Standard,
+                layout,
+            )),
+        ),
+    ];
+    for n in [1usize, 2, 4, 8] {
+        v.push((
+            format!("parallel-x{n}"),
+            Box::new(ParallelOctoCache::with_workers(
+                grid(),
+                params,
+                cache_with(layout),
                 RayTracer::Standard,
                 n,
             )),
@@ -210,6 +263,56 @@ fn pruned_trees_stay_equivalent_and_structurally_equal() {
             baseline.num_leaves(),
             "pruned leaf count differs for {label}"
         );
+    }
+}
+
+#[test]
+fn arena_layout_matches_pointer_layout_on_every_backend() {
+    // The arena node pool must be observationally indistinguishable from the
+    // pointer tree: the same backend built twice — once per layout — over the
+    // same scenario must produce bit-for-bit identical maps (tolerance 0.0),
+    // and identical structure after pruning. This covers the serial cache,
+    // the octant-sharded baseline (whose `take_tree` exercises the arena's
+    // child-block splice merge), the plain octomap pipeline, and the
+    // N-worker parallel pipeline at N ∈ {1, 2, 4, 8}.
+    for seed in 0..num_scenarios() {
+        let scans = scenario(seed * 6151 + 13);
+        let pointer = backends_with(TreeLayout::Pointer);
+        let arena = backends_with(TreeLayout::Arena);
+        for ((label, pb), (_, ab)) in pointer.into_iter().zip(arena) {
+            let mut ptree = build_tree(pb, &scans);
+            let mut atree = build_tree(ab, &scans);
+            assert_eq!(ptree.layout(), TreeLayout::Pointer, "{label}");
+            assert_eq!(atree.layout(), TreeLayout::Arena, "{label}");
+            let d = compare::diff(&ptree, &atree, 0.0);
+            assert!(
+                d.is_identical(),
+                "seed {seed}, backend {label}: pointer vs arena differ — {} value / \
+                 {} coverage mismatches of {} voxels (max |diff| {})",
+                d.value_mismatches,
+                d.coverage_mismatches,
+                d.known_voxels,
+                d.max_abs_diff
+            );
+            // Identical maps must also prune identically across layouts.
+            ptree.prune();
+            atree.prune();
+            let dp = compare::diff(&ptree, &atree, 0.0);
+            assert!(
+                dp.is_identical(),
+                "seed {seed}, backend {label}: layouts diverge after prune"
+            );
+            assert_eq!(
+                ptree.num_nodes(),
+                atree.num_nodes(),
+                "seed {seed}, backend {label}: pruned node count differs across layouts"
+            );
+            assert_eq!(
+                ptree.num_leaves(),
+                atree.num_leaves(),
+                "seed {seed}, backend {label}: pruned leaf count differs across layouts"
+            );
+        }
     }
 }
 

@@ -26,9 +26,10 @@ use std::fmt;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use octocache_geom::{ChildIndex, VoxelGrid};
 
+use crate::layout::TreeLayout;
 use crate::node::OcTreeNode;
 use crate::occupancy::OccupancyParams;
-use crate::tree::OccupancyOcTree;
+use crate::tree::{NodeRef, OccupancyOcTree};
 
 const MAGIC: &[u8; 4] = b"OCT1";
 
@@ -75,7 +76,7 @@ pub fn write_tree(tree: &OccupancyOcTree) -> Bytes {
     buf.put_f32(p.clamp_min);
     buf.put_f32(p.clamp_max);
     buf.put_f32(p.threshold);
-    match tree.root() {
+    match tree.root_ref() {
         Some(root) => {
             buf.put_u8(1);
             write_node(root, &mut buf);
@@ -85,25 +86,37 @@ pub fn write_tree(tree: &OccupancyOcTree) -> Bytes {
     buf.freeze()
 }
 
-fn write_node(node: &OcTreeNode, buf: &mut BytesMut) {
+fn write_node(node: NodeRef<'_>, buf: &mut BytesMut) {
     buf.put_f32(node.log_odds());
-    let mut mask = 0u8;
-    for (i, _) in node.children() {
-        mask |= 1 << i.as_usize();
-    }
-    buf.put_u8(mask);
+    buf.put_u8(node.child_mask());
     for (_, child) in node.children() {
         write_node(child, buf);
     }
 }
 
-/// Deserialises a tree from bytes produced by [`write_tree`].
+/// Deserialises a tree from bytes produced by [`write_tree`], storing it in
+/// the ambient default layout ([`TreeLayout::default_from_env`]).
+///
+/// The byte stream is layout-independent: a map written from a pointer tree
+/// reads back into an arena tree bit-for-bit equivalently, and vice versa.
 ///
 /// # Errors
 ///
 /// Returns a [`ReadError`] on malformed input; never panics on untrusted
 /// bytes.
 pub fn read_tree(bytes: &[u8]) -> Result<OccupancyOcTree, ReadError> {
+    read_tree_with_layout(bytes, TreeLayout::default_from_env())
+}
+
+/// As [`read_tree`], but stores the decoded tree in an explicit layout.
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] on malformed input.
+pub fn read_tree_with_layout(
+    bytes: &[u8],
+    layout: TreeLayout,
+) -> Result<OccupancyOcTree, ReadError> {
     let mut buf = bytes;
     if buf.remaining() < 4 || &buf[..4] != MAGIC {
         return Err(ReadError::BadMagic);
@@ -123,7 +136,7 @@ pub fn read_tree(bytes: &[u8]) -> Result<OccupancyOcTree, ReadError> {
         threshold: buf.get_f32(),
     };
     let has_root = buf.get_u8() == 1;
-    let mut tree = OccupancyOcTree::new(grid, params);
+    let mut tree = OccupancyOcTree::with_layout(grid, params, layout);
     if has_root {
         let root = read_node(&mut buf, depth)?;
         if buf.has_remaining() {

@@ -18,9 +18,10 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use octocache_geom::{ChildIndex, VoxelGrid};
 
 use crate::io::ReadError;
+use crate::layout::TreeLayout;
 use crate::node::OcTreeNode;
 use crate::occupancy::OccupancyParams;
-use crate::tree::OccupancyOcTree;
+use crate::tree::{NodeRef, OccupancyOcTree};
 
 const MAGIC: &[u8; 4] = b"OCB1";
 
@@ -37,7 +38,7 @@ pub fn write_binary_tree(tree: &OccupancyOcTree) -> Bytes {
     buf.put_f32(p.clamp_min);
     buf.put_f32(p.clamp_max);
     buf.put_f32(p.threshold);
-    match tree.root() {
+    match tree.root_ref() {
         Some(root) => {
             buf.put_u8(1);
             write_node(root, tree.params(), &mut buf);
@@ -47,7 +48,7 @@ pub fn write_binary_tree(tree: &OccupancyOcTree) -> Bytes {
     buf.freeze()
 }
 
-fn child_code(node: &OcTreeNode, i: ChildIndex, params: &OccupancyParams) -> u16 {
+fn child_code(node: NodeRef<'_>, i: ChildIndex, params: &OccupancyParams) -> u16 {
     match node.child(i) {
         None => 0b00,
         Some(c) if c.has_children() => 0b11,
@@ -56,7 +57,7 @@ fn child_code(node: &OcTreeNode, i: ChildIndex, params: &OccupancyParams) -> u16
     }
 }
 
-fn write_node(node: &OcTreeNode, params: &OccupancyParams, buf: &mut BytesMut) {
+fn write_node(node: NodeRef<'_>, params: &OccupancyParams, buf: &mut BytesMut) {
     let mut mask = 0u16;
     for i in ChildIndex::all() {
         mask |= child_code(node, i, params) << (2 * i.as_usize());
@@ -69,13 +70,28 @@ fn write_node(node: &OcTreeNode, params: &OccupancyParams, buf: &mut BytesMut) {
     }
 }
 
-/// Deserialises a `.bt`-style stream into a maximum-likelihood tree.
+/// Deserialises a `.bt`-style stream into a maximum-likelihood tree stored
+/// in the ambient default layout ([`TreeLayout::default_from_env`]). The
+/// stream itself is layout-independent.
 ///
 /// # Errors
 ///
 /// Returns a [`ReadError`] for malformed input; never panics on untrusted
 /// bytes.
 pub fn read_binary_tree(bytes: &[u8]) -> Result<OccupancyOcTree, ReadError> {
+    read_binary_tree_with_layout(bytes, TreeLayout::default_from_env())
+}
+
+/// As [`read_binary_tree`], but stores the decoded tree in an explicit
+/// layout.
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] for malformed input.
+pub fn read_binary_tree_with_layout(
+    bytes: &[u8],
+    layout: TreeLayout,
+) -> Result<OccupancyOcTree, ReadError> {
     let mut buf = bytes;
     if buf.remaining() < 4 || &buf[..4] != MAGIC {
         return Err(ReadError::BadMagic);
@@ -97,7 +113,7 @@ pub fn read_binary_tree(bytes: &[u8]) -> Result<OccupancyOcTree, ReadError> {
         return Err(ReadError::BadGrid("inconsistent occupancy params".into()));
     }
     let has_root = buf.get_u8() == 1;
-    let mut tree = OccupancyOcTree::new(grid, params);
+    let mut tree = OccupancyOcTree::with_layout(grid, params, layout);
     if has_root {
         let mut root = OcTreeNode::new(params.threshold);
         read_node(&mut buf, &mut root, &params, depth)?;

@@ -1,0 +1,129 @@
+//! Storage-layout selection for the occupancy octree.
+//!
+//! The paper's cost model (§3.2) is built on OctoMap's pointer-chasing node
+//! layout — "up to 32 memory accesses for a standard 16-level octree". The
+//! related work (OpenVDB-style mapping, VoxelCache) attacks that layout
+//! directly with flat, index-addressed node pools. This crate keeps both:
+//! the pointer tree remains the differential oracle, and the arena pool
+//! ([`crate::arena`]) is the locality-friendly alternative. Every
+//! [`crate::OccupancyOcTree`] carries a [`TreeLayout`] and produces
+//! voxel-for-voxel identical maps under either.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+use serde::{Deserialize, Serialize};
+
+/// How an [`crate::OccupancyOcTree`] stores its nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TreeLayout {
+    /// Reference OctoMap's heap-pointer tree
+    /// (`Option<Box<[Option<Box<OcTreeNode>>; 8]>>` per node). The
+    /// differential oracle: the layout whose access pattern the paper
+    /// analyses.
+    #[default]
+    Pointer,
+    /// A `Vec`-backed node pool: `u32` indices, eight-child blocks allocated
+    /// contiguously, and a free-list so pruning recycles blocks instead of
+    /// returning them to the allocator.
+    Arena,
+}
+
+impl TreeLayout {
+    /// All layouts, oracle first.
+    pub const ALL: [TreeLayout; 2] = [TreeLayout::Pointer, TreeLayout::Arena];
+
+    /// Short lowercase name (`"pointer"` / `"arena"`), stable across
+    /// serialisation, CLI flags and telemetry tags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TreeLayout::Pointer => "pointer",
+            TreeLayout::Arena => "arena",
+        }
+    }
+
+    /// The ambient default layout: `OCTO_TREE_LAYOUT` (`pointer`/`arena`)
+    /// when set and valid, otherwise [`TreeLayout::Pointer`].
+    ///
+    /// Resolved once per process and cached, so the environment variable
+    /// flips the layout of every tree whose constructor did not choose one
+    /// explicitly — this is how CI runs the whole suite over both layouts.
+    pub fn default_from_env() -> TreeLayout {
+        static AMBIENT: OnceLock<TreeLayout> = OnceLock::new();
+        *AMBIENT.get_or_init(|| {
+            std::env::var("OCTO_TREE_LAYOUT")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_default()
+        })
+    }
+}
+
+impl fmt::Display for TreeLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown layout name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLayoutError(String);
+
+impl fmt::Display for ParseLayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown tree layout {:?} (expected pointer|arena)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseLayoutError {}
+
+impl FromStr for TreeLayout {
+    type Err = ParseLayoutError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "pointer" => Ok(TreeLayout::Pointer),
+            "arena" => Ok(TreeLayout::Arena),
+            other => Err(ParseLayoutError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for layout in TreeLayout::ALL {
+            assert_eq!(layout.name().parse::<TreeLayout>().unwrap(), layout);
+            assert_eq!(layout.to_string(), layout.name());
+        }
+        assert_eq!("ARENA".parse::<TreeLayout>().unwrap(), TreeLayout::Arena);
+        assert!("octree".parse::<TreeLayout>().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for layout in TreeLayout::ALL {
+            let json = serde::json::to_string(&layout);
+            let back: TreeLayout = serde::json::from_str(&json).unwrap();
+            assert_eq!(back, layout);
+        }
+    }
+
+    #[test]
+    fn env_default_is_a_valid_layout() {
+        // Whatever the ambient environment says, the resolver must yield a
+        // usable layout (and be stable across calls).
+        let a = TreeLayout::default_from_env();
+        let b = TreeLayout::default_from_env();
+        assert_eq!(a, b);
+        assert!(TreeLayout::ALL.contains(&a));
+    }
+}

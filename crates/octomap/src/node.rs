@@ -11,6 +11,12 @@ use octocache_geom::ChildIndex;
 #[derive(Debug, Clone, PartialEq)]
 pub struct OcTreeNode {
     log_odds: f32,
+    /// Child-presence bitmask: bit `i` set ⇔ `children[i]` is `Some`.
+    ///
+    /// `has_children`, `children()` and the pruning checks consult the mask
+    /// instead of scanning eight `Option` slots, keeping the hot traversal
+    /// path to a single byte test.
+    mask: u8,
     children: Option<Box<[Option<Box<OcTreeNode>>; 8]>>,
 }
 
@@ -20,6 +26,7 @@ impl OcTreeNode {
     pub fn new(log_odds: f32) -> Self {
         OcTreeNode {
             log_odds,
+            mask: 0,
             children: None,
         }
     }
@@ -36,18 +43,24 @@ impl OcTreeNode {
         self.log_odds = v;
     }
 
+    /// The child-presence bitmask (bit `i` set ⇔ child `i` exists).
+    #[inline]
+    pub fn child_mask(&self) -> u8 {
+        self.mask
+    }
+
     /// True when the node has at least one child.
     #[inline]
     pub fn has_children(&self) -> bool {
-        match &self.children {
-            Some(c) => c.iter().any(|s| s.is_some()),
-            None => false,
-        }
+        self.mask != 0
     }
 
     /// Shared access to a child.
     #[inline]
     pub fn child(&self, i: ChildIndex) -> Option<&OcTreeNode> {
+        if self.mask & (1 << i.as_usize()) == 0 {
+            return None;
+        }
         self.children
             .as_ref()
             .and_then(|c| c[i.as_usize()].as_deref())
@@ -56,6 +69,9 @@ impl OcTreeNode {
     /// Exclusive access to a child.
     #[inline]
     pub fn child_mut(&mut self, i: ChildIndex) -> Option<&mut OcTreeNode> {
+        if self.mask & (1 << i.as_usize()) == 0 {
+            return None;
+        }
         self.children
             .as_mut()
             .and_then(|c| c[i.as_usize()].as_deref_mut())
@@ -76,25 +92,25 @@ impl OcTreeNode {
         let created = slot.is_none();
         if created {
             *slot = Some(Box::new(OcTreeNode::new(init_log_odds)));
+            self.mask |= 1 << i.as_usize();
         }
         (slot.as_deref_mut().expect("just filled"), created)
     }
 
     /// Iterates over the present children with their indices.
     pub fn children(&self) -> impl Iterator<Item = (ChildIndex, &OcTreeNode)> {
+        let mask = self.mask;
         self.children
             .iter()
             .flat_map(|c| c.iter().enumerate())
+            .filter(move |(i, _)| mask & (1 << i) != 0)
             .filter_map(|(i, slot)| slot.as_deref().map(|n| (ChildIndex::new(i as u8), n)))
     }
 
     /// Number of present children (0..=8).
     #[inline]
     pub fn child_count(&self) -> usize {
-        match &self.children {
-            Some(c) => c.iter().filter(|s| s.is_some()).count(),
-            None => 0,
-        }
+        self.mask.count_ones() as usize
     }
 
     /// The maximum log-odds over present children, if any.
@@ -116,6 +132,9 @@ impl OcTreeNode {
     /// True when this node can be pruned: all eight children exist, none has
     /// children of its own, and they all carry the same log-odds.
     pub fn is_prunable(&self) -> bool {
+        if self.mask != 0xff {
+            return false;
+        }
         let Some(children) = &self.children else {
             return false;
         };
@@ -145,6 +164,7 @@ impl OcTreeNode {
         if let Some(v) = self.max_child_log_odds() {
             self.log_odds = v;
         }
+        self.mask = 0;
         self.children = None;
     }
 
@@ -153,6 +173,7 @@ impl OcTreeNode {
     pub fn expand(&mut self) {
         debug_assert!(!self.has_children());
         let v = self.log_odds;
+        self.mask = 0xff;
         self.children = Some(Box::new(std::array::from_fn(|_| {
             Some(Box::new(OcTreeNode::new(v)))
         })));
@@ -286,6 +307,24 @@ mod tests {
         let before = n.memory_usage();
         n.child_or_create(idx(0), 0.0);
         assert!(n.memory_usage() > before);
+    }
+
+    #[test]
+    fn child_mask_tracks_presence() {
+        let mut n = OcTreeNode::new(0.0);
+        assert_eq!(n.child_mask(), 0);
+        n.child_or_create(idx(0), 1.0);
+        n.child_or_create(idx(7), 1.0);
+        assert_eq!(n.child_mask(), 0b1000_0001);
+        assert_eq!(n.child_count(), 2);
+
+        let mut p = OcTreeNode::new(0.5);
+        p.expand();
+        assert_eq!(p.child_mask(), 0xff);
+        assert!(p.is_prunable());
+        p.prune();
+        assert_eq!(p.child_mask(), 0);
+        assert!(!p.has_children());
     }
 
     #[test]

@@ -88,7 +88,7 @@ pub fn search_at_level(tree: &OccupancyOcTree, key: VoxelKey, level: u8) -> Opti
     let depth = tree.grid().depth();
     let level = level.min(depth);
     // Walk leaves() would be O(n); instead re-descend manually.
-    let mut node = tree.root()?;
+    let mut node = tree.root_ref()?;
     let mut current = depth;
     while current > level {
         if !node.has_children() {
@@ -219,7 +219,7 @@ mod tests {
         assert!(tree.params().is_occupied(coarse));
         // Root level equals the root value.
         let root = search_at_level(&tree, key, tree.grid().depth()).unwrap();
-        assert_eq!(root, tree.root().unwrap().log_odds());
+        assert_eq!(root, tree.root_log_odds().unwrap());
     }
 
     #[test]

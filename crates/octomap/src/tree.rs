@@ -1,5 +1,7 @@
-use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
+use octocache_geom::{ChildIndex, GeomError, Point3, VoxelGrid, VoxelKey};
 
+use crate::arena::ArenaTree;
+use crate::layout::TreeLayout;
 use crate::node::OcTreeNode;
 use crate::occupancy::OccupancyParams;
 use crate::stats::TreeStats;
@@ -33,12 +35,18 @@ impl LeafEntry {
 
 /// The OctoMap occupancy octree.
 ///
-/// Stores clamped log-odds occupancy in a pointer-based octree of depth
+/// Stores clamped log-odds occupancy in an octree of depth
 /// [`VoxelGrid::depth`]. Every update is a root-to-leaf round trip: descend
 /// to the leaf (expanding pruned aggregates on the way), apply the update,
 /// then propagate values back up (inner value = max of children) and prune
 /// equal-valued sibling sets — the exact workflow of reference OctoMap and
 /// the cost model of the paper's §2.2/Figure 5.
+///
+/// Nodes live in one of two interchangeable storage layouts
+/// ([`TreeLayout`]): reference OctoMap's pointer tree (the differential
+/// oracle) or a `Vec`-backed node pool with `u32` indices and a block
+/// free-list. Both produce voxel-for-voxel identical maps and identical
+/// node-visit telemetry; only memory layout and constant factors differ.
 ///
 /// # Example
 ///
@@ -58,20 +66,88 @@ impl LeafEntry {
 pub struct OccupancyOcTree {
     grid: VoxelGrid,
     params: OccupancyParams,
-    root: Option<Box<OcTreeNode>>,
+    storage: Storage,
     stats: TreeStats,
     auto_prune: bool,
 }
 
+/// The node storage behind a tree, one variant per [`TreeLayout`].
+#[derive(Debug)]
+enum Storage {
+    Pointer {
+        root: Option<Box<OcTreeNode>>,
+        /// Live allocation counters, maintained incrementally so
+        /// [`OccupancyOcTree::memory_usage`] is O(1).
+        alloc: PointerAlloc,
+    },
+    Arena(ArenaTree),
+}
+
+/// What the pointer layout actually allocates: one box per node plus one
+/// eight-slot child array per inner node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct PointerAlloc {
+    nodes: usize,
+    blocks: usize,
+}
+
+impl PointerAlloc {
+    fn bytes(&self) -> usize {
+        self.nodes * std::mem::size_of::<OcTreeNode>()
+            + self.blocks * std::mem::size_of::<[Option<Box<OcTreeNode>>; 8]>()
+    }
+
+    /// Recounts from scratch (used after bulk operations: deserialisation,
+    /// merge; the hot update path maintains the counters incrementally).
+    fn recount(root: Option<&OcTreeNode>) -> PointerAlloc {
+        fn walk(node: &OcTreeNode, a: &mut PointerAlloc) {
+            a.nodes += 1;
+            if node.has_children() {
+                a.blocks += 1;
+                for (_, c) in node.children() {
+                    walk(c, a);
+                }
+            }
+        }
+        let mut a = PointerAlloc::default();
+        if let Some(root) = root {
+            walk(root, &mut a);
+        }
+        a
+    }
+}
+
 impl OccupancyOcTree {
-    /// Creates an empty tree over the given grid with the given sensor model.
+    /// Creates an empty tree over the given grid with the given sensor
+    /// model, using the ambient default layout
+    /// ([`TreeLayout::default_from_env`]).
     pub fn new(grid: VoxelGrid, params: OccupancyParams) -> Self {
+        Self::with_layout(grid, params, TreeLayout::default_from_env())
+    }
+
+    /// Creates an empty tree with an explicit storage layout.
+    pub fn with_layout(grid: VoxelGrid, params: OccupancyParams, layout: TreeLayout) -> Self {
+        let storage = match layout {
+            TreeLayout::Pointer => Storage::Pointer {
+                root: None,
+                alloc: PointerAlloc::default(),
+            },
+            TreeLayout::Arena => Storage::Arena(ArenaTree::new()),
+        };
         OccupancyOcTree {
             grid,
             params,
-            root: None,
+            storage,
             stats: TreeStats::new(),
             auto_prune: true,
+        }
+    }
+
+    /// The storage layout this tree uses.
+    pub fn layout(&self) -> TreeLayout {
+        match &self.storage {
+            Storage::Pointer { .. } => TreeLayout::Pointer,
+            Storage::Arena(_) => TreeLayout::Arena,
         }
     }
 
@@ -98,37 +174,81 @@ impl OccupancyOcTree {
 
     /// True when the tree stores no nodes at all.
     pub fn is_empty(&self) -> bool {
-        self.root.is_none()
+        match &self.storage {
+            Storage::Pointer { root, .. } => root.is_none(),
+            Storage::Arena(a) => a.is_empty(),
+        }
     }
 
-    /// Removes every node.
+    /// Removes every node, releasing the allocation (pool capacity
+    /// included).
     pub fn clear(&mut self) {
-        self.root = None;
+        match &mut self.storage {
+            Storage::Pointer { root, alloc } => {
+                *root = None;
+                *alloc = PointerAlloc::default();
+            }
+            Storage::Arena(a) => a.clear(),
+        }
     }
 
-    /// The root node, if any.
-    pub fn root(&self) -> Option<&OcTreeNode> {
-        self.root.as_deref()
+    /// A layout-independent reference to the root node, if any.
+    pub(crate) fn root_ref(&self) -> Option<NodeRef<'_>> {
+        match &self.storage {
+            Storage::Pointer { root, .. } => root.as_deref().map(NodeRef::Pointer),
+            Storage::Arena(a) => {
+                if a.is_empty() {
+                    None
+                } else {
+                    Some(NodeRef::Arena { tree: a, idx: 0 })
+                }
+            }
+        }
     }
 
-    /// Installs a deserialised root (see [`crate::io`]).
+    /// The root's log-odds, if the tree is non-empty.
+    pub fn root_log_odds(&self) -> Option<f32> {
+        self.root_ref().map(|r| r.log_odds())
+    }
+
+    /// Installs a deserialised root, converting it into this tree's layout
+    /// (see [`crate::io`]).
     pub(crate) fn install_root(&mut self, root: Option<Box<OcTreeNode>>) {
-        self.root = root;
+        match &mut self.storage {
+            Storage::Pointer { root: slot, alloc } => {
+                *slot = root;
+                *alloc = PointerAlloc::recount(slot.as_deref());
+            }
+            Storage::Arena(a) => *a = ArenaTree::from_pointer(root.as_deref()),
+        }
     }
 
     /// Total number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.root.as_ref().map_or(0, |r| r.count_nodes())
+        match &self.storage {
+            Storage::Pointer { root, .. } => root.as_ref().map_or(0, |r| r.count_nodes()),
+            Storage::Arena(a) => a.count_nodes(),
+        }
     }
 
     /// Number of leaves (pruned cubes count once).
     pub fn num_leaves(&self) -> usize {
-        self.root.as_ref().map_or(0, |r| r.count_leaves())
+        match &self.storage {
+            Storage::Pointer { root, .. } => root.as_ref().map_or(0, |r| r.count_leaves()),
+            Storage::Arena(a) => a.count_leaves(),
+        }
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Heap footprint in bytes, counting what the layout actually
+    /// allocates: node boxes plus eight-slot child arrays for the pointer
+    /// tree, pool capacity (free-list slack included) plus the free-list
+    /// for the arena. Maintained incrementally — O(1), safe to sample every
+    /// scan.
     pub fn memory_usage(&self) -> usize {
-        self.root.as_ref().map_or(0, |r| r.memory_usage())
+        match &self.storage {
+            Storage::Pointer { alloc, .. } => alloc.bytes(),
+            Storage::Arena(a) => a.memory_usage(),
+        }
     }
 
     /// Integrates one occupancy observation at `key` (the paper's per-voxel
@@ -155,22 +275,31 @@ impl OccupancyOcTree {
     fn apply_at_leaf(&mut self, key: VoxelKey, op: LeafOp) -> f32 {
         let depth = self.grid.depth();
         let prior = self.params.threshold;
-        let mut root_created = false;
-        let root = self.root.get_or_insert_with(|| {
-            self.stats.count_created();
-            root_created = true;
-            Box::new(OcTreeNode::new(prior))
-        });
-        Self::update_recurs(
-            root,
-            root_created,
-            key,
-            depth,
-            &self.params,
-            &self.stats,
-            self.auto_prune,
-            op,
-        )
+        match &mut self.storage {
+            Storage::Pointer { root, alloc } => {
+                let mut root_created = false;
+                let root = root.get_or_insert_with(|| {
+                    self.stats.count_created();
+                    alloc.nodes += 1;
+                    root_created = true;
+                    Box::new(OcTreeNode::new(prior))
+                });
+                Self::update_recurs(
+                    root,
+                    root_created,
+                    key,
+                    depth,
+                    &self.params,
+                    &self.stats,
+                    self.auto_prune,
+                    alloc,
+                    op,
+                )
+            }
+            Storage::Arena(a) => {
+                a.apply_at_leaf(key, depth, &self.params, &self.stats, self.auto_prune, op)
+            }
+        }
     }
 
     /// Recursive descent + unwind. `level` is the current node's height above
@@ -186,6 +315,7 @@ impl OccupancyOcTree {
         params: &OccupancyParams,
         stats: &TreeStats,
         auto_prune: bool,
+        alloc: &mut PointerAlloc,
         op: LeafOp,
     ) -> f32 {
         stats.count_visit();
@@ -205,12 +335,19 @@ impl OccupancyOcTree {
             // This childless inner node is a pruned aggregate: expand it so
             // the sibling octants keep their value.
             node.expand();
+            alloc.nodes += 8;
+            alloc.blocks += 1;
             stats.count_expansion();
             stats.count_visits(8);
         }
+        let had_children = node.has_children();
         let (child, created) = node.child_or_create(child_idx, params.threshold);
         if created {
             stats.count_created();
+            alloc.nodes += 1;
+            if !had_children {
+                alloc.blocks += 1;
+            }
         }
         let leaf_value = Self::update_recurs(
             child,
@@ -220,6 +357,7 @@ impl OccupancyOcTree {
             params,
             stats,
             auto_prune,
+            alloc,
             op,
         );
 
@@ -228,6 +366,8 @@ impl OccupancyOcTree {
         stats.count_visit();
         if auto_prune && node.is_prunable() {
             node.prune();
+            alloc.nodes -= 8;
+            alloc.blocks -= 1;
             stats.count_prune();
         } else if let Some(max) = node.max_child_log_odds() {
             node.set_log_odds(max);
@@ -239,20 +379,26 @@ impl OccupancyOcTree {
     /// aggregate covers it. `None` means the voxel is in unknown space.
     pub fn search(&self, key: VoxelKey) -> Option<f32> {
         self.stats.count_query();
-        let mut node = self.root.as_deref()?;
-        self.stats.count_visit();
-        let mut level = self.grid.depth();
-        while level > 0 {
-            if !node.has_children() {
-                // Pruned aggregate covering this voxel — but distinguish the
-                // "fresh root" case where nothing was ever inserted.
-                return Some(node.log_odds());
+        match &self.storage {
+            Storage::Pointer { root, .. } => {
+                let mut node = root.as_deref()?;
+                self.stats.count_visit();
+                let mut level = self.grid.depth();
+                while level > 0 {
+                    if !node.has_children() {
+                        // Pruned aggregate covering this voxel — but
+                        // distinguish the "fresh root" case where nothing
+                        // was ever inserted.
+                        return Some(node.log_odds());
+                    }
+                    node = node.child(key.child_index(level - 1))?;
+                    self.stats.count_visit();
+                    level -= 1;
+                }
+                Some(node.log_odds())
             }
-            node = node.child(key.child_index(level - 1))?;
-            self.stats.count_visit();
-            level -= 1;
+            Storage::Arena(a) => a.search(key, self.grid.depth(), &self.stats),
         }
-        Some(node.log_odds())
     }
 
     /// Occupancy decision at `key`: `Some(true)` occupied, `Some(false)`
@@ -279,22 +425,29 @@ impl OccupancyOcTree {
     /// auto-prune disabled).
     pub fn prune(&mut self) {
         let depth = self.grid.depth();
-        if let Some(root) = self.root.as_deref_mut() {
-            Self::prune_recurs(root, depth, &self.stats);
+        match &mut self.storage {
+            Storage::Pointer { root, alloc } => {
+                if let Some(root) = root.as_deref_mut() {
+                    Self::prune_recurs(root, depth, &self.stats, alloc);
+                }
+            }
+            Storage::Arena(a) => a.prune(depth, &self.stats),
         }
     }
 
-    fn prune_recurs(node: &mut OcTreeNode, level: u8, stats: &TreeStats) {
+    fn prune_recurs(node: &mut OcTreeNode, level: u8, stats: &TreeStats, alloc: &mut PointerAlloc) {
         if level == 0 || !node.has_children() {
             return;
         }
-        for i in octocache_geom::ChildIndex::all() {
+        for i in ChildIndex::all() {
             if let Some(c) = node.child_mut(i) {
-                Self::prune_recurs(c, level - 1, stats);
+                Self::prune_recurs(c, level - 1, stats, alloc);
             }
         }
         if node.is_prunable() {
             node.prune();
+            alloc.nodes -= 8;
+            alloc.blocks -= 1;
             stats.count_prune();
         } else if let Some(max) = node.max_child_log_odds() {
             node.set_log_odds(max);
@@ -304,7 +457,7 @@ impl OccupancyOcTree {
     /// Iterates over all leaves (pruned cubes yield one entry).
     pub fn leaves(&self) -> Leaves<'_> {
         let mut stack = Vec::new();
-        if let Some(root) = self.root.as_deref() {
+        if let Some(root) = self.root_ref() {
             stack.push((root, VoxelKey::new(0, 0, 0), self.grid.depth()));
         }
         Leaves { stack }
@@ -323,7 +476,7 @@ impl OccupancyOcTree {
     ///
     /// Returns a human-readable description of the violated invariant.
     pub fn check_invariants(&self) -> Result<(), String> {
-        fn recurse(node: &OcTreeNode, level: u8, params: &OccupancyParams) -> Result<(), String> {
+        fn recurse(node: NodeRef<'_>, level: u8, params: &OccupancyParams) -> Result<(), String> {
             let v = node.log_odds();
             if !(params.clamp_min..=params.clamp_max).contains(&v) {
                 return Err(format!("value {v} outside clamp range at level {level}"));
@@ -344,7 +497,20 @@ impl OccupancyOcTree {
             }
             Ok(())
         }
-        match self.root.as_deref() {
+        // Layout-level structure first: allocation counters must match the
+        // actual tree (pointer), block bookkeeping must balance (arena).
+        match &self.storage {
+            Storage::Pointer { root, alloc } => {
+                let actual = PointerAlloc::recount(root.as_deref());
+                if *alloc != actual {
+                    return Err(format!(
+                        "allocation counters drifted: tracked {alloc:?}, actual {actual:?}"
+                    ));
+                }
+            }
+            Storage::Arena(a) => a.check_structure()?,
+        }
+        match self.root_ref() {
             None => Ok(()),
             Some(root) => {
                 // A fresh never-updated root may carry the prior unclamped
@@ -359,7 +525,13 @@ impl OccupancyOcTree {
 
     /// Merges `other` into `self`, assuming the two trees populate disjoint
     /// top-level octants (as the shards of a spatially-partitioned map do).
-    /// Subtrees are deep-cloned; the root value is refreshed afterwards.
+    /// The root value is refreshed afterwards.
+    ///
+    /// Pointer trees deep-clone the spliced subtrees; arena trees splice by
+    /// child-block reindexing (whole eight-child blocks copied into the
+    /// pool, indices rewritten) rather than node-by-node re-insertion. A
+    /// tree merged from a differently-laid-out `other` converts the spliced
+    /// subtrees on the fly; `self`'s layout never changes.
     ///
     /// # Errors
     ///
@@ -367,28 +539,42 @@ impl OccupancyOcTree {
     /// or when either tree is pruned all the way to a childless root while
     /// the other holds data (the octant ownership is then ambiguous).
     pub fn merge_disjoint_top_level(&mut self, other: &OccupancyOcTree) -> Result<(), String> {
-        let Some(other_root) = other.root.as_deref() else {
-            return Ok(()); // nothing to merge
-        };
-        if self.root.is_none() {
-            self.root = Some(Box::new(other_root.clone()));
-            return Ok(());
-        }
-        let self_root = self.root.as_deref_mut().expect("checked above");
-        if !other_root.has_children() || !self_root.has_children() {
-            return Err("cannot merge trees pruned to a childless root".into());
-        }
-        for (i, child) in other_root.children() {
-            if self_root.child(i).is_some() {
-                return Err(format!("both trees populate top-level octant {i}"));
+        let threshold = self.params.threshold;
+        match &mut self.storage {
+            Storage::Pointer { root, alloc } => {
+                let Some(other_root) = other.root_ref() else {
+                    return Ok(()); // nothing to merge
+                };
+                if root.is_none() {
+                    *root = Some(Box::new(other_root.to_owned_node()));
+                    *alloc = PointerAlloc::recount(root.as_deref());
+                    return Ok(());
+                }
+                let self_root = root.as_deref_mut().expect("checked above");
+                if !other_root.has_children() || !self_root.has_children() {
+                    return Err("cannot merge trees pruned to a childless root".into());
+                }
+                for (i, child) in other_root.children() {
+                    if self_root.child(i).is_some() {
+                        return Err(format!("both trees populate top-level octant {i}"));
+                    }
+                    let (slot, _) = self_root.child_or_create(i, threshold);
+                    *slot = child.to_owned_node();
+                }
+                if let Some(max) = self_root.max_child_log_odds() {
+                    self_root.set_log_odds(max);
+                }
+                *alloc = PointerAlloc::recount(root.as_deref());
+                Ok(())
             }
-            let (slot, _) = self_root.child_or_create(i, self.params.threshold);
-            *slot = child.clone();
+            Storage::Arena(a) => match &other.storage {
+                Storage::Arena(b) => a.merge_disjoint_top_level(b),
+                Storage::Pointer { root, .. } => {
+                    let converted = ArenaTree::from_pointer(root.as_deref());
+                    a.merge_disjoint_top_level(&converted)
+                }
+            },
         }
-        if let Some(max) = self_root.max_child_log_odds() {
-            self_root.set_log_odds(max);
-        }
-        Ok(())
     }
 
     /// Iterates over the leaves whose cubes intersect the key-space box
@@ -396,7 +582,7 @@ impl OccupancyOcTree {
     /// O(answer × depth) descent rather than a full-tree scan.
     pub fn leaves_in_key_box(&self, min: VoxelKey, max: VoxelKey) -> BoxLeaves<'_> {
         let mut stack = Vec::new();
-        if let Some(root) = self.root.as_deref() {
+        if let Some(root) = self.root_ref() {
             stack.push((root, VoxelKey::new(0, 0, 0), self.grid.depth()));
         }
         BoxLeaves { stack, min, max }
@@ -451,20 +637,86 @@ impl OccupancyOcTree {
     }
 }
 
+/// A leaf-level mutation, shared between both storage layouts.
 #[derive(Debug, Clone, Copy)]
-enum LeafOp {
+pub(crate) enum LeafOp {
     Observe { occupied: bool },
     Add { delta: f32 },
     Set { value: f32 },
 }
 
+/// A layout-independent shared reference to one tree node: either a plain
+/// `&OcTreeNode` or an index into an arena pool. `Copy`, so traversals
+/// (leaves, io, invariant checks, multi-resolution queries) are written
+/// once and run over either layout.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum NodeRef<'a> {
+    Pointer(&'a OcTreeNode),
+    Arena { tree: &'a ArenaTree, idx: u32 },
+}
+
+impl<'a> NodeRef<'a> {
+    pub(crate) fn log_odds(self) -> f32 {
+        match self {
+            NodeRef::Pointer(n) => n.log_odds(),
+            NodeRef::Arena { tree, idx } => tree.log_odds(idx),
+        }
+    }
+
+    pub(crate) fn child_mask(self) -> u8 {
+        match self {
+            NodeRef::Pointer(n) => n.child_mask(),
+            NodeRef::Arena { tree, idx } => tree.child_mask(idx),
+        }
+    }
+
+    pub(crate) fn has_children(self) -> bool {
+        self.child_mask() != 0
+    }
+
+    pub(crate) fn child(self, i: ChildIndex) -> Option<NodeRef<'a>> {
+        match self {
+            NodeRef::Pointer(n) => n.child(i).map(NodeRef::Pointer),
+            NodeRef::Arena { tree, idx } => tree
+                .child_of(idx, i.as_usize())
+                .map(|c| NodeRef::Arena { tree, idx: c }),
+        }
+    }
+
+    pub(crate) fn children(self) -> impl Iterator<Item = (ChildIndex, NodeRef<'a>)> {
+        ChildIndex::all().filter_map(move |i| self.child(i).map(|c| (i, c)))
+    }
+
+    pub(crate) fn max_child_log_odds(self) -> Option<f32> {
+        self.children()
+            .map(|(_, c)| c.log_odds())
+            .fold(None, |acc, v| {
+                Some(match acc {
+                    Some(a) => a.max(v),
+                    None => v,
+                })
+            })
+    }
+
+    /// Deep-clones the referenced subtree into pointer form.
+    pub(crate) fn to_owned_node(self) -> OcTreeNode {
+        let mut out = OcTreeNode::new(self.log_odds());
+        for (i, child) in self.children() {
+            let sub = child.to_owned_node();
+            let (slot, _) = out.child_or_create(i, sub.log_odds());
+            *slot = sub;
+        }
+        out
+    }
+}
+
 /// Iterator over a tree's leaves. Created by [`OccupancyOcTree::leaves`].
 #[derive(Debug)]
 pub struct Leaves<'a> {
-    stack: Vec<(&'a OcTreeNode, VoxelKey, u8)>,
+    stack: Vec<(NodeRef<'a>, VoxelKey, u8)>,
 }
 
-impl<'a> Iterator for Leaves<'a> {
+impl Iterator for Leaves<'_> {
     type Item = LeafEntry;
 
     fn next(&mut self) -> Option<LeafEntry> {
@@ -495,7 +747,7 @@ impl<'a> Iterator for Leaves<'a> {
 /// [`OccupancyOcTree::leaves_in_key_box`].
 #[derive(Debug)]
 pub struct BoxLeaves<'a> {
-    stack: Vec<(&'a OcTreeNode, VoxelKey, u8)>,
+    stack: Vec<(NodeRef<'a>, VoxelKey, u8)>,
     min: VoxelKey,
     max: VoxelKey,
 }
@@ -621,8 +873,7 @@ mod tests {
         let mut tree = small_tree();
         tree.set_node_log_odds(VoxelKey::new(0, 0, 0), -1.0);
         tree.set_node_log_odds(VoxelKey::new(1, 0, 0), 2.0);
-        let root = tree.root().unwrap();
-        assert_eq!(root.log_odds(), 2.0);
+        assert_eq!(tree.root_log_odds(), Some(2.0));
     }
 
     #[test]
@@ -800,6 +1051,99 @@ mod tests {
         let empty = small_tree();
         merged.merge_disjoint_top_level(&empty).unwrap();
         assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn memory_usage_tracks_allocation_across_insert_prune_clear() {
+        for layout in TreeLayout::ALL {
+            let grid = VoxelGrid::new(1.0, 4).unwrap();
+            let mut tree = OccupancyOcTree::with_layout(grid, OccupancyParams::default(), layout);
+            assert_eq!(tree.memory_usage(), 0, "{layout}: empty tree owns nothing");
+
+            // Insert with pruning off so the full octant stays expanded.
+            tree.set_auto_prune(false);
+            for x in 0..2u16 {
+                for y in 0..2u16 {
+                    for z in 0..2u16 {
+                        for _ in 0..10 {
+                            tree.update_node(VoxelKey::new(x, y, z), true);
+                        }
+                    }
+                }
+            }
+            let grown = tree.memory_usage();
+            assert!(grown > 0, "{layout}: inserts must grow the footprint");
+            tree.check_invariants().unwrap();
+
+            tree.prune();
+            tree.check_invariants().unwrap();
+            let pruned = tree.memory_usage();
+            match layout {
+                // The pointer tree returns pruned boxes and child arrays to
+                // the allocator.
+                TreeLayout::Pointer => {
+                    assert!(
+                        pruned < grown,
+                        "pointer: prune must shrink ({pruned} >= {grown})"
+                    )
+                }
+                // The arena keeps pruned blocks resident on its free-list —
+                // that slack is deliberate (recycling) and must stay
+                // counted. Free-list bookkeeping may add a few bytes but the
+                // pool itself never shrinks.
+                TreeLayout::Arena => {
+                    assert!(
+                        pruned >= grown,
+                        "arena: prune keeps pool capacity ({pruned} < {grown})"
+                    )
+                }
+            }
+
+            tree.clear();
+            assert_eq!(
+                tree.memory_usage(),
+                0,
+                "{layout}: clear releases everything"
+            );
+        }
+    }
+
+    #[test]
+    fn layouts_agree_on_maps_and_counters() {
+        let grid = VoxelGrid::new(1.0, 4).unwrap();
+        let mut pointer =
+            OccupancyOcTree::with_layout(grid, OccupancyParams::default(), TreeLayout::Pointer);
+        let mut arena =
+            OccupancyOcTree::with_layout(grid, OccupancyParams::default(), TreeLayout::Arena);
+        assert_eq!(pointer.layout(), TreeLayout::Pointer);
+        assert_eq!(arena.layout(), TreeLayout::Arena);
+        let keys = [
+            VoxelKey::new(0, 0, 0),
+            VoxelKey::new(1, 1, 1),
+            VoxelKey::new(15, 15, 15),
+            VoxelKey::new(7, 8, 9),
+            VoxelKey::new(1, 1, 1),
+        ];
+        for (n, &k) in keys.iter().enumerate() {
+            let a = pointer.update_node(k, n % 2 == 0);
+            let b = arena.update_node(k, n % 2 == 0);
+            assert_eq!(a, b);
+        }
+        assert_eq!(pointer.num_nodes(), arena.num_nodes());
+        assert_eq!(pointer.num_leaves(), arena.num_leaves());
+        let sp = pointer.stats().snapshot();
+        let sa = arena.stats().snapshot();
+        assert_eq!(sp.node_visits, sa.node_visits);
+        assert_eq!(sp.nodes_created, sa.nodes_created);
+        assert_eq!(sp.leaf_updates, sa.leaf_updates);
+        for x in 0..16u16 {
+            for y in 0..16u16 {
+                let k = VoxelKey::new(x, y, (x + y) % 16);
+                assert_eq!(pointer.search(k), arena.search(k), "{k}");
+            }
+        }
+        pointer.check_invariants().unwrap();
+        arena.check_invariants().unwrap();
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Cross-layout property suite: the pointer tree and the arena node pool
+//! must be observationally identical.
+//!
+//! Every property builds the same update sequence into both layouts and
+//! asserts the results are voxel-for-voxel equal (tolerance 0.0), share the
+//! same structure, and serialise to the same bytes — and that both `.ot`
+//! (lossless) and `.bt` (maximum-likelihood) streams can be written from
+//! either layout and read back into either layout without divergence.
+
+use octocache_geom::{VoxelGrid, VoxelKey};
+use octocache_octomap::{compare, io, io_bt, OccupancyOcTree, OccupancyParams, TreeLayout};
+use proptest::prelude::*;
+
+fn grid() -> VoxelGrid {
+    VoxelGrid::new(0.25, 8).unwrap()
+}
+
+type Op = ((u16, u16, u16), bool);
+
+/// Replays `ops` into a fresh tree stored in `layout`.
+fn build(layout: TreeLayout, ops: &[Op]) -> OccupancyOcTree {
+    let mut tree = OccupancyOcTree::with_layout(grid(), OccupancyParams::default(), layout);
+    for ((x, y, z), occupied) in ops {
+        tree.update_node(VoxelKey::new(*x, *y, *z), *occupied);
+    }
+    tree
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(((0u16..32, 0u16..32, 0u16..32), any::<bool>()), 1..250)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The two layouts apply identical updates: equal maps, equal structure,
+    /// equal serialised bytes — before and after pruning.
+    #[test]
+    fn prop_layouts_build_identical_trees(ops in ops_strategy()) {
+        let mut pointer = build(TreeLayout::Pointer, &ops);
+        let mut arena = build(TreeLayout::Arena, &ops);
+        pointer.check_invariants().unwrap();
+        arena.check_invariants().unwrap();
+
+        let d = compare::diff(&pointer, &arena, 0.0);
+        prop_assert!(d.is_identical(), "{} value mismatches", d.value_mismatches);
+        prop_assert_eq!(pointer.num_nodes(), arena.num_nodes());
+        prop_assert_eq!(pointer.num_leaves(), arena.num_leaves());
+        // Depth-first serialisation is layout-independent, so identical
+        // trees must produce identical bytes.
+        prop_assert_eq!(io::write_tree(&pointer), io::write_tree(&arena));
+
+        pointer.prune();
+        arena.prune();
+        pointer.check_invariants().unwrap();
+        arena.check_invariants().unwrap();
+        let dp = compare::diff(&pointer, &arena, 0.0);
+        prop_assert!(dp.is_identical(), "layouts diverge after prune");
+        prop_assert_eq!(pointer.num_nodes(), arena.num_nodes());
+        prop_assert_eq!(io::write_tree(&pointer), io::write_tree(&arena));
+    }
+
+    /// `.ot` streams are lossless in both directions: write from either
+    /// layout, read into either layout, always recover the exact map.
+    #[test]
+    fn prop_ot_round_trips_across_layouts(ops in ops_strategy()) {
+        let original = build(TreeLayout::Pointer, &ops);
+        let bytes = io::write_tree(&original);
+        for layout in [TreeLayout::Pointer, TreeLayout::Arena] {
+            let restored = io::read_tree_with_layout(&bytes, layout).unwrap();
+            prop_assert_eq!(restored.layout(), layout);
+            restored.check_invariants().unwrap();
+            let d = compare::diff(&original, &restored, 0.0);
+            prop_assert!(d.is_identical(), "ot -> {layout} lost data");
+            prop_assert_eq!(restored.num_nodes(), original.num_nodes());
+            prop_assert_eq!(restored.num_leaves(), original.num_leaves());
+            // Writing the restored tree reproduces the stream bit-for-bit,
+            // whichever layout it was decoded into.
+            prop_assert_eq!(io::write_tree(&restored), bytes.clone());
+        }
+    }
+
+    /// `.bt` streams decode to the same maximum-likelihood tree whichever
+    /// layout wrote them and whichever layout reads them.
+    #[test]
+    fn prop_bt_round_trips_across_layouts(ops in ops_strategy()) {
+        let pointer = build(TreeLayout::Pointer, &ops);
+        let arena = build(TreeLayout::Arena, &ops);
+        let bytes = io_bt::write_binary_tree(&pointer);
+        prop_assert_eq!(
+            io_bt::write_binary_tree(&arena),
+            bytes.clone(),
+            "bt serialisation differs by source layout"
+        );
+
+        let from_pointer =
+            io_bt::read_binary_tree_with_layout(&bytes, TreeLayout::Pointer).unwrap();
+        let from_arena =
+            io_bt::read_binary_tree_with_layout(&bytes, TreeLayout::Arena).unwrap();
+        from_pointer.check_invariants().unwrap();
+        from_arena.check_invariants().unwrap();
+        prop_assert_eq!(from_arena.layout(), TreeLayout::Arena);
+        let d = compare::diff(&from_pointer, &from_arena, 0.0);
+        prop_assert!(d.is_identical(), "bt decodes differ across layouts");
+        prop_assert_eq!(from_pointer.num_nodes(), from_arena.num_nodes());
+        // `.bt` is lossy on values but must preserve every ternary
+        // occupancy decision, regardless of the decoding layout.
+        for ((x, y, z), _) in &ops {
+            let key = VoxelKey::new(*x, *y, *z);
+            prop_assert_eq!(pointer.is_occupied(key), from_arena.is_occupied(key));
+        }
+    }
+}
+
+#[test]
+fn empty_trees_round_trip_across_layouts() {
+    for write_layout in [TreeLayout::Pointer, TreeLayout::Arena] {
+        let tree = OccupancyOcTree::with_layout(grid(), OccupancyParams::default(), write_layout);
+        for read_layout in [TreeLayout::Pointer, TreeLayout::Arena] {
+            let ot = io::read_tree_with_layout(&io::write_tree(&tree), read_layout).unwrap();
+            assert!(ot.is_empty());
+            assert_eq!(ot.layout(), read_layout);
+            let bt =
+                io_bt::read_binary_tree_with_layout(&io_bt::write_binary_tree(&tree), read_layout)
+                    .unwrap();
+            assert!(bt.is_empty());
+            assert_eq!(bt.layout(), read_layout);
+        }
+    }
+}

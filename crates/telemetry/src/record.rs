@@ -38,6 +38,14 @@ pub struct ScanRecord {
     pub octree_leaf_updates: u64,
     /// Octree nodes created this scan.
     pub octree_nodes_created: u64,
+    /// Bytes resident in the backend's octree storage after this scan
+    /// (summed across shards on the sharded/parallel backends). O(1) to
+    /// sample: every layout maintains its allocation counters
+    /// incrementally.
+    pub memory_bytes: u64,
+    /// Octree storage layout the backend runs on (`"pointer"` or
+    /// `"arena"`; empty on records from before this field existed).
+    pub tree_layout: String,
     /// SPSC queue depth sampled right after this scan's enqueue
     /// (parallel backend only).
     pub queue_depth_enqueue: u64,
@@ -112,6 +120,8 @@ mod tests {
             octree_node_visits: 12_000,
             octree_leaf_updates: 800,
             octree_nodes_created: 20,
+            memory_bytes: 1_234_567,
+            tree_layout: "arena".to_string(),
             queue_depth_enqueue: 3,
             queue_depth_dequeue: 1,
             mutex_wait: Duration::from_nanos(90),

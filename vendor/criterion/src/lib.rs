@@ -78,8 +78,8 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Accepted for API compatibility; the stand-in always runs
-    /// [`SAMPLES`] samples.
+    /// Accepted for API compatibility; the stand-in always runs a fixed
+    /// number of samples (`SAMPLES`).
     pub fn sample_size(&mut self, _n: usize) -> &mut Self {
         self
     }

@@ -2,7 +2,7 @@
 //!
 //! Sampling-based property testing with upstream's call syntax: the
 //! [`proptest!`] macro, `prop_assert*!`/[`prop_assume!`], range / tuple /
-//! [`Just`] / [`prop_oneof!`] / `collection::{vec, hash_set}` strategies,
+//! `Just` / `prop_oneof!` / `collection::{vec, hash_set}` strategies,
 //! and a [`test_runner::TestRunner`]. Unlike upstream it samples randomly
 //! (seeded deterministically per test name) and does **not** shrink —
 //! failures report the raw failing inputs via `Debug`.
@@ -149,7 +149,7 @@ pub mod strategy {
     impl_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
     impl_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
 
-    /// Weighted choice between boxed strategies (see [`prop_oneof!`]).
+    /// Weighted choice between boxed strategies (see `prop_oneof!`).
     pub struct Union<T: Debug> {
         arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
     }
@@ -161,7 +161,7 @@ pub mod strategy {
             Union { arms }
         }
 
-        /// Boxes one arm (helper for [`prop_oneof!`]).
+        /// Boxes one arm (helper for `prop_oneof!`).
         pub fn arm<S: Strategy<Value = T> + 'static>(s: S) -> Box<dyn Strategy<Value = T>> {
             Box::new(s)
         }
@@ -199,7 +199,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
