@@ -6,11 +6,11 @@
 //! a JSON array with one [`TraceSummary`]-shaped object per run, the
 //! machine-readable perf trajectory the growth loop tracks across sessions.
 
-use octocache::MappingSystem;
+use octocache::{CacheConfig, MappingSystem};
 use octocache_bench::{
     cache_for, construct, grid, load_dataset, print_table, reference_resolution, Backend,
 };
-use octocache_datasets::Dataset;
+use octocache_datasets::{Dataset, ScanSequence};
 use octocache_telemetry::{Phase, SharedRecorder, TraceSummary};
 use serde::{Serialize, Value};
 
@@ -44,6 +44,109 @@ fn run_value(dataset: &str, total_s: f64, s: &TraceSummary) -> Value {
             seq(s.hit_ratio_series.iter().map(|p| p.to_value()).collect()),
         ),
     ])
+}
+
+/// The same cache geometry with sub-scan event recording switched on.
+fn with_events(base: CacheConfig) -> CacheConfig {
+    let mut b = CacheConfig::builder();
+    b.num_buckets(base.num_buckets())
+        .tau(base.tau())
+        .index_policy(base.index_policy())
+        .eviction_order(base.eviction_order())
+        .stall_timeout(base.stall_timeout())
+        .events(true);
+    b.build().expect("valid cache config")
+}
+
+/// One timed construction; returns wall seconds plus the recorded event
+/// count and drop count (0/0 with recording off).
+fn timed_build(seq: &ScanSequence, mut backend: Box<dyn MappingSystem>) -> (f64, u64, u64) {
+    let t0 = std::time::Instant::now();
+    for scan in seq.scans() {
+        backend
+            .insert_scan(scan.origin, &scan.points, seq.max_range())
+            .expect("scan within grid");
+    }
+    backend.finish();
+    let total = t0.elapsed().as_secs_f64();
+    let (events, dropped) = backend
+        .take_events()
+        .map(|log| (log.events.len() as u64, log.dropped))
+        .unwrap_or((0, 0));
+    (total, events, dropped)
+}
+
+/// Event-layer overhead on freiburg-campus (DESIGN.md §6.1): best-of-N
+/// wall time with recording off vs on, per backend. Appends one JSON
+/// object per backend to `runs`.
+fn event_overhead(runs: &mut Vec<Value>) {
+    const REPS: usize = 3;
+    let dataset = Dataset::FreiburgCampus;
+    let seq = load_dataset(dataset);
+    let res = reference_resolution(dataset);
+    let base = cache_for(&seq, res);
+    let traced = with_events(base);
+
+    let mut rows = Vec::new();
+    for backend in [Backend::Serial, Backend::Parallel] {
+        // Interleave off/on reps so both conditions see the same machine
+        // state (frequency scaling, page cache), then take the best of
+        // each: the min is the least-perturbed run.
+        let mut off = Vec::new();
+        let mut on = Vec::new();
+        for _ in 0..REPS {
+            off.push(timed_build(&seq, backend.build(grid(res), base)));
+            on.push(timed_build(&seq, backend.build(grid(res), traced)));
+        }
+        let best = |runs: &[(f64, u64, u64)]| {
+            *runs
+                .iter()
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("at least one rep")
+        };
+        let (off_s, _, _) = best(&off);
+        let (on_s, events, dropped) = best(&on);
+        let overhead_pct = (on_s - off_s) / off_s * 100.0;
+        rows.push(vec![
+            backend.label().to_string(),
+            format!("{off_s:.3}"),
+            format!("{on_s:.3}"),
+            format!("{overhead_pct:+.2}"),
+            format!("{events}"),
+            format!("{dropped}"),
+        ]);
+        runs.push(Value::Map(vec![
+            (
+                "section".to_string(),
+                Value::Str("event_overhead".to_string()),
+            ),
+            (
+                "dataset".to_string(),
+                Value::Str(dataset.name().to_string()),
+            ),
+            (
+                "backend".to_string(),
+                Value::Str(backend.label().to_string()),
+            ),
+            ("events_off_s".to_string(), Value::F64(off_s)),
+            ("events_on_s".to_string(), Value::F64(on_s)),
+            ("overhead_pct".to_string(), Value::F64(overhead_pct)),
+            ("events_recorded".to_string(), Value::U64(events)),
+            ("events_dropped".to_string(), Value::U64(dropped)),
+        ]));
+    }
+    print_table(
+        "Event-recording overhead — freiburg-campus, interleaved best of 3",
+        &[
+            "backend",
+            "off(s)",
+            "on(s)",
+            "overhead(%)",
+            "events",
+            "dropped",
+        ],
+        &rows,
+    );
 }
 
 fn main() {
@@ -98,6 +201,8 @@ fn main() {
         ],
         &rows,
     );
+
+    event_overhead(&mut runs);
 
     let json = serde::json::to_string(&Value::Seq(runs));
     match std::fs::write(&out_path, &json) {

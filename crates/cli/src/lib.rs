@@ -13,9 +13,16 @@
 //!   4 or 8; parallel backends only) selects the number of octree-update
 //!   workers; `--tree-layout` picks the octree storage layout (`pointer`
 //!   or `arena`); `--trace` streams one JSON scan record per line to a
-//!   file.
-//! * `report <trace.jsonl>` — per-phase latency percentiles and the cache
-//!   hit-ratio time series of a recorded trace.
+//!   file; `--events` records the sub-scan event stream (cache
+//!   hit/miss/evict, queue traffic, worker batch spans) to a JSONL file
+//!   for `analyze`.
+//! * `report <trace.jsonl> [--json]` — per-phase latency percentiles and
+//!   the cache hit-ratio time series of a recorded trace; `--json` emits
+//!   the summary as machine-readable JSON instead.
+//! * `analyze <events.jsonl> [--trace-out trace.json]` — reuse-distance,
+//!   cache-residency, per-octant and bucket-heatmap analytics over a
+//!   recorded event stream, plus a Chrome Trace Event Format export
+//!   loadable in `chrome://tracing` or Perfetto.
 //! * `info <map>` — structural statistics of a serialised map.
 //! * `query <map> <x> <y> <z>` — occupancy at a world point.
 //! * `diff <map_a> <map_b>` — voxel-level agreement between two maps.
@@ -119,6 +126,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("generate") => cmd_generate(&args[1..]),
         Some("build") => cmd_build(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
@@ -132,8 +140,9 @@ fn usage() -> String {
 
 USAGE:
   octocache generate <dataset> <out.scanlog> [--scale S] [--seed N]
-  octocache build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T] [--workers N] [--tree-layout pointer|arena] [--format ot|bt] [--trace out.jsonl] [--strict] [--fault SPEC]
-  octocache report <trace.jsonl>
+  octocache build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T] [--workers N] [--tree-layout pointer|arena] [--format ot|bt] [--trace out.jsonl] [--events out.jsonl] [--strict] [--fault SPEC]
+  octocache report <trace.jsonl> [--json]
+  octocache analyze <events.jsonl> [--trace-out trace.json]
   octocache info <map>
   octocache query <map> <x> <y> <z>
   octocache diff <map_a> <map_b>
@@ -148,7 +157,7 @@ exit codes: 0 ok | 2 usage | 3 I/O | 4 bad scan log/trace | 5 bad map | 6 bad ge
 }
 
 /// Flags that take no value (presence-only).
-const BOOL_FLAGS: &[&str] = &["strict"];
+const BOOL_FLAGS: &[&str] = &["strict", "json"];
 
 /// Positional arguments and `--key value` flag pairs.
 type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
@@ -305,6 +314,12 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
         }
     }
     let strict = flag(&flags, "strict").is_some();
+    // Sub-scan event recording (`--events out.jsonl`): a per-run switch, so
+    // it rides on the config like `fault_plan` and is never serialised.
+    let events_path = flag(&flags, "events");
+    if events_path.is_some() {
+        cache_builder.events(true);
+    }
     let cache = cache_builder.build().map_err(|e| e.to_string())?;
     let backend_name = flag(&flags, "backend").unwrap_or("serial");
     let workers = match flag(&flags, "workers") {
@@ -325,19 +340,17 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
         None => 1,
     };
     let params = OccupancyParams::default();
+    // OctoMapSystem takes no CacheConfig, so its event switch is a method.
+    let octomap_with = |rt: RayTracer| {
+        let mut sys = OctoMapSystem::with_layout(grid, params, rt, layout);
+        if events_path.is_some() {
+            sys.enable_events();
+        }
+        sys
+    };
     let mut backend: Box<dyn MappingSystem> = match backend_name {
-        "octomap" => Box::new(OctoMapSystem::with_layout(
-            grid,
-            params,
-            RayTracer::Standard,
-            layout,
-        )),
-        "octomap-rt" => Box::new(OctoMapSystem::with_layout(
-            grid,
-            params,
-            RayTracer::Dedup,
-            layout,
-        )),
+        "octomap" => Box::new(octomap_with(RayTracer::Standard)),
+        "octomap-rt" => Box::new(octomap_with(RayTracer::Dedup)),
         "serial" => Box::new(SerialOctoCache::new(grid, params, cache)),
         "serial-rt" => Box::new(SerialOctoCache::with_ray_tracer(
             grid,
@@ -393,6 +406,18 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     }
     backend.finish();
     let elapsed = t0.elapsed();
+    // Flush the recorded event stream (if any) before the tree is taken.
+    let mut events_written: Option<(usize, u64)> = None;
+    if let Some(path) = events_path {
+        let log = backend.take_events().unwrap_or_default();
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError::Io(format!("create events {path}: {e}")))?;
+        let mut out = std::io::BufWriter::new(file);
+        octocache_telemetry::write_events_jsonl(&mut out, &log.events)
+            .and_then(|()| std::io::Write::flush(&mut out))
+            .map_err(|e| CliError::Io(format!("write events {path}: {e}")))?;
+        events_written = Some((log.events.len(), log.dropped));
+    }
     let times = backend.phase_times();
     let cache_stats = backend.cache_stats();
     let tree_stats = backend.tree_stats();
@@ -447,6 +472,15 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     if let Some(path) = trace_path {
         let _ = writeln!(out, "  trace: {} scan records -> {path}", seq.scans().len());
     }
+    if let (Some(path), Some((count, dropped))) = (events_path, events_written) {
+        let _ = writeln!(out, "  events: {count} events -> {path}");
+        if dropped > 0 {
+            let _ = writeln!(
+                out,
+                "  warning: {dropped} events dropped at capacity caps (stream is truncated)"
+            );
+        }
+    }
     for (i, e) in &scan_faults {
         let _ = writeln!(out, "  scan {i}: {e}");
     }
@@ -476,9 +510,23 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_report(args: &[String]) -> Result<String, CliError> {
-    let (pos, _) = parse_flags(args)?;
+    let (pos, flags) = parse_flags(args)?;
+    // Reject unknown flags with the typed usage error (exit code 2) instead
+    // of silently ignoring them — consistent with the never-panic/exit-code
+    // contract of every other subcommand.
+    let mut json = false;
+    for (key, _) in &flags {
+        match *key {
+            "json" => json = true,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown flag --{other} for report (only --json)"
+                )))
+            }
+        }
+    }
     let [path] = pos.as_slice() else {
-        return Err("usage: report <trace.jsonl>".into());
+        return Err("usage: report <trace.jsonl> [--json]".into());
     };
     let records = octocache_telemetry::read_jsonl_path(path).map_err(|e| {
         if e.starts_with("open ") {
@@ -487,10 +535,51 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
             CliError::ScanLog(format!("bad trace {path}: {e}"))
         }
     })?;
-    if records.is_empty() {
+    if records.is_empty() && !json {
         return Ok(format!("{path}: empty trace"));
     }
-    Ok(octocache_telemetry::TraceSummary::from_records(&records).render())
+    let summary = octocache_telemetry::TraceSummary::from_records(&records);
+    Ok(if json {
+        summary.to_json()
+    } else {
+        summary.render()
+    })
+}
+
+fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
+    let (pos, flags) = parse_flags(args)?;
+    let mut trace_out = "trace.json";
+    for (key, value) in &flags {
+        match *key {
+            "trace-out" => trace_out = value,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown flag --{other} for analyze (only --trace-out)"
+                )))
+            }
+        }
+    }
+    let [path] = pos.as_slice() else {
+        return Err("usage: analyze <events.jsonl> [--trace-out trace.json]".into());
+    };
+    let events = octocache_telemetry::read_events_jsonl_path(path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::InvalidData {
+            CliError::ScanLog(format!("bad event stream {path}: {e}"))
+        } else {
+            CliError::Io(format!("open {path}: {e}"))
+        }
+    })?;
+    let analytics = octocache_telemetry::EventAnalytics::from_events(&events);
+    let chrome = octocache_telemetry::chrome_trace_json(&events);
+    std::fs::write(trace_out, chrome)
+        .map_err(|e| CliError::Io(format!("write {trace_out}: {e}")))?;
+    let mut out = analytics.render();
+    let _ = write!(
+        out,
+        "\nchrome trace: {} events -> {trace_out} (load in chrome://tracing or ui.perfetto.dev)",
+        events.len()
+    );
+    Ok(out)
 }
 
 fn cmd_info(args: &[String]) -> Result<String, CliError> {
@@ -995,5 +1084,124 @@ mod tests {
             assert_eq!(err.exit_code(), 2, "{err}");
             assert!(err.to_string().contains("fault-injection"), "{err}");
         }
+    }
+
+    #[test]
+    fn build_with_events_then_analyze_exports_chrome_trace() {
+        let log = temp_path("events.scanlog");
+        run(&s(&[
+            "generate",
+            "fr079-corridor",
+            &log,
+            "--scale",
+            "0.05",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+
+        let map = temp_path("events.map");
+        let ev = temp_path("events.jsonl");
+        let trace = temp_path("events.trace.jsonl");
+        let out = run(&s(&[
+            "build",
+            &log,
+            &map,
+            "--backend",
+            "parallel",
+            "--workers",
+            "2",
+            "--resolution",
+            "0.4",
+            "--buckets",
+            "256",
+            "--tau",
+            "2",
+            "--events",
+            &ev,
+            "--trace",
+            &trace,
+        ]))
+        .unwrap();
+        assert!(out.contains("events:"), "{out}");
+
+        let chrome = temp_path("events.trace.json");
+        let out = run(&s(&["analyze", &ev, "--trace-out", &chrome])).unwrap();
+        for section in [
+            "event analytics",
+            "reuse distance",
+            "cache residency",
+            "per-octant hit ratio",
+            "bucket heatmap",
+            "worker timelines",
+            "chrome trace:",
+        ] {
+            assert!(out.contains(section), "missing {section:?} in:\n{out}");
+        }
+
+        // The exported file is valid Chrome Trace Event Format JSON with at
+        // least one complete ("X") span on every worker lane plus thread
+        // metadata.
+        let json = std::fs::read_to_string(&chrome).unwrap();
+        let doc: serde::Value = serde::json::from_str(&json).unwrap();
+        let entries = doc
+            .get("traceEvents")
+            .and_then(serde::Value::as_seq)
+            .expect("traceEvents array");
+        assert!(
+            entries
+                .iter()
+                .any(|e| e.get("ph").and_then(serde::Value::as_str) == Some("M")),
+            "no metadata events"
+        );
+        for lane in [1u64, 2] {
+            assert!(
+                entries.iter().any(|e| {
+                    e.get("ph").and_then(serde::Value::as_str) == Some("X")
+                        && e.get("tid").and_then(serde::Value::as_u64) == Some(lane)
+                }),
+                "no complete span for worker lane {lane}"
+            );
+        }
+
+        // `report --json` on the scan trace is machine-readable.
+        let out = run(&s(&["report", &trace, "--json"])).unwrap();
+        let doc: serde::Value = serde::json::from_str(&out).unwrap();
+        assert_eq!(
+            doc.get("backend").and_then(serde::Value::as_str),
+            Some("octocache-parallelx2")
+        );
+        assert!(doc
+            .get("hit_ratio")
+            .and_then(serde::Value::as_f64)
+            .is_some());
+        assert!(doc.get("phases").and_then(serde::Value::as_seq).is_some());
+    }
+
+    #[test]
+    fn report_and_analyze_reject_unknown_flags() {
+        let err = run(&s(&["report", "x.jsonl", "--frob", "1"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert_eq!(err.exit_code(), 2);
+
+        let err = run(&s(&["analyze", "x.jsonl", "--frob", "1"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn analyze_missing_and_garbage_inputs_are_typed_errors() {
+        let missing = temp_path("no-such-events.jsonl");
+        let _ = std::fs::remove_file(&missing);
+        let err = run(&s(&["analyze", &missing])).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)), "{err}");
+        assert_eq!(err.exit_code(), 3);
+
+        let garbage = temp_path("garbage-events.jsonl");
+        std::fs::write(&garbage, "this is not an event record\n").unwrap();
+        let chrome = temp_path("garbage.trace.json");
+        let err = run(&s(&["analyze", &garbage, "--trace-out", &chrome])).unwrap_err();
+        assert!(matches!(err, CliError::ScanLog(_)), "{err}");
+        assert_eq!(err.exit_code(), 4);
     }
 }

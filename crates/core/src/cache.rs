@@ -16,6 +16,7 @@
 
 use octocache_geom::{morton, VoxelKey};
 use octocache_octomap::OccupancyParams;
+use octocache_telemetry::{EventBuffer, EventKind};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{CacheConfig, EvictionOrder, IndexPolicy};
@@ -38,6 +39,11 @@ struct Cell {
     log_odds: f32,
     /// Global insertion sequence number (for the FIFO ablation order).
     seq: u64,
+    /// Hits absorbed while resident (reported on the eviction event; only
+    /// maintained when event recording is on).
+    hits: u32,
+    /// Scan index on which the cell was inserted (event recording only).
+    born_scan: u64,
 }
 
 /// Running counters of cache behaviour.
@@ -124,6 +130,9 @@ pub struct VoxelCache {
     peak_len: usize,
     next_seq: u64,
     stats: CacheStats,
+    /// Sub-scan event buffer; `None` (the default) keeps the hot paths at
+    /// one untaken branch per site.
+    events: Option<EventBuffer>,
 }
 
 impl VoxelCache {
@@ -138,12 +147,28 @@ impl VoxelCache {
             peak_len: 0,
             next_seq: 0,
             stats: CacheStats::default(),
+            events: None,
         }
     }
 
     /// The configuration this cache was built with.
     pub fn config(&self) -> &CacheConfig {
         &self.config
+    }
+
+    /// Attaches a sub-scan event buffer: every subsequent insert and
+    /// eviction emits a [`CacheHit`](EventKind::CacheHit) /
+    /// [`CacheMiss`](EventKind::CacheMiss) /
+    /// [`CacheEvict`](EventKind::CacheEvict) event into it. Recording never
+    /// changes cache behaviour.
+    pub fn attach_events(&mut self, buffer: EventBuffer) {
+        self.events = Some(buffer);
+    }
+
+    /// The attached event buffer, if any (backends stamp the scan index and
+    /// drain it at scan boundaries).
+    pub fn events_mut(&mut self) -> Option<&mut EventBuffer> {
+        self.events.as_mut()
     }
 
     /// Counters of cache behaviour.
@@ -206,11 +231,35 @@ impl VoxelCache {
         F: FnOnce(VoxelKey) -> Option<f32>,
     {
         self.stats.insertions += 1;
-        let bucket_idx = self.bucket_index(key);
+        // One code computation serves both the bucket index and (under the
+        // Morton policy, the default) the event key — recomputing the
+        // interleave per emitted event is measurable at millions of events
+        // per second.
+        let policy = self.config.index_policy();
+        let code = match policy {
+            IndexPolicy::Morton => morton::encode(key),
+            IndexPolicy::Hash => hash_key(key),
+        };
+        let bucket_idx = (code & self.mask) as usize;
+        let event_key = |code: u64| match policy {
+            IndexPolicy::Morton => code,
+            IndexPolicy::Hash => morton::encode(key),
+        };
         let bucket = &mut self.buckets[bucket_idx];
         if let Some(cell) = bucket.iter_mut().find(|c| c.key == key) {
             cell.log_odds = self.params.apply(cell.log_odds, occupied);
             self.stats.hits += 1;
+            if let Some(buf) = &mut self.events {
+                cell.hits += 1;
+                let hits = cell.hits;
+                buf.emit_cache(
+                    EventKind::CacheHit,
+                    event_key(code),
+                    bucket_idx as u32,
+                    hits,
+                    0,
+                );
+            }
             return true;
         }
         self.stats.misses += 1;
@@ -222,10 +271,25 @@ impl VoxelCache {
             None => self.params.threshold,
         };
         let value = self.params.apply(seed, occupied);
+        let born_scan = match &mut self.events {
+            Some(buf) => {
+                buf.emit_cache(
+                    EventKind::CacheMiss,
+                    event_key(code),
+                    bucket_idx as u32,
+                    0,
+                    0,
+                );
+                buf.scan()
+            }
+            None => 0,
+        };
         bucket.push(Cell {
             key,
             log_odds: value,
             seq: self.next_seq,
+            hits: 0,
+            born_scan,
         });
         self.next_seq += 1;
         self.len += 1;
@@ -267,34 +331,43 @@ impl VoxelCache {
     /// [`EvictionOrder`]. Returns the number of cells evicted.
     pub fn evict_into(&mut self, out: &mut Vec<EvictedCell>) -> usize {
         let tau = self.config.tau();
+        let order = self.config.eviction_order();
         let start = out.len();
-        match self.config.eviction_order() {
+        let events = &mut self.events;
+        let buckets = &mut self.buckets;
+        match order {
             EvictionOrder::BucketSequential | EvictionOrder::FullMortonSort => {
-                for bucket in &mut self.buckets {
+                for (bi, bucket) in buckets.iter_mut().enumerate() {
                     if bucket.len() > tau {
                         let n = bucket.len() - tau;
-                        out.extend(bucket.drain(..n).map(|c| EvictedCell {
-                            key: c.key,
-                            log_odds: c.log_odds,
+                        out.extend(bucket.drain(..n).map(|c| {
+                            emit_evict(events, &c, bi as u32);
+                            EvictedCell {
+                                key: c.key,
+                                log_odds: c.log_odds,
+                            }
                         }));
                     }
                 }
-                if self.config.eviction_order() == EvictionOrder::FullMortonSort {
+                if order == EvictionOrder::FullMortonSort {
                     out[start..].sort_by_key(|c| morton::encode(c.key));
                 }
             }
             EvictionOrder::InsertionFifo => {
-                let mut staged: Vec<Cell> = Vec::new();
-                for bucket in &mut self.buckets {
+                let mut staged: Vec<(u32, Cell)> = Vec::new();
+                for (bi, bucket) in buckets.iter_mut().enumerate() {
                     if bucket.len() > tau {
                         let n = bucket.len() - tau;
-                        staged.extend(bucket.drain(..n));
+                        staged.extend(bucket.drain(..n).map(|c| (bi as u32, c)));
                     }
                 }
-                staged.sort_by_key(|c| c.seq);
-                out.extend(staged.into_iter().map(|c| EvictedCell {
-                    key: c.key,
-                    log_odds: c.log_odds,
+                staged.sort_by_key(|(_, c)| c.seq);
+                out.extend(staged.into_iter().map(|(bi, c)| {
+                    emit_evict(events, &c, bi);
+                    EvictedCell {
+                        key: c.key,
+                        log_odds: c.log_odds,
+                    }
                 }));
             }
         }
@@ -316,10 +389,14 @@ impl VoxelCache {
     /// run.
     pub fn drain_all(&mut self) -> Vec<EvictedCell> {
         let mut out = Vec::with_capacity(self.len);
-        for bucket in &mut self.buckets {
-            out.extend(bucket.drain(..).map(|c| EvictedCell {
-                key: c.key,
-                log_odds: c.log_odds,
+        let events = &mut self.events;
+        for (bi, bucket) in self.buckets.iter_mut().enumerate() {
+            out.extend(bucket.drain(..).map(|c| {
+                emit_evict(events, &c, bi as u32);
+                EvictedCell {
+                    key: c.key,
+                    log_odds: c.log_odds,
+                }
             }));
         }
         if self.config.eviction_order() == EvictionOrder::FullMortonSort {
@@ -382,6 +459,7 @@ impl VoxelCache {
             .tau(self.config.tau())
             .index_policy(self.config.index_policy())
             .eviction_order(self.config.eviction_order())
+            .events(self.config.events())
             .build()
             .expect("doubling a valid config stays valid");
     }
@@ -457,6 +535,21 @@ impl AdaptiveController {
         } else {
             false
         }
+    }
+}
+
+/// Emits a `CacheEvict` event for one cell leaving the cache (no-op when
+/// recording is off).
+#[inline]
+fn emit_evict(events: &mut Option<EventBuffer>, c: &Cell, bucket: u32) {
+    if let Some(buf) = events {
+        buf.emit_cache(
+            EventKind::CacheEvict,
+            morton::encode(c.key),
+            bucket,
+            c.hits,
+            c.born_scan,
+        );
     }
 }
 
@@ -793,6 +886,64 @@ mod tests {
         }
         assert!(!ctl.after_batch(&mut c));
         assert_eq!(c.config().num_buckets(), 2);
+    }
+
+    #[test]
+    fn event_recording_captures_hit_miss_evict() {
+        use octocache_telemetry::EventSink;
+        let sink = EventSink::new();
+        let mut c = cache(1, 1);
+        c.attach_events(sink.buffer(0));
+        c.events_mut().unwrap().set_scan(3);
+        c.insert(k(1, 0, 0), true, |_| None); // miss
+        c.insert(k(1, 0, 0), true, |_| None); // hit
+        c.events_mut().unwrap().set_scan(5);
+        c.insert(k(2, 0, 0), true, |_| None); // miss, bucket now over-full
+        c.evict(); // evicts k(1,0,0): 1 hit, born on scan 3
+        c.events_mut().unwrap().drain();
+        let log = sink.take();
+        let kinds: Vec<EventKind> = log.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::CacheMiss,
+                EventKind::CacheHit,
+                EventKind::CacheMiss,
+                EventKind::CacheEvict,
+            ]
+        );
+        let evict = log.events[3];
+        assert_eq!(evict.key, morton::encode(k(1, 0, 0)));
+        assert_eq!(evict.hits, 1);
+        assert_eq!(evict.value, 3, "evict carries insertion scan");
+        assert_eq!(evict.scan, 5);
+        assert_eq!(log.events[1].hits, 1, "hit carries accumulated count");
+    }
+
+    #[test]
+    fn event_recording_never_changes_contents() {
+        use octocache_telemetry::EventSink;
+        let sink = EventSink::new();
+        let mut plain = cache(4, 2);
+        let mut recorded = cache(4, 2);
+        recorded.attach_events(sink.buffer(0));
+        let mut evicted_plain = Vec::new();
+        let mut evicted_rec = Vec::new();
+        for i in 0..64u16 {
+            let key = k(i % 11, i % 7, i % 3);
+            plain.insert(key, i % 2 == 0, |_| None);
+            recorded.insert(key, i % 2 == 0, |_| None);
+            if i % 16 == 15 {
+                plain.evict_into(&mut evicted_plain);
+                recorded.evict_into(&mut evicted_rec);
+            }
+        }
+        assert_eq!(evicted_plain, evicted_rec);
+        assert_eq!(
+            plain.iter().collect::<Vec<_>>(),
+            recorded.iter().collect::<Vec<_>>()
+        );
+        assert!(!sink.is_empty() || !recorded.events_mut().unwrap().is_empty());
     }
 
     #[test]

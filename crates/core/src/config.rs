@@ -111,6 +111,8 @@ pub struct CacheConfig {
     tree_layout: Option<TreeLayout>,
     #[serde(skip)]
     fault_plan: Option<FaultPlan>,
+    #[serde(skip)]
+    events: bool,
 }
 
 /// Default bound on every parallel-pipeline wait. Generous on purpose: a
@@ -129,6 +131,7 @@ impl Default for CacheConfig {
             stall_timeout: DEFAULT_STALL_TIMEOUT,
             tree_layout: None,
             fault_plan: None,
+            events: false,
         }
     }
 }
@@ -199,6 +202,18 @@ impl CacheConfig {
         self.fault_plan
     }
 
+    /// Whether backends built from this config record sub-scan
+    /// [`Event`](octocache_telemetry::Event) streams (cache
+    /// hit/miss/evict, queue traffic, worker batch spans). Off by
+    /// default; when off the only cost in the hot paths is one
+    /// `Option::is_some` branch per site. Never serialised (like
+    /// [`CacheConfig::fault_plan`]): recording is a per-run choice, not
+    /// part of the cache geometry.
+    #[inline]
+    pub fn events(&self) -> bool {
+        self.events
+    }
+
     /// Total cells retained after an eviction pass (`w × τ`).
     #[inline]
     pub fn capacity_after_eviction(&self) -> usize {
@@ -233,6 +248,7 @@ pub struct CacheConfigBuilder {
     stall_timeout: Duration,
     tree_layout: Option<TreeLayout>,
     fault_plan: Option<FaultPlan>,
+    events: bool,
 }
 
 impl CacheConfigBuilder {
@@ -246,6 +262,7 @@ impl CacheConfigBuilder {
             stall_timeout: d.stall_timeout,
             tree_layout: d.tree_layout,
             fault_plan: d.fault_plan,
+            events: d.events,
         }
     }
 
@@ -294,6 +311,12 @@ impl CacheConfigBuilder {
         self
     }
 
+    /// Enables sub-scan event recording; see [`CacheConfig::events`].
+    pub fn events(&mut self, on: bool) -> &mut Self {
+        self.events = on;
+        self
+    }
+
     /// Sizes the cache for a workload, following the paper's §5.2 rule:
     /// capacity ≈ `factor` × the expected non-duplicate voxels per batch
     /// (3–4 recommended), rounded up to a power-of-two bucket count at the
@@ -332,6 +355,7 @@ impl CacheConfigBuilder {
             stall_timeout: self.stall_timeout,
             tree_layout: self.tree_layout,
             fault_plan: self.fault_plan,
+            events: self.events,
         })
     }
 }
@@ -423,6 +447,21 @@ mod tests {
         assert_eq!(back.fault_plan(), None);
         assert_eq!(back.stall_timeout(), c.stall_timeout());
         assert_eq!(back.num_buckets(), c.num_buckets());
+    }
+
+    #[test]
+    fn events_switch_defaults_off_and_is_not_serialised() {
+        assert!(!CacheConfig::default().events());
+        let c = CacheConfig::builder()
+            .num_buckets(64)
+            .events(true)
+            .build()
+            .unwrap();
+        assert!(c.events());
+        // Like the fault plan, the recording switch is per-run, not part of
+        // the serialised cache geometry.
+        let back: CacheConfig = serde::json::from_str(&serde::json::to_string(&c)).unwrap();
+        assert!(!back.events());
     }
 
     #[test]

@@ -48,7 +48,10 @@ use std::time::{Duration, Instant};
 use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
 use octocache_octomap::stats::StatsSnapshot;
 use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams, TreeLayout};
-use octocache_telemetry::{PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry};
+use octocache_telemetry::{
+    EventBuffer, EventKind, EventLog, EventSink, PhaseHistograms, PhaseTimes, Recorder, ScanRecord,
+    Telemetry,
+};
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::cache::{CacheStats, EvictedCell, VoxelCache};
@@ -174,6 +177,10 @@ pub struct ParallelOctoCache {
     /// Summed shard counters at the end of the previous scan, for per-scan
     /// deltas.
     last_tree_stats: StatsSnapshot,
+    /// Shared sub-scan event sink when built with `CacheConfig::events(true)`.
+    /// Lane 0 (the producer) is the cache's buffer; worker `i` owns lane
+    /// `i + 1` and drains per batch.
+    event_sink: Option<Arc<EventSink>>,
 }
 
 /// What [`ParallelOctoCache::evict_and_enqueue`] produced.
@@ -565,6 +572,11 @@ impl ParallelOctoCache {
         let mid_batch_deadline = stall_timeout.saturating_mul(4);
         #[cfg(any(test, feature = "fault-injection"))]
         let plan = config.fault_plan().unwrap_or_default();
+        let event_sink: Option<Arc<EventSink>> = if config.events() {
+            Some(EventSink::new())
+        } else {
+            None
+        };
         let mut faults = FaultCounters::default();
         let mut integrity = Integrity::default();
         let workers: Vec<Worker> = (0..num_workers)
@@ -604,10 +616,12 @@ impl ParallelOctoCache {
                 } else {
                     let tree = Arc::clone(&tree);
                     let shared = Arc::clone(&shared);
+                    // Worker lanes are 1-based; lane 0 is the producer.
+                    let events = event_sink.as_ref().map(|s| s.buffer(i as u32 + 1));
                     std::thread::Builder::new()
                         .name(format!("octocache-octree-{i}"))
                         .spawn(move || {
-                            worker_thread(consumer, tree, shared, mid_batch_deadline, wf)
+                            worker_thread(consumer, tree, shared, mid_batch_deadline, wf, events)
                         })
                 };
                 match spawned {
@@ -648,8 +662,12 @@ impl ParallelOctoCache {
             })
             .collect();
         let backend = Self::backend_name(ray_tracer, num_workers);
+        let mut cache = VoxelCache::new(config, params);
+        if let Some(sink) = &event_sink {
+            cache.attach_events(sink.buffer(0));
+        }
         ParallelOctoCache {
-            cache: VoxelCache::new(config, params),
+            cache,
             workers,
             router,
             grid,
@@ -666,6 +684,7 @@ impl ParallelOctoCache {
             scan_error: None,
             telemetry: Telemetry::new(backend),
             last_tree_stats: StatsSnapshot::default(),
+            event_sink,
         }
     }
 
@@ -840,6 +859,7 @@ impl ParallelOctoCache {
         let count = self.evict_buf.len();
         let stall_timeout = self.stall_timeout;
         let ParallelOctoCache {
+            cache,
             workers,
             route_bufs,
             evict_buf,
@@ -867,7 +887,12 @@ impl ParallelOctoCache {
                     &mut backpressure,
                     stall_timeout,
                 ) {
-                    PushOutcome::Pushed(depth) => queue_depths[i] = queue_depths[i].max(depth),
+                    PushOutcome::Pushed(depth) => {
+                        queue_depths[i] = queue_depths[i].max(depth);
+                        if let Some(buf) = cache.events_mut() {
+                            buf.emit_for(i as u32 + 1, EventKind::QueueEnqueue, depth);
+                        }
+                    }
                     PushOutcome::Dead => {
                         fail_dead_worker(w, i, share, faults, integrity, scan_error);
                         failed_mid_send = true;
@@ -892,6 +917,11 @@ impl ParallelOctoCache {
                 PushOutcome::Stalled(waited) => {
                     fail_stalled_worker(w, i, share, waited, faults, integrity, scan_error)
                 }
+            }
+        }
+        if !backpressure.is_zero() {
+            if let Some(buf) = cache.events_mut() {
+                buf.emit_plain(EventKind::QueueStall, backpressure.as_nanos() as u64);
             }
         }
         let enqueue = t1.elapsed().saturating_sub(backpressure);
@@ -1016,6 +1046,10 @@ impl MappingSystem for ParallelOctoCache {
         max_range: f64,
     ) -> Result<ScanReport, PipelineError> {
         let cache_before = *self.cache.stats();
+        let scan_seq = self.telemetry.scans();
+        if let Some(buf) = self.cache.events_mut() {
+            buf.set_scan(scan_seq);
+        }
 
         // Phase 1: evict the previous batch and hand it to the workers.
         let enq = self.evict_and_enqueue();
@@ -1131,6 +1165,10 @@ impl MappingSystem for ParallelOctoCache {
             ..Default::default()
         });
 
+        if let Some(buf) = self.cache.events_mut() {
+            buf.drain();
+        }
+
         // Surface the first fault of this scan exactly once; the map state
         // behind it is described by `integrity()`.
         if let Some(err) = self.scan_error.take() {
@@ -1193,6 +1231,9 @@ impl MappingSystem for ParallelOctoCache {
         let with_worker = times + self.take_worker_delta().0;
         self.telemetry.add_times(with_worker);
         self.telemetry.flush();
+        if let Some(buf) = self.cache.events_mut() {
+            buf.drain();
+        }
         times
     }
 
@@ -1227,6 +1268,16 @@ impl MappingSystem for ParallelOctoCache {
     fn take_tree(self: Box<Self>) -> OccupancyOcTree {
         (*self).into_tree()
     }
+
+    fn take_events(&mut self) -> Option<EventLog> {
+        // Worker buffers drain at every batch boundary and queues are empty
+        // between `insert_scan` calls, so the sink already holds everything
+        // once the producer buffer is flushed.
+        if let Some(buf) = self.cache.events_mut() {
+            buf.drain();
+        }
+        self.event_sink.as_ref().map(|s| s.take())
+    }
 }
 
 impl Drop for ParallelOctoCache {
@@ -1245,9 +1296,12 @@ fn worker_thread(
     shared: Arc<WorkerShared>,
     mid_batch_deadline: Duration,
     faults: WorkerFaults,
+    events: Option<EventBuffer>,
 ) {
+    // The buffer drains on drop, so even a panicking worker's events reach
+    // the sink (the unwind runs destructors before `catch_unwind` returns).
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        worker_loop(consumer, &tree, &shared, mid_batch_deadline, faults)
+        worker_loop(consumer, &tree, &shared, mid_batch_deadline, faults, events)
     }));
     if result.is_err() {
         shared.panicked.store(true, Ordering::Release);
@@ -1264,6 +1318,7 @@ fn worker_loop(
     shared: &WorkerShared,
     mid_batch_deadline: Duration,
     faults: WorkerFaults,
+    mut events: Option<EventBuffer>,
 ) {
     let mut batch_index: u64 = 0;
     'outer: loop {
@@ -1289,16 +1344,30 @@ fn worker_loop(
         };
         shared.in_batch.store(true, Ordering::Release);
         faults.at_batch_start(batch_index);
+        // Workers stamp the batch index as the scan; one batch is enqueued
+        // per producer scan, so the two sequences align (plus the final
+        // flush batches from `finish`).
+        if let Some(buf) = &mut events {
+            buf.set_scan(batch_index);
+        }
 
         match first {
             Item::BatchEnd => {
+                if let Some(buf) = &mut events {
+                    buf.emit_plain(EventKind::BatchBegin, 0);
+                    buf.emit_plain(EventKind::BatchEnd, 0);
+                    buf.drain();
+                }
                 shared.batches_done.fetch_add(1, Ordering::Release);
             }
             Item::Chunk(chunk) => {
                 // Depth at the start of the drain, counting the popped chunk.
-                shared
-                    .queue_depth_dequeue
-                    .store(consumer.len() as u64 + 1, Ordering::Relaxed);
+                let depth = consumer.len() as u64 + 1;
+                shared.queue_depth_dequeue.store(depth, Ordering::Relaxed);
+                if let Some(buf) = &mut events {
+                    buf.emit_plain(EventKind::BatchBegin, 0);
+                    buf.emit_plain(EventKind::QueueDequeue, depth);
+                }
                 // Per-cell `Instant` calls would dominate the work at these
                 // batch sizes, so timing is per segment: total drain time,
                 // minus measured producer-stall spins, split into octree
@@ -1315,6 +1384,9 @@ fn worker_loop(
                 loop {
                     match consumer.try_pop() {
                         Some(Item::Chunk(chunk)) => {
+                            if let Some(buf) = &mut events {
+                                buf.emit_plain(EventKind::QueueDequeue, consumer.len() as u64 + 1);
+                            }
                             for cell in &chunk {
                                 guard.set_node_log_odds(cell.key, cell.log_odds);
                             }
@@ -1345,7 +1417,11 @@ fn worker_loop(
                                     break;
                                 }
                             }
-                            stall += t.elapsed();
+                            let waited = t.elapsed();
+                            stall += waited;
+                            if let Some(buf) = &mut events {
+                                buf.emit_plain(EventKind::QueueStall, waited.as_nanos() as u64);
+                            }
                             if abandoned && consumer.is_empty() {
                                 abandoned_mid_batch = true;
                                 break;
@@ -1363,6 +1439,12 @@ fn worker_loop(
                     .dequeue_nanos
                     .fetch_add(dequeue_ns.min(busy_ns), Ordering::Relaxed);
                 shared.cells_applied.fetch_add(cells, Ordering::Relaxed);
+                if let Some(buf) = &mut events {
+                    // Close the span even on abandonment so begins/ends pair
+                    // up; `cells` is what was actually applied.
+                    buf.emit_plain(EventKind::BatchEnd, cells);
+                    buf.drain();
+                }
                 if abandoned_mid_batch {
                     // Record exactly what was cut short — which batch, and
                     // how much of it was applied — then exit. A live
@@ -1882,6 +1964,7 @@ mod tests {
                     shared,
                     Duration::from_secs(10),
                     WorkerFaults::default(),
+                    None,
                 )
             })
         };

@@ -11,7 +11,10 @@ use std::time::Instant;
 use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
 use octocache_octomap::stats::StatsSnapshot;
 use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams, TreeLayout};
-use octocache_telemetry::{PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry};
+use octocache_telemetry::{
+    EventBuffer, EventKind, EventLog, EventSink, PhaseHistograms, PhaseTimes, Recorder, ScanRecord,
+    Telemetry,
+};
 
 use crate::cache::CacheStats;
 use crate::fault::{FaultCounters, Integrity, PipelineError};
@@ -134,6 +137,15 @@ pub trait MappingSystem {
         None
     }
 
+    /// Takes the sub-scan event stream collected so far, when the backend
+    /// was built with `CacheConfig::events(true)`. Pending per-thread
+    /// buffers are drained first, so after [`MappingSystem::finish`] the
+    /// returned log is complete. `None` when event recording is off (the
+    /// default) or the backend has no event wiring.
+    fn take_events(&mut self) -> Option<EventLog> {
+        None
+    }
+
     /// Whether the backend has degraded after a fault, and if so how far.
     ///
     /// Backends without failure modes (everything single-threaded) are
@@ -195,6 +207,9 @@ impl<M: MappingSystem + ?Sized> MappingSystem for Box<M> {
     fn tree_stats(&self) -> Option<StatsSnapshot> {
         (**self).tree_stats()
     }
+    fn take_events(&mut self) -> Option<EventLog> {
+        (**self).take_events()
+    }
     fn integrity(&self) -> Integrity {
         (**self).integrity()
     }
@@ -213,6 +228,8 @@ pub struct OctoMapSystem {
     ray_tracer: RayTracer,
     telemetry: Telemetry,
     batch: insert::VoxelBatch,
+    event_sink: Option<std::sync::Arc<EventSink>>,
+    events: Option<EventBuffer>,
 }
 
 impl OctoMapSystem {
@@ -239,7 +256,18 @@ impl OctoMapSystem {
             ray_tracer: rt,
             telemetry: Telemetry::new(format!("octomap{}", rt.suffix())),
             batch: insert::VoxelBatch::new(),
+            event_sink: None,
+            events: None,
         }
+    }
+
+    /// Enables sub-scan event recording (octree-update spans on lane 0;
+    /// the baseline has no cache or queues). The cache-backed systems
+    /// enable this through `CacheConfig::events` instead.
+    pub fn enable_events(&mut self) {
+        let sink = EventSink::new();
+        self.events = Some(sink.buffer(0));
+        self.event_sink = Some(sink);
     }
 
     /// The backing octree.
@@ -269,23 +297,31 @@ impl MappingSystem for OctoMapSystem {
         max_range: f64,
     ) -> Result<ScanReport, PipelineError> {
         let tree_before = self.tree.stats().snapshot();
+        if let Some(buf) = &mut self.events {
+            buf.set_scan(self.telemetry.scans());
+        }
         let t0 = Instant::now();
         insert::compute_update(self.tree.grid(), origin, cloud, max_range, &mut self.batch)?;
-        let (observations, ray_tracing, octree_update) = match self.ray_tracer {
-            RayTracer::Standard => {
-                let ray_tracing = t0.elapsed();
-                let t1 = Instant::now();
-                insert::apply_batch(&mut self.tree, &self.batch);
-                (self.batch.len(), ray_tracing, t1.elapsed())
-            }
+        let deduped;
+        let batch: &insert::VoxelBatch = match self.ray_tracer {
+            RayTracer::Standard => &self.batch,
             RayTracer::Dedup => {
-                let deduped = rt::dedup_batch(&self.batch);
-                let ray_tracing = t0.elapsed();
-                let t1 = Instant::now();
-                insert::apply_batch(&mut self.tree, &deduped);
-                (deduped.len(), ray_tracing, t1.elapsed())
+                deduped = rt::dedup_batch(&self.batch);
+                &deduped
             }
         };
+        let observations = batch.len();
+        let ray_tracing = t0.elapsed();
+        let t1 = Instant::now();
+        if let Some(buf) = &mut self.events {
+            buf.emit_plain(EventKind::BatchBegin, observations as u64);
+        }
+        insert::apply_batch(&mut self.tree, batch);
+        if let Some(buf) = &mut self.events {
+            buf.emit_plain(EventKind::BatchEnd, observations as u64);
+            buf.drain();
+        }
+        let octree_update = t1.elapsed();
         let times = PhaseTimes {
             ray_tracing,
             octree_update,
@@ -339,6 +375,13 @@ impl MappingSystem for OctoMapSystem {
         Some(self.tree.stats().snapshot())
     }
 
+    fn take_events(&mut self) -> Option<EventLog> {
+        if let Some(buf) = &mut self.events {
+            buf.drain();
+        }
+        self.event_sink.as_ref().map(|s| s.take())
+    }
+
     fn take_tree(self: Box<Self>) -> OccupancyOcTree {
         self.tree
     }
@@ -383,6 +426,32 @@ mod tests {
         );
         assert_eq!(sys.finish(), PhaseTimes::default());
         assert!(sys.phase_times().octree_update > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn baseline_event_spans_pair_up() {
+        let mut sys = OctoMapSystem::new(grid(), OccupancyParams::default());
+        assert!(sys.take_events().is_none(), "events default off");
+        sys.enable_events();
+        sys.insert_scan(Point3::ZERO, &wall_cloud(), 20.0).unwrap();
+        sys.insert_scan(Point3::ZERO, &wall_cloud(), 20.0).unwrap();
+        sys.finish();
+        let log = sys.take_events().unwrap();
+        let begins = log
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::BatchBegin)
+            .count();
+        let ends = log
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::BatchEnd)
+            .count();
+        assert_eq!(begins, 2);
+        assert_eq!(ends, 2);
+        assert!(log.events.iter().all(|e| e.worker == 0));
+        assert_eq!(log.events.last().unwrap().scan, 1);
+        assert_eq!(log.dropped, 0);
     }
 
     #[test]

@@ -12,7 +12,9 @@ use std::time::Instant;
 use octocache_geom::{Point3, VoxelGrid, VoxelKey};
 use octocache_octomap::stats::StatsSnapshot;
 use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
-use octocache_telemetry::{PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry};
+use octocache_telemetry::{
+    EventKind, EventLog, EventSink, PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry,
+};
 
 use crate::cache::{AdaptiveController, AdaptivePolicy, CacheStats, EvictedCell, VoxelCache};
 use crate::config::CacheConfig;
@@ -31,6 +33,9 @@ pub struct SerialOctoCache {
     evict_buf: Vec<EvictedCell>,
     adaptive: AdaptiveController,
     telemetry: Telemetry,
+    /// Sub-scan event collection point (present iff the config enabled
+    /// event recording; the cache holds the lane-0 buffer).
+    event_sink: Option<std::sync::Arc<EventSink>>,
 }
 
 impl SerialOctoCache {
@@ -48,14 +53,23 @@ impl SerialOctoCache {
         ray_tracer: RayTracer,
     ) -> Self {
         let layout = config.resolved_tree_layout();
+        let mut cache = VoxelCache::new(config, params);
+        let event_sink = if config.events() {
+            let sink = EventSink::new();
+            cache.attach_events(sink.buffer(0));
+            Some(sink)
+        } else {
+            None
+        };
         SerialOctoCache {
-            cache: VoxelCache::new(config, params),
+            cache,
             tree: OccupancyOcTree::with_layout(grid, params, layout),
             ray_tracer,
             batch: insert::VoxelBatch::new(),
             evict_buf: Vec::new(),
             adaptive: AdaptiveController::new(None),
             telemetry: Telemetry::new(format!("octocache-serial{}", ray_tracer.suffix())),
+            event_sink,
         }
     }
 
@@ -101,6 +115,10 @@ impl SerialOctoCache {
     pub fn insert_batch(&mut self, batch: &insert::VoxelBatch) -> ScanReport {
         let cache_before = *self.cache.stats();
         let tree_before = self.tree.stats().snapshot();
+        let scan_seq = self.telemetry.scans();
+        if let Some(buf) = self.cache.events_mut() {
+            buf.set_scan(scan_seq);
+        }
 
         let t1 = Instant::now();
         let cache = &mut self.cache;
@@ -116,9 +134,7 @@ impl SerialOctoCache {
         let cache_evict = t2.elapsed();
 
         let t3 = Instant::now();
-        for cell in &self.evict_buf {
-            self.tree.set_node_log_odds(cell.key, cell.log_odds);
-        }
+        self.apply_evictions_with_spans();
         let octree_update = t3.elapsed();
 
         let times = PhaseTimes {
@@ -134,6 +150,22 @@ impl SerialOctoCache {
             observations: batch.len(),
             cache_hits: cache_delta.hits,
             octree_updates: self.evict_buf.len(),
+        }
+    }
+
+    /// Applies `evict_buf` to the tree, wrapped in a lane-0 batch span (and
+    /// a buffer drain) when event recording is on.
+    fn apply_evictions_with_spans(&mut self) {
+        let cells = self.evict_buf.len() as u64;
+        if let Some(buf) = self.cache.events_mut() {
+            buf.emit_plain(EventKind::BatchBegin, cells);
+        }
+        for cell in &self.evict_buf {
+            self.tree.set_node_log_odds(cell.key, cell.log_odds);
+        }
+        if let Some(buf) = self.cache.events_mut() {
+            buf.emit_plain(EventKind::BatchEnd, cells);
+            buf.drain();
         }
     }
 
@@ -180,6 +212,10 @@ impl MappingSystem for SerialOctoCache {
     ) -> Result<ScanReport, PipelineError> {
         let cache_before = *self.cache.stats();
         let tree_before = self.tree.stats().snapshot();
+        let scan_seq = self.telemetry.scans();
+        if let Some(buf) = self.cache.events_mut() {
+            buf.set_scan(scan_seq);
+        }
         let t0 = Instant::now();
         insert::compute_update(self.tree.grid(), origin, cloud, max_range, &mut self.batch)?;
         let deduped;
@@ -207,9 +243,7 @@ impl MappingSystem for SerialOctoCache {
         let cache_evict = t2.elapsed();
 
         let t3 = Instant::now();
-        for cell in &self.evict_buf {
-            self.tree.set_node_log_odds(cell.key, cell.log_odds);
-        }
+        self.apply_evictions_with_spans();
         let octree_update = t3.elapsed();
 
         self.adaptive.after_batch(&mut self.cache);
@@ -250,8 +284,15 @@ impl MappingSystem for SerialOctoCache {
         let drained = self.cache.drain_all();
         let cache_evict = t0.elapsed();
         let t1 = Instant::now();
+        if let Some(buf) = self.cache.events_mut() {
+            buf.emit_plain(EventKind::BatchBegin, drained.len() as u64);
+        }
         for cell in &drained {
             self.tree.set_node_log_odds(cell.key, cell.log_odds);
+        }
+        if let Some(buf) = self.cache.events_mut() {
+            buf.emit_plain(EventKind::BatchEnd, drained.len() as u64);
+            buf.drain();
         }
         let octree_update = t1.elapsed();
         let times = PhaseTimes {
@@ -282,6 +323,13 @@ impl MappingSystem for SerialOctoCache {
 
     fn tree_stats(&self) -> Option<StatsSnapshot> {
         Some(self.tree.stats().snapshot())
+    }
+
+    fn take_events(&mut self) -> Option<EventLog> {
+        if let Some(buf) = self.cache.events_mut() {
+            buf.drain();
+        }
+        self.event_sink.as_ref().map(|s| s.take())
     }
 
     fn take_tree(self: Box<Self>) -> OccupancyOcTree {
@@ -488,6 +536,64 @@ mod tests {
             s.is_occupied_at(Point3::new(3.0, 0.0, 0.25)).unwrap(),
             Some(false)
         );
+    }
+
+    #[test]
+    fn event_stream_covers_cache_and_update_path() {
+        let grid = VoxelGrid::new(0.5, 8).unwrap();
+        let config = CacheConfig::builder()
+            .num_buckets(64)
+            .tau(1)
+            .events(true)
+            .build()
+            .unwrap();
+        let mut s = SerialOctoCache::new(grid, OccupancyParams::default(), config);
+        s.insert_scan(Point3::ZERO, &wall_cloud(), 20.0).unwrap();
+        s.insert_scan(Point3::ZERO, &wall_cloud(), 20.0).unwrap();
+        s.finish();
+        let log = s.take_events().expect("events enabled");
+        assert_eq!(log.dropped, 0);
+        let count = |k: EventKind| log.events.iter().filter(|e| e.kind == k).count();
+        assert!(count(EventKind::CacheMiss) > 0);
+        assert!(
+            count(EventKind::CacheHit) > 0,
+            "wall scan must produce hits"
+        );
+        assert!(count(EventKind::CacheEvict) > 0, "tau=1 must evict");
+        // One span per scan plus one for the finish flush.
+        assert_eq!(count(EventKind::BatchBegin), 3);
+        assert_eq!(count(EventKind::BatchEnd), 3);
+        assert!(log.events.iter().all(|e| e.worker == 0));
+        // Scan stamps advance with the telemetry sequence.
+        assert!(log.events.iter().any(|e| e.scan == 1));
+        // Event counts agree with the aggregate counters.
+        let stats = MappingSystem::cache_stats(&s).unwrap();
+        assert_eq!(count(EventKind::CacheHit) as u64, stats.hits);
+        assert_eq!(count(EventKind::CacheMiss) as u64, stats.misses);
+        assert_eq!(count(EventKind::CacheEvict) as u64, stats.evictions);
+    }
+
+    #[test]
+    fn events_do_not_change_the_map() {
+        let grid = VoxelGrid::new(0.5, 8).unwrap();
+        let params = OccupancyParams::default();
+        let mut base = CacheConfig::builder();
+        base.num_buckets(64).tau(2);
+        let mut plain = SerialOctoCache::new(grid, params, base.build().unwrap());
+        let mut recorded = SerialOctoCache::new(grid, params, base.events(true).build().unwrap());
+        for i in 0..4 {
+            let origin = Point3::new(0.0, i as f64 * 0.3, 0.0);
+            plain.insert_scan(origin, &wall_cloud(), 20.0).unwrap();
+            recorded.insert_scan(origin, &wall_cloud(), 20.0).unwrap();
+        }
+        let a = plain.into_tree();
+        let b = recorded.into_tree();
+        for x in 0..40u16 {
+            for y in 0..40u16 {
+                let key = VoxelKey::new(110 + x, 100 + y, 128);
+                assert_eq!(a.search(key), b.search(key), "mismatch at {key}");
+            }
+        }
     }
 
     #[test]

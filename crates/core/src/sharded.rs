@@ -14,7 +14,9 @@ use std::time::Instant;
 use octocache_geom::{Point3, VoxelGrid, VoxelKey};
 use octocache_octomap::stats::StatsSnapshot;
 use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams, TreeLayout};
-use octocache_telemetry::{PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry};
+use octocache_telemetry::{
+    EventKind, EventLog, EventSink, PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry,
+};
 
 use crate::fault::PipelineError;
 use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
@@ -34,6 +36,9 @@ pub struct ShardedOctoMap {
     telemetry: Telemetry,
     /// Summed shard counters at the end of the previous scan.
     last_tree_stats: StatsSnapshot,
+    /// Sub-scan event sink when tracing is enabled: shard `s` emits its
+    /// update spans on lane `s + 1` (lane 0 is the scan-driving thread).
+    event_sink: Option<std::sync::Arc<EventSink>>,
 }
 
 impl ShardedOctoMap {
@@ -90,6 +95,16 @@ impl ShardedOctoMap {
             shard_updates: vec![0; num_shards],
             telemetry: Telemetry::new(backend),
             last_tree_stats: StatsSnapshot::default(),
+            event_sink: None,
+        }
+    }
+
+    /// Turns on sub-scan event tracing (per-shard batch spans). The sharded
+    /// baseline takes no [`crate::config::CacheConfig`], so the switch is a
+    /// method rather than a config field.
+    pub fn enable_events(&mut self) {
+        if self.event_sink.is_none() {
+            self.event_sink = Some(EventSink::new());
         }
     }
 
@@ -171,15 +186,30 @@ impl MappingSystem for ShardedOctoMap {
         // each owning its subtree exclusively (no locks needed — this is
         // the best case for the naive approach).
         let t1 = Instant::now();
+        let scan_seq = self.telemetry.scans();
+        let event_sink = self.event_sink.as_ref();
         std::thread::scope(|scope| {
-            for (tree, updates) in self.shards.iter_mut().zip(&parts) {
+            for (s, (tree, updates)) in self.shards.iter_mut().zip(&parts).enumerate() {
                 if updates.is_empty() {
                     continue;
                 }
+                let events = event_sink.map(|sink| {
+                    let mut buf = sink.buffer(s as u32 + 1);
+                    buf.set_scan(scan_seq);
+                    buf
+                });
                 scope.spawn(move || {
+                    let mut events = events;
+                    if let Some(buf) = &mut events {
+                        buf.emit_plain(EventKind::BatchBegin, updates.len() as u64);
+                    }
                     for u in updates {
                         tree.update_node(u.key, u.occupied);
                     }
+                    if let Some(buf) = &mut events {
+                        buf.emit_plain(EventKind::BatchEnd, updates.len() as u64);
+                    }
+                    // Dropping the buffer drains it into the sink.
                 });
             }
         });
@@ -239,6 +269,12 @@ impl MappingSystem for ShardedOctoMap {
 
     fn tree_stats(&self) -> Option<StatsSnapshot> {
         Some(self.summed_tree_stats())
+    }
+
+    fn take_events(&mut self) -> Option<EventLog> {
+        // Shard buffers are scoped to each scan and drain on drop, so the
+        // sink is complete whenever no scan is in flight.
+        self.event_sink.as_ref().map(|s| s.take())
     }
 
     fn take_tree(self: Box<Self>) -> OccupancyOcTree {

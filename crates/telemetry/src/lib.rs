@@ -15,6 +15,13 @@
 //! 3. **Trace analysis** — [`TraceSummary`] folds a recorded trace back into
 //!    per-phase percentile tables and a cache hit-ratio time series (the
 //!    `octocache report` subcommand).
+//! 4. **Sub-scan events** — an [`Event`] stream beneath the per-scan layer:
+//!    cache hit/miss/evict (with bucket and Morton key), queue traffic, and
+//!    worker batch spans, collected through per-thread [`EventBuffer`]s into
+//!    an [`EventSink`]. [`EventAnalytics`] computes reuse-distance and
+//!    residency histograms, per-octant hit ratios, bucket heatmaps and
+//!    worker timelines; [`chrome_trace_json`] exports the stream for
+//!    `chrome://tracing` (the `octocache analyze` subcommand).
 //!
 //! The paper's evaluation (Figures 13/22/23, Table 3) reports exactly these
 //! quantities; the field mapping is documented in `DESIGN.md`.
@@ -37,12 +44,21 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod analytics;
+mod chrome;
+mod event;
 mod hist;
 mod phase;
 mod record;
 mod recorder;
 mod trace;
 
+pub use analytics::{BatchSpan, BucketStats, EventAnalytics, OctantStats, WorkerTimeline};
+pub use chrome::chrome_trace_json;
+pub use event::{
+    read_events_jsonl, read_events_jsonl_path, write_events_jsonl, Event, EventBuffer, EventKind,
+    EventLog, EventSink, DEFAULT_BUFFER_CAPACITY, DEFAULT_SINK_CAPACITY,
+};
 pub use hist::{Counter, Histogram};
 pub use phase::{Phase, PhaseHistograms, PhaseTimes};
 pub use record::ScanRecord;

@@ -296,6 +296,27 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_recorder_flushes_on_drop() {
+        // A BufWriter-backed recorder holds records in memory until a flush;
+        // dropping the recorder (e.g. the owning backend going away without
+        // `finish`) must still produce a complete trace file.
+        let path =
+            std::env::temp_dir().join(format!("octocache-jsonl-drop-{}.jsonl", std::process::id()));
+        {
+            let mut r = JsonlRecorder::create(&path).unwrap();
+            r.record_scan(&scan(10, 4, 2));
+            r.record_scan(&scan(20, 8, 5));
+            // No explicit flush: rely on Drop.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(text.lines().count(), 2, "drop did not flush: {text:?}");
+        let last: ScanRecord = serde::json::from_str(text.lines().last().unwrap()).unwrap();
+        assert_eq!(last.observations, 8);
+        assert_eq!(last.cache_hits, 5);
+    }
+
+    #[test]
     fn jsonl_recorder_writes_one_line_per_record() {
         let mut r = JsonlRecorder::new(Vec::new());
         r.record_scan(&scan(10, 4, 2));

@@ -275,6 +275,86 @@ impl TraceSummary {
             .collect()
     }
 
+    /// Machine-readable JSON of the whole summary (the `report --json`
+    /// payload), so CI and benches can assert on hit ratio or p99 without
+    /// scraping the rendered percentile table.
+    pub fn to_json(&self) -> String {
+        use serde::Value;
+        fn obj(fields: Vec<(&str, Value)>) -> Value {
+            Value::Map(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+        }
+        let u64s = |v: &[u64]| Value::Seq(v.iter().map(|&n| Value::U64(n)).collect());
+        let phases = Value::Seq(
+            self.phase_quantiles()
+                .into_iter()
+                .map(|q| {
+                    obj(vec![
+                        ("phase", Value::Str(q.phase)),
+                        ("count", Value::U64(q.count)),
+                        ("p50_us", Value::F64(q.p50_us)),
+                        ("p90_us", Value::F64(q.p90_us)),
+                        ("p99_us", Value::F64(q.p99_us)),
+                        ("max_us", Value::F64(q.max_us)),
+                        ("total_ms", Value::F64(q.total_ms)),
+                    ])
+                })
+                .collect(),
+        );
+        let series = Value::Seq(
+            self.hit_ratio_series
+                .iter()
+                .map(|p| {
+                    obj(vec![
+                        ("first_scan", Value::U64(p.first_scan)),
+                        ("last_scan", Value::U64(p.last_scan)),
+                        ("observations", Value::U64(p.observations)),
+                        ("hit_ratio", Value::F64(p.hit_ratio)),
+                    ])
+                })
+                .collect(),
+        );
+        let doc = obj(vec![
+            ("backend", Value::Str(self.backend.clone())),
+            ("tree_layout", Value::Str(self.tree_layout.clone())),
+            ("scans", Value::U64(self.scans)),
+            ("observations", Value::U64(self.observations)),
+            ("cache_hits", Value::U64(self.cache_hits)),
+            ("hit_ratio", Value::F64(self.hit_ratio())),
+            ("cache_evictions", Value::U64(self.cache_evictions)),
+            ("octree_node_visits", Value::U64(self.octree_node_visits)),
+            ("octree_leaf_updates", Value::U64(self.octree_leaf_updates)),
+            ("visits_per_update", Value::F64(self.visits_per_update())),
+            ("peak_memory_bytes", Value::U64(self.peak_memory_bytes)),
+            ("max_queue_depth", Value::U64(self.max_queue_depth)),
+            ("max_shard_skew", Value::F64(self.max_shard_skew)),
+            ("worker_busy_ns", u64s(&self.worker_busy_ns)),
+            ("worker_idle_ns", u64s(&self.worker_idle_ns)),
+            (
+                "worker_utilization",
+                Value::Seq(
+                    self.worker_utilization()
+                        .into_iter()
+                        .map(Value::F64)
+                        .collect(),
+                ),
+            ),
+            ("worker_panics", Value::U64(self.worker_panics)),
+            ("spawn_failures", Value::U64(self.spawn_failures)),
+            ("stall_timeouts", Value::U64(self.stall_timeouts)),
+            ("partial_batches", Value::U64(self.partial_batches)),
+            ("batches_rerouted", Value::U64(self.batches_rerouted)),
+            ("degraded_scans", Value::U64(self.degraded_scans)),
+            ("phases", phases),
+            ("hit_ratio_series", series),
+        ]);
+        serde::json::to_string(&doc)
+    }
+
     /// Renders the human-readable report: a per-phase percentile table
     /// followed by the hit-ratio time series.
     pub fn render(&self) -> String {
@@ -415,6 +495,68 @@ mod tests {
         assert!(read_jsonl(text.as_bytes()).unwrap().is_empty());
         let err = read_jsonl("{not json}".as_bytes()).unwrap_err();
         assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn read_jsonl_rejects_truncated_record() {
+        // A record cut off mid-stream (half its JSON) must be a typed parse
+        // error naming the line, not a panic or a silently dropped record.
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &records(2)).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        let second = lines[1];
+        let truncated = &second[..second.len() / 2];
+        lines[1] = truncated;
+        let err = read_jsonl(lines.join("\n").as_bytes()).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn read_jsonl_rejects_trailing_garbage() {
+        // Valid records followed by non-JSON junk (e.g. a crashed writer's
+        // partial flush plus shell noise) fail with the junk's line number.
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &records(3)).unwrap();
+        buf.extend_from_slice(b"#### trailing garbage ####\n");
+        let err = read_jsonl(&buf[..]).unwrap_err();
+        assert!(err.contains("line 4"), "{err}");
+    }
+
+    #[test]
+    fn read_jsonl_path_empty_file_and_missing_file() {
+        let dir = std::env::temp_dir();
+        let empty = dir.join(format!("octocache-empty-{}.jsonl", std::process::id()));
+        std::fs::write(&empty, "").unwrap();
+        let records = read_jsonl_path(&empty).unwrap();
+        let _ = std::fs::remove_file(&empty);
+        assert!(records.is_empty(), "empty file must parse to zero records");
+
+        let missing = dir.join(format!("octocache-missing-{}.jsonl", std::process::id()));
+        let err = read_jsonl_path(&missing).unwrap_err();
+        assert!(err.starts_with("open "), "{err}");
+    }
+
+    #[test]
+    fn summary_to_json_is_parseable_and_complete() {
+        let s = TraceSummary::from_records(&records(40));
+        let json = s.to_json();
+        let v: serde::Value = serde::json::from_str(&json).unwrap();
+        assert_eq!(
+            v.get("backend").and_then(serde::Value::as_str),
+            Some("octocache-serial")
+        );
+        assert_eq!(v.get("scans").and_then(serde::Value::as_u64), Some(40));
+        let hr = v.get("hit_ratio").and_then(serde::Value::as_f64).unwrap();
+        assert!((hr - s.hit_ratio()).abs() < 1e-12);
+        let phases = v.get("phases").and_then(serde::Value::as_seq).unwrap();
+        assert_eq!(phases.len(), s.phase_quantiles().len());
+        assert!(phases.iter().all(|p| p.get("p99_us").is_some()));
+        let series = v
+            .get("hit_ratio_series")
+            .and_then(serde::Value::as_seq)
+            .unwrap();
+        assert_eq!(series.len(), 20);
     }
 
     #[test]
