@@ -24,7 +24,11 @@
 //!   recorded event stream, plus a Chrome Trace Event Format export
 //!   loadable in `chrome://tracing` or Perfetto.
 //! * `info <map>` — structural statistics of a serialised map.
-//! * `query <map> <x> <y> <z>` — occupancy at a world point.
+//! * `query <map> [<x> <y> <z>] [--ray O:D] [--batch points.txt]
+//!   [--box MIN:MAX]` — read queries answered through the snapshot query
+//!   engine ([`octocache::MapSnapshot`]): point occupancy, ray casting,
+//!   Morton-batched multi-point lookup (reporting traversal prefix reuse),
+//!   and axis-aligned box queries.
 //! * `diff <map_a> <map_b>` — voxel-level agreement between two maps.
 //!
 //! The library surface exists so the whole tool is unit-testable without
@@ -34,11 +38,13 @@ use std::fmt;
 use std::fmt::Write as _;
 
 use octocache::pipeline::{MappingSystem, OctoMapSystem, RayTracer};
+use octocache::query::RayCastResult;
 use octocache::{
-    CacheConfig, FaultPlan, ParallelOctoCache, PipelineError, SerialOctoCache, TreeLayout,
+    CacheConfig, FaultPlan, MapSnapshot, ParallelOctoCache, PipelineError, SerialOctoCache,
+    TreeLayout,
 };
 use octocache_datasets::{io as scanlog, Dataset, DatasetConfig};
-use octocache_geom::{Point3, VoxelGrid};
+use octocache_geom::{Aabb, Point3, VoxelGrid};
 use octocache_octomap::{compare, io as mapio, io_bt, OccupancyOcTree, OccupancyParams};
 
 /// A typed CLI failure, each category mapped to a distinct process exit
@@ -144,7 +150,7 @@ USAGE:
   octocache report <trace.jsonl> [--json]
   octocache analyze <events.jsonl> [--trace-out trace.json]
   octocache info <map>
-  octocache query <map> <x> <y> <z>
+  octocache query <map> [<x> <y> <z>] [--ray OX,OY,OZ:DX,DY,DZ] [--max-range R] [--ignore-unknown] [--batch points.txt] [--box MINX,MINY,MINZ:MAXX,MAXY,MAXZ]
   octocache diff <map_a> <map_b>
   octocache help
 
@@ -157,7 +163,7 @@ exit codes: 0 ok | 2 usage | 3 I/O | 4 bad scan log/trace | 5 bad map | 6 bad ge
 }
 
 /// Flags that take no value (presence-only).
-const BOOL_FLAGS: &[&str] = &["strict", "json"];
+const BOOL_FLAGS: &[&str] = &["strict", "json", "ignore-unknown"];
 
 /// Positional arguments and `--key value` flag pairs.
 type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
@@ -603,29 +609,169 @@ fn cmd_info(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_query(args: &[String]) -> Result<String, CliError> {
-    let (pos, _) = parse_flags(args)?;
-    let [path, x, y, z] = pos.as_slice() else {
-        return Err("usage: query <map> <x> <y> <z>".into());
+/// Parses `X,Y,Z` into a point.
+fn parse_point3(s: &str, what: &str) -> Result<Point3, CliError> {
+    let parts: Vec<&str> = s.split(',').collect();
+    let [x, y, z] = parts.as_slice() else {
+        return Err(CliError::Usage(format!("{what} must be X,Y,Z, got `{s}`")));
     };
-    let tree = load_map(path)?;
-    let p = Point3::new(parse_f64(x, "x")?, parse_f64(y, "y")?, parse_f64(z, "z")?);
-    let key = tree
-        .grid()
-        .key_of(p)
-        .map_err(|e| CliError::Geom(format!("point outside map: {e}")))?;
-    Ok(match tree.search(key) {
+    Ok(Point3::new(
+        parse_f64(x, what)?,
+        parse_f64(y, what)?,
+        parse_f64(z, what)?,
+    ))
+}
+
+/// Formats one occupancy answer in the established `query` output shape.
+fn format_occupancy(snap: &MapSnapshot, p: Point3, occupancy: Option<f32>) -> String {
+    match occupancy {
         None => format!("{p}: unknown"),
         Some(l) => format!(
             "{p}: {} (log-odds {l:.3}, p = {:.3})",
-            if tree.params().is_occupied(l) {
+            if snap.params().is_occupied(l) {
                 "OCCUPIED"
             } else {
                 "free"
             },
             octocache_octomap::logodds_to_prob(l)
         ),
-    })
+    }
+}
+
+fn cmd_query(args: &[String]) -> Result<String, CliError> {
+    let (pos, flags) = parse_flags(args)?;
+    let (path, point) = match pos.as_slice() {
+        [path] => (*path, None),
+        [path, x, y, z] => (
+            *path,
+            Some(Point3::new(
+                parse_f64(x, "x")?,
+                parse_f64(y, "y")?,
+                parse_f64(z, "z")?,
+            )),
+        ),
+        _ => {
+            return Err(
+                "usage: query <map> [<x> <y> <z>] [--ray OX,OY,OZ:DX,DY,DZ] \
+                        [--max-range R] [--ignore-unknown] [--batch points.txt] \
+                        [--box MINX,MINY,MINZ:MAXX,MAXY,MAXZ]"
+                    .into(),
+            )
+        }
+    };
+    // All read paths go through the snapshot engine — the same code a
+    // concurrent reader would run against a live backend's QueryHandle.
+    let snap = MapSnapshot::from_tree(load_map(path)?);
+    let mut sections: Vec<String> = Vec::new();
+
+    if let Some(p) = point {
+        let key = snap
+            .grid()
+            .key_of(p)
+            .map_err(|e| CliError::Geom(format!("point outside map: {e}")))?;
+        sections.push(format_occupancy(&snap, p, snap.occupancy(key)));
+    }
+
+    if let Some(spec) = flag(&flags, "ray") {
+        let (o, d) = spec
+            .split_once(':')
+            .ok_or_else(|| CliError::Usage(format!("--ray must be O:D, got `{spec}`")))?;
+        let origin = parse_point3(o, "ray origin")?;
+        let dir = parse_point3(d, "ray direction")?;
+        let max_range = match flag(&flags, "max-range") {
+            Some(v) => parse_f64(v, "max-range")?,
+            None => 50.0,
+        };
+        let ignore_unknown = flag(&flags, "ignore-unknown").is_some();
+        let result = snap
+            .cast_ray(origin, dir, max_range, ignore_unknown)
+            .map_err(|e| CliError::Geom(format!("invalid ray: {e}")))?;
+        sections.push(match result {
+            RayCastResult::Hit { key, distance } => {
+                let c = snap.grid().center_of(key);
+                format!("ray {origin} + t*{dir}: HIT {c} at {distance:.3} m")
+            }
+            RayCastResult::Unknown { key } => {
+                let c = snap.grid().center_of(key);
+                format!("ray {origin} + t*{dir}: UNKNOWN from {c}")
+            }
+            RayCastResult::Miss => {
+                format!("ray {origin} + t*{dir}: free to max range {max_range} m")
+            }
+        });
+    }
+
+    if let Some(file) = flag(&flags, "batch") {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| CliError::Io(format!("cannot read {file}: {e}")))?;
+        let mut points = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let nums: Vec<&str> = line.split_whitespace().collect();
+            let [x, y, z] = nums.as_slice() else {
+                return Err(CliError::ScanLog(format!(
+                    "{file}:{}: expected `x y z`, got `{line}`",
+                    lineno + 1
+                )));
+            };
+            points.push(Point3::new(
+                parse_f64(x, "batch x")?,
+                parse_f64(y, "batch y")?,
+                parse_f64(z, "batch z")?,
+            ));
+        }
+        let keys = points
+            .iter()
+            .map(|&p| snap.grid().key_of(p))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| CliError::Geom(format!("batch point outside map: {e}")))?;
+        let (answers, stats) = snap.batch_occupancy(&keys);
+        let mut out = String::new();
+        for (p, occ) in points.iter().zip(&answers) {
+            let _ = writeln!(out, "{}", format_occupancy(&snap, *p, *occ));
+        }
+        let _ = writeln!(out, "batch: {} queries", stats.queries);
+        let _ = writeln!(out, "  nodes visited: {}", stats.nodes_visited);
+        let _ = write!(
+            out,
+            "  nodes reused: {} (prefix reuse {:.1}%)",
+            stats.nodes_reused,
+            stats.reuse_fraction() * 100.0
+        );
+        sections.push(out);
+    }
+
+    if let Some(spec) = flag(&flags, "box") {
+        let (a, b) = spec
+            .split_once(':')
+            .ok_or_else(|| CliError::Usage(format!("--box must be MIN:MAX, got `{spec}`")))?;
+        let bounds = Aabb::new(parse_point3(a, "box min")?, parse_point3(b, "box max")?);
+        let occupied = snap
+            .any_occupied_in_box(&bounds)
+            .map_err(|e| CliError::Geom(format!("box outside map: {e}")))?;
+        let leaves = snap
+            .leaves_in_box(&bounds)
+            .map_err(|e| CliError::Geom(format!("box outside map: {e}")))?;
+        sections.push(format!(
+            "box {} to {}: {} known leaves, {}",
+            bounds.min,
+            bounds.max,
+            leaves.len(),
+            if occupied {
+                "contains OCCUPIED voxels"
+            } else {
+                "no occupied voxels"
+            }
+        ));
+    }
+
+    if sections.is_empty() {
+        return Err("query needs a point (`<x> <y> <z>`), `--ray`, `--batch`, or `--box`".into());
+    }
+    Ok(sections.join("\n"))
 }
 
 fn cmd_diff(args: &[String]) -> Result<String, CliError> {
@@ -723,6 +869,55 @@ mod tests {
         // A corridor interior point is free.
         let q = run(&s(&["query", &map_a, "1.0", "0.0", "1.4"])).unwrap();
         assert!(q.contains("free"), "{q}");
+
+        // Ray mode: casting down the corridor from a free interior point
+        // reports something (hit, unknown, or free to range).
+        let q = run(&s(&[
+            "query",
+            &map_a,
+            "--ray",
+            "1.0,0.0,1.4:1.0,0.0,0.0",
+            "--max-range",
+            "30",
+        ]))
+        .unwrap();
+        assert!(q.contains("ray"), "{q}");
+
+        // Batch mode: a small point file answers per point and reports the
+        // Morton-sweep prefix-reuse statistics.
+        let pts = temp_path("probe-points.txt");
+        std::fs::write(
+            &pts,
+            "# probe points\n1.0 0.0 1.4\n1.2 0.0 1.4\n1.0 0.4 1.4\n",
+        )
+        .unwrap();
+        let q = run(&s(&["query", &map_a, "--batch", &pts])).unwrap();
+        assert_eq!(q.lines().filter(|l| l.starts_with('(')).count(), 3, "{q}");
+        assert!(q.contains("batch: 3 queries"), "{q}");
+        assert!(q.contains("prefix reuse"), "{q}");
+
+        // Box mode: a box around the free interior reports leaf counts.
+        let q = run(&s(&["query", &map_a, "--box", "0.5,-0.5,1.0:1.5,0.5,1.8"])).unwrap();
+        assert!(q.contains("known leaves"), "{q}");
+
+        // Modes compose: point + ray in one invocation, two output lines.
+        let q = run(&s(&[
+            "query",
+            &map_a,
+            "1.0",
+            "0.0",
+            "1.4",
+            "--ray",
+            "1.0,0.0,1.4:-1.0,0.0,0.0",
+        ]))
+        .unwrap();
+        assert_eq!(q.lines().count(), 2, "{q}");
+
+        // No query at all is a usage error.
+        assert!(matches!(
+            run(&s(&["query", &map_a])),
+            Err(CliError::Usage(_))
+        ));
 
         // Maps built from the same scan log agree exactly.
         let d = run(&s(&["diff", &map_a, &map_b])).unwrap();

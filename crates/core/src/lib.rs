@@ -54,6 +54,7 @@ pub mod fault;
 pub mod locality;
 pub mod parallel;
 pub mod pipeline;
+pub mod query;
 pub mod routing;
 pub mod serial;
 pub mod sharded;
@@ -64,6 +65,9 @@ pub use config::{CacheConfig, CacheConfigBuilder, ConfigError, EvictionOrder, In
 pub use fault::{FaultCounters, FaultPlan, Integrity, PipelineError};
 pub use parallel::{ParallelOctoCache, ShardView};
 pub use pipeline::MappingSystem;
+pub use query::{
+    LiveMap, MapSnapshot, OccupancyView, PublishStats, QueryHandle, SnapshotPublisher,
+};
 pub use routing::OctantRouter;
 pub use serial::SerialOctoCache;
 pub use sharded::ShardedOctoMap;

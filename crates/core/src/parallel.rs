@@ -60,6 +60,7 @@ use crate::config::CacheConfig;
 use crate::fault::FaultPlan;
 use crate::fault::{FaultCounters, Integrity, PipelineError};
 use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
+use crate::query::{BatchStats, PublishStats, QueryHandle, SnapshotPublisher};
 use crate::routing::{self, OctantRouter};
 use crate::spsc::{self, Backoff, Producer};
 
@@ -181,6 +182,8 @@ pub struct ParallelOctoCache {
     /// Lane 0 (the producer) is the cache's buffer; worker `i` owns lane
     /// `i + 1` and drains per batch.
     event_sink: Option<Arc<EventSink>>,
+    /// Armed lazily by the first [`MappingSystem::query_handle`] call.
+    publisher: Option<SnapshotPublisher>,
 }
 
 /// What [`ParallelOctoCache::evict_and_enqueue`] produced.
@@ -685,6 +688,7 @@ impl ParallelOctoCache {
             telemetry: Telemetry::new(backend),
             last_tree_stats: StatsSnapshot::default(),
             event_sink,
+            publisher: None,
         }
     }
 
@@ -1012,6 +1016,45 @@ impl ParallelOctoCache {
         times
     }
 
+    /// Builds a self-contained read tree: every shard merged (structural,
+    /// disjoint octant groups) with the cache's accumulated values overlaid
+    /// on top. Called between scans, when all queues are drained and the
+    /// shard mutexes are free; a wedged worker's shard is skipped via
+    /// `try_lock` (matching the degraded [`MappingSystem::occupancy`] path —
+    /// the map is already [`Integrity::Compromised`] by then).
+    fn snapshot_tree(&self) -> OccupancyOcTree {
+        let mut merged = OccupancyOcTree::with_layout(self.grid, self.params, self.layout);
+        for w in &self.workers {
+            let guard = if w.failed.is_some() {
+                w.tree.try_lock()
+            } else {
+                Some(w.tree.lock())
+            };
+            if let Some(g) = guard {
+                merged
+                    .merge_disjoint_top_level(&g)
+                    .expect("workers partition key space disjointly");
+            }
+        }
+        for cell in self.cache.iter() {
+            merged.set_node_log_odds(cell.key, cell.log_odds);
+        }
+        merged
+    }
+
+    /// Republishes the read snapshot when a publisher is armed.
+    fn republish(&mut self, scans: u64) -> (Option<PublishStats>, BatchStats) {
+        match self.publisher.take() {
+            Some(mut p) => {
+                let stats = p.publish_with(scans, || self.snapshot_tree());
+                let batch = p.take_batch_stats();
+                self.publisher = Some(p);
+                (Some(stats), batch)
+            }
+            None => (None, BatchStats::default()),
+        }
+    }
+
     /// Sums the instrumentation counters of every shard (locking each; a
     /// wedged worker's shard is skipped rather than risking a hang).
     fn summed_tree_stats(&self) -> StatsSnapshot {
@@ -1131,6 +1174,8 @@ impl MappingSystem for ParallelOctoCache {
         // construction-time spawn failures, which land on scan 0).
         let fault_delta = self.faults.since(&self.faults_reported);
         self.faults_reported = self.faults;
+        let scans_done = self.telemetry.scans() + 1;
+        let (publish, snapshot_batch) = self.republish(scans_done);
         self.telemetry.record(ScanRecord {
             times,
             observations: observations as u64,
@@ -1162,6 +1207,11 @@ impl MappingSystem for ParallelOctoCache {
             partial_batches: fault_delta.partial_batches,
             batches_rerouted: fault_delta.batches_rerouted,
             degraded: self.integrity.is_degraded(),
+            snapshot_publish_ns: publish.map_or(0, |p| p.latency.as_nanos() as u64),
+            snapshot_age_ns: publish.map_or(0, |p| p.replaced_age.as_nanos() as u64),
+            batch_queries: snapshot_batch.queries,
+            batch_nodes_visited: snapshot_batch.nodes_visited,
+            batch_nodes_reused: snapshot_batch.nodes_reused,
             ..Default::default()
         });
 
@@ -1263,6 +1313,17 @@ impl MappingSystem for ParallelOctoCache {
 
     fn fault_counters(&self) -> FaultCounters {
         self.faults
+    }
+
+    fn query_handle(&mut self) -> QueryHandle {
+        if self.publisher.is_none() {
+            let scans = self.telemetry.scans();
+            self.publisher = Some(SnapshotPublisher::new(self.snapshot_tree(), scans));
+        }
+        self.publisher
+            .as_ref()
+            .expect("publisher armed above")
+            .handle()
     }
 
     fn take_tree(self: Box<Self>) -> OccupancyOcTree {

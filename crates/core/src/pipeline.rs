@@ -6,6 +6,7 @@
 //! freely. The trait surface mirrors the query API the paper requires
 //! OctoCache to keep compatible with vanilla OctoMap.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
@@ -18,6 +19,7 @@ use octocache_telemetry::{
 
 use crate::cache::CacheStats;
 use crate::fault::{FaultCounters, Integrity, PipelineError};
+use crate::query::{BatchStats, MapSnapshot, PublishStats, QueryHandle, SnapshotPublisher};
 
 /// Which ray-tracing front-end a backend uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -160,6 +162,22 @@ pub trait MappingSystem {
         FaultCounters::default()
     }
 
+    /// A cloneable handle for lock-free concurrent reads
+    /// ([`crate::query`]). The first call arms the backend's snapshot
+    /// publisher (publishing the current map as epoch 0); every subsequent
+    /// `insert_scan` then republishes at its scan boundary, so readers are
+    /// never more than one scan stale and never take the octree mutex.
+    /// Backends without a publisher pay nothing until this is called.
+    fn query_handle(&mut self) -> QueryHandle;
+
+    /// The current published [`MapSnapshot`] (arming the publisher on
+    /// first use, like [`MappingSystem::query_handle`]). Between
+    /// `insert_scan` calls the snapshot answers every query identically to
+    /// the backend's own locked query path.
+    fn snapshot(&mut self) -> Arc<MapSnapshot> {
+        self.query_handle().snapshot()
+    }
+
     /// Consumes the backend, flushing all pending state, and returns the
     /// completed octree (for serialisation, diffing, offline queries).
     fn take_tree(self: Box<Self>) -> OccupancyOcTree;
@@ -216,6 +234,12 @@ impl<M: MappingSystem + ?Sized> MappingSystem for Box<M> {
     fn fault_counters(&self) -> FaultCounters {
         (**self).fault_counters()
     }
+    fn query_handle(&mut self) -> QueryHandle {
+        (**self).query_handle()
+    }
+    fn snapshot(&mut self) -> Arc<MapSnapshot> {
+        (**self).snapshot()
+    }
     fn take_tree(self: Box<Self>) -> OccupancyOcTree {
         (*self).take_tree()
     }
@@ -230,6 +254,9 @@ pub struct OctoMapSystem {
     batch: insert::VoxelBatch,
     event_sink: Option<std::sync::Arc<EventSink>>,
     events: Option<EventBuffer>,
+    /// Armed lazily by the first [`MappingSystem::query_handle`] call;
+    /// `None` keeps the no-reader fast path free of per-scan deep copies.
+    publisher: Option<SnapshotPublisher>,
 }
 
 impl OctoMapSystem {
@@ -258,6 +285,7 @@ impl OctoMapSystem {
             batch: insert::VoxelBatch::new(),
             event_sink: None,
             events: None,
+            publisher: None,
         }
     }
 
@@ -278,6 +306,19 @@ impl OctoMapSystem {
     /// Consumes the system, returning the octree.
     pub fn into_tree(self) -> OccupancyOcTree {
         self.tree
+    }
+
+    /// Republishes the read snapshot when a publisher is armed, returning
+    /// its stats plus the batch-query counters drained since last scan.
+    fn republish(&mut self, scans: u64) -> (Option<PublishStats>, BatchStats) {
+        let tree = &self.tree;
+        match self.publisher.as_mut() {
+            Some(p) => {
+                let stats = p.publish_with(scans, || tree.deep_clone());
+                (Some(stats), p.take_batch_stats())
+            }
+            None => (None, BatchStats::default()),
+        }
     }
 }
 
@@ -328,6 +369,8 @@ impl MappingSystem for OctoMapSystem {
             ..Default::default()
         };
         let tree_delta = self.tree.stats().snapshot().since(&tree_before);
+        let scans_done = self.telemetry.scans() + 1;
+        let (publish, batch_stats) = self.republish(scans_done);
         self.telemetry.record(ScanRecord {
             times,
             observations: observations as u64,
@@ -336,6 +379,11 @@ impl MappingSystem for OctoMapSystem {
             octree_nodes_created: tree_delta.nodes_created,
             memory_bytes: self.tree.memory_usage() as u64,
             tree_layout: self.tree.layout().name().to_string(),
+            snapshot_publish_ns: publish.map_or(0, |p| p.latency.as_nanos() as u64),
+            snapshot_age_ns: publish.map_or(0, |p| p.replaced_age.as_nanos() as u64),
+            batch_queries: batch_stats.queries,
+            batch_nodes_visited: batch_stats.nodes_visited,
+            batch_nodes_reused: batch_stats.nodes_reused,
             ..Default::default()
         });
         Ok(ScanReport {
@@ -380,6 +428,17 @@ impl MappingSystem for OctoMapSystem {
             buf.drain();
         }
         self.event_sink.as_ref().map(|s| s.take())
+    }
+
+    fn query_handle(&mut self) -> QueryHandle {
+        if self.publisher.is_none() {
+            let scans = self.telemetry.scans();
+            self.publisher = Some(SnapshotPublisher::new(self.tree.deep_clone(), scans));
+        }
+        self.publisher
+            .as_ref()
+            .expect("publisher armed above")
+            .handle()
     }
 
     fn take_tree(self: Box<Self>) -> OccupancyOcTree {

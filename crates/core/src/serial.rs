@@ -20,6 +20,7 @@ use crate::cache::{AdaptiveController, AdaptivePolicy, CacheStats, EvictedCell, 
 use crate::config::CacheConfig;
 use crate::fault::PipelineError;
 use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
+use crate::query::{BatchStats, PublishStats, QueryHandle, SnapshotPublisher};
 
 /// The serial OctoCache mapping system.
 ///
@@ -36,6 +37,20 @@ pub struct SerialOctoCache {
     /// Sub-scan event collection point (present iff the config enabled
     /// event recording; the cache holds the lane-0 buffer).
     event_sink: Option<std::sync::Arc<EventSink>>,
+    /// Armed lazily by the first [`MappingSystem::query_handle`] call.
+    publisher: Option<SnapshotPublisher>,
+}
+
+/// A self-contained read tree: the backing octree deep-copied with the
+/// cache's accumulated values overlaid (cells hold absolute log-odds, the
+/// same values eviction would write), so the snapshot answers exactly what
+/// the live cache→tree fall-through path answers at this scan boundary.
+fn snapshot_tree(tree: &OccupancyOcTree, cache: &VoxelCache) -> OccupancyOcTree {
+    let mut t = tree.deep_clone();
+    for cell in cache.iter() {
+        t.set_node_log_odds(cell.key, cell.log_odds);
+    }
+    t
 }
 
 impl SerialOctoCache {
@@ -70,6 +85,7 @@ impl SerialOctoCache {
             adaptive: AdaptiveController::new(None),
             telemetry: Telemetry::new(format!("octocache-serial{}", ray_tracer.suffix())),
             event_sink,
+            publisher: None,
         }
     }
 
@@ -178,6 +194,8 @@ impl SerialOctoCache {
         tree_before: StatsSnapshot,
     ) {
         let tree_delta = self.tree.stats().snapshot().since(&tree_before);
+        let scans_done = self.telemetry.scans() + 1;
+        let (publish, batch_stats) = self.republish(scans_done);
         self.telemetry.record(ScanRecord {
             times,
             observations: observations as u64,
@@ -190,8 +208,26 @@ impl SerialOctoCache {
             octree_nodes_created: tree_delta.nodes_created,
             memory_bytes: self.tree.memory_usage() as u64,
             tree_layout: self.tree.layout().name().to_string(),
+            snapshot_publish_ns: publish.map_or(0, |p| p.latency.as_nanos() as u64),
+            snapshot_age_ns: publish.map_or(0, |p| p.replaced_age.as_nanos() as u64),
+            batch_queries: batch_stats.queries,
+            batch_nodes_visited: batch_stats.nodes_visited,
+            batch_nodes_reused: batch_stats.nodes_reused,
             ..Default::default()
         });
+    }
+
+    /// Republishes the read snapshot when a publisher is armed.
+    fn republish(&mut self, scans: u64) -> (Option<PublishStats>, BatchStats) {
+        let tree = &self.tree;
+        let cache = &self.cache;
+        match self.publisher.as_mut() {
+            Some(p) => {
+                let stats = p.publish_with(scans, || snapshot_tree(tree, cache));
+                (Some(stats), p.take_batch_stats())
+            }
+            None => (None, BatchStats::default()),
+        }
     }
 }
 
@@ -330,6 +366,20 @@ impl MappingSystem for SerialOctoCache {
             buf.drain();
         }
         self.event_sink.as_ref().map(|s| s.take())
+    }
+
+    fn query_handle(&mut self) -> QueryHandle {
+        if self.publisher.is_none() {
+            let scans = self.telemetry.scans();
+            self.publisher = Some(SnapshotPublisher::new(
+                snapshot_tree(&self.tree, &self.cache),
+                scans,
+            ));
+        }
+        self.publisher
+            .as_ref()
+            .expect("publisher armed above")
+            .handle()
     }
 
     fn take_tree(self: Box<Self>) -> OccupancyOcTree {

@@ -20,6 +20,7 @@ use octocache_telemetry::{
 
 use crate::fault::PipelineError;
 use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
+use crate::query::{BatchStats, PublishStats, QueryHandle, SnapshotPublisher};
 use crate::routing::{self, OctantRouter};
 
 /// OctoMap sharded by spatial octant, with per-scan parallel shard updates.
@@ -39,6 +40,22 @@ pub struct ShardedOctoMap {
     /// Sub-scan event sink when tracing is enabled: shard `s` emits its
     /// update spans on lane `s + 1` (lane 0 is the scan-driving thread).
     event_sink: Option<std::sync::Arc<EventSink>>,
+    /// Armed lazily by the first [`MappingSystem::query_handle`] call.
+    publisher: Option<SnapshotPublisher>,
+}
+
+/// Reassembles the shards (disjoint top-level octant groups) into one
+/// self-contained read tree — the same structural merge `take_tree` does,
+/// without consuming the shards.
+fn snapshot_tree(shards: &[OccupancyOcTree]) -> OccupancyOcTree {
+    let mut merged =
+        OccupancyOcTree::with_layout(*shards[0].grid(), *shards[0].params(), shards[0].layout());
+    for shard in shards {
+        merged
+            .merge_disjoint_top_level(shard)
+            .expect("shards partition key space disjointly");
+    }
+    merged
 }
 
 impl ShardedOctoMap {
@@ -96,6 +113,19 @@ impl ShardedOctoMap {
             telemetry: Telemetry::new(backend),
             last_tree_stats: StatsSnapshot::default(),
             event_sink: None,
+            publisher: None,
+        }
+    }
+
+    /// Republishes the read snapshot when a publisher is armed.
+    fn republish(&mut self, scans: u64) -> (Option<PublishStats>, BatchStats) {
+        let shards = &self.shards;
+        match self.publisher.as_mut() {
+            Some(p) => {
+                let stats = p.publish_with(scans, || snapshot_tree(shards));
+                (Some(stats), p.take_batch_stats())
+            }
+            None => (None, BatchStats::default()),
         }
     }
 
@@ -223,6 +253,8 @@ impl MappingSystem for ShardedOctoMap {
         let tree_after = self.summed_tree_stats();
         let tree_delta = tree_after.since(&self.last_tree_stats);
         self.last_tree_stats = tree_after;
+        let scans_done = self.telemetry.scans() + 1;
+        let (publish, batch_stats) = self.republish(scans_done);
         self.telemetry.record(ScanRecord {
             times,
             observations: observations as u64,
@@ -231,6 +263,11 @@ impl MappingSystem for ShardedOctoMap {
             octree_nodes_created: tree_delta.nodes_created,
             memory_bytes: self.shards.iter().map(|s| s.memory_usage() as u64).sum(),
             tree_layout: self.shards[0].layout().name().to_string(),
+            snapshot_publish_ns: publish.map_or(0, |p| p.latency.as_nanos() as u64),
+            snapshot_age_ns: publish.map_or(0, |p| p.replaced_age.as_nanos() as u64),
+            batch_queries: batch_stats.queries,
+            batch_nodes_visited: batch_stats.nodes_visited,
+            batch_nodes_reused: batch_stats.nodes_reused,
             ..Default::default()
         });
         Ok(ScanReport {
@@ -277,19 +314,23 @@ impl MappingSystem for ShardedOctoMap {
         self.event_sink.as_ref().map(|s| s.take())
     }
 
+    fn query_handle(&mut self) -> QueryHandle {
+        if self.publisher.is_none() {
+            let scans = self.telemetry.scans();
+            self.publisher = Some(SnapshotPublisher::new(snapshot_tree(&self.shards), scans));
+        }
+        self.publisher
+            .as_ref()
+            .expect("publisher armed above")
+            .handle()
+    }
+
     fn take_tree(self: Box<Self>) -> OccupancyOcTree {
         // Shards populate disjoint top-level octants (for 8 shards; for
         // fewer, disjoint octant groups, which still never collide because
         // a voxel routes to exactly one shard), so a structural merge
         // reassembles the map.
-        let mut merged =
-            OccupancyOcTree::with_layout(self.grid, self.params, self.shards[0].layout());
-        for shard in &self.shards {
-            merged
-                .merge_disjoint_top_level(shard)
-                .expect("shards partition key space disjointly");
-        }
-        merged
+        snapshot_tree(&self.shards)
     }
 }
 

@@ -1,8 +1,9 @@
 //! Cross-backend differential suite: every mapping backend must produce a
 //! voxel-for-voxel identical occupancy map.
 //!
-//! A seeded scenario generator replays deterministic scan sequences over
-//! synthetic scenes through the plain `OccupancyOcTree` baseline, the
+//! A seeded scenario generator (shared with the query-consistency and
+//! stress suites via `tests/common`) replays deterministic scan sequences
+//! over synthetic scenes through the plain `OccupancyOcTree` baseline, the
 //! serial OctoCache, the parallel OctoCache at N ∈ {1, 2, 4, 8} workers and
 //! the sharded OctoMap, then compares the resulting trees with
 //! `octomap::compare` — including a structural comparison after pruning.
@@ -12,198 +13,12 @@
 //! Scenario count is scaled by the `OCTO_TEST_ITERS` env knob so CI can
 //! crank iterations (see `.github/workflows/ci.yml`).
 
-use octocache::pipeline::{MappingSystem, OctoMapSystem, RayTracer};
-use octocache::{CacheConfig, ParallelOctoCache, SerialOctoCache, ShardedOctoMap, TreeLayout};
-use octocache_geom::{Point3, VoxelGrid};
-use octocache_octomap::{compare, OccupancyOcTree, OccupancyParams};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+mod common;
 
-/// Scenario seeds exercised; `OCTO_TEST_ITERS` overrides (CI sets it
-/// higher).
-fn num_scenarios() -> u64 {
-    std::env::var("OCTO_TEST_ITERS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2)
-}
-
-/// One deterministic scan: an origin and a point cloud.
-struct Scan {
-    origin: Point3,
-    points: Vec<Point3>,
-}
-
-/// Generates a deterministic scan sequence over a synthetic scene: a sensor
-/// random-walking through a field of spherical "blobs", sweeping ray fans
-/// in random directions. Everything derives from `seed`, so every backend
-/// replays the identical sequence.
-fn scenario(seed: u64) -> Vec<Scan> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    // A handful of solid blobs the rays terminate on.
-    let blobs: Vec<(Point3, f64)> = (0..6)
-        .map(|_| {
-            (
-                Point3::new(
-                    rng.random_range(-18.0..18.0),
-                    rng.random_range(-18.0..18.0),
-                    rng.random_range(-6.0..6.0),
-                ),
-                rng.random_range(1.0..3.0),
-            )
-        })
-        .collect();
-    let mut origin = Point3::new(
-        rng.random_range(-4.0..4.0),
-        rng.random_range(-4.0..4.0),
-        rng.random_range(-1.0..1.0),
-    );
-    (0..10)
-        .map(|_| {
-            origin = Point3::new(
-                (origin.x + rng.random_range(-2.0..2.0)).clamp(-20.0, 20.0),
-                (origin.y + rng.random_range(-2.0..2.0)).clamp(-20.0, 20.0),
-                (origin.z + rng.random_range(-0.5..0.5)).clamp(-4.0, 4.0),
-            );
-            let points = (0..120)
-                .map(|_| {
-                    // A random direction; the ray ends on the nearest blob
-                    // surface along it, or at max range in free space.
-                    let theta = rng.random_range(0.0..std::f64::consts::TAU);
-                    let phi = rng.random_range(-0.4..0.4_f64);
-                    let dir =
-                        Point3::new(theta.cos() * phi.cos(), theta.sin() * phi.cos(), phi.sin());
-                    let mut t_hit = 18.0;
-                    for (c, r) in &blobs {
-                        // Ray-sphere intersection from `origin` along `dir`.
-                        let oc = Point3::new(origin.x - c.x, origin.y - c.y, origin.z - c.z);
-                        let b = oc.x * dir.x + oc.y * dir.y + oc.z * dir.z;
-                        let q = (oc.x * oc.x + oc.y * oc.y + oc.z * oc.z) - r * r;
-                        let disc = b * b - q;
-                        if disc > 0.0 {
-                            let t = -b - disc.sqrt();
-                            if t > 0.5 && t < t_hit {
-                                t_hit = t;
-                            }
-                        }
-                    }
-                    Point3::new(
-                        origin.x + dir.x * t_hit,
-                        origin.y + dir.y * t_hit,
-                        origin.z + dir.z * t_hit,
-                    )
-                })
-                .collect();
-            Scan { origin, points }
-        })
-        .collect()
-}
-
-fn grid() -> VoxelGrid {
-    VoxelGrid::new(0.5, 8).unwrap()
-}
-
-/// A deliberately small cache so τ-eviction fires constantly and the
-/// pipelines exercise their eviction/enqueue/merge paths.
-fn cache() -> CacheConfig {
-    CacheConfig::builder()
-        .num_buckets(1 << 7)
-        .tau(2)
-        .build()
-        .unwrap()
-}
-
-/// As [`cache`], pinned to an explicit octree storage layout.
-fn cache_with(layout: TreeLayout) -> CacheConfig {
-    CacheConfig::builder()
-        .num_buckets(1 << 7)
-        .tau(2)
-        .tree_layout(layout)
-        .build()
-        .unwrap()
-}
-
-/// Replays `scans` through `backend` and returns the flushed tree.
-fn build_tree(mut backend: Box<dyn MappingSystem>, scans: &[Scan]) -> OccupancyOcTree {
-    for scan in scans {
-        backend
-            .insert_scan(scan.origin, &scan.points, 40.0)
-            .expect("scan within grid");
-    }
-    backend.finish();
-    backend.take_tree()
-}
-
-/// Every backend under test, with its display label.
-fn backends() -> Vec<(String, Box<dyn MappingSystem>)> {
-    let params = OccupancyParams::default();
-    let mut v: Vec<(String, Box<dyn MappingSystem>)> = vec![
-        (
-            "serial".to_string(),
-            Box::new(SerialOctoCache::new(grid(), params, cache())),
-        ),
-        (
-            "sharded-x8".to_string(),
-            Box::new(ShardedOctoMap::new(grid(), params, 8)),
-        ),
-    ];
-    for n in [1usize, 2, 4, 8] {
-        v.push((
-            format!("parallel-x{n}"),
-            Box::new(ParallelOctoCache::with_workers(
-                grid(),
-                params,
-                cache(),
-                RayTracer::Standard,
-                n,
-            )),
-        ));
-    }
-    v
-}
-
-/// Every backend pinned to an explicit octree storage layout.
-fn backends_with(layout: TreeLayout) -> Vec<(String, Box<dyn MappingSystem>)> {
-    let params = OccupancyParams::default();
-    let mut v: Vec<(String, Box<dyn MappingSystem>)> = vec![
-        (
-            "octomap".to_string(),
-            Box::new(OctoMapSystem::with_layout(
-                grid(),
-                params,
-                RayTracer::Standard,
-                layout,
-            )),
-        ),
-        (
-            "serial".to_string(),
-            Box::new(SerialOctoCache::new(grid(), params, cache_with(layout))),
-        ),
-        (
-            "sharded-x8".to_string(),
-            Box::new(ShardedOctoMap::with_layout(
-                grid(),
-                params,
-                8,
-                RayTracer::Standard,
-                layout,
-            )),
-        ),
-    ];
-    for n in [1usize, 2, 4, 8] {
-        v.push((
-            format!("parallel-x{n}"),
-            Box::new(ParallelOctoCache::with_workers(
-                grid(),
-                params,
-                cache_with(layout),
-                RayTracer::Standard,
-                n,
-            )),
-        ));
-    }
-    v
-}
+use common::{backends, backends_with, build_tree, cache, grid, num_scenarios, scenario};
+use octocache::pipeline::{OctoMapSystem, RayTracer};
+use octocache::{ParallelOctoCache, TreeLayout};
+use octocache_octomap::{compare, OccupancyParams};
 
 #[test]
 fn all_backends_match_octomap_baseline() {

@@ -109,6 +109,20 @@ pub fn sort_keys(keys: &mut [VoxelKey]) {
     keys.sort_by_key(|&k| encode(k));
 }
 
+/// Returns the permutation that visits `keys` in ascending Morton order:
+/// `out[i]` is the index into `keys` of the `i`-th key in z-order.
+///
+/// The sort is stable, so duplicate keys keep their input order. Batched
+/// octree reads walk this permutation to maximise root-to-leaf prefix
+/// sharing between consecutive queries (the locality argument of §4.3
+/// applied to the read path) while still reporting results in input order.
+pub fn sort_index(keys: &[VoxelKey]) -> Vec<u32> {
+    debug_assert!(keys.len() <= u32::MAX as usize);
+    let mut idx: Vec<u32> = (0..keys.len() as u32).collect();
+    idx.sort_by_key(|&i| encode(keys[i as usize]));
+    idx
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +201,29 @@ mod tests {
         sort_keys(&mut keys);
         let codes: Vec<u64> = keys.iter().map(|&k| encode(k)).collect();
         assert!(codes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sort_index_is_a_stable_morton_permutation() {
+        let keys = vec![
+            VoxelKey::new(3, 3, 3),
+            VoxelKey::new(0, 0, 0),
+            VoxelKey::new(3, 3, 3), // duplicate of index 0
+            VoxelKey::new(2, 0, 1),
+        ];
+        let idx = sort_index(&keys);
+        // A permutation of 0..len…
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        // …visiting keys in ascending Morton order…
+        let codes: Vec<u64> = idx.iter().map(|&i| encode(keys[i as usize])).collect();
+        assert!(codes.windows(2).all(|w| w[0] <= w[1]));
+        // …with duplicates kept in input order (stability).
+        let a = idx.iter().position(|&i| i == 0).unwrap();
+        let b = idx.iter().position(|&i| i == 2).unwrap();
+        assert!(a < b);
+        assert!(sort_index(&[]).is_empty());
     }
 
     fn arb_key() -> impl Strategy<Value = VoxelKey> {

@@ -66,6 +66,13 @@ impl Point3 {
         (self - other).norm()
     }
 
+    /// Squared Euclidean distance to `other` (cheaper than
+    /// [`Point3::distance`]; use for range comparisons).
+    #[inline]
+    pub fn distance_squared(self, other: Point3) -> f64 {
+        (self - other).norm_squared()
+    }
+
     /// Dot product.
     #[inline]
     pub fn dot(self, other: Point3) -> f64 {

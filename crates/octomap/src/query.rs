@@ -6,7 +6,7 @@
 //! navigation stack of the paper's Figure 3 consumes exactly these calls
 //! during the planning stage.
 
-use octocache_geom::{ray, Aabb, GeomError, Point3, VoxelKey};
+use octocache_geom::{morton, ray, Aabb, GeomError, Point3, VoxelKey};
 
 use crate::tree::{LeafEntry, OccupancyOcTree};
 
@@ -37,6 +37,17 @@ pub enum RayCastResult {
 ///
 /// `direction` need not be normalised.
 ///
+/// Two boundary rules match reference OctoMap:
+///
+/// - an origin inside an occupied voxel reports an immediate
+///   [`RayCastResult::Hit`] at distance zero, rather than sailing through
+///   its own voxel;
+/// - a voxel only counts (as hit or unknown) while its *center* lies within
+///   `max_range`. In particular a ray terminating exactly on a voxel face
+///   does not report the voxel behind that face — it only ever touches the
+///   boundary, never enters — so the cast resolves to
+///   [`RayCastResult::Miss`].
+///
 /// # Errors
 ///
 /// Returns [`GeomError`] when the origin is outside the map or the
@@ -53,28 +64,153 @@ pub fn cast_ray(
     let end = grid.clamp_point(origin + dir * max_range);
     let keys = ray::trace(&grid, origin, end)?;
     let origin_key = grid.key_of(origin)?;
-    // Include the endpoint voxel itself in the scan.
+    // Reference OctoMap checks the starting voxel before stepping: a sensor
+    // inside an occupied voxel is already in collision.
+    if let Some(l) = tree.search(origin_key) {
+        if tree.params().is_occupied(l) {
+            return Ok(RayCastResult::Hit {
+                key: origin_key,
+                distance: 0.0,
+            });
+        }
+    }
+    // Include the endpoint voxel itself in the scan; the max-range cut
+    // below rejects it again when the ray merely grazes its near face.
     let end_key = grid.key_of(end)?;
+    let max_range_sq = max_range * max_range;
     for key in keys.iter().copied().chain(std::iter::once(end_key)) {
         if key == origin_key {
             continue;
         }
         match tree.search(key) {
             Some(l) if tree.params().is_occupied(l) => {
+                let center = grid.center_of(key);
+                if origin.distance_squared(center) > max_range_sq {
+                    return Ok(RayCastResult::Miss);
+                }
                 return Ok(RayCastResult::Hit {
                     key,
-                    distance: origin.distance(grid.center_of(key)),
+                    distance: origin.distance(center),
                 });
             }
             Some(_) => {}
             None => {
                 if !ignore_unknown {
+                    if origin.distance_squared(grid.center_of(key)) > max_range_sq {
+                        return Ok(RayCastResult::Miss);
+                    }
                     return Ok(RayCastResult::Unknown { key });
                 }
             }
         }
     }
     Ok(RayCastResult::Miss)
+}
+
+/// Traversal statistics from one [`batch_search`] call.
+///
+/// `nodes_reused + nodes_visited` is the total number of root-to-leaf path
+/// nodes the batch needed; a one-at-a-time loop over `tree.search` would
+/// have visited all of them. The reuse fraction is the read-path analogue
+/// of the cache's locality theorem (§4.3): Morton-adjacent queries share
+/// long root prefixes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Number of lookups answered.
+    pub queries: u64,
+    /// Path nodes freshly descended into.
+    pub nodes_visited: u64,
+    /// Path nodes reused from the previous (Morton-adjacent) query's
+    /// descent instead of being re-fetched from the root.
+    pub nodes_reused: u64,
+}
+
+impl BatchStats {
+    /// Fraction of path nodes served from the shared prefix, in `[0, 1]`.
+    pub fn reuse_fraction(&self) -> f64 {
+        let total = self.nodes_visited + self.nodes_reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.nodes_reused as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another batch's counters into `self`.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.queries += other.queries;
+        self.nodes_visited += other.nodes_visited;
+        self.nodes_reused += other.nodes_reused;
+    }
+}
+
+/// Looks up the log-odds of every key in `keys`, reusing root-to-leaf
+/// traversal prefixes across Morton-adjacent queries.
+///
+/// The queries are answered in ascending Morton order internally — two
+/// consecutive keys in that order share every ancestor at or above their
+/// common-ancestor level, so the descent restarts from the deepest shared
+/// path node instead of the root — but results are returned in **input
+/// order**: `out[i]` is exactly `tree.search(keys[i])`. Duplicate keys cost
+/// a single descent.
+pub fn batch_search(tree: &OccupancyOcTree, keys: &[VoxelKey]) -> (Vec<Option<f32>>, BatchStats) {
+    let mut values: Vec<Option<f32>> = vec![None; keys.len()];
+    let mut stats = BatchStats {
+        queries: keys.len() as u64,
+        ..BatchStats::default()
+    };
+    tree.stats().count_queries(keys.len() as u64);
+    let Some(root) = tree.root_ref() else {
+        return (values, stats);
+    };
+    let depth = tree.grid().depth();
+    let order = morton::sort_index(keys);
+    // path[i] is the node at level `depth - i` along the previous key's
+    // descent; path[0] is the root.
+    let mut path = Vec::with_capacity(depth as usize + 1);
+    let mut prev: Option<VoxelKey> = None;
+    for &qi in &order {
+        let key = keys[qi as usize];
+        // Nodes at levels depth ..= common_ancestor_level are identical for
+        // both keys: keep that prefix of the previous path.
+        let keep = match prev {
+            Some(p) if p == key => path.len(),
+            Some(p) => {
+                let common = key.common_ancestor_level(p, depth);
+                path.len().min((depth - common) as usize + 1)
+            }
+            None => 0,
+        };
+        path.truncate(keep);
+        stats.nodes_reused += keep as u64;
+        if path.is_empty() {
+            path.push(root);
+            stats.nodes_visited += 1;
+            tree.stats().count_visit();
+        }
+        let mut node = *path.last().expect("path holds at least the root");
+        let mut level = depth - (path.len() as u8 - 1);
+        // Same stopping rules as `OccupancyOcTree::search`: a childless
+        // node covers the key as a pruned aggregate; a missing child means
+        // unknown space.
+        values[qi as usize] = loop {
+            if level == 0 || !node.has_children() {
+                break Some(node.log_odds());
+            }
+            match node.child(key.child_index(level - 1)) {
+                Some(c) => {
+                    path.push(c);
+                    stats.nodes_visited += 1;
+                    tree.stats().count_visit();
+                    node = c;
+                    level -= 1;
+                }
+                None => break None,
+            }
+        };
+        prev = Some(key);
+    }
+    (values, stats)
 }
 
 /// Looks up the occupancy at `key` truncated to `level` levels above the
@@ -194,12 +330,147 @@ mod tests {
     }
 
     #[test]
+    fn cast_ray_terminating_exactly_on_voxel_face_misses() {
+        // Regression: the wall's near faces sit at x = 4.875 (voxel centers
+        // at 5.0, resolution 0.25). A ray from the origin whose max range
+        // ends *exactly* on that face touches the occupied voxel's boundary
+        // but never enters it: the cast must be a Miss, not a Hit at
+        // distance > max_range.
+        let tree = walled_tree();
+        // Voxel-center-aligned origin so distances along the ray are exact:
+        // the wall voxel's center is (5.125, 0.125, 0.125), its near face at
+        // x = 5.0, hence 4.875 m from the origin.
+        let origin = Point3::new(0.125, 0.125, 0.125);
+        let to_face = 4.875;
+        let result = cast_ray(&tree, origin, Point3::new(1.0, 0.0, 0.0), to_face, true).unwrap();
+        assert_eq!(result, RayCastResult::Miss);
+        // One voxel further and the wall center comes within range: a Hit,
+        // with the reported distance within max_range.
+        let result = cast_ray(
+            &tree,
+            origin,
+            Point3::new(1.0, 0.0, 0.0),
+            to_face + 0.25,
+            true,
+        )
+        .unwrap();
+        match result {
+            RayCastResult::Hit { distance, .. } => {
+                assert!((distance - 5.0).abs() < 1e-9, "distance {distance}");
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cast_ray_unknown_beyond_max_range_is_miss() {
+        // The unknown voxel behind a face-exact endpoint is equally out of
+        // range: with ignore_unknown = false the cast still misses.
+        let grid = VoxelGrid::new(0.25, 8).unwrap();
+        let mut tree = OccupancyOcTree::new(grid, OccupancyParams::default());
+        // Known free corridor along +x up to x = 2.0 (centers 0.125..1.875).
+        for i in 0..8 {
+            let key = grid
+                .key_of(Point3::new(0.125 + i as f64 * 0.25, 0.125, 0.125))
+                .unwrap();
+            tree.update_node(key, false);
+        }
+        let origin = Point3::new(0.125, 0.125, 0.125);
+        // Max range ends exactly on the last known voxel's far face.
+        let result = cast_ray(&tree, origin, Point3::new(1.0, 0.0, 0.0), 1.875, false).unwrap();
+        assert_eq!(result, RayCastResult::Miss);
+        // A slightly longer range reaches the unknown voxel's center.
+        let result = cast_ray(&tree, origin, Point3::new(1.0, 0.0, 0.0), 2.125, false).unwrap();
+        assert!(matches!(result, RayCastResult::Unknown { .. }));
+    }
+
+    #[test]
+    fn cast_ray_origin_inside_occupied_voxel_hits_at_zero() {
+        // Regression: a sensor standing inside an occupied voxel is already
+        // in collision — reference OctoMap reports the starting voxel
+        // immediately instead of skipping it.
+        let tree = walled_tree();
+        let origin = Point3::new(5.0, 0.0, 0.0); // inside the wall
+        let origin_key = tree.grid().key_of(origin).unwrap();
+        assert_eq!(tree.is_occupied(origin_key), Some(true), "test setup");
+        for dir in [Point3::new(1.0, 0.0, 0.0), Point3::new(-1.0, 0.3, 0.0)] {
+            let result = cast_ray(&tree, origin, dir, 10.0, true).unwrap();
+            assert_eq!(
+                result,
+                RayCastResult::Hit {
+                    key: origin_key,
+                    distance: 0.0
+                },
+                "direction {dir}"
+            );
+        }
+    }
+
+    #[test]
     fn cast_ray_rejects_degenerate_direction() {
         let tree = walled_tree();
         assert!(matches!(
             cast_ray(&tree, Point3::ZERO, Point3::ZERO, 10.0, true),
             Err(GeomError::DegenerateRay)
         ));
+    }
+
+    #[test]
+    fn batch_search_matches_single_lookups() {
+        let tree = walled_tree();
+        let grid = *tree.grid();
+        // A mix of occupied wall voxels, known-free corridor voxels,
+        // unknown voxels and duplicates, in deliberately non-Morton order.
+        let mut keys: Vec<VoxelKey> = Vec::new();
+        for y in [-1.0, 0.0, 1.5] {
+            keys.push(grid.key_of(Point3::new(5.0, y, 0.0)).unwrap());
+            keys.push(grid.key_of(Point3::new(2.0, y, 0.0)).unwrap());
+            keys.push(grid.key_of(Point3::new(-7.0, y, 3.0)).unwrap());
+        }
+        keys.push(keys[0]); // duplicate
+        let (values, stats) = batch_search(&tree, &keys);
+        assert_eq!(values.len(), keys.len());
+        for (i, key) in keys.iter().enumerate() {
+            let single = tree.search(*key);
+            assert_eq!(
+                values[i].map(f32::to_bits),
+                single.map(f32::to_bits),
+                "key {key} at index {i}"
+            );
+        }
+        assert_eq!(stats.queries, keys.len() as u64);
+        assert!(stats.nodes_reused > 0, "adjacent queries share no prefix?");
+        assert!(stats.reuse_fraction() > 0.0 && stats.reuse_fraction() < 1.0);
+    }
+
+    #[test]
+    fn batch_search_empty_and_empty_tree() {
+        let tree = walled_tree();
+        let (values, stats) = batch_search(&tree, &[]);
+        assert!(values.is_empty());
+        assert_eq!(stats, BatchStats::default());
+
+        let grid = VoxelGrid::new(0.25, 8).unwrap();
+        let empty = OccupancyOcTree::new(grid, OccupancyParams::default());
+        let keys = [VoxelKey::new(1, 2, 3), VoxelKey::new(7, 7, 7)];
+        let (values, stats) = batch_search(&empty, &keys);
+        assert_eq!(values, vec![None, None]);
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.nodes_visited + stats.nodes_reused, 0);
+    }
+
+    #[test]
+    fn batch_search_duplicates_reuse_full_path() {
+        let tree = walled_tree();
+        let key = tree.grid().key_of(Point3::new(5.0, 0.0, 0.0)).unwrap();
+        let keys = vec![key; 8];
+        let (values, stats) = batch_search(&tree, &keys);
+        assert!(values.iter().all(|v| *v == values[0] && v.is_some()));
+        // One real descent; the 7 duplicates reuse the whole path.
+        let (single, one_stats) = batch_search(&tree, &[key]);
+        assert_eq!(single[0], values[0]);
+        assert_eq!(stats.nodes_visited, one_stats.nodes_visited);
+        assert_eq!(stats.nodes_reused, 7 * one_stats.nodes_visited);
     }
 
     #[test]

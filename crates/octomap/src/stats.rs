@@ -6,25 +6,28 @@
 //! these counters record the node touches directly, giving a
 //! hardware-independent signal that benches report alongside timings.
 
-use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
 /// Counters accumulated by an [`OccupancyOcTree`](crate::OccupancyOcTree).
 ///
-/// Interior-mutable (`Cell`) so that read-only operations like queries can
-/// also be counted. The tree is consequently not `Sync`; the parallel
-/// OctoCache pipeline serialises all tree access behind a mutex anyway
-/// (paper §4.4), so nothing is lost.
+/// Interior-mutable (relaxed atomics) so that read-only operations like
+/// queries can also be counted — including concurrent queries against an
+/// immutable published snapshot, which is why the tree must stay `Sync`.
+/// All accesses use `Ordering::Relaxed`: the counters are statistics, not
+/// synchronisation, and on the write path the tree is behind `&mut self`
+/// or a mutex anyway (paper §4.4), so relaxed increments cost the same as
+/// the plain `Cell` stores they replaced.
 #[derive(Debug, Default)]
 pub struct TreeStats {
-    node_visits: Cell<u64>,
-    nodes_created: Cell<u64>,
-    leaf_updates: Cell<u64>,
-    queries: Cell<u64>,
-    prunes: Cell<u64>,
-    expansions: Cell<u64>,
+    node_visits: AtomicU64,
+    nodes_created: AtomicU64,
+    leaf_updates: AtomicU64,
+    queries: AtomicU64,
+    prunes: AtomicU64,
+    expansions: AtomicU64,
 }
 
 impl TreeStats {
@@ -36,42 +39,42 @@ impl TreeStats {
     /// Total tree nodes touched (descent + unwind), the paper's
     /// memory-access proxy.
     pub fn node_visits(&self) -> u64 {
-        self.node_visits.get()
+        self.node_visits.load(Ordering::Relaxed)
     }
 
     /// Nodes allocated.
     pub fn nodes_created(&self) -> u64 {
-        self.nodes_created.get()
+        self.nodes_created.load(Ordering::Relaxed)
     }
 
     /// Leaf-level occupancy updates applied.
     pub fn leaf_updates(&self) -> u64 {
-        self.leaf_updates.get()
+        self.leaf_updates.load(Ordering::Relaxed)
     }
 
     /// Point queries served.
     pub fn queries(&self) -> u64 {
-        self.queries.get()
+        self.queries.load(Ordering::Relaxed)
     }
 
     /// Prune operations performed.
     pub fn prunes(&self) -> u64 {
-        self.prunes.get()
+        self.prunes.load(Ordering::Relaxed)
     }
 
     /// Expansions of pruned nodes during descent.
     pub fn expansions(&self) -> u64 {
-        self.expansions.get()
+        self.expansions.load(Ordering::Relaxed)
     }
 
     /// Resets every counter to zero.
     pub fn reset(&self) {
-        self.node_visits.set(0);
-        self.nodes_created.set(0);
-        self.leaf_updates.set(0);
-        self.queries.set(0);
-        self.prunes.set(0);
-        self.expansions.set(0);
+        self.node_visits.store(0, Ordering::Relaxed);
+        self.nodes_created.store(0, Ordering::Relaxed);
+        self.leaf_updates.store(0, Ordering::Relaxed);
+        self.queries.store(0, Ordering::Relaxed);
+        self.prunes.store(0, Ordering::Relaxed);
+        self.expansions.store(0, Ordering::Relaxed);
     }
 
     /// Takes a copyable snapshot of the counters.
@@ -88,37 +91,42 @@ impl TreeStats {
 
     #[inline]
     pub(crate) fn count_visit(&self) {
-        self.node_visits.set(self.node_visits.get() + 1);
+        self.node_visits.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn count_visits(&self, n: u64) {
-        self.node_visits.set(self.node_visits.get() + n);
+        self.node_visits.fetch_add(n, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn count_created(&self) {
-        self.nodes_created.set(self.nodes_created.get() + 1);
+        self.nodes_created.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn count_leaf_update(&self) {
-        self.leaf_updates.set(self.leaf_updates.get() + 1);
+        self.leaf_updates.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn count_query(&self) {
-        self.queries.set(self.queries.get() + 1);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn count_queries(&self, n: u64) {
+        self.queries.fetch_add(n, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn count_prune(&self) {
-        self.prunes.set(self.prunes.get() + 1);
+        self.prunes.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn count_expansion(&self) {
-        self.expansions.set(self.expansions.get() + 1);
+        self.expansions.fetch_add(1, Ordering::Relaxed);
     }
 }
 

@@ -223,6 +223,32 @@ impl OccupancyOcTree {
         }
     }
 
+    /// Deep-copies the tree: an independent, observationally identical map
+    /// in the same storage layout.
+    ///
+    /// This is the snapshot-publication primitive of the read path
+    /// (`octocache::query`): the arena layout copies its flat node pool in
+    /// one `Vec` clone (plus the free list), the pointer layout clones the
+    /// node graph. Instrumentation counters start at zero in the copy —
+    /// queries against a snapshot are counted on the snapshot, not on the
+    /// live tree it was taken from.
+    pub fn deep_clone(&self) -> OccupancyOcTree {
+        let storage = match &self.storage {
+            Storage::Pointer { root, alloc } => Storage::Pointer {
+                root: root.clone(),
+                alloc: *alloc,
+            },
+            Storage::Arena(a) => Storage::Arena(a.clone()),
+        };
+        OccupancyOcTree {
+            grid: self.grid,
+            params: self.params,
+            storage,
+            stats: TreeStats::new(),
+            auto_prune: self.auto_prune,
+        }
+    }
+
     /// Total number of nodes.
     pub fn num_nodes(&self) -> usize {
         match &self.storage {
@@ -845,6 +871,48 @@ mod tests {
         }
         assert_eq!(last, tree.params().clamp_min);
         assert_eq!(tree.is_occupied(key), Some(false));
+    }
+
+    #[test]
+    fn deep_clone_is_independent_and_identical() {
+        for layout in [TreeLayout::Pointer, TreeLayout::Arena] {
+            let grid = VoxelGrid::new(1.0, 4).unwrap();
+            let mut tree = OccupancyOcTree::with_layout(grid, OccupancyParams::default(), layout);
+            for i in 0..40u16 {
+                tree.update_node(
+                    VoxelKey::new(i % 16, (i * 7) % 16, (i * 3) % 16),
+                    i % 3 != 0,
+                );
+            }
+            let snap = tree.deep_clone();
+            assert_eq!(snap.layout(), layout);
+            assert_eq!(snap.num_nodes(), tree.num_nodes());
+            // (memory_usage may differ: the clone has no pool slack.)
+            assert!(snap.memory_usage() > 0);
+            snap.check_invariants().unwrap();
+            let before: Vec<LeafEntry> = snap.leaves().collect();
+            // Mutating the original must not leak into the clone…
+            for i in 0..16u16 {
+                tree.update_node(VoxelKey::new(i, i, i), true);
+            }
+            let after: Vec<LeafEntry> = snap.leaves().collect();
+            assert_eq!(before, after, "{layout:?}: clone observed a mutation");
+            // …and the clone answers exactly what the original answered.
+            for i in 0..40u16 {
+                let key = VoxelKey::new(i % 16, (i * 7) % 16, (i * 3) % 16);
+                assert!(snap.search(key).is_some(), "{layout:?}: {key} lost");
+            }
+            // Snapshot counters start at zero (queries above notwithstanding).
+            assert_eq!(snap.stats().leaf_updates(), 0);
+        }
+    }
+
+    #[test]
+    fn deep_clone_of_empty_tree_is_empty() {
+        let tree = small_tree();
+        let snap = tree.deep_clone();
+        assert!(snap.is_empty());
+        assert_eq!(snap.num_nodes(), 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
-use octocache::MappingSystem;
+use octocache::{LiveMap, MappingSystem, OccupancyView};
 use octocache_geom::Point3;
 
 /// Configuration of the A* lattice planner.
@@ -93,12 +93,28 @@ impl AStarPlanner {
         AStarPlanner { config }
     }
 
-    /// Plans a path from `start` to `goal` at `start.z` altitude.
+    /// Plans a path from `start` to `goal` at `start.z` altitude, querying
+    /// the backend directly. Equivalent to [`AStarPlanner::plan_on`] over
+    /// [`LiveMap`].
     ///
     /// Returns `None` when no path exists within the expansion budget.
     pub fn plan<M: MappingSystem + ?Sized>(
         &self,
         map: &mut M,
+        start: Point3,
+        goal: Point3,
+    ) -> Option<PlannedPath> {
+        self.plan_on(&mut LiveMap(map), start, goal)
+    }
+
+    /// Plans against any [`OccupancyView`] — in particular a published
+    /// [`MapSnapshot`](octocache::MapSnapshot), so the (query-heavy) search
+    /// runs without touching the mapping backend's octree locks.
+    ///
+    /// Returns `None` when no path exists within the expansion budget.
+    pub fn plan_on<V: OccupancyView + ?Sized>(
+        &self,
+        map: &mut V,
         start: Point3,
         goal: Point3,
     ) -> Option<PlannedPath> {
@@ -126,7 +142,7 @@ impl AStarPlanner {
 
         let mut queries = 0usize;
         let mut blocked_cache: HashMap<Cell, bool> = HashMap::new();
-        let mut is_blocked = |map: &mut M, c: Cell| -> bool {
+        let mut is_blocked = |map: &mut V, c: Cell| -> bool {
             if let Some(&b) = blocked_cache.get(&c) {
                 return b;
             }
@@ -227,10 +243,20 @@ impl AStarPlanner {
     }
 
     /// Shortcut smoothing: greedily replaces waypoint chains with straight
-    /// segments that pass the same collision check.
+    /// segments that pass the same collision check. Equivalent to
+    /// [`AStarPlanner::smooth_on`] over [`LiveMap`].
     pub fn smooth<M: MappingSystem + ?Sized>(
         &self,
         map: &mut M,
+        path: &PlannedPath,
+    ) -> PlannedPath {
+        self.smooth_on(&mut LiveMap(map), path)
+    }
+
+    /// As [`AStarPlanner::smooth`], against any [`OccupancyView`].
+    pub fn smooth_on<V: OccupancyView + ?Sized>(
+        &self,
+        map: &mut V,
         path: &PlannedPath,
     ) -> PlannedPath {
         let wp = &path.waypoints;
@@ -259,9 +285,9 @@ impl AStarPlanner {
         }
     }
 
-    fn segment_free<M: MappingSystem + ?Sized>(
+    fn segment_free<V: OccupancyView + ?Sized>(
         &self,
-        map: &mut M,
+        map: &mut V,
         a: Point3,
         b: Point3,
         queries: &mut usize,

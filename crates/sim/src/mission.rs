@@ -1,6 +1,6 @@
 use std::time::{Duration, Instant};
 
-use octocache::{MappingSystem, PhaseTimes, PipelineError};
+use octocache::{LiveMap, MappingSystem, OccupancyView, PhaseTimes, PipelineError, QueryHandle};
 use octocache_datasets::{DepthSensor, Pose};
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +41,15 @@ pub struct MissionConfig {
     /// followed; the reactive planner remains the per-cycle fallback —
     /// MAVBench-style missions run a global planner over the map like this.
     pub global_replan_every: Option<usize>,
+    /// When true, all planning queries go through the backend's published
+    /// [`octocache::MapSnapshot`] (armed via
+    /// [`MappingSystem::query_handle`]) instead of the locked live tree —
+    /// the deployment shape where the planner runs concurrently with
+    /// mapping and must never contend on the octree mutex. Snapshots are
+    /// republished at every scan boundary, so planning sees the same map
+    /// either way; the per-cycle snapshot publish cost lands in the mapping
+    /// share of the cycle latency.
+    pub plan_from_snapshot: bool,
 }
 
 impl Default for MissionConfig {
@@ -57,6 +66,7 @@ impl Default for MissionConfig {
             control_time_s: 0.002,
             compute_scale: 1.0,
             global_replan_every: None,
+            plan_from_snapshot: false,
         }
     }
 }
@@ -194,6 +204,10 @@ impl Mission {
             ..Default::default()
         });
         let mut global_waypoints: Vec<octocache_geom::Point3> = Vec::new();
+        // Arm the snapshot publisher up front when planning reads from
+        // snapshots, so every insert_scan republishes.
+        let handle: Option<QueryHandle> =
+            self.config.plan_from_snapshot.then(|| map.query_handle());
 
         let goal = self.env.goal();
         let mut position = self.env.start();
@@ -224,16 +238,30 @@ impl Mission {
             let mapping_time = t0.elapsed();
 
             // Planning: global A* waypoints when configured, with the
-            // reactive planner as the per-cycle validator/fallback.
+            // reactive planner as the per-cycle validator/fallback. Queries
+            // go to the scan-boundary snapshot when configured, else to the
+            // live (locked) map — the two answer identically.
             let t1 = Instant::now();
+            let mut snap_store;
+            let mut live_store;
+            let view: &mut dyn OccupancyView = match &handle {
+                Some(h) => {
+                    snap_store = h.snapshot();
+                    &mut snap_store
+                }
+                None => {
+                    live_store = LiveMap(&mut map);
+                    &mut live_store
+                }
+            };
             let plan = {
                 let mut target = goal;
                 if let Some(k) = self.config.global_replan_every {
                     if cycles % k.max(1) == 1 || global_waypoints.is_empty() {
                         global_waypoints.clear();
-                        if let Some(path) = global.plan(&mut map, position, goal) {
+                        if let Some(path) = global.plan_on(&mut *view, position, goal) {
                             queries += path.queries;
-                            let smoothed = global.smooth(&mut map, &path);
+                            let smoothed = global.smooth_on(&mut *view, &path);
                             queries += smoothed.queries - path.queries;
                             global_waypoints = smoothed.waypoints;
                             global_waypoints.reverse(); // pop() from the front
@@ -251,7 +279,7 @@ impl Mission {
                         target = wp;
                     }
                 }
-                planner.plan(&mut map, position, target)
+                planner.plan_on(&mut *view, position, target)
             };
             let planning_time = t1.elapsed();
             queries += plan.queries;
@@ -398,6 +426,25 @@ mod tests {
         assert!(report.reached_goal, "{report:?}");
         assert_eq!(report.collisions, 0);
         // A* queries show up in the totals.
+        assert!(report.planner_queries > 0);
+    }
+
+    #[test]
+    fn snapshot_planned_mission_completes() {
+        // Planning from published snapshots must be behaviourally sound:
+        // the mission reaches the goal collision-free, exactly as when
+        // planning against the locked live map (the snapshot equals the
+        // live map at every scan boundary — see the core query-consistency
+        // battery).
+        let config = MissionConfig {
+            plan_from_snapshot: true,
+            global_replan_every: Some(25),
+            ..MissionConfig::tiny()
+        };
+        let mission = Mission::new(Environment::Openland, UavModel::asctec_pelican(), config);
+        let report = mission.run(octomap_backend(Environment::Openland)).unwrap();
+        assert!(report.reached_goal, "{report:?}");
+        assert_eq!(report.collisions, 0, "{report:?}");
         assert!(report.planner_queries > 0);
     }
 

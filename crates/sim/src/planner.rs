@@ -1,4 +1,4 @@
-use octocache::MappingSystem;
+use octocache::{LiveMap, MappingSystem, OccupancyView};
 use octocache_geom::Point3;
 
 /// Configuration of the collision-checking waypoint planner.
@@ -57,10 +57,25 @@ impl Planner {
         Planner { config }
     }
 
-    /// Plans one step from `position` toward `goal`, querying `map`.
+    /// Plans one step from `position` toward `goal`, querying `map`
+    /// directly (the locked read path). Equivalent to
+    /// [`Planner::plan_on`] over [`LiveMap`].
     pub fn plan<M: MappingSystem + ?Sized>(
         &self,
         map: &mut M,
+        position: Point3,
+        goal: Point3,
+    ) -> PlanOutcome {
+        self.plan_on(&mut LiveMap(map), position, goal)
+    }
+
+    /// Plans one step against any [`OccupancyView`] — a live backend via
+    /// [`LiveMap`], or a published
+    /// [`MapSnapshot`](octocache::MapSnapshot)/[`QueryHandle`](octocache::QueryHandle)
+    /// so planning never contends with the mapping thread's octree locks.
+    pub fn plan_on<V: OccupancyView + ?Sized>(
+        &self,
+        map: &mut V,
         position: Point3,
         goal: Point3,
     ) -> PlanOutcome {
@@ -108,9 +123,9 @@ impl Planner {
 
     /// Validates a segment with sampled occupancy queries; occupied blocks,
     /// unknown passes.
-    fn segment_free<M: MappingSystem + ?Sized>(
+    fn segment_free<V: OccupancyView + ?Sized>(
         &self,
-        map: &mut M,
+        map: &mut V,
         from: Point3,
         to: Point3,
         queries: &mut usize,

@@ -85,6 +85,20 @@ pub struct ScanRecord {
     /// True once the backend has left the intact state (any fault so far —
     /// sticky, unlike the per-scan counters above).
     pub degraded: bool,
+    /// Time to build and publish this scan's read snapshot, in nanoseconds
+    /// (0 when no query handle is armed on the backend).
+    pub snapshot_publish_ns: u64,
+    /// Age of the snapshot this scan's publication replaced, in
+    /// nanoseconds — the staleness concurrent readers had been accepting.
+    pub snapshot_age_ns: u64,
+    /// Snapshot batch-query lookups served by readers since the previous
+    /// scan.
+    pub batch_queries: u64,
+    /// Octree nodes those batched lookups actually descended through.
+    pub batch_nodes_visited: u64,
+    /// Root-to-leaf path nodes Morton-adjacent batched lookups reused
+    /// instead of re-descending (the read-path locality win).
+    pub batch_nodes_reused: u64,
 }
 
 impl ScanRecord {
@@ -136,6 +150,11 @@ mod tests {
             partial_batches: 1,
             batches_rerouted: 3,
             degraded: true,
+            snapshot_publish_ns: 52_000,
+            snapshot_age_ns: 1_400_000,
+            batch_queries: 256,
+            batch_nodes_visited: 700,
+            batch_nodes_reused: 3_400,
         };
         let json = serde::json::to_string(&r);
         let back: ScanRecord = serde::json::from_str(&json).unwrap();
