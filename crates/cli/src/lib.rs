@@ -30,6 +30,9 @@
 //!   Morton-batched multi-point lookup (reporting traversal prefix reuse),
 //!   and axis-aligned box queries.
 //! * `diff <map_a> <map_b>` — voxel-level agreement between two maps.
+//! * `recover <journal-dir> [<out.map>]` — reconstruct the map persisted by
+//!   a (possibly crashed) `build --journal` run: newest intact checkpoint
+//!   plus journal replay; without `<out.map>` it verifies and reports only.
 //!
 //! The library surface exists so the whole tool is unit-testable without
 //! spawning processes; `main` is a thin wrapper around [`run`].
@@ -40,8 +43,8 @@ use std::fmt::Write as _;
 use octocache::pipeline::{MappingSystem, OctoMapSystem, RayTracer};
 use octocache::query::RayCastResult;
 use octocache::{
-    CacheConfig, FaultPlan, MapSnapshot, ParallelOctoCache, PipelineError, SerialOctoCache,
-    TreeLayout,
+    CacheConfig, DurableError, DurableMap, FaultPlan, MapSnapshot, ParallelOctoCache,
+    PipelineError, SerialOctoCache, TreeLayout,
 };
 use octocache_datasets::{io as scanlog, Dataset, DatasetConfig};
 use octocache_geom::{Aabb, Point3, VoxelGrid};
@@ -66,11 +69,15 @@ pub enum CliError {
     Geom(String),
     /// The mapping pipeline failed mid-build (worker fault).
     Pipeline(PipelineError),
+    /// The durability layer failed: journal/checkpoint I/O, corrupt durable
+    /// state, or nothing to recover.
+    Durable(DurableError),
 }
 
 impl CliError {
     /// The process exit code for this failure class: usage 2, I/O 3,
-    /// scan-log/trace parse 4, map parse 5, geometry 6, pipeline fault 7.
+    /// scan-log/trace parse 4, map parse 5, geometry 6, pipeline fault 7,
+    /// durability 8.
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) => 2,
@@ -79,6 +86,7 @@ impl CliError {
             CliError::Map(_) => 5,
             CliError::Geom(_) => 6,
             CliError::Pipeline(_) => 7,
+            CliError::Durable(_) => 8,
         }
     }
 }
@@ -92,6 +100,7 @@ impl fmt::Display for CliError {
             | CliError::Map(m)
             | CliError::Geom(m) => f.write_str(m),
             CliError::Pipeline(e) => write!(f, "{e}"),
+            CliError::Durable(e) => write!(f, "{e}"),
         }
     }
 }
@@ -114,6 +123,7 @@ impl From<PipelineError> for CliError {
     fn from(e: PipelineError) -> Self {
         match e {
             PipelineError::Geom(g) => CliError::Geom(format!("invalid scan geometry: {g}")),
+            PipelineError::Durable(d) => CliError::Durable(d),
             other => CliError::Pipeline(other),
         }
     }
@@ -136,6 +146,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("info") => cmd_info(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }
@@ -146,19 +157,20 @@ fn usage() -> String {
 
 USAGE:
   octocache generate <dataset> <out.scanlog> [--scale S] [--seed N]
-  octocache build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T] [--workers N] [--tree-layout pointer|arena] [--format ot|bt] [--trace out.jsonl] [--events out.jsonl] [--strict] [--fault SPEC]
+  octocache build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T] [--workers N] [--tree-layout pointer|arena] [--format ot|bt] [--trace out.jsonl] [--events out.jsonl] [--strict] [--fault SPEC] [--journal DIR] [--checkpoint-every N]
   octocache report <trace.jsonl> [--json]
   octocache analyze <events.jsonl> [--trace-out trace.json]
   octocache info <map>
   octocache query <map> [<x> <y> <z>] [--ray OX,OY,OZ:DX,DY,DZ] [--max-range R] [--ignore-unknown] [--batch points.txt] [--box MINX,MINY,MINZ:MAXX,MAXY,MAXZ]
   octocache diff <map_a> <map_b>
+  octocache recover <journal-dir> [<out.map>] [--tree-layout pointer|arena] [--format ot|bt]
   octocache help
 
 datasets: fr079-corridor | freiburg-campus | new-college
 backends: octomap | octomap-rt | serial | serial-rt | parallel | parallel-rt
 tree layouts: pointer (chased nodes, the paper's baseline) | arena (index-addressed node pool)
 
-exit codes: 0 ok | 2 usage | 3 I/O | 4 bad scan log/trace | 5 bad map | 6 bad geometry | 7 pipeline fault"
+exit codes: 0 ok | 2 usage | 3 I/O | 4 bad scan log/trace | 5 bad map | 6 bad geometry | 7 pipeline fault | 8 durability"
         .to_string()
 }
 
@@ -326,6 +338,18 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     if events_path.is_some() {
         cache_builder.events(true);
     }
+    // Durable mapping: `--journal DIR` wraps the chosen backend in the
+    // checkpoint + write-ahead-journal layer; `--checkpoint-every N` sets
+    // the checkpoint cadence in scans (0 = only the final seal checkpoint).
+    let journal_dir = flag(&flags, "journal");
+    if let Some(s) = flag(&flags, "checkpoint-every") {
+        if journal_dir.is_none() {
+            return Err(CliError::Usage(
+                "--checkpoint-every requires --journal".into(),
+            ));
+        }
+        cache_builder.checkpoint_every(parse_usize(s, "--checkpoint-every")? as u64);
+    }
     let cache = cache_builder.build().map_err(|e| e.to_string())?;
     let backend_name = flag(&flags, "backend").unwrap_or("serial");
     let workers = match flag(&flags, "workers") {
@@ -354,7 +378,7 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
         }
         sys
     };
-    let mut backend: Box<dyn MappingSystem> = match backend_name {
+    let backend: Box<dyn MappingSystem> = match backend_name {
         "octomap" => Box::new(octomap_with(RayTracer::Standard)),
         "octomap-rt" => Box::new(octomap_with(RayTracer::Dedup)),
         "serial" => Box::new(SerialOctoCache::new(grid, params, cache)),
@@ -380,11 +404,41 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
         )),
         other => return Err(CliError::Usage(format!("unknown backend `{other}`"))),
     };
+    // The durability wrapper is applied before the trace recorder attaches,
+    // so journal/checkpoint latencies get stamped onto every scan record.
+    // The concrete handle is kept (not type-erased) because `seal()` and
+    // `stats()` are not part of the `MappingSystem` trait.
+    enum BuildBackend {
+        Plain(Box<dyn MappingSystem>),
+        Durable(Box<DurableMap>),
+    }
+    impl BuildBackend {
+        fn as_dyn(&mut self) -> &mut dyn MappingSystem {
+            match self {
+                BuildBackend::Plain(b) => &mut **b,
+                BuildBackend::Durable(d) => &mut **d,
+            }
+        }
+    }
+    let mut backend = match journal_dir {
+        Some(dir) => {
+            let journal_rt = if backend_name.ends_with("-rt") {
+                RayTracer::Dedup
+            } else {
+                RayTracer::Standard
+            };
+            BuildBackend::Durable(Box::new(
+                DurableMap::create(dir, backend, params, journal_rt, &cache)
+                    .map_err(CliError::Durable)?,
+            ))
+        }
+        None => BuildBackend::Plain(backend),
+    };
     let trace_path = flag(&flags, "trace");
     if let Some(path) = trace_path {
         let recorder = octocache::JsonlRecorder::create(path)
             .map_err(|e| format!("create trace {path}: {e}"))?;
-        backend.set_recorder(Box::new(recorder));
+        backend.as_dyn().set_recorder(Box::new(recorder));
     }
 
     let t0 = std::time::Instant::now();
@@ -393,15 +447,19 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     // Worker faults degrade the build rather than abort it (the pipeline
     // reroutes the dead worker's share inline); each one is reported as a
     // diagnostic line. `--strict` makes the first fault fatal. Geometry
-    // errors always abort: the scan log itself is wrong.
+    // errors always abort: the scan log itself is wrong. Durability errors
+    // also always abort: the write-ahead contract is broken.
     let mut scan_faults: Vec<(usize, PipelineError)> = Vec::new();
     for (i, scan) in seq.scans().iter().enumerate() {
-        match backend.insert_scan(scan.origin, &scan.points, seq.max_range()) {
+        match backend
+            .as_dyn()
+            .insert_scan(scan.origin, &scan.points, seq.max_range())
+        {
             Ok(report) => {
                 observations += report.observations;
                 hits += report.cache_hits;
             }
-            Err(e @ PipelineError::Geom(_)) => return Err(e.into()),
+            Err(e @ (PipelineError::Geom(_) | PipelineError::Durable(_))) => return Err(e.into()),
             Err(e) => {
                 if strict {
                     return Err(e.into());
@@ -410,12 +468,12 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
             }
         }
     }
-    backend.finish();
+    backend.as_dyn().finish();
     let elapsed = t0.elapsed();
     // Flush the recorded event stream (if any) before the tree is taken.
     let mut events_written: Option<(usize, u64)> = None;
     if let Some(path) = events_path {
-        let log = backend.take_events().unwrap_or_default();
+        let log = backend.as_dyn().take_events().unwrap_or_default();
         let file = std::fs::File::create(path)
             .map_err(|e| CliError::Io(format!("create events {path}: {e}")))?;
         let mut out = std::io::BufWriter::new(file);
@@ -424,13 +482,22 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
             .map_err(|e| CliError::Io(format!("write events {path}: {e}")))?;
         events_written = Some((log.events.len(), log.dropped));
     }
-    let times = backend.phase_times();
-    let cache_stats = backend.cache_stats();
-    let tree_stats = backend.tree_stats();
-    let integrity = backend.integrity();
-    let fault_counters = backend.fault_counters();
+    let times = backend.as_dyn().phase_times();
+    let cache_stats = backend.as_dyn().cache_stats();
+    let tree_stats = backend.as_dyn().tree_stats();
+    let integrity = backend.as_dyn().integrity();
+    let fault_counters = backend.as_dyn().fault_counters();
 
-    let tree = backend.take_tree();
+    let (tree, durable_stats) = match backend {
+        BuildBackend::Plain(b) => (b.take_tree(), None),
+        BuildBackend::Durable(mut d) => {
+            // `finish` already sealed best-effort; re-sealing is idempotent
+            // and surfaces any failure as a typed exit-8 error.
+            d.seal().map_err(CliError::Durable)?;
+            let stats = d.stats();
+            (d.take_tree(), Some(stats))
+        }
+    };
     let bytes = match flag(&flags, "format") {
         None | Some("ot") => mapio::write_tree(&tree),
         Some("bt") => io_bt::write_binary_tree(&tree),
@@ -478,6 +545,16 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     if let Some(path) = trace_path {
         let _ = writeln!(out, "  trace: {} scan records -> {path}", seq.scans().len());
     }
+    if let (Some(dir), Some(ds)) = (journal_dir, durable_stats) {
+        let _ = writeln!(
+            out,
+            "  durable: {} journal records ({:.1} KiB), {} checkpoints (newest epoch {}) -> {dir}",
+            ds.journal_records,
+            ds.journal_bytes as f64 / 1024.0,
+            ds.checkpoints_written,
+            ds.last_checkpoint_epoch
+        );
+    }
     if let (Some(path), Some((count, dropped))) = (events_path, events_written) {
         let _ = writeln!(out, "  events: {count} events -> {path}");
         if dropped > 0 {
@@ -515,6 +592,66 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_recover(args: &[String]) -> Result<String, CliError> {
+    let (pos, flags) = parse_flags(args)?;
+    let (dir, out_path) = match pos.as_slice() {
+        [dir] => (*dir, None),
+        [dir, out] => (*dir, Some(*out)),
+        _ => {
+            return Err(
+                "usage: recover <journal-dir> [<out.map>] [--tree-layout pointer|arena] \
+                 [--format ot|bt]"
+                    .into(),
+            )
+        }
+    };
+    let layout = match flag(&flags, "tree-layout") {
+        Some(s) => s
+            .parse()
+            .map_err(|e: octocache::ParseLayoutError| CliError::Usage(e.to_string()))?,
+        None => TreeLayout::default_from_env(),
+    };
+    let (tree, report) =
+        octocache::durable::recover_with_layout(dir, layout).map_err(CliError::Durable)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "recovered {dir}");
+    for line in report.render().lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+    let _ = writeln!(
+        out,
+        "  tree: {} nodes, {} leaves, {} layout",
+        tree.num_nodes(),
+        tree.num_leaves(),
+        tree.layout()
+    );
+    match out_path {
+        // The recovered map is written as a checksummed v2 stream stamped
+        // with its scan epoch, so downstream tools can re-verify it.
+        Some(path) => {
+            let bytes = match flag(&flags, "format") {
+                None | Some("ot") => mapio::write_tree_v2(&tree, report.final_epoch),
+                Some("bt") => io_bt::write_binary_tree_v2(&tree, report.final_epoch),
+                Some(other) => {
+                    return Err(CliError::Usage(format!(
+                        "unknown format `{other}` (use ot or bt)"
+                    )))
+                }
+            };
+            std::fs::write(path, &bytes).map_err(|e| CliError::Io(format!("write {path}: {e}")))?;
+            let _ = write!(
+                out,
+                "  wrote {path} ({:.1} KiB)",
+                bytes.len() as f64 / 1024.0
+            );
+        }
+        None => {
+            let _ = write!(out, "  (dry run: no output map written)");
+        }
+    }
+    Ok(out)
+}
+
 fn cmd_report(args: &[String]) -> Result<String, CliError> {
     let (pos, flags) = parse_flags(args)?;
     // Reject unknown flags with the typed usage error (exit code 2) instead
@@ -534,13 +671,22 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
     let [path] = pos.as_slice() else {
         return Err("usage: report <trace.jsonl> [--json]".into());
     };
-    let records = octocache_telemetry::read_jsonl_path(path).map_err(|e| {
+    // Crash-tolerant reads: a process killed mid-run leaves a trace whose
+    // final line may be torn. The parseable prefix is still reported (with
+    // a warning); a file with damage and *zero* parseable records is not a
+    // trace at all and stays a typed parse error.
+    let (records, damage) = octocache_telemetry::read_jsonl_prefix_path(path).map_err(|e| {
         if e.starts_with("open ") {
             CliError::Io(e)
         } else {
             CliError::ScanLog(format!("bad trace {path}: {e}"))
         }
     })?;
+    if let Some(d) = &damage {
+        if records.is_empty() {
+            return Err(CliError::ScanLog(format!("bad trace {path}: {d}")));
+        }
+    }
     if records.is_empty() && !json {
         return Ok(format!("{path}: empty trace"));
     }
@@ -548,7 +694,15 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
     Ok(if json {
         summary.to_json()
     } else {
-        summary.render()
+        let mut out = summary.render();
+        if let Some(d) = damage {
+            let _ = write!(
+                out,
+                "\nwarning: {d}; reporting the {} intact records before it",
+                records.len()
+            );
+        }
+        out
     })
 }
 
@@ -1371,6 +1525,172 @@ mod tests {
             .and_then(serde::Value::as_f64)
             .is_some());
         assert!(doc.get("phases").and_then(serde::Value::as_seq).is_some());
+    }
+
+    #[test]
+    fn build_with_journal_then_recover_matches_build_output() {
+        let log = temp_path("durable.scanlog");
+        run(&s(&[
+            "generate",
+            "fr079-corridor",
+            &log,
+            "--scale",
+            "0.05",
+            "--seed",
+            "11",
+        ]))
+        .unwrap();
+
+        let map = temp_path("durable.map");
+        let journal = temp_path("durable-journal");
+        let _ = std::fs::remove_dir_all(&journal);
+        let trace = temp_path("durable.jsonl");
+        let out = run(&s(&[
+            "build",
+            &log,
+            &map,
+            "--backend",
+            "serial",
+            "--resolution",
+            "0.4",
+            "--journal",
+            &journal,
+            "--checkpoint-every",
+            "4",
+            "--trace",
+            &trace,
+        ]))
+        .unwrap();
+        assert!(out.contains("durable:"), "{out}");
+        assert!(out.contains("checkpoints"), "{out}");
+
+        // The trace records carry journal latencies and checkpoint epochs.
+        let records = octocache_telemetry::read_jsonl_path(&trace).unwrap();
+        assert!(records.iter().all(|r| r.journal_append_ns > 0));
+        assert!(records.iter().any(|r| r.checkpoint_epoch > 0));
+        let report = run(&s(&["report", &trace])).unwrap();
+        assert!(report.contains("durability: journal"), "{report}");
+
+        // Dry-run recovery verifies without writing.
+        let out = run(&s(&["recover", &journal])).unwrap();
+        assert!(out.contains("status:            clean"), "{out}");
+        assert!(out.contains("dry run"), "{out}");
+
+        // Full recovery reproduces the build's map voxel-for-voxel.
+        let recovered = temp_path("durable-recovered.map");
+        let out = run(&s(&["recover", &journal, &recovered])).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let d = run(&s(&["diff", &map, &recovered])).unwrap();
+        assert!(d.contains("identical: yes"), "{d}");
+
+        // Cross-layout recovery also matches (the leaf checksum and diff
+        // are layout-independent).
+        let recovered_arena = temp_path("durable-recovered-arena.map");
+        run(&s(&[
+            "recover",
+            &journal,
+            &recovered_arena,
+            "--tree-layout",
+            "arena",
+        ]))
+        .unwrap();
+        let d = run(&s(&["diff", &map, &recovered_arena])).unwrap();
+        assert!(d.contains("identical: yes"), "{d}");
+
+        // The recovered map is a checksummed v2 stream.
+        let bytes = std::fs::read(&recovered).unwrap();
+        let footer = octocache_octomap::io::peek_footer(&bytes).unwrap();
+        assert!(footer.is_some(), "recovered map must carry a v2 footer");
+    }
+
+    #[test]
+    fn recover_errors_are_typed_exit_8() {
+        // Nothing to recover.
+        let empty = temp_path("no-journal-here");
+        let _ = std::fs::remove_dir_all(&empty);
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = run(&s(&["recover", &empty])).unwrap_err();
+        assert!(matches!(err, CliError::Durable(_)), "{err}");
+        assert_eq!(err.exit_code(), 8);
+
+        // A torn journal header (crashed before creation finished) is
+        // corruption, not a silent empty map.
+        let torn = temp_path("torn-journal");
+        let _ = std::fs::remove_dir_all(&torn);
+        std::fs::create_dir_all(&torn).unwrap();
+        std::fs::write(format!("{torn}/journal"), b"OCTJ").unwrap();
+        let err = run(&s(&["recover", &torn])).unwrap_err();
+        assert_eq!(err.exit_code(), 8, "{err}");
+
+        // --checkpoint-every without --journal is a usage error.
+        let log = temp_path("durable-usage.scanlog");
+        run(&s(&["generate", "fr079-corridor", &log, "--scale", "0.05"])).unwrap();
+        let map = temp_path("durable-usage.map");
+        let err = run(&s(&["build", &log, &map, "--checkpoint-every", "4"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+    }
+
+    #[test]
+    fn journaled_build_recovers_after_damaged_tail() {
+        let log = temp_path("torntail.scanlog");
+        run(&s(&[
+            "generate",
+            "fr079-corridor",
+            &log,
+            "--scale",
+            "0.05",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        let map = temp_path("torntail.map");
+        let journal = temp_path("torntail-journal");
+        let _ = std::fs::remove_dir_all(&journal);
+        run(&s(&[
+            "build",
+            &log,
+            &map,
+            "--resolution",
+            "0.4",
+            "--journal",
+            &journal,
+            "--checkpoint-every",
+            "1000",
+        ]))
+        .unwrap();
+
+        // Simulate a torn final write: chop bytes off the journal tail.
+        let jpath = format!("{journal}/journal");
+        let bytes = std::fs::read(&jpath).unwrap();
+        std::fs::write(&jpath, &bytes[..bytes.len() - 11]).unwrap();
+
+        let out = run(&s(&["recover", &journal])).unwrap();
+        assert!(out.contains("damaged bytes dropped"), "{out}");
+        assert!(out.contains("status:            recovered"), "{out}");
+    }
+
+    #[test]
+    fn report_tolerates_torn_trace_tail() {
+        let log = temp_path("torntrace.scanlog");
+        run(&s(&["generate", "fr079-corridor", &log, "--scale", "0.05"])).unwrap();
+        let map = temp_path("torntrace.map");
+        let trace = temp_path("torntrace.jsonl");
+        run(&s(&[
+            "build",
+            &log,
+            &map,
+            "--resolution",
+            "0.4",
+            "--trace",
+            &trace,
+        ]))
+        .unwrap();
+        // Tear the final line as a killed process would.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        std::fs::write(&trace, &text[..text.len() - 30]).unwrap();
+        let report = run(&s(&["report", &trace])).unwrap();
+        assert!(report.contains("warning: damaged tail"), "{report}");
+        assert!(report.contains("p50(us)"), "{report}");
     }
 
     #[test]

@@ -67,6 +67,9 @@ pub enum ConfigError {
     /// `stall_timeout` must be non-zero (it bounds every pipeline wait; a
     /// zero deadline would fail scans spuriously).
     ZeroStallTimeout,
+    /// `checkpoint_generations` must be at least 1 (zero would delete the
+    /// checkpoint just written, leaving nothing to recover from).
+    ZeroCheckpointGenerations,
 }
 
 impl fmt::Display for ConfigError {
@@ -79,6 +82,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroTau => write!(f, "tau must be at least 1"),
             ConfigError::ZeroStallTimeout => {
                 write!(f, "stall_timeout must be non-zero")
+            }
+            ConfigError::ZeroCheckpointGenerations => {
+                write!(f, "checkpoint_generations must be at least 1")
             }
         }
     }
@@ -109,6 +115,9 @@ pub struct CacheConfig {
     eviction_order: EvictionOrder,
     stall_timeout: Duration,
     tree_layout: Option<TreeLayout>,
+    checkpoint_every: u64,
+    checkpoint_generations: usize,
+    journal_fsync: bool,
     #[serde(skip)]
     fault_plan: Option<FaultPlan>,
     #[serde(skip)]
@@ -130,6 +139,9 @@ impl Default for CacheConfig {
             eviction_order: EvictionOrder::BucketSequential,
             stall_timeout: DEFAULT_STALL_TIMEOUT,
             tree_layout: None,
+            checkpoint_every: 64,
+            checkpoint_generations: 3,
+            journal_fsync: true,
             fault_plan: None,
             events: false,
         }
@@ -194,6 +206,35 @@ impl CacheConfig {
             .unwrap_or_else(TreeLayout::default_from_env)
     }
 
+    /// How many journaled scans may accumulate before
+    /// [`DurableMap`](crate::durable::DurableMap) writes the next periodic
+    /// checkpoint (taken lock-free from the published
+    /// [`MapSnapshot`](crate::MapSnapshot)). `0` disables periodic
+    /// checkpoints — only the final checkpoint written on
+    /// [`seal`](crate::durable::DurableMap::seal)/`finish` remains, and
+    /// recovery replays the whole journal.
+    #[inline]
+    pub fn checkpoint_every(&self) -> u64 {
+        self.checkpoint_every
+    }
+
+    /// How many checkpoint generations the store retains (≥ 1). Older
+    /// generations are fallbacks when the newest checkpoint fails its
+    /// checksum during recovery.
+    #[inline]
+    pub fn checkpoint_generations(&self) -> usize {
+        self.checkpoint_generations
+    }
+
+    /// Whether every journal append is followed by an `fdatasync` (the
+    /// default). Turning this off trades the last few records on power loss
+    /// for lower insert latency; process kills (the failure mode the crash
+    /// torture suite exercises) lose nothing either way.
+    #[inline]
+    pub fn journal_fsync(&self) -> bool {
+        self.journal_fsync
+    }
+
     /// The deterministic fault-injection schedule, if any. Only acted on
     /// under `cfg(any(test, feature = "fault-injection"))`; never
     /// serialised.
@@ -247,6 +288,9 @@ pub struct CacheConfigBuilder {
     eviction_order: EvictionOrder,
     stall_timeout: Duration,
     tree_layout: Option<TreeLayout>,
+    checkpoint_every: u64,
+    checkpoint_generations: usize,
+    journal_fsync: bool,
     fault_plan: Option<FaultPlan>,
     events: bool,
 }
@@ -261,6 +305,9 @@ impl CacheConfigBuilder {
             eviction_order: d.eviction_order,
             stall_timeout: d.stall_timeout,
             tree_layout: d.tree_layout,
+            checkpoint_every: d.checkpoint_every,
+            checkpoint_generations: d.checkpoint_generations,
+            journal_fsync: d.journal_fsync,
             fault_plan: d.fault_plan,
             events: d.events,
         }
@@ -301,6 +348,27 @@ impl CacheConfigBuilder {
     /// config; see [`CacheConfig::resolved_tree_layout`].
     pub fn tree_layout(&mut self, layout: TreeLayout) -> &mut Self {
         self.tree_layout = Some(layout);
+        self
+    }
+
+    /// Sets the periodic checkpoint interval in scans (0 disables); see
+    /// [`CacheConfig::checkpoint_every`].
+    pub fn checkpoint_every(&mut self, every: u64) -> &mut Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Sets how many checkpoint generations to retain (≥ 1); see
+    /// [`CacheConfig::checkpoint_generations`].
+    pub fn checkpoint_generations(&mut self, keep: usize) -> &mut Self {
+        self.checkpoint_generations = keep;
+        self
+    }
+
+    /// Toggles per-append journal fsync; see
+    /// [`CacheConfig::journal_fsync`].
+    pub fn journal_fsync(&mut self, on: bool) -> &mut Self {
+        self.journal_fsync = on;
         self
     }
 
@@ -347,6 +415,9 @@ impl CacheConfigBuilder {
         if self.stall_timeout.is_zero() {
             return Err(ConfigError::ZeroStallTimeout);
         }
+        if self.checkpoint_generations == 0 {
+            return Err(ConfigError::ZeroCheckpointGenerations);
+        }
         Ok(CacheConfig {
             num_buckets: self.num_buckets,
             tau: self.tau,
@@ -354,6 +425,9 @@ impl CacheConfigBuilder {
             eviction_order: self.eviction_order,
             stall_timeout: self.stall_timeout,
             tree_layout: self.tree_layout,
+            checkpoint_every: self.checkpoint_every,
+            checkpoint_generations: self.checkpoint_generations,
+            journal_fsync: self.journal_fsync,
             fault_plan: self.fault_plan,
             events: self.events,
         })
@@ -483,6 +557,29 @@ mod tests {
     }
 
     #[test]
+    fn durability_knobs_default_validate_and_round_trip() {
+        let d = CacheConfig::default();
+        assert_eq!(d.checkpoint_every(), 64);
+        assert_eq!(d.checkpoint_generations(), 3);
+        assert!(d.journal_fsync());
+        assert_eq!(
+            CacheConfig::builder().checkpoint_generations(0).build(),
+            Err(ConfigError::ZeroCheckpointGenerations)
+        );
+        let c = CacheConfig::builder()
+            .checkpoint_every(0)
+            .checkpoint_generations(5)
+            .journal_fsync(false)
+            .build()
+            .unwrap();
+        assert_eq!(c.checkpoint_every(), 0);
+        let back: CacheConfig = serde::json::from_str(&serde::json::to_string(&c)).unwrap();
+        assert_eq!(back.checkpoint_every(), 0);
+        assert_eq!(back.checkpoint_generations(), 5);
+        assert!(!back.journal_fsync());
+    }
+
+    #[test]
     fn displays() {
         assert_eq!(IndexPolicy::Hash.to_string(), "hash");
         assert_eq!(IndexPolicy::Morton.to_string(), "morton");
@@ -495,6 +592,7 @@ mod tests {
             ConfigError::NoBuckets,
             ConfigError::ZeroTau,
             ConfigError::ZeroStallTimeout,
+            ConfigError::ZeroCheckpointGenerations,
         ] {
             assert!(!e.to_string().is_empty());
         }

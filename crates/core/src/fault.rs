@@ -70,6 +70,11 @@ pub enum PipelineError {
         /// Evicted cells of the batch that were not confirmed applied.
         cells_dropped: u64,
     },
+    /// The durability layer failed to journal or checkpoint the scan
+    /// ([`crate::durable::DurableMap`]). The scan was **not** applied to the
+    /// wrapped backend: the write-ahead contract ("journaled before
+    /// applied") holds, so the durable state never lags the in-memory map.
+    Durable(crate::durable::DurableError),
 }
 
 impl fmt::Display for PipelineError {
@@ -95,6 +100,7 @@ impl fmt::Display for PipelineError {
                 f,
                 "worker {worker} abandoned batch {batch} with {cells_dropped} cells unapplied"
             ),
+            PipelineError::Durable(e) => write!(f, "durable storage: {e}"),
         }
     }
 }

@@ -50,6 +50,7 @@
 
 pub mod cache;
 mod config;
+pub mod durable;
 pub mod fault;
 pub mod locality;
 pub mod parallel;
@@ -62,6 +63,7 @@ pub mod spsc;
 
 pub use cache::{AdaptiveController, AdaptivePolicy, CacheStats, EvictedCell, VoxelCache};
 pub use config::{CacheConfig, CacheConfigBuilder, ConfigError, EvictionOrder, IndexPolicy};
+pub use durable::{DurableError, DurableMap, DurableStats, IoFaultPlan, KillPoint, RecoveryReport};
 pub use fault::{FaultCounters, FaultPlan, Integrity, PipelineError};
 pub use parallel::{ParallelOctoCache, ShardView};
 pub use pipeline::MappingSystem;

@@ -289,6 +289,22 @@ impl OctoMapSystem {
         }
     }
 
+    /// Resumes the baseline on an existing octree — e.g. one reconstructed
+    /// by crash recovery ([`crate::durable::recover`]) — keeping the tree's
+    /// grid, params and storage layout. Telemetry restarts from scan 0;
+    /// durable scan epochs are tracked by [`crate::durable::DurableMap`].
+    pub fn from_tree(tree: OccupancyOcTree, rt: RayTracer) -> Self {
+        OctoMapSystem {
+            tree,
+            ray_tracer: rt,
+            telemetry: Telemetry::new(format!("octomap{}", rt.suffix())),
+            batch: insert::VoxelBatch::new(),
+            event_sink: None,
+            events: None,
+            publisher: None,
+        }
+    }
+
     /// Enables sub-scan event recording (octree-update spans on lane 0;
     /// the baseline has no cache or queues). The cache-backed systems
     /// enable this through `CacheConfig::events` instead.

@@ -175,31 +175,17 @@ impl MapSnapshot {
         tree_query::batch_search(&self.tree, keys)
     }
 
-    /// FNV-1a digest over every leaf (key, level, log-odds bits).
+    /// FNV-1a digest over every leaf (key, level, log-odds bits), delegating
+    /// to [`OccupancyOcTree::leaf_checksum`].
     ///
-    /// Two snapshots of the same logical map in the same storage layout
-    /// hash identically; the concurrent stress tests use this to prove a
+    /// Two snapshots of the same logical map hash identically regardless of
+    /// storage layout; the concurrent stress tests use this to prove a
     /// published snapshot is exactly one scan boundary, never a torn blend
-    /// of two.
+    /// of two, and crash recovery (`crate::durable`) uses it as the
+    /// bit-match oracle against the v2 map footer.
     pub fn checksum(&self) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for leaf in self.tree.leaves() {
-            h = fnv1a(
-                h,
-                leaf.key.x as u64
-                    | (leaf.key.y as u64) << 16
-                    | (leaf.key.z as u64) << 32
-                    | (leaf.level as u64) << 48,
-            );
-            h = fnv1a(h, leaf.log_odds.to_bits() as u64);
-        }
-        h
+        self.tree.leaf_checksum()
     }
-}
-
-#[inline]
-fn fnv1a(h: u64, v: u64) -> u64 {
-    (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
 }
 
 /// What one [`SnapshotPublisher::publish_with`] call did.

@@ -26,12 +26,44 @@ use std::fmt;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use octocache_geom::{ChildIndex, VoxelGrid};
 
+use crate::checksum::crc32;
 use crate::layout::TreeLayout;
 use crate::node::OcTreeNode;
 use crate::occupancy::OccupancyParams;
 use crate::tree::{NodeRef, OccupancyOcTree};
 
 const MAGIC: &[u8; 4] = b"OCT1";
+
+/// Trailing magic identifying the checksummed v2 footer (shared by `.ot`
+/// and `.bt` streams).
+pub(crate) const FOOTER_MAGIC: &[u8; 4] = b"OCF2";
+
+/// Footer size in bytes: payload CRC (4) + leaf checksum (8) + epoch (8) +
+/// trailing magic (4).
+pub(crate) const FOOTER_LEN: usize = 4 + 8 + 8 + 4;
+
+/// Integrity metadata carried by a v2 map stream's footer.
+///
+/// v2 streams are the v1 payload followed by 24 footer bytes:
+///
+/// ```text
+/// | v1 payload ... | payload_crc: u32 | leaf_checksum: u64 | epoch: u64 | "OCF2" |
+/// ```
+///
+/// `payload_crc` is the CRC-32 (IEEE) of every byte before the footer;
+/// `leaf_checksum` is [`OccupancyOcTree::leaf_checksum`] of the tree the
+/// payload decodes to (for `.bt` streams: of the maximum-likelihood tree the
+/// reader reconstructs); `epoch` is the number of scans integrated when the
+/// stream was written (0 when unknown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapFooter {
+    /// CRC-32 of the payload bytes preceding the footer.
+    pub payload_crc: u32,
+    /// Leaf checksum of the decoded tree.
+    pub leaf_checksum: u64,
+    /// Scan epoch at write time.
+    pub epoch: u64,
+}
 
 /// Errors produced when decoding a serialised tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +78,25 @@ pub enum ReadError {
     DepthOverflow,
     /// Trailing bytes follow the encoded tree.
     TrailingBytes(usize),
+    /// A node carried a NaN or infinite log-odds value.
+    NotFinite,
+    /// The stream ends with the v2 footer magic but is too short to hold a
+    /// footer and a payload.
+    BadFooter,
+    /// The v2 footer's payload CRC does not match the payload bytes.
+    ChecksumMismatch {
+        /// CRC recorded in the footer.
+        expected: u32,
+        /// CRC computed over the payload.
+        actual: u32,
+    },
+    /// The decoded tree's leaf checksum does not match the v2 footer.
+    LeafChecksumMismatch {
+        /// Leaf checksum recorded in the footer.
+        expected: u64,
+        /// Leaf checksum of the decoded tree.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for ReadError {
@@ -58,14 +109,90 @@ impl fmt::Display for ReadError {
                 write!(f, "node nesting exceeds the header tree depth")
             }
             ReadError::TrailingBytes(n) => write!(f, "{n} trailing bytes after tree"),
+            ReadError::NotFinite => write!(f, "non-finite log-odds value in node stream"),
+            ReadError::BadFooter => write!(f, "v2 footer magic on a stream too short for one"),
+            ReadError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "payload CRC mismatch: footer {expected:#010x}, computed {actual:#010x}"
+            ),
+            ReadError::LeafChecksumMismatch { expected, actual } => write!(
+                f,
+                "leaf checksum mismatch: footer {expected:#018x}, decoded {actual:#018x}"
+            ),
         }
     }
 }
 
 impl std::error::Error for ReadError {}
 
-/// Serialises a tree to bytes.
+/// Appends the v2 footer to a finished payload buffer.
+pub(crate) fn append_footer(buf: &mut BytesMut, leaf_checksum: u64, epoch: u64) {
+    let crc = crc32(&buf[..]);
+    buf.put_u32(crc);
+    buf.put_u64(leaf_checksum);
+    buf.put_u64(epoch);
+    buf.put_slice(FOOTER_MAGIC);
+}
+
+/// Splits `bytes` into `(payload, footer)`, verifying the payload CRC when a
+/// v2 footer is present. v1 streams (no trailing footer magic) pass through
+/// untouched with `None`.
+pub(crate) fn split_footer(bytes: &[u8]) -> Result<(&[u8], Option<MapFooter>), ReadError> {
+    if bytes.len() < 4 || &bytes[bytes.len() - 4..] != FOOTER_MAGIC {
+        return Ok((bytes, None));
+    }
+    if bytes.len() < FOOTER_LEN {
+        return Err(ReadError::BadFooter);
+    }
+    let (payload, mut footer) = bytes.split_at(bytes.len() - FOOTER_LEN);
+    let meta = MapFooter {
+        payload_crc: footer.get_u32(),
+        leaf_checksum: footer.get_u64(),
+        epoch: footer.get_u64(),
+    };
+    let actual = crc32(payload);
+    if actual != meta.payload_crc {
+        return Err(ReadError::ChecksumMismatch {
+            expected: meta.payload_crc,
+            actual,
+        });
+    }
+    Ok((payload, Some(meta)))
+}
+
+/// Inspects a stream's v2 footer without decoding the tree.
+///
+/// Returns `Ok(None)` for v1 streams. When a footer is present its payload
+/// CRC is verified, so `Ok(Some(..))` implies the payload bytes are intact.
+///
+/// # Errors
+///
+/// [`ReadError::BadFooter`] or [`ReadError::ChecksumMismatch`] for damaged
+/// v2 streams.
+pub fn peek_footer(bytes: &[u8]) -> Result<Option<MapFooter>, ReadError> {
+    split_footer(bytes).map(|(_, meta)| meta)
+}
+
+/// Serialises a tree to bytes (legacy v1 stream, no footer).
 pub fn write_tree(tree: &OccupancyOcTree) -> Bytes {
+    write_payload(tree).freeze()
+}
+
+/// Serialises a tree to a checksummed v2 stream: the v1 payload followed by
+/// a [`MapFooter`] carrying the payload CRC, the tree's
+/// [leaf checksum](OccupancyOcTree::leaf_checksum) and `epoch` (the number
+/// of scans integrated — pass 0 when not tracked).
+///
+/// [`read_tree`] accepts both v1 and v2 streams, so v2 is a safe default
+/// for new files; the footer is what checkpoint recovery uses to reject
+/// torn or bit-rotted files.
+pub fn write_tree_v2(tree: &OccupancyOcTree, epoch: u64) -> Bytes {
+    let mut buf = write_payload(tree);
+    append_footer(&mut buf, tree.leaf_checksum(), epoch);
+    buf.freeze()
+}
+
+fn write_payload(tree: &OccupancyOcTree) -> BytesMut {
     let mut buf = BytesMut::with_capacity(64 + tree.num_nodes() * 5);
     buf.put_slice(MAGIC);
     buf.put_f64(tree.grid().resolution());
@@ -83,7 +210,7 @@ pub fn write_tree(tree: &OccupancyOcTree) -> Bytes {
         }
         None => buf.put_u8(0),
     }
-    buf.freeze()
+    buf
 }
 
 fn write_node(node: NodeRef<'_>, buf: &mut BytesMut) {
@@ -94,11 +221,14 @@ fn write_node(node: NodeRef<'_>, buf: &mut BytesMut) {
     }
 }
 
-/// Deserialises a tree from bytes produced by [`write_tree`], storing it in
-/// the ambient default layout ([`TreeLayout::default_from_env`]).
+/// Deserialises a tree from bytes produced by [`write_tree`] or
+/// [`write_tree_v2`], storing it in the ambient default layout
+/// ([`TreeLayout::default_from_env`]).
 ///
 /// The byte stream is layout-independent: a map written from a pointer tree
 /// reads back into an arena tree bit-for-bit equivalently, and vice versa.
+/// When a v2 footer is present, both the payload CRC and the decoded leaf
+/// checksum are verified.
 ///
 /// # Errors
 ///
@@ -117,6 +247,36 @@ pub fn read_tree_with_layout(
     bytes: &[u8],
     layout: TreeLayout,
 ) -> Result<OccupancyOcTree, ReadError> {
+    read_tree_with_meta(bytes, layout).map(|(tree, _)| tree)
+}
+
+/// As [`read_tree_with_layout`], additionally returning the v2 footer when
+/// the stream carries one (`None` for legacy v1 streams).
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] on malformed input, including
+/// [`ReadError::ChecksumMismatch`] / [`ReadError::LeafChecksumMismatch`]
+/// when a v2 stream fails its integrity checks.
+pub fn read_tree_with_meta(
+    bytes: &[u8],
+    layout: TreeLayout,
+) -> Result<(OccupancyOcTree, Option<MapFooter>), ReadError> {
+    let (payload, meta) = split_footer(bytes)?;
+    let tree = read_payload(payload, layout)?;
+    if let Some(meta) = &meta {
+        let actual = tree.leaf_checksum();
+        if actual != meta.leaf_checksum {
+            return Err(ReadError::LeafChecksumMismatch {
+                expected: meta.leaf_checksum,
+                actual,
+            });
+        }
+    }
+    Ok((tree, meta))
+}
+
+fn read_payload(bytes: &[u8], layout: TreeLayout) -> Result<OccupancyOcTree, ReadError> {
     let mut buf = bytes;
     if buf.remaining() < 4 || &buf[..4] != MAGIC {
         return Err(ReadError::BadMagic);
@@ -135,6 +295,9 @@ pub fn read_tree_with_layout(
         clamp_max: buf.get_f32(),
         threshold: buf.get_f32(),
     };
+    if params.validate().is_err() {
+        return Err(ReadError::BadGrid("inconsistent occupancy params".into()));
+    }
     let has_root = buf.get_u8() == 1;
     let mut tree = OccupancyOcTree::with_layout(grid, params, layout);
     if has_root {
@@ -154,6 +317,9 @@ fn read_node(buf: &mut &[u8], levels_left: u8) -> Result<OcTreeNode, ReadError> 
         return Err(ReadError::Truncated);
     }
     let log_odds = buf.get_f32();
+    if !log_odds.is_finite() {
+        return Err(ReadError::NotFinite);
+    }
     let mask = buf.get_u8();
     let mut node = OcTreeNode::new(log_odds);
     if mask != 0 {
@@ -288,8 +454,75 @@ mod tests {
             ReadError::BadGrid("x".into()),
             ReadError::DepthOverflow,
             ReadError::TrailingBytes(3),
+            ReadError::NotFinite,
+            ReadError::BadFooter,
+            ReadError::ChecksumMismatch {
+                expected: 1,
+                actual: 2,
+            },
+            ReadError::LeafChecksumMismatch {
+                expected: 1,
+                actual: 2,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn v2_roundtrip_and_footer() {
+        let tree = sample_tree();
+        let bytes = write_tree_v2(&tree, 42);
+        let meta = peek_footer(&bytes).unwrap().expect("footer present");
+        assert_eq!(meta.epoch, 42);
+        assert_eq!(meta.leaf_checksum, tree.leaf_checksum());
+        let (restored, meta2) = read_tree_with_meta(&bytes, tree.layout()).unwrap();
+        assert_eq!(meta2, Some(meta));
+        assert_eq!(restored.leaf_checksum(), tree.leaf_checksum());
+    }
+
+    #[test]
+    fn v1_stream_has_no_footer_and_still_reads() {
+        let tree = sample_tree();
+        let bytes = write_tree(&tree);
+        assert_eq!(peek_footer(&bytes).unwrap(), None);
+        let (restored, meta) = read_tree_with_meta(&bytes, tree.layout()).unwrap();
+        assert!(meta.is_none());
+        assert_eq!(restored.leaf_checksum(), tree.leaf_checksum());
+    }
+
+    #[test]
+    fn v2_payload_corruption_is_caught_by_crc() {
+        let tree = sample_tree();
+        let bytes = write_tree_v2(&tree, 7).to_vec();
+        // Flip one payload bit: the CRC must catch it before decoding.
+        let mut corrupted = bytes.clone();
+        corrupted[40] ^= 0x01;
+        assert!(matches!(
+            read_tree(&corrupted),
+            Err(ReadError::ChecksumMismatch { .. })
+        ));
+        // Flip a footer byte (not the magic): CRC or leaf-checksum mismatch.
+        let mut corrupted = bytes.clone();
+        let crc_off = bytes.len() - FOOTER_LEN;
+        corrupted[crc_off] ^= 0xFF;
+        assert!(read_tree(&corrupted).is_err());
+    }
+
+    #[test]
+    fn footer_magic_on_tiny_stream_is_bad_footer() {
+        let mut bytes = b"OCF2".to_vec();
+        assert!(matches!(read_tree(&bytes), Err(ReadError::BadFooter)));
+        bytes.splice(0..0, [0u8; 10]);
+        assert!(matches!(read_tree(&bytes), Err(ReadError::BadFooter)));
+    }
+
+    #[test]
+    fn nan_log_odds_rejected() {
+        let tree = sample_tree();
+        let mut bytes = write_tree(&tree).to_vec();
+        // First node's log-odds sits right after the 34-byte header.
+        bytes[34..38].copy_from_slice(&f32::NAN.to_bits().to_be_bytes());
+        assert!(matches!(read_tree(&bytes), Err(ReadError::NotFinite)));
     }
 }

@@ -17,7 +17,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use octocache_geom::{ChildIndex, VoxelGrid};
 
-use crate::io::ReadError;
+use crate::io::{append_footer, split_footer, MapFooter, ReadError};
 use crate::layout::TreeLayout;
 use crate::node::OcTreeNode;
 use crate::occupancy::OccupancyParams;
@@ -25,11 +25,30 @@ use crate::tree::{NodeRef, OccupancyOcTree};
 
 const MAGIC: &[u8; 4] = b"OCB1";
 
-/// Serialises the occupancy *decisions* of a tree (2 bits per child).
+/// Serialises the occupancy *decisions* of a tree (2 bits per child) as a
+/// legacy v1 stream with no footer.
 ///
 /// The output reconstructs to a maximum-likelihood tree: every occupied
 /// region at `clamp_max`, every free region at `clamp_min`.
 pub fn write_binary_tree(tree: &OccupancyOcTree) -> Bytes {
+    write_payload(tree).freeze()
+}
+
+/// As [`write_binary_tree`], with the checksummed v2 footer appended (see
+/// [`crate::io::MapFooter`]).
+///
+/// Because `.bt` streams are lossy, the footer's leaf checksum describes
+/// the **maximum-likelihood tree the reader reconstructs**, not the source
+/// tree — that is the only tree whose sum the reader can recompute.
+pub fn write_binary_tree_v2(tree: &OccupancyOcTree, epoch: u64) -> Bytes {
+    let mut buf = write_payload(tree);
+    let ml =
+        read_payload(&buf[..], tree.layout()).expect("freshly written .bt payload must decode");
+    append_footer(&mut buf, ml.leaf_checksum(), epoch);
+    buf.freeze()
+}
+
+fn write_payload(tree: &OccupancyOcTree) -> BytesMut {
     let mut buf = BytesMut::with_capacity(64 + tree.num_nodes());
     buf.put_slice(MAGIC);
     buf.put_f64(tree.grid().resolution());
@@ -45,7 +64,7 @@ pub fn write_binary_tree(tree: &OccupancyOcTree) -> Bytes {
         }
         None => buf.put_u8(0),
     }
-    buf.freeze()
+    buf
 }
 
 fn child_code(node: NodeRef<'_>, i: ChildIndex, params: &OccupancyParams) -> u16 {
@@ -70,9 +89,10 @@ fn write_node(node: NodeRef<'_>, params: &OccupancyParams, buf: &mut BytesMut) {
     }
 }
 
-/// Deserialises a `.bt`-style stream into a maximum-likelihood tree stored
-/// in the ambient default layout ([`TreeLayout::default_from_env`]). The
-/// stream itself is layout-independent.
+/// Deserialises a `.bt`-style stream (v1 or v2) into a maximum-likelihood
+/// tree stored in the ambient default layout
+/// ([`TreeLayout::default_from_env`]). The stream itself is
+/// layout-independent.
 ///
 /// # Errors
 ///
@@ -92,6 +112,35 @@ pub fn read_binary_tree_with_layout(
     bytes: &[u8],
     layout: TreeLayout,
 ) -> Result<OccupancyOcTree, ReadError> {
+    read_binary_tree_with_meta(bytes, layout).map(|(tree, _)| tree)
+}
+
+/// As [`read_binary_tree_with_layout`], additionally returning the v2
+/// footer when the stream carries one (`None` for legacy v1 streams). The
+/// footer's payload CRC and reconstructed-tree leaf checksum are verified.
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] for malformed input or failed integrity checks.
+pub fn read_binary_tree_with_meta(
+    bytes: &[u8],
+    layout: TreeLayout,
+) -> Result<(OccupancyOcTree, Option<MapFooter>), ReadError> {
+    let (payload, meta) = split_footer(bytes)?;
+    let tree = read_payload(payload, layout)?;
+    if let Some(meta) = &meta {
+        let actual = tree.leaf_checksum();
+        if actual != meta.leaf_checksum {
+            return Err(ReadError::LeafChecksumMismatch {
+                expected: meta.leaf_checksum,
+                actual,
+            });
+        }
+    }
+    Ok((tree, meta))
+}
+
+fn read_payload(bytes: &[u8], layout: TreeLayout) -> Result<OccupancyOcTree, ReadError> {
     let mut buf = bytes;
     if buf.remaining() < 4 || &buf[..4] != MAGIC {
         return Err(ReadError::BadMagic);
@@ -251,6 +300,32 @@ mod tests {
         let tree = OccupancyOcTree::new(grid, OccupancyParams::default());
         let restored = read_binary_tree(&write_binary_tree(&tree)).unwrap();
         assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn v2_roundtrip_checksums_ml_tree() {
+        let tree = sample_tree();
+        let bytes = write_binary_tree_v2(&tree, 9);
+        let (restored, meta) = read_binary_tree_with_meta(&bytes, tree.layout()).unwrap();
+        let meta = meta.expect("footer present");
+        assert_eq!(meta.epoch, 9);
+        // The footer checksums the reconstructed ML tree, not the source.
+        assert_eq!(meta.leaf_checksum, restored.leaf_checksum());
+        // Decisions still survive, as with v1.
+        let v1 = read_binary_tree(&write_binary_tree(&tree)).unwrap();
+        assert_eq!(v1.leaf_checksum(), restored.leaf_checksum());
+    }
+
+    #[test]
+    fn v2_corruption_detected() {
+        let tree = sample_tree();
+        let bytes = write_binary_tree_v2(&tree, 1).to_vec();
+        let mut corrupted = bytes.clone();
+        corrupted[30] ^= 0x10;
+        assert!(matches!(
+            read_binary_tree(&corrupted),
+            Err(ReadError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]

@@ -46,6 +46,7 @@
 #![warn(missing_debug_implementations)]
 
 mod arena;
+pub mod checksum;
 pub mod compare;
 pub mod insert;
 pub mod io;

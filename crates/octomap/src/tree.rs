@@ -480,6 +480,28 @@ impl OccupancyOcTree {
         }
     }
 
+    /// FNV-1a checksum over the leaf set `(key, level, log-odds bits)`.
+    ///
+    /// The sum is independent of the storage layout and of pointer identity:
+    /// two trees holding the same pruned leaf structure with bit-identical
+    /// log-odds produce the same checksum regardless of how they were built.
+    /// It is embedded in the v2 map footer ([`crate::io`]) and is the
+    /// bit-match oracle for crash recovery (`octocache::durable`).
+    pub fn leaf_checksum(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for leaf in self.leaves() {
+            h = crate::checksum::fnv1a(
+                h,
+                leaf.key.x as u64
+                    | (leaf.key.y as u64) << 16
+                    | (leaf.key.z as u64) << 32
+                    | (leaf.level as u64) << 48,
+            );
+            h = crate::checksum::fnv1a(h, leaf.log_odds.to_bits() as u64);
+        }
+        h
+    }
+
     /// Iterates over all leaves (pruned cubes yield one entry).
     pub fn leaves(&self) -> Leaves<'_> {
         let mut stack = Vec::new();

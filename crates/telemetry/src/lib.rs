@@ -66,5 +66,6 @@ pub use recorder::{
     JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, SharedRecorder, Telemetry,
 };
 pub use trace::{
-    read_jsonl, read_jsonl_path, write_jsonl, HitRatioPoint, PhaseQuantiles, TraceSummary,
+    read_jsonl, read_jsonl_path, read_jsonl_prefix, read_jsonl_prefix_path, write_jsonl,
+    HitRatioPoint, PhaseQuantiles, TraceSummary,
 };

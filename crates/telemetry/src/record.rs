@@ -99,6 +99,15 @@ pub struct ScanRecord {
     /// Root-to-leaf path nodes Morton-adjacent batched lookups reused
     /// instead of re-descending (the read-path locality win).
     pub batch_nodes_reused: u64,
+    /// Time spent journaling this scan before applying it, in nanoseconds
+    /// (0 when the backend runs without a durability layer).
+    pub journal_append_ns: u64,
+    /// Time spent writing the periodic checkpoint that preceded this scan,
+    /// in nanoseconds (0 on scans that triggered no checkpoint).
+    pub checkpoint_write_ns: u64,
+    /// Scan epoch of the newest durable checkpoint when this scan was
+    /// journaled (0 when none or no durability layer).
+    pub checkpoint_epoch: u64,
 }
 
 impl ScanRecord {
@@ -155,6 +164,9 @@ mod tests {
             batch_queries: 256,
             batch_nodes_visited: 700,
             batch_nodes_reused: 3_400,
+            journal_append_ns: 8_500,
+            checkpoint_write_ns: 1_200_000,
+            checkpoint_epoch: 64,
         };
         let json = serde::json::to_string(&r);
         let back: ScanRecord = serde::json::from_str(&json).unwrap();

@@ -104,8 +104,12 @@ impl Recorder for SharedRecorder {
 
 /// Streams events as JSON Lines to any writer (one record per line).
 ///
-/// Buffered output is flushed on [`Recorder::flush`] and on drop, so a
-/// trace file is complete once the owning backend is dropped.
+/// The writer is flushed after **every record** (line-buffered), not just on
+/// [`Recorder::flush`]/drop: a crashed or killed process leaves a trace file
+/// whose complete lines are all parseable, with at most one torn line at the
+/// tail — which [`crate::read_jsonl_prefix`] drops cleanly. Each line leaves
+/// the buffer as a single `write`, so torn lines only happen when the kernel
+/// itself splits a write.
 pub struct JsonlRecorder<W: Write + Send> {
     out: W,
 }
@@ -141,6 +145,9 @@ impl<W: Write + Send> Recorder for JsonlRecorder<W> {
     fn record_scan(&mut self, record: &ScanRecord) {
         // Trace output is best-effort: a full disk must not abort mapping.
         let _ = writeln!(self.out, "{}", serde::json::to_string(record));
+        // Per-record flush keeps the on-disk trace a parseable prefix even
+        // if the process dies before `flush`/drop runs.
+        let _ = self.out.flush();
     }
 
     fn flush(&mut self) {

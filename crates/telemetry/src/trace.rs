@@ -50,6 +50,56 @@ pub fn read_jsonl_path(path: impl AsRef<Path>) -> Result<Vec<ScanRecord>, String
     read_jsonl(std::io::BufReader::new(file))
 }
 
+/// Reads the parseable prefix of a JSONL trace, tolerating a damaged tail.
+///
+/// A process killed mid-run (or a torn final write) leaves a trace whose
+/// last line may be truncated; [`JsonlRecorder`](crate::JsonlRecorder)'s
+/// per-record flush guarantees everything before it is intact. This reader
+/// returns every record up to the first malformed line plus a description
+/// of the damage (`None` when the stream was clean). Callers decide policy:
+/// a damaged tail with zero preceding records is indistinguishable from a
+/// non-trace file and should usually stay an error.
+///
+/// # Errors
+///
+/// Only I/O failures while reading; parse damage is reported in the
+/// returned tuple, never as `Err`.
+pub fn read_jsonl_prefix<R: BufRead>(
+    input: R,
+) -> Result<(Vec<ScanRecord>, Option<String>), String> {
+    let mut records = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", i + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde::json::from_str(&line) {
+            Ok(record) => records.push(record),
+            Err(e) => {
+                return Ok((
+                    records,
+                    Some(format!("damaged tail at line {}: {e:?}", i + 1)),
+                ))
+            }
+        }
+    }
+    Ok((records, None))
+}
+
+/// Reads the parseable prefix of a JSONL trace file (see
+/// [`read_jsonl_prefix`]).
+///
+/// # Errors
+///
+/// Only I/O failures (e.g. the file does not exist).
+pub fn read_jsonl_prefix_path(
+    path: impl AsRef<Path>,
+) -> Result<(Vec<ScanRecord>, Option<String>), String> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    read_jsonl_prefix(std::io::BufReader::new(file))
+}
+
 /// Percentiles of one phase over a trace, in microseconds (the `report`
 /// table row).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -131,6 +181,15 @@ pub struct TraceSummary {
     pub batches_rerouted: u64,
     /// Scans recorded while the backend was in a degraded state.
     pub degraded_scans: u64,
+    /// Total nanoseconds spent journaling scans (0 for non-durable runs).
+    pub journal_append_ns: u64,
+    /// Total nanoseconds spent writing durable checkpoints.
+    pub checkpoint_write_ns: u64,
+    /// Durable checkpoints written during the trace (scans whose record
+    /// carries a non-zero checkpoint write time).
+    pub checkpoints: u64,
+    /// Newest durable checkpoint epoch seen in the trace.
+    pub last_checkpoint_epoch: u64,
     /// Cumulative phase times.
     pub totals: PhaseTimes,
     /// Per-phase latency histograms (nanoseconds).
@@ -185,6 +244,10 @@ impl TraceSummary {
             s.partial_batches += r.partial_batches;
             s.batches_rerouted += r.batches_rerouted;
             s.degraded_scans += u64::from(r.degraded);
+            s.journal_append_ns += r.journal_append_ns;
+            s.checkpoint_write_ns += r.checkpoint_write_ns;
+            s.checkpoints += u64::from(r.checkpoint_write_ns > 0);
+            s.last_checkpoint_epoch = s.last_checkpoint_epoch.max(r.checkpoint_epoch);
             s.totals += r.times;
             s.per_phase.record_times(&r.times);
         }
@@ -349,6 +412,13 @@ impl TraceSummary {
             ("partial_batches", Value::U64(self.partial_batches)),
             ("batches_rerouted", Value::U64(self.batches_rerouted)),
             ("degraded_scans", Value::U64(self.degraded_scans)),
+            ("journal_append_ns", Value::U64(self.journal_append_ns)),
+            ("checkpoint_write_ns", Value::U64(self.checkpoint_write_ns)),
+            ("checkpoints", Value::U64(self.checkpoints)),
+            (
+                "last_checkpoint_epoch",
+                Value::U64(self.last_checkpoint_epoch),
+            ),
             ("phases", phases),
             ("hit_ratio_series", series),
         ]);
@@ -410,6 +480,16 @@ impl TraceSummary {
             if self.max_shard_skew > 0.0 {
                 let _ = writeln!(out, "  max shard skew: {:.2}", self.max_shard_skew);
             }
+        }
+        if self.journal_append_ns > 0 || self.checkpoints > 0 {
+            let _ = writeln!(
+                out,
+                "  durability: journal {:.2} ms, {} checkpoints ({:.2} ms), newest epoch {}",
+                self.journal_append_ns as f64 / 1e6,
+                self.checkpoints,
+                self.checkpoint_write_ns as f64 / 1e6,
+                self.last_checkpoint_epoch
+            );
         }
         if self.any_faults() {
             let _ = writeln!(
@@ -535,6 +615,66 @@ mod tests {
         let missing = dir.join(format!("octocache-missing-{}.jsonl", std::process::id()));
         let err = read_jsonl_path(&missing).unwrap_err();
         assert!(err.starts_with("open "), "{err}");
+    }
+
+    #[test]
+    fn read_jsonl_prefix_recovers_records_before_torn_tail() {
+        // Regression for crash-safe traces: a process killed mid-write
+        // leaves N complete lines plus one torn line; the prefix reader
+        // must return the N records and describe the damage.
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &records(3)).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let keep = text.len() - 40; // tear the last record mid-JSON
+        let torn = &text[..keep];
+        let (recs, damage) = read_jsonl_prefix(torn.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs, records(3)[..2]);
+        let damage = damage.expect("torn tail must be reported");
+        assert!(damage.contains("line 3"), "{damage}");
+
+        // A clean stream reports no damage.
+        let mut clean = Vec::new();
+        write_jsonl(&mut clean, &records(3)).unwrap();
+        let (recs, damage) = read_jsonl_prefix(&clean[..]).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert!(damage.is_none());
+
+        // Pure garbage yields zero records plus damage — callers treat
+        // that as "not a trace".
+        let (recs, damage) = read_jsonl_prefix("#garbage#".as_bytes()).unwrap();
+        assert!(recs.is_empty());
+        assert!(damage.is_some());
+    }
+
+    #[test]
+    fn summary_aggregates_durability_fields() {
+        let mut recs = records(6);
+        for r in recs.iter_mut() {
+            r.journal_append_ns = 1_000;
+        }
+        recs[2].checkpoint_write_ns = 500_000;
+        recs[2].checkpoint_epoch = 2;
+        recs[5].checkpoint_write_ns = 700_000;
+        recs[5].checkpoint_epoch = 5;
+        let s = TraceSummary::from_records(&recs);
+        assert_eq!(s.journal_append_ns, 6_000);
+        assert_eq!(s.checkpoint_write_ns, 1_200_000);
+        assert_eq!(s.checkpoints, 2);
+        assert_eq!(s.last_checkpoint_epoch, 5);
+        let text = s.render();
+        assert!(text.contains("durability: journal"), "{text}");
+        assert!(text.contains("2 checkpoints"), "{text}");
+        // Non-durable traces render no durability line.
+        let plain = TraceSummary::from_records(&records(4));
+        assert!(!plain.render().contains("durability:"));
+        // And the JSON payload carries the counters.
+        let v: serde::Value = serde::json::from_str(&s.to_json()).unwrap();
+        assert_eq!(v.get("checkpoints").and_then(serde::Value::as_u64), Some(2));
+        assert_eq!(
+            v.get("journal_append_ns").and_then(serde::Value::as_u64),
+            Some(6_000)
+        );
     }
 
     #[test]
