@@ -13,7 +13,9 @@
 
 use octocache::pipeline::RayTracer;
 use octocache::{MappingSystem, ParallelOctoCache, QueryHandle};
-use octocache_bench::{cache_for, grid, load_dataset, print_table, reference_resolution};
+use octocache_bench::{
+    cache_for, cache_with, grid, load_dataset, print_table, reference_resolution, scenario_smoke,
+};
 use octocache_datasets::Dataset;
 use octocache_geom::VoxelKey;
 use octocache_octomap::OccupancyParams;
@@ -101,6 +103,17 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_query.json".to_string());
+
+    // Shared-scenario smoke check (same seeded generator as the
+    // integration suites) before committing minutes to the sweep.
+    let smoke = scenario_smoke(Box::new(ParallelOctoCache::with_workers(
+        grid(0.5),
+        OccupancyParams::default(),
+        cache_with(1 << 7, 2),
+        RayTracer::Standard,
+        2,
+    )));
+    println!("# scenario smoke checksum {smoke:#018x}");
 
     let dataset = Dataset::Fr079Corridor;
     let seq = load_dataset(dataset);

@@ -10,7 +10,8 @@
 use octocache::pipeline::RayTracer;
 use octocache::{MappingSystem, ParallelOctoCache};
 use octocache_bench::{
-    cache_for, construct, grid, load_dataset, print_table, reference_resolution,
+    cache_for, cache_with, construct, grid, load_dataset, print_table, reference_resolution,
+    scenario_smoke,
 };
 use octocache_datasets::Dataset;
 use octocache_octomap::OccupancyParams;
@@ -91,6 +92,17 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_workers.json".to_string());
+
+    // Shared-scenario smoke check (same seeded generator as the
+    // integration suites) before committing minutes to the sweep.
+    let smoke = scenario_smoke(Box::new(ParallelOctoCache::with_workers(
+        grid(0.5),
+        OccupancyParams::default(),
+        cache_with(1 << 7, 2),
+        RayTracer::Standard,
+        2,
+    )));
+    println!("# scenario smoke checksum {smoke:#018x}");
 
     let mut runs: Vec<Run> = Vec::new();
     let mut rows = Vec::new();

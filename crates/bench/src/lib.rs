@@ -213,6 +213,24 @@ fn leak_label(name: String) -> &'static str {
     Box::leak(name.into_boxed_str())
 }
 
+/// Replays the shared seeded blob-walk scenario (the exact generator the
+/// cross-backend differential and golden-checksum suites use, from
+/// [`octocache_datasets::scenario`]) through `backend` and returns the
+/// resulting leaf checksum. Bench bins run this once before a sweep: a
+/// broken build fails fast instead of producing a table of garbage
+/// numbers, and the bench and test workload distributions stay in sync by
+/// construction.
+pub fn scenario_smoke(mut backend: Box<dyn MappingSystem>) -> u64 {
+    let seq = octocache_datasets::scenario::blob_walk_sequence(0);
+    for scan in seq.scans() {
+        backend
+            .insert_scan(scan.origin, &scan.points, seq.max_range())
+            .expect("scenario scan within grid");
+    }
+    backend.finish();
+    backend.take_tree().leaf_checksum()
+}
+
 /// Formats a `Duration` as seconds with 3 decimals.
 pub fn secs(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64())

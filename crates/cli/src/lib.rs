@@ -23,7 +23,9 @@
 //!   cache-residency, per-octant and bucket-heatmap analytics over a
 //!   recorded event stream, plus a Chrome Trace Event Format export
 //!   loadable in `chrome://tracing` or Perfetto.
-//! * `info <map>` — structural statistics of a serialised map.
+//! * `info <map>` — structural statistics of a serialised map, plus an
+//!   `engine` line (executor, workers, tree layout, config digest)
+//!   identifying the execution configuration the backend flags select.
 //! * `query <map> [<x> <y> <z>] [--ray O:D] [--batch points.txt]
 //!   [--box MIN:MAX]` — read queries answered through the snapshot query
 //!   engine ([`octocache::MapSnapshot`]): point occupancy, ray casting,
@@ -160,7 +162,7 @@ USAGE:
   octocache build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T] [--workers N] [--tree-layout pointer|arena] [--format ot|bt] [--trace out.jsonl] [--events out.jsonl] [--strict] [--fault SPEC] [--journal DIR] [--checkpoint-every N]
   octocache report <trace.jsonl> [--json]
   octocache analyze <events.jsonl> [--trace-out trace.json]
-  octocache info <map>
+  octocache info <map> [--backend B] [--workers N] [--buckets N] [--tau T] [--tree-layout pointer|arena]
   octocache query <map> [<x> <y> <z>] [--ray OX,OY,OZ:DX,DY,DZ] [--max-range R] [--ignore-unknown] [--batch points.txt] [--box MINX,MINY,MINZ:MAXX,MAXY,MAXZ]
   octocache diff <map_a> <map_b>
   octocache recover <journal-dir> [<out.map>] [--tree-layout pointer|arena] [--format ot|bt]
@@ -743,9 +745,9 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_info(args: &[String]) -> Result<String, CliError> {
-    let (pos, _) = parse_flags(args)?;
+    let (pos, flags) = parse_flags(args)?;
     let [path] = pos.as_slice() else {
-        return Err("usage: info <map>".into());
+        return Err("usage: info <map> [--backend B] [--workers N] [--buckets N] [--tau T] [--tree-layout pointer|arena]".into());
     };
     let tree = load_map(path)?;
     let mut out = String::new();
@@ -755,12 +757,77 @@ fn cmd_info(args: &[String]) -> Result<String, CliError> {
     let _ = writeln!(out, "  nodes: {}", tree.num_nodes());
     let _ = writeln!(out, "  leaves: {}", tree.num_leaves());
     let _ = writeln!(out, "  occupied voxels: {}", tree.occupied_voxel_count());
-    let _ = write!(
+    let _ = writeln!(
         out,
         "  memory: {:.1} KiB",
         tree.memory_usage() as f64 / 1024.0
     );
+    let _ = write!(out, "  engine: {}", engine_line(&flags)?);
     Ok(out)
+}
+
+/// Describes the scan-lifecycle engine a `build` with the same flags would
+/// run: the executor driven by `core::engine`, its worker count, the octree
+/// storage layout and the cache-geometry digest — enough for a trace or a
+/// bug report to pin down the exact execution configuration. Flags and
+/// defaults mirror `cmd_build`.
+fn engine_line(flags: &[(&str, &str)]) -> Result<String, CliError> {
+    let backend_name = flag(flags, "backend").unwrap_or("serial");
+    let executor = match backend_name {
+        "octomap" | "octomap-rt" => "BaselineExecutor",
+        "serial" | "serial-rt" => "SerialExecutor",
+        "parallel" | "parallel-rt" => "ParallelExecutor",
+        other => {
+            return Err(CliError::Usage(format!(
+            "unknown backend `{other}` (octomap|octomap-rt|serial|serial-rt|parallel|parallel-rt)"
+        )))
+        }
+    };
+    let workers = match flag(flags, "workers") {
+        Some(s) => {
+            let n = parse_usize(s, "--workers")?;
+            if !matches!(n, 1 | 2 | 4 | 8) {
+                return Err(CliError::Usage(format!(
+                    "--workers must be 1, 2, 4 or 8, got {n}"
+                )));
+            }
+            if !matches!(backend_name, "parallel" | "parallel-rt") {
+                return Err(CliError::Usage(format!(
+                    "--workers only applies to the parallel backends, not `{backend_name}`"
+                )));
+            }
+            n
+        }
+        None => 1,
+    };
+    let buckets = match flag(flags, "buckets") {
+        Some(s) => parse_usize(s, "--buckets")?,
+        None => 1 << 14,
+    };
+    let tau = match flag(flags, "tau") {
+        Some(s) => parse_usize(s, "--tau")?,
+        None => 4,
+    };
+    let mut cache_builder = CacheConfig::builder();
+    cache_builder
+        .num_buckets(buckets.next_power_of_two())
+        .tau(tau);
+    let layout = match flag(flags, "tree-layout") {
+        Some(s) => {
+            let layout: TreeLayout = s
+                .parse()
+                .map_err(|e: octocache::ParseLayoutError| CliError::Usage(e.to_string()))?;
+            cache_builder.tree_layout(layout);
+            layout
+        }
+        None => TreeLayout::default_from_env(),
+    };
+    let cache = cache_builder.build().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "executor={executor} workers={workers} tree-layout={} config-digest={:016x}",
+        layout.name(),
+        cache.digest()
+    ))
 }
 
 /// Parses `X,Y,Z` into a point.
@@ -1019,6 +1086,45 @@ mod tests {
         let info = run(&s(&["info", &map_a])).unwrap();
         assert!(info.contains("nodes:"), "{info}");
         assert!(info.contains("resolution: 0.4"), "{info}");
+        // Default engine description: serial executor, one worker, and a
+        // config digest pinning the cache geometry.
+        assert!(
+            info.contains("engine: executor=SerialExecutor workers=1"),
+            "{info}"
+        );
+        assert!(info.contains("config-digest="), "{info}");
+
+        // The engine line mirrors `build`'s backend flags.
+        let info_par = run(&s(&[
+            "info",
+            &map_a,
+            "--backend",
+            "parallel",
+            "--workers",
+            "4",
+        ]))
+        .unwrap();
+        assert!(
+            info_par.contains("engine: executor=ParallelExecutor workers=4"),
+            "{info_par}"
+        );
+        let info_arena = run(&s(&["info", &map_a, "--tree-layout", "arena"])).unwrap();
+        assert!(info_arena.contains("tree-layout=arena"), "{info_arena}");
+        // Same geometry, same digest — regardless of backend choice.
+        let digest = |out: &str| {
+            out.split("config-digest=")
+                .nth(1)
+                .unwrap()
+                .trim()
+                .to_string()
+        };
+        assert_eq!(digest(&info), digest(&info_par));
+        // Different cache geometry changes the digest.
+        let info_big = run(&s(&["info", &map_a, "--buckets", "32768"])).unwrap();
+        assert_ne!(digest(&info), digest(&info_big));
+        // `--workers` stays parallel-only, as in `build`.
+        let err = run(&s(&["info", &map_a, "--workers", "4"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
 
         // A corridor interior point is free.
         let q = run(&s(&["query", &map_a, "1.0", "0.0", "1.4"])).unwrap();

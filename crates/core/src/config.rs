@@ -277,6 +277,21 @@ impl CacheConfig {
     pub fn resident_bytes(&self) -> usize {
         std::mem::size_of::<crate::cache::EvictedCell>() * self.capacity_after_eviction()
     }
+
+    /// A short, stable digest of the cache geometry (FNV-1a over the
+    /// serialised form), for labelling runs — the CLI `info` command prints
+    /// it on its `engine:` line. Runtime-only knobs that are never
+    /// serialised ([`CacheConfig::fault_plan`], [`CacheConfig::events`]) do
+    /// not contribute, so two runs with the same geometry share a digest.
+    pub fn digest(&self) -> u64 {
+        let json = serde::json::to_string(self);
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in json.as_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
 }
 
 /// Builder for [`CacheConfig`]. Created by [`CacheConfig::builder`].
@@ -536,6 +551,33 @@ mod tests {
         // the serialised cache geometry.
         let back: CacheConfig = serde::json::from_str(&serde::json::to_string(&c)).unwrap();
         assert!(!back.events());
+    }
+
+    #[test]
+    fn digest_tracks_geometry_not_runtime_knobs() {
+        let base = CacheConfig::builder()
+            .num_buckets(64)
+            .tau(2)
+            .build()
+            .unwrap();
+        // Deterministic for equal geometry.
+        assert_eq!(base.digest(), base.digest());
+        // Geometry changes move the digest.
+        let other = CacheConfig::builder()
+            .num_buckets(128)
+            .tau(2)
+            .build()
+            .unwrap();
+        assert_ne!(base.digest(), other.digest());
+        // Never-serialised knobs do not.
+        let with_knobs = CacheConfig::builder()
+            .num_buckets(64)
+            .tau(2)
+            .events(true)
+            .fault_plan(FaultPlan::from_seed(1))
+            .build()
+            .unwrap();
+        assert_eq!(base.digest(), with_knobs.digest());
     }
 
     #[test]

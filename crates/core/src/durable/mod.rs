@@ -70,8 +70,7 @@ use std::time::Instant;
 use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
 use octocache_octomap::stats::StatsSnapshot;
 use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams, TreeLayout};
-use octocache_telemetry::{EventLog, PhaseHistograms, PhaseTimes, Recorder, ScanRecord};
-use parking_lot::Mutex;
+use octocache_telemetry::{EventLog, PhaseHistograms, PhaseTimes, Recorder};
 
 use crate::cache::CacheStats;
 use crate::config::CacheConfig;
@@ -328,40 +327,6 @@ fn recover_internal(
     Ok((tree, report, header, contents.valid_bytes))
 }
 
-/// Latencies of the durable work done for the scan currently being
-/// inserted, read by the recorder interceptor when the inner backend emits
-/// its [`ScanRecord`].
-#[derive(Debug, Default, Clone, Copy)]
-struct PendingDurable {
-    journal_append_ns: u64,
-    checkpoint_write_ns: u64,
-    checkpoint_epoch: u64,
-}
-
-/// Stamps the durable latency fields onto every [`ScanRecord`] the wrapped
-/// backend records, then forwards to the user's recorder.
-struct DurableRecorder {
-    inner: Box<dyn Recorder>,
-    pending: Arc<Mutex<PendingDurable>>,
-}
-
-impl Recorder for DurableRecorder {
-    fn record_scan(&mut self, record: &ScanRecord) {
-        let mut stamped = record.clone();
-        {
-            let p = self.pending.lock();
-            stamped.journal_append_ns = p.journal_append_ns;
-            stamped.checkpoint_write_ns = p.checkpoint_write_ns;
-            stamped.checkpoint_epoch = p.checkpoint_epoch;
-        }
-        self.inner.record_scan(&stamped);
-    }
-
-    fn flush(&mut self) {
-        self.inner.flush();
-    }
-}
-
 /// A [`MappingSystem`] wrapper that makes any backend durable: scans are
 /// journaled before they are applied, checkpoints are written periodically
 /// from the backend's lock-free [`MapSnapshot`], and
@@ -381,7 +346,6 @@ pub struct DurableMap {
     epoch: u64,
     last_checkpoint: u64,
     stats: DurableStats,
-    pending: Arc<Mutex<PendingDurable>>,
     seal_error: Option<DurableError>,
 }
 
@@ -463,7 +427,6 @@ impl DurableMap {
             epoch: 0,
             last_checkpoint: 0,
             stats: DurableStats::default(),
-            pending: Arc::new(Mutex::new(PendingDurable::default())),
             seal_error: None,
         })
     }
@@ -505,7 +468,6 @@ impl DurableMap {
                 last_checkpoint_epoch: report.checkpoint_epoch.unwrap_or(0),
                 ..DurableStats::default()
             },
-            pending: Arc::new(Mutex::new(PendingDurable::default())),
             seal_error: None,
         };
         Ok((map, report))
@@ -603,12 +565,10 @@ impl MappingSystem for DurableMap {
         self.stats.journal_records += 1;
         self.stats.journal_bytes += bytes;
         self.stats.journal_append_ns += journal_ns;
-        {
-            let mut p = self.pending.lock();
-            p.journal_append_ns = journal_ns;
-            p.checkpoint_write_ns = checkpoint_ns;
-            p.checkpoint_epoch = self.last_checkpoint;
-        }
+        // Stamp this scan's durable latencies onto the inner engine; the
+        // engine folds them into the record it assembles for this scan.
+        self.inner
+            .stamp_durable(journal_ns, checkpoint_ns, self.last_checkpoint);
         self.inner.insert_scan(origin, cloud, max_range)
     }
 
@@ -638,10 +598,7 @@ impl MappingSystem for DurableMap {
     }
 
     fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
-        self.inner.set_recorder(Box::new(DurableRecorder {
-            inner: recorder,
-            pending: Arc::clone(&self.pending),
-        }));
+        self.inner.set_recorder(recorder);
     }
 
     fn phase_histograms(&self) -> Option<&PhaseHistograms> {

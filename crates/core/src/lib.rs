@@ -51,6 +51,7 @@
 pub mod cache;
 mod config;
 pub mod durable;
+pub mod engine;
 pub mod fault;
 pub mod locality;
 pub mod parallel;
@@ -64,6 +65,7 @@ pub mod spsc;
 pub use cache::{AdaptiveController, AdaptivePolicy, CacheStats, EvictedCell, VoxelCache};
 pub use config::{CacheConfig, CacheConfigBuilder, ConfigError, EvictionOrder, IndexPolicy};
 pub use durable::{DurableError, DurableMap, DurableStats, IoFaultPlan, KillPoint, RecoveryReport};
+pub use engine::{Engine, FlushTimes, ScanExecutor, ScanOutput};
 pub use fault::{FaultCounters, FaultPlan, Integrity, PipelineError};
 pub use parallel::{ParallelOctoCache, ShardView};
 pub use pipeline::MappingSystem;

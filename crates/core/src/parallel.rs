@@ -26,9 +26,9 @@
 //! next batch's ray tracing). Queries therefore always execute when the
 //! shared buffers are empty: everything evicted earlier has been applied to
 //! the shards, and everything newer is in the cache. To expose the same
-//! guarantee through a call-based API, [`ParallelOctoCache::insert_scan`]
-//! **defers the eviction of the just-inserted batch to the start of the next
-//! call**:
+//! guarantee through a call-based API, the parallel executor's scan path
+//! ([`MappingSystem::insert_scan`] on [`ParallelOctoCache`]) **defers the
+//! eviction of the just-inserted batch to the start of the next call**:
 //!
 //! 1. evict the previous batch, route it by octant, enqueue per worker,
 //! 2. ray-trace the new scan — concurrently with the workers' updates,
@@ -48,19 +48,16 @@ use std::time::{Duration, Instant};
 use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
 use octocache_octomap::stats::StatsSnapshot;
 use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams, TreeLayout};
-use octocache_telemetry::{
-    EventBuffer, EventKind, EventLog, EventSink, PhaseHistograms, PhaseTimes, Recorder, ScanRecord,
-    Telemetry,
-};
+use octocache_telemetry::{EventBuffer, EventKind, EventLog, EventSink, PhaseTimes, ScanMetrics};
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::cache::{CacheStats, EvictedCell, VoxelCache};
 use crate::config::CacheConfig;
+use crate::engine::{self, Engine, FlushTimes, ScanExecutor, ScanOutput};
 #[cfg(any(test, feature = "fault-injection"))]
 use crate::fault::FaultPlan;
 use crate::fault::{FaultCounters, Integrity, PipelineError};
-use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
-use crate::query::{BatchStats, PublishStats, QueryHandle, SnapshotPublisher};
+use crate::pipeline::{MappingSystem, RayTracer};
 use crate::routing::{self, OctantRouter};
 use crate::spsc::{self, Backoff, Producer};
 
@@ -138,12 +135,20 @@ struct Worker {
 const QUEUE_CAPACITY: usize = 1 << 12;
 
 /// The parallel OctoCache mapping system: one mapping thread plus N
-/// octree-update workers over octant shards.
+/// octree-update workers over octant shards, run through the shared
+/// scan-lifecycle [`Engine`].
 ///
 /// See the [module docs](self) for the phase ordering; the public API is the
 /// same [`MappingSystem`] as every other backend.
+pub type ParallelOctoCache = Engine<ParallelExecutor>;
+
+/// The parallel scan-execution strategy behind [`ParallelOctoCache`]: the
+/// voxel cache, the octant router and the N-worker octree pipeline,
+/// including all fault detection and degraded-mode machinery. The scan
+/// lifecycle around it (telemetry sequencing, snapshot republish, record
+/// assembly) lives in the [`Engine`].
 #[derive(Debug)]
-pub struct ParallelOctoCache {
+pub struct ParallelExecutor {
     cache: VoxelCache,
     workers: Vec<Worker>,
     router: OctantRouter,
@@ -165,16 +170,15 @@ pub struct ParallelOctoCache {
     /// Deadline for every producer-side bounded wait
     /// ([`CacheConfig::stall_timeout`]).
     stall_timeout: Duration,
-    /// Cumulative fault counters ([`ParallelOctoCache::fault_counters`]).
+    /// Cumulative fault counters (`fault_counters`).
     faults: FaultCounters,
     /// Counter values already attributed to recorded scans.
     faults_reported: FaultCounters,
-    /// Map-consistency verdict ([`ParallelOctoCache::integrity`]).
+    /// Map-consistency verdict (`integrity`).
     integrity: Integrity,
     /// First pipeline fault observed during the current scan, surfaced by
-    /// `insert_scan` exactly once.
+    /// `insert_scan` exactly once ([`ScanOutput::deferred`]).
     scan_error: Option<PipelineError>,
-    telemetry: Telemetry,
     /// Summed shard counters at the end of the previous scan, for per-scan
     /// deltas.
     last_tree_stats: StatsSnapshot,
@@ -182,11 +186,9 @@ pub struct ParallelOctoCache {
     /// Lane 0 (the producer) is the cache's buffer; worker `i` owns lane
     /// `i + 1` and drains per batch.
     event_sink: Option<Arc<EventSink>>,
-    /// Armed lazily by the first [`MappingSystem::query_handle`] call.
-    publisher: Option<SnapshotPublisher>,
 }
 
-/// What [`ParallelOctoCache::evict_and_enqueue`] produced.
+/// What `evict_and_enqueue` produced.
 ///
 /// Back-pressure — waiting for a worker to make room in a full queue — is
 /// reported separately from the enqueue cost proper, matching the paper's
@@ -205,7 +207,7 @@ struct EnqueueOutcome {
 }
 
 /// A consistent read view over every octree shard, returned by
-/// [`ParallelOctoCache::with_tree`]: all shard mutexes are held for the
+/// `ParallelOctoCache::with_tree`: all shard mutexes are held for the
 /// view's lifetime, and point queries route through the same
 /// [`OctantRouter`] the writers use.
 pub struct ShardView<'a> {
@@ -664,12 +666,11 @@ impl ParallelOctoCache {
                 }
             })
             .collect();
-        let backend = Self::backend_name(ray_tracer, num_workers);
         let mut cache = VoxelCache::new(config, params);
         if let Some(sink) = &event_sink {
             cache.attach_events(sink.buffer(0));
         }
-        ParallelOctoCache {
+        Engine::from_executor(ParallelExecutor {
             cache,
             workers,
             router,
@@ -685,42 +686,29 @@ impl ParallelOctoCache {
             faults_reported: FaultCounters::default(),
             integrity,
             scan_error: None,
-            telemetry: Telemetry::new(backend),
             last_tree_stats: StatsSnapshot::default(),
             event_sink,
-            publisher: None,
-        }
-    }
-
-    /// The backend display name: `octocache-parallel[-rt][xN]` (the `xN`
-    /// suffix only for N > 1, so the single-worker layout keeps its
-    /// historical name).
-    fn backend_name(ray_tracer: RayTracer, num_workers: usize) -> String {
-        let mut name = format!("octocache-parallel{}", ray_tracer.suffix());
-        if num_workers > 1 {
-            name.push_str(&format!("x{num_workers}"));
-        }
-        name
+        })
     }
 
     /// The cache layer.
     pub fn cache(&self) -> &VoxelCache {
-        &self.cache
+        &self.exec.cache
     }
 
     /// Cache behaviour counters.
     pub fn cache_stats(&self) -> &CacheStats {
-        self.cache.stats()
+        self.exec.cache.stats()
     }
 
     /// Number of octree-update workers (= octree shards).
     pub fn num_workers(&self) -> usize {
-        self.workers.len()
+        self.exec.workers.len()
     }
 
     /// Workers still in rotation (alive and feeding their own shard).
     pub fn live_workers(&self) -> usize {
-        self.workers.iter().filter(|w| w.failed.is_none()).count()
+        self.exec.live_workers()
     }
 
     /// The map-consistency verdict after any faults. [`Integrity::Degraded`]
@@ -728,12 +716,12 @@ impl ParallelOctoCache {
     /// the serial backend would hold; [`Integrity::Compromised`] means it
     /// may have diverged.
     pub fn integrity(&self) -> Integrity {
-        self.integrity
+        self.exec.integrity
     }
 
     /// Cumulative fault and degraded-mode counters.
     pub fn fault_counters(&self) -> FaultCounters {
-        self.faults
+        self.exec.faults
     }
 
     /// Runs `f` with shared access to the backing octree shards (every
@@ -742,10 +730,10 @@ impl ParallelOctoCache {
     /// tree.
     pub fn with_tree<R>(&self, f: impl FnOnce(&ShardView<'_>) -> R) -> R {
         let view = ShardView {
-            guards: self.workers.iter().map(|w| w.tree.lock()).collect(),
-            router: self.router,
-            grid: self.grid,
-            params: self.params,
+            guards: self.exec.workers.iter().map(|w| w.tree.lock()).collect(),
+            router: self.exec.router,
+            grid: self.exec.grid,
+            params: self.exec.params,
         };
         f(&view)
     }
@@ -755,34 +743,25 @@ impl ParallelOctoCache {
     /// top-level octant groups, so the merge is structural.
     pub fn into_tree(mut self) -> OccupancyOcTree {
         self.finish();
-        self.shutdown_workers();
-        let grid = self.grid;
-        let params = self.params;
-        let layout = self.layout;
-        let workers = std::mem::take(&mut self.workers);
-        drop(self); // drops producers & our Arc clones
-        let mut trees = workers.into_iter().map(|w| match Arc::try_unwrap(w.tree) {
-            Ok(mutex) => mutex.into_inner(),
-            // A wedged (unjoinable) worker still holds an Arc clone; take
-            // its shard without risking a hang on its mutex. The map was
-            // already flagged Compromised when the worker wedged.
-            Err(arc) => match arc.try_lock() {
-                Some(mut guard) => std::mem::replace(
-                    &mut *guard,
-                    OccupancyOcTree::with_layout(grid, params, layout),
-                ),
-                None => OccupancyOcTree::with_layout(grid, params, layout),
-            },
-        });
-        let first = trees
-            .next()
-            .unwrap_or_else(|| OccupancyOcTree::with_layout(grid, params, layout));
-        trees.fold(first, |mut merged, tree| {
-            merged
-                .merge_disjoint_top_level(&tree)
-                .expect("workers partition key space disjointly");
-            merged
-        })
+        self.exec.take_tree()
+    }
+}
+
+/// The backend display name: `octocache-parallel[-rt][xN]` (the `xN`
+/// suffix only for N > 1, so the single-worker layout keeps its
+/// historical name).
+fn backend_name(ray_tracer: RayTracer, num_workers: usize) -> String {
+    let mut name = format!("octocache-parallel{}", ray_tracer.suffix());
+    if num_workers > 1 {
+        name.push_str(&format!("x{num_workers}"));
+    }
+    name
+}
+
+impl ParallelExecutor {
+    /// Workers still in rotation (alive and feeding their own shard).
+    fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.failed.is_none()).count()
     }
 
     /// Waits (bounded) until every live worker has applied every batch
@@ -793,7 +772,7 @@ impl ParallelOctoCache {
     fn wait_for_workers(&mut self) {
         let n = self.workers.len();
         let stall_timeout = self.stall_timeout;
-        let ParallelOctoCache {
+        let ParallelExecutor {
             workers,
             route_bufs,
             evict_buf,
@@ -846,7 +825,7 @@ impl ParallelOctoCache {
         let mut shard_sizes = vec![0u64; n];
 
         if n > 1 {
-            let ParallelOctoCache {
+            let ParallelExecutor {
                 route_bufs,
                 evict_buf,
                 router,
@@ -862,7 +841,7 @@ impl ParallelOctoCache {
 
         let count = self.evict_buf.len();
         let stall_timeout = self.stall_timeout;
-        let ParallelOctoCache {
+        let ParallelExecutor {
             cache,
             workers,
             route_bufs,
@@ -1016,45 +995,6 @@ impl ParallelOctoCache {
         times
     }
 
-    /// Builds a self-contained read tree: every shard merged (structural,
-    /// disjoint octant groups) with the cache's accumulated values overlaid
-    /// on top. Called between scans, when all queues are drained and the
-    /// shard mutexes are free; a wedged worker's shard is skipped via
-    /// `try_lock` (matching the degraded [`MappingSystem::occupancy`] path —
-    /// the map is already [`Integrity::Compromised`] by then).
-    fn snapshot_tree(&self) -> OccupancyOcTree {
-        let mut merged = OccupancyOcTree::with_layout(self.grid, self.params, self.layout);
-        for w in &self.workers {
-            let guard = if w.failed.is_some() {
-                w.tree.try_lock()
-            } else {
-                Some(w.tree.lock())
-            };
-            if let Some(g) = guard {
-                merged
-                    .merge_disjoint_top_level(&g)
-                    .expect("workers partition key space disjointly");
-            }
-        }
-        for cell in self.cache.iter() {
-            merged.set_node_log_odds(cell.key, cell.log_odds);
-        }
-        merged
-    }
-
-    /// Republishes the read snapshot when a publisher is armed.
-    fn republish(&mut self, scans: u64) -> (Option<PublishStats>, BatchStats) {
-        match self.publisher.take() {
-            Some(mut p) => {
-                let stats = p.publish_with(scans, || self.snapshot_tree());
-                let batch = p.take_batch_stats();
-                self.publisher = Some(p);
-                (Some(stats), batch)
-            }
-            None => (None, BatchStats::default()),
-        }
-    }
-
     /// Sums the instrumentation counters of every shard (locking each; a
     /// wedged worker's shard is skipped rather than risking a hang).
     fn summed_tree_stats(&self) -> StatsSnapshot {
@@ -1073,23 +1013,24 @@ impl ParallelOctoCache {
     }
 }
 
-impl MappingSystem for ParallelOctoCache {
-    fn name(&self) -> String {
-        Self::backend_name(self.ray_tracer, self.workers.len())
+impl ScanExecutor for ParallelExecutor {
+    fn backend_name(&self) -> String {
+        backend_name(self.ray_tracer, self.workers.len())
     }
 
     fn grid(&self) -> &VoxelGrid {
         &self.grid
     }
 
-    fn insert_scan(
+    fn execute_scan(
         &mut self,
         origin: Point3,
         cloud: &[Point3],
         max_range: f64,
-    ) -> Result<ScanReport, PipelineError> {
+        scan_seq: u64,
+        metrics: &mut ScanMetrics,
+    ) -> Result<ScanOutput, PipelineError> {
         let cache_before = *self.cache.stats();
-        let scan_seq = self.telemetry.scans();
         if let Some(buf) = self.cache.events_mut() {
             buf.set_scan(scan_seq);
         }
@@ -1174,20 +1115,9 @@ impl MappingSystem for ParallelOctoCache {
         // construction-time spawn failures, which land on scan 0).
         let fault_delta = self.faults.since(&self.faults_reported);
         self.faults_reported = self.faults;
-        let scans_done = self.telemetry.scans() + 1;
-        let (publish, snapshot_batch) = self.republish(scans_done);
-        self.telemetry.record(ScanRecord {
+        *metrics = ScanMetrics {
             times,
             observations: observations as u64,
-            cache_hits: cache_delta.hits,
-            cache_misses: cache_delta.misses,
-            cache_insertions: cache_delta.insertions,
-            cache_evictions: cache_delta.evictions,
-            octree_node_visits: tree_delta.node_visits,
-            octree_leaf_updates: tree_delta.leaf_updates,
-            octree_nodes_created: tree_delta.nodes_created,
-            memory_bytes,
-            tree_layout: self.layout.name().to_string(),
             queue_depth_enqueue: enq.queue_depths.iter().copied().max().unwrap_or(0),
             queue_depth_dequeue: self
                 .workers
@@ -1207,28 +1137,24 @@ impl MappingSystem for ParallelOctoCache {
             partial_batches: fault_delta.partial_batches,
             batches_rerouted: fault_delta.batches_rerouted,
             degraded: self.integrity.is_degraded(),
-            snapshot_publish_ns: publish.map_or(0, |p| p.latency.as_nanos() as u64),
-            snapshot_age_ns: publish.map_or(0, |p| p.replaced_age.as_nanos() as u64),
-            batch_queries: snapshot_batch.queries,
-            batch_nodes_visited: snapshot_batch.nodes_visited,
-            batch_nodes_reused: snapshot_batch.nodes_reused,
             ..Default::default()
-        });
+        };
+        engine::stamp_cache_delta(metrics, &cache_delta);
+        engine::stamp_tree_delta(metrics, &tree_delta);
+        engine::stamp_tree_shape(metrics, memory_bytes, self.layout.name());
 
         if let Some(buf) = self.cache.events_mut() {
             buf.drain();
         }
 
-        // Surface the first fault of this scan exactly once; the map state
-        // behind it is described by `integrity()`.
-        if let Some(err) = self.scan_error.take() {
-            return Err(err);
-        }
-        Ok(ScanReport {
-            times,
-            observations,
+        // A fault that degraded (but did not abort) this scan is deferred:
+        // the engine records the scan, republishes, and then surfaces it
+        // exactly once; the map state behind it is described by
+        // `integrity`.
+        Ok(ScanOutput {
             cache_hits: cache_delta.hits,
             octree_updates: enq.count,
+            deferred: self.scan_error.take(),
         })
     }
 
@@ -1252,7 +1178,7 @@ impl MappingSystem for ParallelOctoCache {
         self.occupancy(key).map(|l| params.is_occupied(l))
     }
 
-    fn finish(&mut self) -> PhaseTimes {
+    fn flush(&mut self) -> FlushTimes {
         // Flush the pending eviction batch, and wait it out so the retained
         // copy stays valid for the whole batch (one batch in flight at a
         // time is what makes dead-worker re-application exact).
@@ -1277,26 +1203,20 @@ impl MappingSystem for ParallelOctoCache {
             ..Default::default()
         };
         // The final flush belongs to no scan: fold its thread-1 times and
-        // the worker time it triggered into the totals only.
-        let with_worker = times + self.take_worker_delta().0;
-        self.telemetry.add_times(with_worker);
-        self.telemetry.flush();
+        // the worker time it triggered into the totals only (`recorded`),
+        // never into what the `finish` caller gets back.
+        let recorded = times + self.take_worker_delta().0;
         if let Some(buf) = self.cache.events_mut() {
             buf.drain();
         }
-        times
+        FlushTimes {
+            returned: times,
+            recorded,
+        }
     }
 
-    fn phase_times(&self) -> PhaseTimes {
-        self.telemetry.totals() + self.worker_residual()
-    }
-
-    fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
-        self.telemetry.set_recorder(recorder);
-    }
-
-    fn phase_histograms(&self) -> Option<&PhaseHistograms> {
-        Some(self.telemetry.histograms())
+    fn residual_times(&self) -> PhaseTimes {
+        self.worker_residual()
     }
 
     fn cache_stats(&self) -> Option<CacheStats> {
@@ -1315,19 +1235,28 @@ impl MappingSystem for ParallelOctoCache {
         self.faults
     }
 
-    fn query_handle(&mut self) -> QueryHandle {
-        if self.publisher.is_none() {
-            let scans = self.telemetry.scans();
-            self.publisher = Some(SnapshotPublisher::new(self.snapshot_tree(), scans));
+    /// Builds a self-contained read tree: every shard merged (structural,
+    /// disjoint octant groups) with the cache's accumulated values overlaid
+    /// on top. Called between scans, when all queues are drained and the
+    /// shard mutexes are free; a wedged worker's shard is skipped via
+    /// `try_lock` (matching the degraded [`MappingSystem::occupancy`] path —
+    /// the map is already [`Integrity::Compromised`] by then).
+    fn snapshot_tree(&self) -> OccupancyOcTree {
+        let mut merged = OccupancyOcTree::with_layout(self.grid, self.params, self.layout);
+        for w in &self.workers {
+            let guard = if w.failed.is_some() {
+                w.tree.try_lock()
+            } else {
+                Some(w.tree.lock())
+            };
+            if let Some(g) = guard {
+                merged
+                    .merge_disjoint_top_level(&g)
+                    .expect("workers partition key space disjointly");
+            }
         }
-        self.publisher
-            .as_ref()
-            .expect("publisher armed above")
-            .handle()
-    }
-
-    fn take_tree(self: Box<Self>) -> OccupancyOcTree {
-        (*self).into_tree()
+        engine::overlay_cache(&mut merged, &self.cache);
+        merged
     }
 
     fn take_events(&mut self) -> Option<EventLog> {
@@ -1339,9 +1268,43 @@ impl MappingSystem for ParallelOctoCache {
         }
         self.event_sink.as_ref().map(|s| s.take())
     }
+
+    /// Shuts the workers down and merges the shards (the engine has already
+    /// flushed the cache through [`ScanExecutor::flush`]). Shards populate
+    /// disjoint top-level octant groups, so the merge is structural.
+    fn take_tree(mut self) -> OccupancyOcTree {
+        self.shutdown_workers();
+        let grid = self.grid;
+        let params = self.params;
+        let layout = self.layout;
+        let workers = std::mem::take(&mut self.workers);
+        drop(self); // drops the producers & our Arc clones
+        let mut trees = workers.into_iter().map(|w| match Arc::try_unwrap(w.tree) {
+            Ok(mutex) => mutex.into_inner(),
+            // A wedged (unjoinable) worker still holds an Arc clone; take
+            // its shard without risking a hang on its mutex. The map was
+            // already flagged Compromised when the worker wedged.
+            Err(arc) => match arc.try_lock() {
+                Some(mut guard) => std::mem::replace(
+                    &mut *guard,
+                    OccupancyOcTree::with_layout(grid, params, layout),
+                ),
+                None => OccupancyOcTree::with_layout(grid, params, layout),
+            },
+        });
+        let first = trees
+            .next()
+            .unwrap_or_else(|| OccupancyOcTree::with_layout(grid, params, layout));
+        trees.fold(first, |mut merged, tree| {
+            merged
+                .merge_disjoint_top_level(&tree)
+                .expect("workers partition key space disjointly");
+            merged
+        })
+    }
 }
 
-impl Drop for ParallelOctoCache {
+impl Drop for ParallelExecutor {
     fn drop(&mut self) {
         self.shutdown_workers();
     }
@@ -1753,7 +1716,13 @@ mod tests {
         s.finish();
         let t = s.phase_times();
         assert!(t.octree_update > std::time::Duration::ZERO);
-        assert!(s.workers[0].shared.cells_applied.load(Ordering::Relaxed) > 0);
+        assert!(
+            s.exec.workers[0]
+                .shared
+                .cells_applied
+                .load(Ordering::Relaxed)
+                > 0
+        );
     }
 
     #[test]

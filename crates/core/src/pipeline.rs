@@ -5,21 +5,26 @@
 //! [`MappingSystem`], so the UAV simulator and the benches swap backends
 //! freely. The trait surface mirrors the query API the paper requires
 //! OctoCache to keep compatible with vanilla OctoMap.
+//!
+//! The trait is implemented once, generically, by the scan-lifecycle
+//! [`Engine`]; this module contributes the baseline
+//! *executor* ([`BaselineExecutor`]) that ray-traces straight into the
+//! octree with no cache in front.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
+use octocache_geom::{Point3, VoxelGrid, VoxelKey};
 use octocache_octomap::stats::StatsSnapshot;
-use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams, TreeLayout};
-use octocache_telemetry::{
-    EventBuffer, EventKind, EventLog, EventSink, PhaseHistograms, PhaseTimes, Recorder, ScanRecord,
-    Telemetry,
-};
+use octocache_octomap::{insert, OccupancyOcTree, OccupancyParams, TreeLayout};
+use octocache_telemetry::{EventBuffer, EventKind, EventLog, EventSink, PhaseTimes, ScanMetrics};
 
-use crate::cache::CacheStats;
-use crate::fault::{FaultCounters, Integrity, PipelineError};
-use crate::query::{BatchStats, MapSnapshot, PublishStats, QueryHandle, SnapshotPublisher};
+use crate::engine::{self, Engine, FlushTimes, ScanExecutor, ScanOutput};
+/// The mapping-backend trait and per-scan report live with the lifecycle
+/// they describe, in [`crate::engine`]; re-exported here as their
+/// historical home.
+pub use crate::engine::{MappingSystem, ScanReport};
+use crate::fault::PipelineError;
 
 /// Which ray-tracing front-end a backend uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,220 +48,20 @@ impl RayTracer {
     }
 }
 
-/// Outcome of inserting one scan.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct ScanReport {
-    /// Per-phase wall-clock times for this scan.
-    pub times: PhaseTimes,
-    /// Voxel observations produced by ray tracing (after any dedup).
-    pub observations: usize,
-    /// Observations that hit the cache (0 for cache-less backends).
-    pub cache_hits: u64,
-    /// Voxels evicted toward the octree this scan (for cache backends) or
-    /// applied directly (for plain backends).
-    pub octree_updates: usize,
-}
+/// The vanilla OctoMap baseline (optionally with the `-RT` front-end):
+/// the scan-lifecycle [`Engine`] over a [`BaselineExecutor`].
+pub type OctoMapSystem = Engine<BaselineExecutor>;
 
-/// A 3D occupancy mapping backend.
-///
-/// The query methods take `&mut self` because cache-based backends update
-/// hit/miss statistics on lookups; results are identical to what vanilla
-/// OctoMap would return (the paper's consistency guarantee, verified by the
-/// cross-backend tests in `tests/consistency.rs`).
-pub trait MappingSystem {
-    /// A short, stable backend name (e.g. `"octomap"`, `"octocache-serial"`).
-    fn name(&self) -> String;
-
-    /// The world↔key mapping.
-    fn grid(&self) -> &VoxelGrid;
-
-    /// Ray-traces and integrates one sensor scan.
-    ///
-    /// Scan application is transactional at scan granularity: on `Ok` the
-    /// scan is applied voxel-for-voxel identically to the serial backend; on
-    /// `Err` the failure is typed and [`MappingSystem::integrity`] reports
-    /// whether the map may have diverged.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`PipelineError::Geom`] for invalid origins; parallel
-    /// backends additionally surface worker panics, spawn failures, stalls
-    /// and partially applied batches.
-    fn insert_scan(
-        &mut self,
-        origin: Point3,
-        cloud: &[Point3],
-        max_range: f64,
-    ) -> Result<ScanReport, PipelineError>;
-
-    /// Accumulated occupancy log-odds at a voxel; `None` = unknown space.
-    fn occupancy(&mut self, key: VoxelKey) -> Option<f32>;
-
-    /// Occupancy decision at a voxel.
-    fn is_occupied(&mut self, key: VoxelKey) -> Option<bool>;
-
-    /// Occupancy decision at a world point.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GeomError`] for out-of-map points.
-    fn is_occupied_at(&mut self, p: Point3) -> Result<Option<bool>, GeomError> {
-        let key = self.grid().key_of(p)?;
-        Ok(self.is_occupied(key))
-    }
-
-    /// Flushes all pending state into the backing octree and returns the
-    /// residual phase times. After `finish`, the backing octree alone
-    /// answers every query.
-    fn finish(&mut self) -> PhaseTimes;
-
-    /// Cumulative phase times over the backend's lifetime (including
-    /// thread-2 work for parallel backends).
-    fn phase_times(&self) -> PhaseTimes;
-
-    /// Attaches a telemetry [`Recorder`] that receives one [`ScanRecord`]
-    /// per `insert_scan`. Recording must never change mapping behaviour.
-    /// The default implementation drops the recorder, for implementors
-    /// without telemetry wiring.
-    fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
-        drop(recorder);
-    }
-
-    /// Per-phase latency histograms over every scan inserted so far, when
-    /// the backend tracks them.
-    fn phase_histograms(&self) -> Option<&PhaseHistograms> {
-        None
-    }
-
-    /// Voxel-cache counters; `None` for cache-less backends.
-    fn cache_stats(&self) -> Option<CacheStats> {
-        None
-    }
-
-    /// Octree instrumentation counters (summed across shards or read
-    /// through the pipeline mutex), when the backend can reach them.
-    fn tree_stats(&self) -> Option<StatsSnapshot> {
-        None
-    }
-
-    /// Takes the sub-scan event stream collected so far, when the backend
-    /// was built with `CacheConfig::events(true)`. Pending per-thread
-    /// buffers are drained first, so after [`MappingSystem::finish`] the
-    /// returned log is complete. `None` when event recording is off (the
-    /// default) or the backend has no event wiring.
-    fn take_events(&mut self) -> Option<EventLog> {
-        None
-    }
-
-    /// Whether the backend has degraded after a fault, and if so how far.
-    ///
-    /// Backends without failure modes (everything single-threaded) are
-    /// always [`Integrity::Intact`].
-    fn integrity(&self) -> Integrity {
-        Integrity::Intact
-    }
-
-    /// Cumulative fault/degraded-mode counters over the backend's lifetime.
-    /// All-zero for backends without failure modes.
-    fn fault_counters(&self) -> FaultCounters {
-        FaultCounters::default()
-    }
-
-    /// A cloneable handle for lock-free concurrent reads
-    /// ([`crate::query`]). The first call arms the backend's snapshot
-    /// publisher (publishing the current map as epoch 0); every subsequent
-    /// `insert_scan` then republishes at its scan boundary, so readers are
-    /// never more than one scan stale and never take the octree mutex.
-    /// Backends without a publisher pay nothing until this is called.
-    fn query_handle(&mut self) -> QueryHandle;
-
-    /// The current published [`MapSnapshot`] (arming the publisher on
-    /// first use, like [`MappingSystem::query_handle`]). Between
-    /// `insert_scan` calls the snapshot answers every query identically to
-    /// the backend's own locked query path.
-    fn snapshot(&mut self) -> Arc<MapSnapshot> {
-        self.query_handle().snapshot()
-    }
-
-    /// Consumes the backend, flushing all pending state, and returns the
-    /// completed octree (for serialisation, diffing, offline queries).
-    fn take_tree(self: Box<Self>) -> OccupancyOcTree;
-}
-
-impl<M: MappingSystem + ?Sized> MappingSystem for Box<M> {
-    fn name(&self) -> String {
-        (**self).name()
-    }
-    fn grid(&self) -> &VoxelGrid {
-        (**self).grid()
-    }
-    fn insert_scan(
-        &mut self,
-        origin: Point3,
-        cloud: &[Point3],
-        max_range: f64,
-    ) -> Result<ScanReport, PipelineError> {
-        (**self).insert_scan(origin, cloud, max_range)
-    }
-    fn occupancy(&mut self, key: VoxelKey) -> Option<f32> {
-        (**self).occupancy(key)
-    }
-    fn is_occupied(&mut self, key: VoxelKey) -> Option<bool> {
-        (**self).is_occupied(key)
-    }
-    fn is_occupied_at(&mut self, p: Point3) -> Result<Option<bool>, GeomError> {
-        (**self).is_occupied_at(p)
-    }
-    fn finish(&mut self) -> PhaseTimes {
-        (**self).finish()
-    }
-    fn phase_times(&self) -> PhaseTimes {
-        (**self).phase_times()
-    }
-    fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
-        (**self).set_recorder(recorder)
-    }
-    fn phase_histograms(&self) -> Option<&PhaseHistograms> {
-        (**self).phase_histograms()
-    }
-    fn cache_stats(&self) -> Option<CacheStats> {
-        (**self).cache_stats()
-    }
-    fn tree_stats(&self) -> Option<StatsSnapshot> {
-        (**self).tree_stats()
-    }
-    fn take_events(&mut self) -> Option<EventLog> {
-        (**self).take_events()
-    }
-    fn integrity(&self) -> Integrity {
-        (**self).integrity()
-    }
-    fn fault_counters(&self) -> FaultCounters {
-        (**self).fault_counters()
-    }
-    fn query_handle(&mut self) -> QueryHandle {
-        (**self).query_handle()
-    }
-    fn snapshot(&mut self) -> Arc<MapSnapshot> {
-        (**self).snapshot()
-    }
-    fn take_tree(self: Box<Self>) -> OccupancyOcTree {
-        (*self).take_tree()
-    }
-}
-
-/// The vanilla OctoMap baseline (optionally with the `-RT` front-end).
+/// Scan execution for the vanilla OctoMap baseline: ray-trace, optionally
+/// dedup, and apply every observation straight to the octree — no cache,
+/// no shards, no workers.
 #[derive(Debug)]
-pub struct OctoMapSystem {
+pub struct BaselineExecutor {
     tree: OccupancyOcTree,
     ray_tracer: RayTracer,
-    telemetry: Telemetry,
     batch: insert::VoxelBatch,
-    event_sink: Option<std::sync::Arc<EventSink>>,
+    event_sink: Option<Arc<EventSink>>,
     events: Option<EventBuffer>,
-    /// Armed lazily by the first [`MappingSystem::query_handle`] call;
-    /// `None` keeps the no-reader fast path free of per-scan deep copies.
-    publisher: Option<SnapshotPublisher>,
 }
 
 impl OctoMapSystem {
@@ -278,15 +83,13 @@ impl OctoMapSystem {
         rt: RayTracer,
         layout: TreeLayout,
     ) -> Self {
-        OctoMapSystem {
+        Engine::from_executor(BaselineExecutor {
             tree: OccupancyOcTree::with_layout(grid, params, layout),
             ray_tracer: rt,
-            telemetry: Telemetry::new(format!("octomap{}", rt.suffix())),
             batch: insert::VoxelBatch::new(),
             event_sink: None,
             events: None,
-            publisher: None,
-        }
+        })
     }
 
     /// Resumes the baseline on an existing octree — e.g. one reconstructed
@@ -294,15 +97,13 @@ impl OctoMapSystem {
     /// grid, params and storage layout. Telemetry restarts from scan 0;
     /// durable scan epochs are tracked by [`crate::durable::DurableMap`].
     pub fn from_tree(tree: OccupancyOcTree, rt: RayTracer) -> Self {
-        OctoMapSystem {
+        Engine::from_executor(BaselineExecutor {
             tree,
             ray_tracer: rt,
-            telemetry: Telemetry::new(format!("octomap{}", rt.suffix())),
             batch: insert::VoxelBatch::new(),
             event_sink: None,
             events: None,
-            publisher: None,
-        }
+        })
     }
 
     /// Enables sub-scan event recording (octree-update spans on lane 0;
@@ -310,36 +111,23 @@ impl OctoMapSystem {
     /// enable this through `CacheConfig::events` instead.
     pub fn enable_events(&mut self) {
         let sink = EventSink::new();
-        self.events = Some(sink.buffer(0));
-        self.event_sink = Some(sink);
+        self.exec.events = Some(sink.buffer(0));
+        self.exec.event_sink = Some(sink);
     }
 
     /// The backing octree.
     pub fn tree(&self) -> &OccupancyOcTree {
-        &self.tree
+        &self.exec.tree
     }
 
     /// Consumes the system, returning the octree.
     pub fn into_tree(self) -> OccupancyOcTree {
-        self.tree
-    }
-
-    /// Republishes the read snapshot when a publisher is armed, returning
-    /// its stats plus the batch-query counters drained since last scan.
-    fn republish(&mut self, scans: u64) -> (Option<PublishStats>, BatchStats) {
-        let tree = &self.tree;
-        match self.publisher.as_mut() {
-            Some(p) => {
-                let stats = p.publish_with(scans, || tree.deep_clone());
-                (Some(stats), p.take_batch_stats())
-            }
-            None => (None, BatchStats::default()),
-        }
+        self.exec.tree
     }
 }
 
-impl MappingSystem for OctoMapSystem {
-    fn name(&self) -> String {
+impl ScanExecutor for BaselineExecutor {
+    fn backend_name(&self) -> String {
         format!("octomap{}", self.ray_tracer.suffix())
     }
 
@@ -347,67 +135,60 @@ impl MappingSystem for OctoMapSystem {
         self.tree.grid()
     }
 
-    fn insert_scan(
+    fn execute_scan(
         &mut self,
         origin: Point3,
         cloud: &[Point3],
         max_range: f64,
-    ) -> Result<ScanReport, PipelineError> {
+        scan_seq: u64,
+        metrics: &mut ScanMetrics,
+    ) -> Result<ScanOutput, PipelineError> {
         let tree_before = self.tree.stats().snapshot();
         if let Some(buf) = &mut self.events {
-            buf.set_scan(self.telemetry.scans());
+            buf.set_scan(scan_seq);
         }
         let t0 = Instant::now();
-        insert::compute_update(self.tree.grid(), origin, cloud, max_range, &mut self.batch)?;
-        let deduped;
-        let batch: &insert::VoxelBatch = match self.ray_tracer {
-            RayTracer::Standard => &self.batch,
-            RayTracer::Dedup => {
-                deduped = rt::dedup_batch(&self.batch);
-                &deduped
-            }
-        };
+        let batch = engine::trace_scan(
+            self.ray_tracer,
+            self.tree.grid(),
+            origin,
+            cloud,
+            max_range,
+            &mut self.batch,
+        )?;
         let observations = batch.len();
         let ray_tracing = t0.elapsed();
         let t1 = Instant::now();
         if let Some(buf) = &mut self.events {
             buf.emit_plain(EventKind::BatchBegin, observations as u64);
         }
-        insert::apply_batch(&mut self.tree, batch);
+        insert::apply_batch(&mut self.tree, &batch);
         if let Some(buf) = &mut self.events {
             buf.emit_plain(EventKind::BatchEnd, observations as u64);
             buf.drain();
         }
         let octree_update = t1.elapsed();
-        let times = PhaseTimes {
+        metrics.times = PhaseTimes {
             ray_tracing,
             octree_update,
             ..Default::default()
         };
-        let tree_delta = self.tree.stats().snapshot().since(&tree_before);
-        let scans_done = self.telemetry.scans() + 1;
-        let (publish, batch_stats) = self.republish(scans_done);
-        self.telemetry.record(ScanRecord {
-            times,
-            observations: observations as u64,
-            octree_node_visits: tree_delta.node_visits,
-            octree_leaf_updates: tree_delta.leaf_updates,
-            octree_nodes_created: tree_delta.nodes_created,
-            memory_bytes: self.tree.memory_usage() as u64,
-            tree_layout: self.tree.layout().name().to_string(),
-            snapshot_publish_ns: publish.map_or(0, |p| p.latency.as_nanos() as u64),
-            snapshot_age_ns: publish.map_or(0, |p| p.replaced_age.as_nanos() as u64),
-            batch_queries: batch_stats.queries,
-            batch_nodes_visited: batch_stats.nodes_visited,
-            batch_nodes_reused: batch_stats.nodes_reused,
-            ..Default::default()
-        });
-        Ok(ScanReport {
-            times,
-            observations,
+        metrics.observations = observations as u64;
+        engine::stamp_tree_delta(metrics, &self.tree.stats().snapshot().since(&tree_before));
+        engine::stamp_tree_shape(
+            metrics,
+            self.tree.memory_usage() as u64,
+            self.tree.layout().name(),
+        );
+        Ok(ScanOutput {
             cache_hits: 0,
             octree_updates: observations,
+            deferred: None,
         })
+    }
+
+    fn snapshot_tree(&self) -> OccupancyOcTree {
+        self.tree.deep_clone()
     }
 
     fn occupancy(&mut self, key: VoxelKey) -> Option<f32> {
@@ -418,21 +199,8 @@ impl MappingSystem for OctoMapSystem {
         self.tree.is_occupied(key)
     }
 
-    fn finish(&mut self) -> PhaseTimes {
-        self.telemetry.flush();
-        PhaseTimes::default()
-    }
-
-    fn phase_times(&self) -> PhaseTimes {
-        self.telemetry.totals()
-    }
-
-    fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
-        self.telemetry.set_recorder(recorder);
-    }
-
-    fn phase_histograms(&self) -> Option<&PhaseHistograms> {
-        Some(self.telemetry.histograms())
+    fn flush(&mut self) -> FlushTimes {
+        FlushTimes::default()
     }
 
     fn tree_stats(&self) -> Option<StatsSnapshot> {
@@ -446,18 +214,7 @@ impl MappingSystem for OctoMapSystem {
         self.event_sink.as_ref().map(|s| s.take())
     }
 
-    fn query_handle(&mut self) -> QueryHandle {
-        if self.publisher.is_none() {
-            let scans = self.telemetry.scans();
-            self.publisher = Some(SnapshotPublisher::new(self.tree.deep_clone(), scans));
-        }
-        self.publisher
-            .as_ref()
-            .expect("publisher armed above")
-            .handle()
-    }
-
-    fn take_tree(self: Box<Self>) -> OccupancyOcTree {
+    fn take_tree(self) -> OccupancyOcTree {
         self.tree
     }
 }

@@ -7,8 +7,11 @@
 //! point exactly when the map is busiest. This module removes readers from
 //! the lock order entirely:
 //!
-//! * Writers (the [`MappingSystem`] backends) publish an immutable
-//!   [`MapSnapshot`] at every scan boundary through a [`SnapshotPublisher`].
+//! * Writers publish an immutable [`MapSnapshot`] at every scan boundary
+//!   through a [`SnapshotPublisher`] owned by the scan-lifecycle engine
+//!   ([`Engine`](crate::Engine), shared by every [`MappingSystem`]
+//!   backend); the snapshot tree itself comes from the backend's
+//!   [`ScanExecutor::snapshot_tree`](crate::ScanExecutor::snapshot_tree).
 //!   Publication is an epoch-numbered pointer swap; the octree inside a
 //!   snapshot is never mutated after publication.
 //! * Readers hold a [`QueryHandle`] (cheaply cloneable, `Send + Sync`) and

@@ -6,51 +6,72 @@
 //! (most observations become O(1) bucket probes instead of octree round
 //! trips) and from the Morton-aligned eviction order speeding up the octree
 //! updates that remain.
+//!
+//! The scan lifecycle around this (telemetry, snapshot republish, record
+//! assembly) lives in the shared [`Engine`]; this module contributes the
+//! [`SerialExecutor`].
 
 use std::time::Instant;
 
 use octocache_geom::{Point3, VoxelGrid, VoxelKey};
 use octocache_octomap::stats::StatsSnapshot;
-use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams};
-use octocache_telemetry::{
-    EventKind, EventLog, EventSink, PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry,
-};
+use octocache_octomap::{insert, OccupancyOcTree, OccupancyParams};
+use octocache_telemetry::{EventLog, EventSink, PhaseTimes, ScanMetrics};
 
 use crate::cache::{AdaptiveController, AdaptivePolicy, CacheStats, EvictedCell, VoxelCache};
 use crate::config::CacheConfig;
+use crate::engine::{self, Engine, FlushTimes, ScanExecutor, ScanOutput};
 use crate::fault::PipelineError;
 use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
-use crate::query::{BatchStats, PublishStats, QueryHandle, SnapshotPublisher};
 
-/// The serial OctoCache mapping system.
+/// The serial OctoCache mapping system: the scan-lifecycle [`Engine`] over
+/// a [`SerialExecutor`].
 ///
 /// See the [crate-level example](crate) for typical usage.
+pub type SerialOctoCache = Engine<SerialExecutor>;
+
+/// Scan execution for the serial OctoCache pipeline: ray tracing → cache
+/// insertion → τ-eviction → Morton-ordered octree update, all on the
+/// calling thread.
 #[derive(Debug)]
-pub struct SerialOctoCache {
+pub struct SerialExecutor {
     cache: VoxelCache,
     tree: OccupancyOcTree,
     ray_tracer: RayTracer,
     batch: insert::VoxelBatch,
     evict_buf: Vec<EvictedCell>,
     adaptive: AdaptiveController,
-    telemetry: Telemetry,
     /// Sub-scan event collection point (present iff the config enabled
     /// event recording; the cache holds the lane-0 buffer).
     event_sink: Option<std::sync::Arc<EventSink>>,
-    /// Armed lazily by the first [`MappingSystem::query_handle`] call.
-    publisher: Option<SnapshotPublisher>,
 }
 
-/// A self-contained read tree: the backing octree deep-copied with the
-/// cache's accumulated values overlaid (cells hold absolute log-odds, the
-/// same values eviction would write), so the snapshot answers exactly what
-/// the live cache→tree fall-through path answers at this scan boundary.
-fn snapshot_tree(tree: &OccupancyOcTree, cache: &VoxelCache) -> OccupancyOcTree {
-    let mut t = tree.deep_clone();
-    for cell in cache.iter() {
-        t.set_node_log_odds(cell.key, cell.log_odds);
+/// The timed post-ray-tracing workflow for one pre-traced batch: cache
+/// insertion → τ-eviction into `evict_buf` → octree update, filling the
+/// three phase times. Free-standing so callers can pass a batch that
+/// borrows a sibling field of the executor.
+fn integrate(
+    cache: &mut VoxelCache,
+    tree: &mut OccupancyOcTree,
+    evict_buf: &mut Vec<EvictedCell>,
+    batch: &insert::VoxelBatch,
+    times: &mut PhaseTimes,
+) {
+    let t1 = Instant::now();
+    let lookup: &OccupancyOcTree = tree;
+    for u in batch.iter() {
+        cache.insert(u.key, u.occupied, |k| lookup.search(k));
     }
-    t
+    times.cache_insert = t1.elapsed();
+
+    let t2 = Instant::now();
+    evict_buf.clear();
+    cache.evict_into(evict_buf);
+    times.cache_evict = t2.elapsed();
+
+    let t3 = Instant::now();
+    engine::apply_evictions(cache, tree, evict_buf);
+    times.octree_update = t3.elapsed();
 }
 
 impl SerialOctoCache {
@@ -76,17 +97,15 @@ impl SerialOctoCache {
         } else {
             None
         };
-        SerialOctoCache {
+        Engine::from_executor(SerialExecutor {
             cache,
             tree: OccupancyOcTree::with_layout(grid, params, layout),
             ray_tracer,
             batch: insert::VoxelBatch::new(),
             evict_buf: Vec::new(),
             adaptive: AdaptiveController::new(None),
-            telemetry: Telemetry::new(format!("octocache-serial{}", ray_tracer.suffix())),
             event_sink,
-            publisher: None,
-        }
+        })
     }
 
     /// Enables (or disables, with `None`) online cache growth: after each
@@ -94,145 +113,98 @@ impl SerialOctoCache {
     /// bucket array doubles — an extension over the paper's fixed-size
     /// cache (§6.2.3 shows hit rate saturating with size).
     pub fn set_adaptive_policy(&mut self, policy: Option<AdaptivePolicy>) {
-        self.adaptive = AdaptiveController::new(policy);
+        self.exec.adaptive = AdaptiveController::new(policy);
     }
 
     /// How often the adaptive policy has grown the cache.
     pub fn adaptive_growths(&self) -> u32 {
-        self.adaptive.growths()
+        self.exec.adaptive.growths()
     }
 
     /// The cache layer.
     pub fn cache(&self) -> &VoxelCache {
-        &self.cache
+        &self.exec.cache
     }
 
     /// Cache behaviour counters.
     pub fn cache_stats(&self) -> &CacheStats {
-        self.cache.stats()
+        self.exec.cache.stats()
     }
 
     /// The backing octree. Note that pending cache contents are *not* yet in
     /// the tree; call [`MappingSystem::finish`] first when you need the tree
     /// alone to be complete.
     pub fn tree(&self) -> &OccupancyOcTree {
-        &self.tree
+        &self.exec.tree
     }
 
     /// Consumes the system, flushing the cache, and returns the octree.
     pub fn into_tree(mut self) -> OccupancyOcTree {
         self.finish();
-        self.tree
+        self.exec.tree
     }
 
     /// Integrates one pre-traced voxel batch (cache insert → evict → octree
     /// update), bypassing ray tracing. Used by benches that isolate the
-    /// cache from the front-end.
+    /// cache from the front-end. Runs the full scan lifecycle (telemetry
+    /// record, snapshot republish) like [`MappingSystem::insert_scan`].
     pub fn insert_batch(&mut self, batch: &insert::VoxelBatch) -> ScanReport {
+        self.run_scan(|exec, scan_seq, metrics| Ok(exec.execute_batch(batch, scan_seq, metrics)))
+            .expect("batch integration is infallible")
+    }
+}
+
+impl SerialExecutor {
+    /// The pre-traced-batch path behind [`SerialOctoCache::insert_batch`]:
+    /// like a scan, minus ray tracing and the adaptive-growth step.
+    fn execute_batch(
+        &mut self,
+        batch: &insert::VoxelBatch,
+        scan_seq: u64,
+        metrics: &mut ScanMetrics,
+    ) -> ScanOutput {
         let cache_before = *self.cache.stats();
         let tree_before = self.tree.stats().snapshot();
-        let scan_seq = self.telemetry.scans();
         if let Some(buf) = self.cache.events_mut() {
             buf.set_scan(scan_seq);
         }
+        integrate(
+            &mut self.cache,
+            &mut self.tree,
+            &mut self.evict_buf,
+            batch,
+            &mut metrics.times,
+        );
+        metrics.observations = batch.len() as u64;
+        self.finish_metrics(metrics, &cache_before, &tree_before)
+    }
 
-        let t1 = Instant::now();
-        let cache = &mut self.cache;
-        let tree = &self.tree;
-        for u in batch.iter() {
-            cache.insert(u.key, u.occupied, |k| tree.search(k));
-        }
-        let cache_insert = t1.elapsed();
-
-        let t2 = Instant::now();
-        self.evict_buf.clear();
-        self.cache.evict_into(&mut self.evict_buf);
-        let cache_evict = t2.elapsed();
-
-        let t3 = Instant::now();
-        self.apply_evictions_with_spans();
-        let octree_update = t3.elapsed();
-
-        let times = PhaseTimes {
-            cache_insert,
-            cache_evict,
-            octree_update,
-            ..Default::default()
-        };
-        let cache_delta = self.cache.stats().since(&cache_before);
-        self.record_scan(times, batch.len(), &cache_delta, tree_before);
-        ScanReport {
-            times,
-            observations: batch.len(),
+    /// Fills the cache/octree delta fields of `metrics` from the stats
+    /// movement since the captured baselines and builds the scan output.
+    fn finish_metrics(
+        &self,
+        metrics: &mut ScanMetrics,
+        cache_before: &CacheStats,
+        tree_before: &StatsSnapshot,
+    ) -> ScanOutput {
+        let cache_delta = self.cache.stats().since(cache_before);
+        engine::stamp_cache_delta(metrics, &cache_delta);
+        engine::stamp_tree_delta(metrics, &self.tree.stats().snapshot().since(tree_before));
+        engine::stamp_tree_shape(
+            metrics,
+            self.tree.memory_usage() as u64,
+            self.tree.layout().name(),
+        );
+        ScanOutput {
             cache_hits: cache_delta.hits,
             octree_updates: self.evict_buf.len(),
-        }
-    }
-
-    /// Applies `evict_buf` to the tree, wrapped in a lane-0 batch span (and
-    /// a buffer drain) when event recording is on.
-    fn apply_evictions_with_spans(&mut self) {
-        let cells = self.evict_buf.len() as u64;
-        if let Some(buf) = self.cache.events_mut() {
-            buf.emit_plain(EventKind::BatchBegin, cells);
-        }
-        for cell in &self.evict_buf {
-            self.tree.set_node_log_odds(cell.key, cell.log_odds);
-        }
-        if let Some(buf) = self.cache.events_mut() {
-            buf.emit_plain(EventKind::BatchEnd, cells);
-            buf.drain();
-        }
-    }
-
-    /// Folds one scan's timings and counter deltas into the telemetry state.
-    fn record_scan(
-        &mut self,
-        times: PhaseTimes,
-        observations: usize,
-        cache_delta: &CacheStats,
-        tree_before: StatsSnapshot,
-    ) {
-        let tree_delta = self.tree.stats().snapshot().since(&tree_before);
-        let scans_done = self.telemetry.scans() + 1;
-        let (publish, batch_stats) = self.republish(scans_done);
-        self.telemetry.record(ScanRecord {
-            times,
-            observations: observations as u64,
-            cache_hits: cache_delta.hits,
-            cache_misses: cache_delta.misses,
-            cache_insertions: cache_delta.insertions,
-            cache_evictions: cache_delta.evictions,
-            octree_node_visits: tree_delta.node_visits,
-            octree_leaf_updates: tree_delta.leaf_updates,
-            octree_nodes_created: tree_delta.nodes_created,
-            memory_bytes: self.tree.memory_usage() as u64,
-            tree_layout: self.tree.layout().name().to_string(),
-            snapshot_publish_ns: publish.map_or(0, |p| p.latency.as_nanos() as u64),
-            snapshot_age_ns: publish.map_or(0, |p| p.replaced_age.as_nanos() as u64),
-            batch_queries: batch_stats.queries,
-            batch_nodes_visited: batch_stats.nodes_visited,
-            batch_nodes_reused: batch_stats.nodes_reused,
-            ..Default::default()
-        });
-    }
-
-    /// Republishes the read snapshot when a publisher is armed.
-    fn republish(&mut self, scans: u64) -> (Option<PublishStats>, BatchStats) {
-        let tree = &self.tree;
-        let cache = &self.cache;
-        match self.publisher.as_mut() {
-            Some(p) => {
-                let stats = p.publish_with(scans, || snapshot_tree(tree, cache));
-                (Some(stats), p.take_batch_stats())
-            }
-            None => (None, BatchStats::default()),
+            deferred: None,
         }
     }
 }
 
-impl MappingSystem for SerialOctoCache {
-    fn name(&self) -> String {
+impl ScanExecutor for SerialExecutor {
+    fn backend_name(&self) -> String {
         format!("octocache-serial{}", self.ray_tracer.suffix())
     }
 
@@ -240,65 +212,48 @@ impl MappingSystem for SerialOctoCache {
         self.tree.grid()
     }
 
-    fn insert_scan(
+    fn execute_scan(
         &mut self,
         origin: Point3,
         cloud: &[Point3],
         max_range: f64,
-    ) -> Result<ScanReport, PipelineError> {
+        scan_seq: u64,
+        metrics: &mut ScanMetrics,
+    ) -> Result<ScanOutput, PipelineError> {
         let cache_before = *self.cache.stats();
         let tree_before = self.tree.stats().snapshot();
-        let scan_seq = self.telemetry.scans();
         if let Some(buf) = self.cache.events_mut() {
             buf.set_scan(scan_seq);
         }
         let t0 = Instant::now();
-        insert::compute_update(self.tree.grid(), origin, cloud, max_range, &mut self.batch)?;
-        let deduped;
-        let batch: &insert::VoxelBatch = match self.ray_tracer {
-            RayTracer::Standard => &self.batch,
-            RayTracer::Dedup => {
-                deduped = rt::dedup_batch(&self.batch);
-                &deduped
-            }
-        };
-        let ray_tracing = t0.elapsed();
+        let batch = engine::trace_scan(
+            self.ray_tracer,
+            self.tree.grid(),
+            origin,
+            cloud,
+            max_range,
+            &mut self.batch,
+        )?;
+        metrics.times.ray_tracing = t0.elapsed();
+        metrics.observations = batch.len() as u64;
 
-        let t1 = Instant::now();
-        let cache = &mut self.cache;
-        let tree = &self.tree;
-        for u in batch.iter() {
-            cache.insert(u.key, u.occupied, |k| tree.search(k));
-        }
-        let cache_insert = t1.elapsed();
-        let observations = batch.len();
-
-        let t2 = Instant::now();
-        self.evict_buf.clear();
-        self.cache.evict_into(&mut self.evict_buf);
-        let cache_evict = t2.elapsed();
-
-        let t3 = Instant::now();
-        self.apply_evictions_with_spans();
-        let octree_update = t3.elapsed();
-
+        integrate(
+            &mut self.cache,
+            &mut self.tree,
+            &mut self.evict_buf,
+            &batch,
+            &mut metrics.times,
+        );
         self.adaptive.after_batch(&mut self.cache);
+        Ok(self.finish_metrics(metrics, &cache_before, &tree_before))
+    }
 
-        let times = PhaseTimes {
-            ray_tracing,
-            cache_insert,
-            cache_evict,
-            octree_update,
-            ..Default::default()
-        };
-        let cache_delta = self.cache.stats().since(&cache_before);
-        self.record_scan(times, observations, &cache_delta, tree_before);
-        Ok(ScanReport {
-            times,
-            observations,
-            cache_hits: cache_delta.hits,
-            octree_updates: self.evict_buf.len(),
-        })
+    fn snapshot_tree(&self) -> OccupancyOcTree {
+        // Deep-copy plus cache overlay: the snapshot answers exactly what
+        // the live cache→tree fall-through path answers at this boundary.
+        let mut t = self.tree.deep_clone();
+        engine::overlay_cache(&mut t, &self.cache);
+        t
     }
 
     fn occupancy(&mut self, key: VoxelKey) -> Option<f32> {
@@ -315,42 +270,22 @@ impl MappingSystem for SerialOctoCache {
         self.occupancy(key).map(|l| params.is_occupied(l))
     }
 
-    fn finish(&mut self) -> PhaseTimes {
+    fn flush(&mut self) -> FlushTimes {
         let t0 = Instant::now();
         let drained = self.cache.drain_all();
         let cache_evict = t0.elapsed();
         let t1 = Instant::now();
-        if let Some(buf) = self.cache.events_mut() {
-            buf.emit_plain(EventKind::BatchBegin, drained.len() as u64);
-        }
-        for cell in &drained {
-            self.tree.set_node_log_odds(cell.key, cell.log_odds);
-        }
-        if let Some(buf) = self.cache.events_mut() {
-            buf.emit_plain(EventKind::BatchEnd, drained.len() as u64);
-            buf.drain();
-        }
+        engine::apply_evictions(&mut self.cache, &mut self.tree, &drained);
         let octree_update = t1.elapsed();
         let times = PhaseTimes {
             cache_evict,
             octree_update,
             ..Default::default()
         };
-        self.telemetry.add_times(times);
-        self.telemetry.flush();
-        times
-    }
-
-    fn phase_times(&self) -> PhaseTimes {
-        self.telemetry.totals()
-    }
-
-    fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
-        self.telemetry.set_recorder(recorder);
-    }
-
-    fn phase_histograms(&self) -> Option<&PhaseHistograms> {
-        Some(self.telemetry.histograms())
+        FlushTimes {
+            returned: times,
+            recorded: times,
+        }
     }
 
     fn cache_stats(&self) -> Option<CacheStats> {
@@ -368,27 +303,15 @@ impl MappingSystem for SerialOctoCache {
         self.event_sink.as_ref().map(|s| s.take())
     }
 
-    fn query_handle(&mut self) -> QueryHandle {
-        if self.publisher.is_none() {
-            let scans = self.telemetry.scans();
-            self.publisher = Some(SnapshotPublisher::new(
-                snapshot_tree(&self.tree, &self.cache),
-                scans,
-            ));
-        }
-        self.publisher
-            .as_ref()
-            .expect("publisher armed above")
-            .handle()
-    }
-
-    fn take_tree(self: Box<Self>) -> OccupancyOcTree {
-        (*self).into_tree()
+    fn take_tree(self) -> OccupancyOcTree {
+        self.tree
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use octocache_telemetry::EventKind;
+
     use super::*;
 
     fn system(w: usize, tau: usize) -> SerialOctoCache {

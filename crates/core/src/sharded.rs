@@ -8,24 +8,32 @@
 //! of a batch lands in one or two shards and the other threads idle. This
 //! module implements the baseline so the claim is measurable —
 //! [`ShardedOctoMap::imbalance`] reports exactly the skew the paper blames.
+//!
+//! The scan lifecycle around the shard updates (telemetry, snapshot
+//! republish, record assembly) lives in the shared [`Engine`]; this module
+//! contributes the [`ShardedExecutor`].
 
 use std::time::Instant;
 
 use octocache_geom::{Point3, VoxelGrid, VoxelKey};
 use octocache_octomap::stats::StatsSnapshot;
-use octocache_octomap::{insert, rt, OccupancyOcTree, OccupancyParams, TreeLayout};
-use octocache_telemetry::{
-    EventKind, EventLog, EventSink, PhaseHistograms, PhaseTimes, Recorder, ScanRecord, Telemetry,
-};
+use octocache_octomap::{insert, OccupancyOcTree, OccupancyParams, TreeLayout};
+use octocache_telemetry::{EventKind, EventLog, EventSink, ScanMetrics};
 
+use crate::engine::{self, Engine, FlushTimes, ScanExecutor, ScanOutput};
 use crate::fault::PipelineError;
-use crate::pipeline::{MappingSystem, RayTracer, ScanReport};
-use crate::query::{BatchStats, PublishStats, QueryHandle, SnapshotPublisher};
+use crate::pipeline::RayTracer;
 use crate::routing::{self, OctantRouter};
 
-/// OctoMap sharded by spatial octant, with per-scan parallel shard updates.
+/// OctoMap sharded by spatial octant, with per-scan parallel shard
+/// updates: the scan-lifecycle [`Engine`] over a [`ShardedExecutor`].
+pub type ShardedOctoMap = Engine<ShardedExecutor>;
+
+/// Scan execution for the octant-sharded baseline: serial partition of the
+/// traced batch by shard, then one scoped update thread per non-empty
+/// shard (each owning its subtree exclusively — no locks).
 #[derive(Debug)]
-pub struct ShardedOctoMap {
+pub struct ShardedExecutor {
     shards: Vec<OccupancyOcTree>,
     /// Key → shard mapping, shared with the parallel pipeline.
     router: OctantRouter,
@@ -34,28 +42,11 @@ pub struct ShardedOctoMap {
     ray_tracer: RayTracer,
     batch: insert::VoxelBatch,
     shard_updates: Vec<u64>,
-    telemetry: Telemetry,
     /// Summed shard counters at the end of the previous scan.
     last_tree_stats: StatsSnapshot,
     /// Sub-scan event sink when tracing is enabled: shard `s` emits its
     /// update spans on lane `s + 1` (lane 0 is the scan-driving thread).
     event_sink: Option<std::sync::Arc<EventSink>>,
-    /// Armed lazily by the first [`MappingSystem::query_handle`] call.
-    publisher: Option<SnapshotPublisher>,
-}
-
-/// Reassembles the shards (disjoint top-level octant groups) into one
-/// self-contained read tree — the same structural merge `take_tree` does,
-/// without consuming the shards.
-fn snapshot_tree(shards: &[OccupancyOcTree]) -> OccupancyOcTree {
-    let mut merged =
-        OccupancyOcTree::with_layout(*shards[0].grid(), *shards[0].params(), shards[0].layout());
-    for shard in shards {
-        merged
-            .merge_disjoint_top_level(shard)
-            .expect("shards partition key space disjointly");
-    }
-    merged
 }
 
 impl ShardedOctoMap {
@@ -99,8 +90,7 @@ impl ShardedOctoMap {
         layout: TreeLayout,
     ) -> Self {
         let router = OctantRouter::new(num_shards, &grid);
-        let backend = format!("octomap-sharded{}x{}", ray_tracer.suffix(), num_shards);
-        ShardedOctoMap {
+        Engine::from_executor(ShardedExecutor {
             shards: (0..num_shards)
                 .map(|_| OccupancyOcTree::with_layout(grid, params, layout))
                 .collect(),
@@ -110,34 +100,46 @@ impl ShardedOctoMap {
             ray_tracer,
             batch: insert::VoxelBatch::new(),
             shard_updates: vec![0; num_shards],
-            telemetry: Telemetry::new(backend),
             last_tree_stats: StatsSnapshot::default(),
             event_sink: None,
-            publisher: None,
-        }
-    }
-
-    /// Republishes the read snapshot when a publisher is armed.
-    fn republish(&mut self, scans: u64) -> (Option<PublishStats>, BatchStats) {
-        let shards = &self.shards;
-        match self.publisher.as_mut() {
-            Some(p) => {
-                let stats = p.publish_with(scans, || snapshot_tree(shards));
-                (Some(stats), p.take_batch_stats())
-            }
-            None => (None, BatchStats::default()),
-        }
+        })
     }
 
     /// Turns on sub-scan event tracing (per-shard batch spans). The sharded
     /// baseline takes no [`crate::config::CacheConfig`], so the switch is a
     /// method rather than a config field.
     pub fn enable_events(&mut self) {
-        if self.event_sink.is_none() {
-            self.event_sink = Some(EventSink::new());
+        if self.exec.event_sink.is_none() {
+            self.exec.event_sink = Some(EventSink::new());
         }
     }
 
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.exec.shards.len()
+    }
+
+    /// The shard a voxel belongs to: the top octant bits of its key
+    /// (delegates to the shared [`OctantRouter`]).
+    #[inline]
+    pub fn shard_of(&self, key: VoxelKey) -> usize {
+        self.exec.router.shard_of(key)
+    }
+
+    /// Updates routed to each shard so far.
+    pub fn shard_update_counts(&self) -> &[u64] {
+        &self.exec.shard_updates
+    }
+
+    /// Load imbalance: busiest shard's share of updates divided by the fair
+    /// share `1/num_shards`. A value of `num_shards` means one shard did
+    /// all the work (total imbalance); `1.0` is perfect balance.
+    pub fn imbalance(&self) -> f64 {
+        routing::skew(&self.exec.shard_updates)
+    }
+}
+
+impl ShardedExecutor {
     /// Sums the instrumentation counters of every shard.
     fn summed_tree_stats(&self) -> StatsSnapshot {
         let mut total = StatsSnapshot::default();
@@ -146,34 +148,10 @@ impl ShardedOctoMap {
         }
         total
     }
-
-    /// Number of shards.
-    pub fn num_shards(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// The shard a voxel belongs to: the top octant bits of its key
-    /// (delegates to the shared [`OctantRouter`]).
-    #[inline]
-    pub fn shard_of(&self, key: VoxelKey) -> usize {
-        self.router.shard_of(key)
-    }
-
-    /// Updates routed to each shard so far.
-    pub fn shard_update_counts(&self) -> &[u64] {
-        &self.shard_updates
-    }
-
-    /// Load imbalance: busiest shard's share of updates divided by the fair
-    /// share `1/num_shards`. A value of `num_shards` means one shard did
-    /// all the work (total imbalance); `1.0` is perfect balance.
-    pub fn imbalance(&self) -> f64 {
-        routing::skew(&self.shard_updates)
-    }
 }
 
-impl MappingSystem for ShardedOctoMap {
-    fn name(&self) -> String {
+impl ScanExecutor for ShardedExecutor {
+    fn backend_name(&self) -> String {
         format!(
             "octomap-sharded{}x{}",
             self.ray_tracer.suffix(),
@@ -185,27 +163,28 @@ impl MappingSystem for ShardedOctoMap {
         &self.grid
     }
 
-    fn insert_scan(
+    fn execute_scan(
         &mut self,
         origin: Point3,
         cloud: &[Point3],
         max_range: f64,
-    ) -> Result<ScanReport, PipelineError> {
+        scan_seq: u64,
+        metrics: &mut ScanMetrics,
+    ) -> Result<ScanOutput, PipelineError> {
         let t0 = Instant::now();
-        insert::compute_update(&self.grid, origin, cloud, max_range, &mut self.batch)?;
-        let deduped;
-        let batch: &insert::VoxelBatch = match self.ray_tracer {
-            RayTracer::Standard => &self.batch,
-            RayTracer::Dedup => {
-                deduped = rt::dedup_batch(&self.batch);
-                &deduped
-            }
-        };
+        let batch = engine::trace_scan(
+            self.ray_tracer,
+            &self.grid,
+            origin,
+            cloud,
+            max_range,
+            &mut self.batch,
+        )?;
         // Partition by shard (serial, like a naive implementation would).
         let mut parts: Vec<Vec<insert::VoxelUpdate>> =
             vec![Vec::with_capacity(batch.len() / self.shards.len() + 1); self.shards.len()];
         for u in batch.iter() {
-            let s = self.shard_of(u.key);
+            let s = self.router.shard_of(u.key);
             parts[s].push(*u);
             self.shard_updates[s] += 1;
         }
@@ -216,7 +195,6 @@ impl MappingSystem for ShardedOctoMap {
         // each owning its subtree exclusively (no locks needed — this is
         // the best case for the naive approach).
         let t1 = Instant::now();
-        let scan_seq = self.telemetry.scans();
         let event_sink = self.event_sink.as_ref();
         std::thread::scope(|scope| {
             for (s, (tree, updates)) in self.shards.iter_mut().zip(&parts).enumerate() {
@@ -245,41 +223,35 @@ impl MappingSystem for ShardedOctoMap {
         });
         let octree_update = t1.elapsed();
 
-        let times = PhaseTimes {
-            ray_tracing,
-            octree_update,
-            ..Default::default()
-        };
+        metrics.times.ray_tracing = ray_tracing;
+        metrics.times.octree_update = octree_update;
+        metrics.observations = observations as u64;
         let tree_after = self.summed_tree_stats();
-        let tree_delta = tree_after.since(&self.last_tree_stats);
+        engine::stamp_tree_delta(metrics, &tree_after.since(&self.last_tree_stats));
         self.last_tree_stats = tree_after;
-        let scans_done = self.telemetry.scans() + 1;
-        let (publish, batch_stats) = self.republish(scans_done);
-        self.telemetry.record(ScanRecord {
-            times,
-            observations: observations as u64,
-            octree_node_visits: tree_delta.node_visits,
-            octree_leaf_updates: tree_delta.leaf_updates,
-            octree_nodes_created: tree_delta.nodes_created,
-            memory_bytes: self.shards.iter().map(|s| s.memory_usage() as u64).sum(),
-            tree_layout: self.shards[0].layout().name().to_string(),
-            snapshot_publish_ns: publish.map_or(0, |p| p.latency.as_nanos() as u64),
-            snapshot_age_ns: publish.map_or(0, |p| p.replaced_age.as_nanos() as u64),
-            batch_queries: batch_stats.queries,
-            batch_nodes_visited: batch_stats.nodes_visited,
-            batch_nodes_reused: batch_stats.nodes_reused,
-            ..Default::default()
-        });
-        Ok(ScanReport {
-            times,
-            observations,
+        engine::stamp_tree_shape(
+            metrics,
+            self.shards.iter().map(|s| s.memory_usage() as u64).sum(),
+            self.shards[0].layout().name(),
+        );
+        // This scan's per-shard routing: the same shape the N-worker
+        // parallel backend reports, so trace analysis can compare the two
+        // parallelisation strategies' balance directly.
+        metrics.shard_batch_sizes = parts.iter().map(|p| p.len() as u64).collect();
+        metrics.shard_skew = routing::skew(&metrics.shard_batch_sizes);
+        Ok(ScanOutput {
             cache_hits: 0,
             octree_updates: observations,
+            deferred: None,
         })
     }
 
+    fn snapshot_tree(&self) -> OccupancyOcTree {
+        engine::merge_shards(&self.shards)
+    }
+
     fn occupancy(&mut self, key: VoxelKey) -> Option<f32> {
-        self.shards[self.shard_of(key)].search(key)
+        self.shards[self.router.shard_of(key)].search(key)
     }
 
     fn is_occupied(&mut self, key: VoxelKey) -> Option<bool> {
@@ -287,21 +259,8 @@ impl MappingSystem for ShardedOctoMap {
         self.occupancy(key).map(|l| params.is_occupied(l))
     }
 
-    fn finish(&mut self) -> PhaseTimes {
-        self.telemetry.flush();
-        PhaseTimes::default()
-    }
-
-    fn phase_times(&self) -> PhaseTimes {
-        self.telemetry.totals()
-    }
-
-    fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
-        self.telemetry.set_recorder(recorder);
-    }
-
-    fn phase_histograms(&self) -> Option<&PhaseHistograms> {
-        Some(self.telemetry.histograms())
+    fn flush(&mut self) -> FlushTimes {
+        FlushTimes::default()
     }
 
     fn tree_stats(&self) -> Option<StatsSnapshot> {
@@ -314,30 +273,19 @@ impl MappingSystem for ShardedOctoMap {
         self.event_sink.as_ref().map(|s| s.take())
     }
 
-    fn query_handle(&mut self) -> QueryHandle {
-        if self.publisher.is_none() {
-            let scans = self.telemetry.scans();
-            self.publisher = Some(SnapshotPublisher::new(snapshot_tree(&self.shards), scans));
-        }
-        self.publisher
-            .as_ref()
-            .expect("publisher armed above")
-            .handle()
-    }
-
-    fn take_tree(self: Box<Self>) -> OccupancyOcTree {
+    fn take_tree(self) -> OccupancyOcTree {
         // Shards populate disjoint top-level octants (for 8 shards; for
         // fewer, disjoint octant groups, which still never collide because
         // a voxel routes to exactly one shard), so a structural merge
         // reassembles the map.
-        snapshot_tree(&self.shards)
+        engine::merge_shards(&self.shards)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::OctoMapSystem;
+    use crate::pipeline::{MappingSystem, OctoMapSystem};
 
     fn grid() -> VoxelGrid {
         VoxelGrid::new(0.5, 8).unwrap()

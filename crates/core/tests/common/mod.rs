@@ -8,10 +8,12 @@
 
 use octocache::pipeline::{MappingSystem, OctoMapSystem, RayTracer};
 use octocache::{CacheConfig, ParallelOctoCache, SerialOctoCache, ShardedOctoMap, TreeLayout};
-use octocache_geom::{Point3, VoxelGrid};
+use octocache_geom::VoxelGrid;
 use octocache_octomap::{OccupancyOcTree, OccupancyParams};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+
+/// One deterministic scan: an origin and a point cloud. Re-exported from
+/// the shared generator so every suite speaks the same type.
+pub use octocache_datasets::Scan;
 
 /// Scenario seeds exercised; `OCTO_TEST_ITERS` overrides (CI sets it
 /// higher).
@@ -22,75 +24,14 @@ pub fn num_scenarios() -> u64 {
         .unwrap_or(2)
 }
 
-/// One deterministic scan: an origin and a point cloud.
-pub struct Scan {
-    pub origin: Point3,
-    pub points: Vec<Point3>,
-}
-
 /// Generates a deterministic scan sequence over a synthetic scene: a sensor
 /// random-walking through a field of spherical "blobs", sweeping ray fans
 /// in random directions. Everything derives from `seed`, so every backend
-/// replays the identical sequence.
+/// replays the identical sequence. The generator itself lives in
+/// `octocache_datasets::scenario` so the bench bins replay the same
+/// distribution.
 pub fn scenario(seed: u64) -> Vec<Scan> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    // A handful of solid blobs the rays terminate on.
-    let blobs: Vec<(Point3, f64)> = (0..6)
-        .map(|_| {
-            (
-                Point3::new(
-                    rng.random_range(-18.0..18.0),
-                    rng.random_range(-18.0..18.0),
-                    rng.random_range(-6.0..6.0),
-                ),
-                rng.random_range(1.0..3.0),
-            )
-        })
-        .collect();
-    let mut origin = Point3::new(
-        rng.random_range(-4.0..4.0),
-        rng.random_range(-4.0..4.0),
-        rng.random_range(-1.0..1.0),
-    );
-    (0..10)
-        .map(|_| {
-            origin = Point3::new(
-                (origin.x + rng.random_range(-2.0..2.0)).clamp(-20.0, 20.0),
-                (origin.y + rng.random_range(-2.0..2.0)).clamp(-20.0, 20.0),
-                (origin.z + rng.random_range(-0.5..0.5)).clamp(-4.0, 4.0),
-            );
-            let points = (0..120)
-                .map(|_| {
-                    // A random direction; the ray ends on the nearest blob
-                    // surface along it, or at max range in free space.
-                    let theta = rng.random_range(0.0..std::f64::consts::TAU);
-                    let phi = rng.random_range(-0.4..0.4_f64);
-                    let dir =
-                        Point3::new(theta.cos() * phi.cos(), theta.sin() * phi.cos(), phi.sin());
-                    let mut t_hit = 18.0;
-                    for (c, r) in &blobs {
-                        // Ray-sphere intersection from `origin` along `dir`.
-                        let oc = Point3::new(origin.x - c.x, origin.y - c.y, origin.z - c.z);
-                        let b = oc.x * dir.x + oc.y * dir.y + oc.z * dir.z;
-                        let q = (oc.x * oc.x + oc.y * oc.y + oc.z * oc.z) - r * r;
-                        let disc = b * b - q;
-                        if disc > 0.0 {
-                            let t = -b - disc.sqrt();
-                            if t > 0.5 && t < t_hit {
-                                t_hit = t;
-                            }
-                        }
-                    }
-                    Point3::new(
-                        origin.x + dir.x * t_hit,
-                        origin.y + dir.y * t_hit,
-                        origin.z + dir.z * t_hit,
-                    )
-                })
-                .collect();
-            Scan { origin, points }
-        })
-        .collect()
+    octocache_datasets::scenario::blob_walk(seed)
 }
 
 pub fn grid() -> VoxelGrid {
@@ -158,12 +99,22 @@ pub fn backends() -> Vec<(String, Box<dyn MappingSystem>)> {
 
 /// Every backend pinned to an explicit octree storage layout.
 pub fn backends_with(layout: TreeLayout) -> Vec<(String, Box<dyn MappingSystem>)> {
+    backends_with_grid(grid(), layout)
+}
+
+/// Every backend over an explicit voxel grid and octree storage layout
+/// (the golden-checksum suite replays dataset-scale scenarios that need a
+/// larger grid than the default scenario one).
+pub fn backends_with_grid(
+    grid: VoxelGrid,
+    layout: TreeLayout,
+) -> Vec<(String, Box<dyn MappingSystem>)> {
     let params = OccupancyParams::default();
     let mut v: Vec<(String, Box<dyn MappingSystem>)> = vec![
         (
             "octomap".to_string(),
             Box::new(OctoMapSystem::with_layout(
-                grid(),
+                grid,
                 params,
                 RayTracer::Standard,
                 layout,
@@ -171,12 +122,12 @@ pub fn backends_with(layout: TreeLayout) -> Vec<(String, Box<dyn MappingSystem>)
         ),
         (
             "serial".to_string(),
-            Box::new(SerialOctoCache::new(grid(), params, cache_with(layout))),
+            Box::new(SerialOctoCache::new(grid, params, cache_with(layout))),
         ),
         (
             "sharded-x8".to_string(),
             Box::new(ShardedOctoMap::with_layout(
-                grid(),
+                grid,
                 params,
                 8,
                 RayTracer::Standard,
@@ -188,7 +139,7 @@ pub fn backends_with(layout: TreeLayout) -> Vec<(String, Box<dyn MappingSystem>)
         v.push((
             format!("parallel-x{n}"),
             Box::new(ParallelOctoCache::with_workers(
-                grid(),
+                grid,
                 params,
                 cache_with(layout),
                 RayTracer::Standard,

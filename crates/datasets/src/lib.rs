@@ -36,6 +36,7 @@
 mod dataset;
 pub mod dynamic;
 pub mod io;
+pub mod scenario;
 mod scene;
 mod sensor;
 pub mod stats;

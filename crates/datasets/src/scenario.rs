@@ -1,0 +1,126 @@
+//! Test-support scenarios: the seeded synthetic scan generator shared by the
+//! cross-backend integration suites (`crates/core/tests/common`) and the
+//! bench bins.
+//!
+//! Unlike the named [`Dataset`](crate::Dataset) generators — which reproduce
+//! the *statistical structure* of the paper's scan logs at benchmark scale —
+//! these scenarios are deliberately small and adversarial: a sensor
+//! random-walking through a field of spherical blobs, sweeping ray fans in
+//! random directions. A tiny cache replaying them exercises every
+//! hit/miss/evict/enqueue path in seconds, and because everything derives
+//! from a single seed, every backend replays the *identical* sequence —
+//! the property the differential and golden-checksum suites are built on.
+//!
+//! This module is the single source of the generator. The integration
+//! suites' `tests/common` re-exports it, and the bench bins use it for
+//! their pre-sweep self-checks, so the scan distribution can never drift
+//! between the proof (tests) and the measurement (benches).
+
+use crate::{Scan, ScanSequence};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use octocache_geom::Point3;
+
+/// The sensor range scenario scans are inserted with (passed to the
+/// mapping backend's `max_range`).
+pub const MAX_RANGE: f64 = 40.0;
+
+/// Generates the deterministic blob-walk scan sequence for `seed`: a sensor
+/// random-walking through a field of six spherical "blobs", sweeping
+/// 120-ray fans in random directions over ten scans. Rays terminate on the
+/// nearest blob surface, or at 18 m in free space.
+pub fn blob_walk(seed: u64) -> Vec<Scan> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A handful of solid blobs the rays terminate on.
+    let blobs: Vec<(Point3, f64)> = (0..6)
+        .map(|_| {
+            (
+                Point3::new(
+                    rng.random_range(-18.0..18.0),
+                    rng.random_range(-18.0..18.0),
+                    rng.random_range(-6.0..6.0),
+                ),
+                rng.random_range(1.0..3.0),
+            )
+        })
+        .collect();
+    let mut origin = Point3::new(
+        rng.random_range(-4.0..4.0),
+        rng.random_range(-4.0..4.0),
+        rng.random_range(-1.0..1.0),
+    );
+    (0..10)
+        .map(|_| {
+            origin = Point3::new(
+                (origin.x + rng.random_range(-2.0..2.0)).clamp(-20.0, 20.0),
+                (origin.y + rng.random_range(-2.0..2.0)).clamp(-20.0, 20.0),
+                (origin.z + rng.random_range(-0.5..0.5)).clamp(-4.0, 4.0),
+            );
+            let points = (0..120)
+                .map(|_| {
+                    // A random direction; the ray ends on the nearest blob
+                    // surface along it, or at max range in free space.
+                    let theta = rng.random_range(0.0..std::f64::consts::TAU);
+                    let phi = rng.random_range(-0.4..0.4_f64);
+                    let dir =
+                        Point3::new(theta.cos() * phi.cos(), theta.sin() * phi.cos(), phi.sin());
+                    let mut t_hit = 18.0;
+                    for (c, r) in &blobs {
+                        // Ray-sphere intersection from `origin` along `dir`.
+                        let oc = Point3::new(origin.x - c.x, origin.y - c.y, origin.z - c.z);
+                        let b = oc.x * dir.x + oc.y * dir.y + oc.z * dir.z;
+                        let q = (oc.x * oc.x + oc.y * oc.y + oc.z * oc.z) - r * r;
+                        let disc = b * b - q;
+                        if disc > 0.0 {
+                            let t = -b - disc.sqrt();
+                            if t > 0.5 && t < t_hit {
+                                t_hit = t;
+                            }
+                        }
+                    }
+                    Point3::new(
+                        origin.x + dir.x * t_hit,
+                        origin.y + dir.y * t_hit,
+                        origin.z + dir.z * t_hit,
+                    )
+                })
+                .collect();
+            Scan { origin, points }
+        })
+        .collect()
+}
+
+/// As [`blob_walk`], packaged as a [`ScanSequence`] (with [`MAX_RANGE`])
+/// for consumers that speak the dataset API, such as the bench harness.
+pub fn blob_walk_sequence(seed: u64) -> ScanSequence {
+    ScanSequence::from_parts("blob-walk", blob_walk(seed), MAX_RANGE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = blob_walk(7);
+        let b = blob_walk(7);
+        assert_eq!(a.len(), 10);
+        assert!(a.iter().all(|s| s.points.len() == 120));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.origin, y.origin);
+            assert_eq!(x.points, y.points);
+        }
+        // Different seeds diverge.
+        let c = blob_walk(8);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.points != y.points));
+    }
+
+    #[test]
+    fn sequence_wrapper_matches() {
+        let seq = blob_walk_sequence(3);
+        assert_eq!(seq.name(), "blob-walk");
+        assert_eq!(seq.max_range(), MAX_RANGE);
+        assert_eq!(seq.scans(), &blob_walk(3)[..]);
+    }
+}

@@ -204,8 +204,8 @@ impl Mission {
             ..Default::default()
         });
         let mut global_waypoints: Vec<octocache_geom::Point3> = Vec::new();
-        // Arm the snapshot publisher up front when planning reads from
-        // snapshots, so every insert_scan republishes.
+        // Arm the backend engine's snapshot publisher up front when
+        // planning reads from snapshots, so every insert_scan republishes.
         let handle: Option<QueryHandle> =
             self.config.plan_from_snapshot.then(|| map.query_handle());
 

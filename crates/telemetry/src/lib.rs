@@ -61,7 +61,7 @@ pub use event::{
 };
 pub use hist::{Counter, Histogram};
 pub use phase::{Phase, PhaseHistograms, PhaseTimes};
-pub use record::ScanRecord;
+pub use record::{DurableMetrics, ScanMetrics, ScanRecord, SnapshotMetrics};
 pub use recorder::{
     JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, SharedRecorder, Telemetry,
 };
