@@ -7,8 +7,10 @@
 //! a JSON array with one object per dataset × worker count, the
 //! machine-readable record of how eviction-stream sharding scales.
 
+use std::time::{Duration, Instant};
+
 use octocache::pipeline::RayTracer;
-use octocache::{MappingSystem, ParallelOctoCache};
+use octocache::{CacheConfig, MappingSystem, ParallelOctoCache, ScanOutcome};
 use octocache_bench::{
     cache_for, cache_with, construct, grid, load_dataset, print_table, reference_resolution,
     scenario_smoke,
@@ -21,6 +23,15 @@ use serde::Value;
 /// Worker counts swept (the cross-backend differential suite covers the
 /// same set).
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Admission deadlines (ms) swept by the overload section, from loose
+/// (nothing sheds) to far below any real per-scan latency (the gate must
+/// shed to keep up). Charts shed-rate against sustained throughput.
+const OVERLOAD_DEADLINES_MS: [f64; 3] = [1000.0, 1.0, 0.05];
+
+/// Worker counts for the overload section (kept small: the point is the
+/// deadline sweep, not scaling).
+const OVERLOAD_WORKERS: [usize; 2] = [2, 4];
 
 /// Construction attempts per configuration; the best throughput is kept so
 /// a scheduler hiccup on a loaded machine does not mask scaling.
@@ -86,6 +97,94 @@ fn run_value(r: &Run) -> Value {
             Value::F64(r.summary.max_shard_skew),
         ),
     ])
+}
+
+struct OverloadRun {
+    dataset: &'static str,
+    workers: usize,
+    deadline_ms: f64,
+    applied: u64,
+    sheds: u64,
+    total_s: f64,
+}
+
+impl OverloadRun {
+    fn shed_rate(&self) -> f64 {
+        let total = self.applied + self.sheds;
+        if total == 0 {
+            0.0
+        } else {
+            self.sheds as f64 / total as f64
+        }
+    }
+
+    /// Throughput of scans that actually reached the map: the quantity the
+    /// governor sustains while the gate sheds the rest.
+    fn sustained_scans_per_s(&self) -> f64 {
+        self.applied as f64 / self.total_s.max(1e-9)
+    }
+}
+
+fn overload_value(r: &OverloadRun) -> Value {
+    Value::Map(vec![
+        ("section".to_string(), Value::Str("overload".to_string())),
+        ("dataset".to_string(), Value::Str(r.dataset.to_string())),
+        ("workers".to_string(), Value::U64(r.workers as u64)),
+        ("deadline_ms".to_string(), Value::F64(r.deadline_ms)),
+        ("applied".to_string(), Value::U64(r.applied)),
+        ("sheds".to_string(), Value::U64(r.sheds)),
+        ("shed_rate".to_string(), Value::F64(r.shed_rate())),
+        (
+            "sustained_scans_per_s".to_string(),
+            Value::F64(r.sustained_scans_per_s()),
+        ),
+    ])
+}
+
+/// Replays a dataset through `submit_scan` under a bounded admission
+/// deadline, counting applied vs shed scans.
+fn overload_run(
+    dataset: Dataset,
+    seq: &octocache_datasets::ScanSequence,
+    res: f64,
+    base: CacheConfig,
+    workers: usize,
+    deadline_ms: f64,
+) -> OverloadRun {
+    let cache = CacheConfig::builder()
+        .num_buckets(base.num_buckets())
+        .tau(base.tau())
+        .shed_deadline(Duration::from_secs_f64(deadline_ms / 1e3))
+        .build()
+        .expect("valid cache config");
+    let mut system: Box<dyn MappingSystem> = Box::new(ParallelOctoCache::with_workers(
+        grid(res),
+        OccupancyParams::default(),
+        cache,
+        RayTracer::Standard,
+        workers,
+    ));
+    let t0 = Instant::now();
+    let mut applied = 0u64;
+    let mut sheds = 0u64;
+    for scan in seq.scans() {
+        match system
+            .submit_scan(scan.origin, &scan.points, seq.max_range())
+            .expect("scan within grid")
+        {
+            ScanOutcome::Applied(_) => applied += 1,
+            ScanOutcome::Shed(_) => sheds += 1,
+        }
+    }
+    system.finish();
+    OverloadRun {
+        dataset: dataset.name(),
+        workers,
+        deadline_ms,
+        applied,
+        sheds,
+        total_s: t0.elapsed().as_secs_f64(),
+    }
 }
 
 fn main() {
@@ -191,7 +290,52 @@ fn main() {
         );
     }
 
-    let json = serde::json::to_string(&Value::Seq(runs.iter().map(run_value).collect()));
+    // Overload section: replay the first dataset through `submit_scan`
+    // under a bounded admission deadline. Tightening the deadline raises
+    // the shed rate while the applied-scan throughput stays sustained —
+    // the load-shedding contract of the supervised runtime (DESIGN.md §7).
+    let overload_dataset = Dataset::ALL[0];
+    let seq = load_dataset(overload_dataset);
+    let res = reference_resolution(overload_dataset);
+    let base = cache_for(&seq, res);
+    let mut overloads: Vec<OverloadRun> = Vec::new();
+    let mut orows = Vec::new();
+    for workers in OVERLOAD_WORKERS {
+        for deadline_ms in OVERLOAD_DEADLINES_MS {
+            let run = overload_run(overload_dataset, &seq, res, base, workers, deadline_ms);
+            orows.push(vec![
+                run.dataset.to_string(),
+                format!("{}", run.workers),
+                format!("{:.3}", run.deadline_ms),
+                format!("{}", run.applied),
+                format!("{}", run.sheds),
+                format!("{:.3}", run.shed_rate()),
+                format!("{:.1}", run.sustained_scans_per_s()),
+            ]);
+            overloads.push(run);
+        }
+    }
+
+    print_table(
+        "Overload — shed rate vs sustained throughput under a bounded admission deadline",
+        &[
+            "dataset",
+            "workers",
+            "deadline(ms)",
+            "applied",
+            "shed",
+            "shed-rate",
+            "applied/s",
+        ],
+        &orows,
+    );
+
+    let json = serde::json::to_string(&Value::Seq(
+        runs.iter()
+            .map(run_value)
+            .chain(overloads.iter().map(overload_value))
+            .collect(),
+    ));
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("\nwrote {out_path}"),
         Err(e) => eprintln!("\nfailed to write {out_path}: {e}"),

@@ -159,7 +159,7 @@ fn usage() -> String {
 
 USAGE:
   octocache generate <dataset> <out.scanlog> [--scale S] [--seed N]
-  octocache build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T] [--workers N] [--tree-layout pointer|arena] [--format ot|bt] [--trace out.jsonl] [--events out.jsonl] [--strict] [--fault SPEC] [--journal DIR] [--checkpoint-every N]
+  octocache build <in.scanlog> <out.map> [--backend B] [--resolution R] [--buckets N] [--tau T] [--workers N] [--tree-layout pointer|arena] [--format ot|bt] [--trace out.jsonl] [--events out.jsonl] [--strict] [--fault SPEC] [--journal DIR] [--checkpoint-every N] [--mem-budget BYTES] [--max-restarts N] [--shed-deadline MS]
   octocache report <trace.jsonl> [--json]
   octocache analyze <events.jsonl> [--trace-out trace.json]
   octocache info <map> [--backend B] [--workers N] [--buckets N] [--tau T] [--tree-layout pointer|arena]
@@ -299,6 +299,26 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     cache_builder
         .num_buckets(buckets.next_power_of_two())
         .tau(tau);
+    // Supervisor knobs: a resident-memory budget for the pressure governor,
+    // a worker-respawn budget, and the admission gate's latency deadline.
+    // All default off — an unconfigured build behaves exactly as before.
+    if let Some(s) = flag(&flags, "mem-budget") {
+        let bytes = parse_usize(s, "--mem-budget")? as u64;
+        if bytes == 0 {
+            return Err("--mem-budget must be a non-zero byte count".into());
+        }
+        cache_builder.mem_budget(bytes);
+    }
+    if let Some(s) = flag(&flags, "max-restarts") {
+        cache_builder.max_restarts(parse_usize(s, "--max-restarts")? as u32);
+    }
+    if let Some(s) = flag(&flags, "shed-deadline") {
+        let ms = parse_f64(s, "--shed-deadline")?;
+        if !ms.is_finite() || ms <= 0.0 {
+            return Err("--shed-deadline must be a positive duration in ms".into());
+        }
+        cache_builder.shed_deadline(std::time::Duration::from_secs_f64(ms / 1e3));
+    }
     // Octree storage layout; the flag overrides the `OCTO_TREE_LAYOUT`
     // environment default. Applies to every backend.
     let layout = match flag(&flags, "tree-layout") {
@@ -324,7 +344,7 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
         }
         let plan = FaultPlan::from_spec(spec).ok_or_else(|| {
             CliError::Usage(format!(
-                "malformed --fault spec `{spec}` (kill:<w>@<b> | stall:<w>@<b>:<us> | spawn:<w> | fill:<w> | seed:<n>)"
+                "malformed --fault spec `{spec}` (kill:<w>@<b> | killevery:<w>@<n> | stall:<w>@<b>:<us> | spawn:<w> | fill:<w> | seed:<n>)"
             ))
         })?;
         cache_builder.fault_plan(plan);
@@ -489,6 +509,7 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     let tree_stats = backend.as_dyn().tree_stats();
     let integrity = backend.as_dyn().integrity();
     let fault_counters = backend.as_dyn().fault_counters();
+    let integrity_history = backend.as_dyn().integrity_transitions();
 
     let (tree, durable_stats) = match backend {
         BuildBackend::Plain(b) => (b.take_tree(), None),
@@ -581,6 +602,32 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
             f.partial_batches,
             f.batches_rerouted
         );
+    } else if fault_counters != octocache::FaultCounters::default() {
+        // Faults occurred but the supervisor healed them: the sticky
+        // verdict alone would hide that anything happened, so print the
+        // full counter set here too.
+        let f = fault_counters;
+        let _ = writeln!(
+            out,
+            "  integrity: {integrity} (healed) — {} panics, {} spawn failures, {} stalls, \
+             {} partial batches, {} batches rerouted",
+            f.worker_panics,
+            f.spawn_failures,
+            f.stall_timeouts,
+            f.partial_batches,
+            f.batches_rerouted
+        );
+    }
+    if fault_counters.restarts + fault_counters.heals > 0 {
+        let _ = writeln!(
+            out,
+            "  supervisor: {} worker restarts, {} heals",
+            fault_counters.restarts, fault_counters.heals
+        );
+    }
+    if !integrity_history.is_empty() {
+        let hist: Vec<String> = integrity_history.iter().map(|t| t.to_string()).collect();
+        let _ = writeln!(out, "  integrity history: {}", hist.join("; "));
     }
     let _ = write!(
         out,
@@ -1538,6 +1585,67 @@ mod tests {
             .unwrap_err();
             assert_eq!(err.exit_code(), 2, "{err}");
             assert!(err.to_string().contains("fault-injection"), "{err}");
+        }
+    }
+
+    #[test]
+    fn supervisor_flags_and_heal_reporting() {
+        let log = temp_path("supervisor.scanlog");
+        run(&s(&["generate", "fr079-corridor", &log, "--scale", "0.05"])).unwrap();
+        let map = temp_path("supervisor.map");
+
+        // Bad supervisor values are usage errors.
+        let err = run(&s(&["build", &log, &map, "--mem-budget", "0"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        let err = run(&s(&["build", &log, &map, "--shed-deadline", "-1"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+
+        // Generous knobs leave a healthy build unchanged: no supervisor
+        // line, no integrity line, the map is written normally.
+        let out = run(&s(&[
+            "build",
+            &log,
+            &map,
+            "--resolution",
+            "0.4",
+            "--mem-budget",
+            "1073741824",
+            "--max-restarts",
+            "2",
+            "--shed-deadline",
+            "50",
+        ]))
+        .unwrap();
+        assert!(out.contains("built"), "{out}");
+        assert!(!out.contains("supervisor:"), "{out}");
+        assert!(!out.contains("integrity"), "{out}");
+
+        if cfg!(feature = "fault-injection") {
+            // With a restart budget the killed worker is respawned, the
+            // verdict heals back to intact, and the report shows the full
+            // story (counters + transition history) instead of nothing.
+            let out = run(&s(&[
+                "build",
+                &log,
+                &map,
+                "--backend",
+                "parallel",
+                "--resolution",
+                "0.4",
+                "--fault",
+                "kill:0@1",
+                "--max-restarts",
+                "2",
+            ]))
+            .unwrap();
+            assert!(out.contains("(healed)"), "{out}");
+            assert!(out.contains("1 panics"), "{out}");
+            assert!(
+                out.contains("supervisor: 1 worker restarts, 1 heals"),
+                "{out}"
+            );
+            assert!(out.contains("integrity history:"), "{out}");
+            assert!(out.contains("degraded"), "{out}");
         }
     }
 

@@ -54,6 +54,34 @@ impl fmt::Display for EvictionOrder {
     }
 }
 
+/// The producer-side wait/backoff shape used by every bounded wait in the
+/// parallel pipeline (ring-full back-pressure, end-of-scan worker waits).
+///
+/// PR 3 hard-coded these; they are now configurable on [`CacheConfig`] so
+/// latency-sensitive deployments can trade busy-spinning against clock
+/// reads. A wait first spins `spin_iters` times without touching the
+/// clock, then alternates `yields_per_check` thread yields with one
+/// deadline check (the deadline itself stays
+/// [`CacheConfig::stall_timeout`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackoffPolicy {
+    /// Busy-spin iterations before the first clock read.
+    pub spin_iters: u32,
+    /// Thread yields between consecutive deadline checks (≥ 1). Larger
+    /// values slice the deadline more coarsely but read the clock less.
+    pub yields_per_check: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        // The PR 3 constants: 64 spins, check the clock on every yield.
+        BackoffPolicy {
+            spin_iters: 64,
+            yields_per_check: 1,
+        }
+    }
+}
+
 /// Errors from validating a [`CacheConfig`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
@@ -70,6 +98,12 @@ pub enum ConfigError {
     /// `checkpoint_generations` must be at least 1 (zero would delete the
     /// checkpoint just written, leaving nothing to recover from).
     ZeroCheckpointGenerations,
+    /// `backoff.yields_per_check` must be at least 1 (zero would never
+    /// yield between clock reads, pinning a core against a wedged worker).
+    ZeroYieldsPerCheck,
+    /// `mem_budget` must be non-zero when set (a zero budget would reject
+    /// every scan; use a small budget to test pressure, `None` to disable).
+    ZeroMemBudget,
 }
 
 impl fmt::Display for ConfigError {
@@ -85,6 +119,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroCheckpointGenerations => {
                 write!(f, "checkpoint_generations must be at least 1")
+            }
+            ConfigError::ZeroYieldsPerCheck => {
+                write!(f, "backoff.yields_per_check must be at least 1")
+            }
+            ConfigError::ZeroMemBudget => {
+                write!(f, "mem_budget must be non-zero when set")
             }
         }
     }
@@ -114,10 +154,15 @@ pub struct CacheConfig {
     index_policy: IndexPolicy,
     eviction_order: EvictionOrder,
     stall_timeout: Duration,
+    backoff: BackoffPolicy,
     tree_layout: Option<TreeLayout>,
     checkpoint_every: u64,
     checkpoint_generations: usize,
     journal_fsync: bool,
+    mem_budget: Option<u64>,
+    max_restarts: u32,
+    restart_backoff: Duration,
+    shed_deadline: Option<Duration>,
     #[serde(skip)]
     fault_plan: Option<FaultPlan>,
     #[serde(skip)]
@@ -138,10 +183,15 @@ impl Default for CacheConfig {
             index_policy: IndexPolicy::Morton,
             eviction_order: EvictionOrder::BucketSequential,
             stall_timeout: DEFAULT_STALL_TIMEOUT,
+            backoff: BackoffPolicy::default(),
             tree_layout: None,
             checkpoint_every: 64,
             checkpoint_generations: 3,
             journal_fsync: true,
+            mem_budget: None,
+            max_restarts: 0,
+            restart_backoff: Duration::ZERO,
+            shed_deadline: None,
             fault_plan: None,
             events: false,
         }
@@ -186,6 +236,49 @@ impl CacheConfig {
     #[inline]
     pub fn stall_timeout(&self) -> Duration {
         self.stall_timeout
+    }
+
+    /// The wait/backoff shape used by every bounded pipeline wait; see
+    /// [`BackoffPolicy`].
+    #[inline]
+    pub fn backoff(&self) -> BackoffPolicy {
+        self.backoff
+    }
+
+    /// The memory budget in bytes, if one is configured. When set, the
+    /// engine's memory governor walks a graduated pressure ladder as
+    /// resident bytes approach it (tighten τ-eviction → force prune →
+    /// reject scans with
+    /// [`PipelineError::OverBudget`](crate::fault::PipelineError)), with
+    /// hysteresis so relief is not re-triggered on every scan. `None`
+    /// (the default) disables the governor entirely.
+    #[inline]
+    pub fn mem_budget(&self) -> Option<u64> {
+        self.mem_budget
+    }
+
+    /// How many times the supervisor may respawn each dead worker. `0`
+    /// (the default) preserves the PR 3 behaviour: a dead worker degrades
+    /// the pipeline permanently and its octants are served inline.
+    #[inline]
+    pub fn max_restarts(&self) -> u32 {
+        self.max_restarts
+    }
+
+    /// Delay before each worker respawn (default zero).
+    #[inline]
+    pub fn restart_backoff(&self) -> Duration {
+        self.restart_backoff
+    }
+
+    /// The scan-admission deadline: when the exponentially-weighted
+    /// moving average of recent scan latencies exceeds it, the engine
+    /// sheds incoming scans
+    /// ([`ScanOutcome::Shed`](crate::supervisor::ScanOutcome)) until the
+    /// average recovers. `None` (the default) admits every scan.
+    #[inline]
+    pub fn shed_deadline(&self) -> Option<Duration> {
+        self.shed_deadline
     }
 
     /// The explicit octree storage layout, if one was requested. `None`
@@ -302,10 +395,15 @@ pub struct CacheConfigBuilder {
     index_policy: IndexPolicy,
     eviction_order: EvictionOrder,
     stall_timeout: Duration,
+    backoff: BackoffPolicy,
     tree_layout: Option<TreeLayout>,
     checkpoint_every: u64,
     checkpoint_generations: usize,
     journal_fsync: bool,
+    mem_budget: Option<u64>,
+    max_restarts: u32,
+    restart_backoff: Duration,
+    shed_deadline: Option<Duration>,
     fault_plan: Option<FaultPlan>,
     events: bool,
 }
@@ -319,10 +417,15 @@ impl CacheConfigBuilder {
             index_policy: d.index_policy,
             eviction_order: d.eviction_order,
             stall_timeout: d.stall_timeout,
+            backoff: d.backoff,
             tree_layout: d.tree_layout,
             checkpoint_every: d.checkpoint_every,
             checkpoint_generations: d.checkpoint_generations,
             journal_fsync: d.journal_fsync,
+            mem_budget: d.mem_budget,
+            max_restarts: d.max_restarts,
+            restart_backoff: d.restart_backoff,
+            shed_deadline: d.shed_deadline,
             fault_plan: d.fault_plan,
             events: d.events,
         }
@@ -356,6 +459,41 @@ impl CacheConfigBuilder {
     /// [`CacheConfig::stall_timeout`]. Must be non-zero.
     pub fn stall_timeout(&mut self, timeout: Duration) -> &mut Self {
         self.stall_timeout = timeout;
+        self
+    }
+
+    /// Sets the wait/backoff shape for bounded pipeline waits; see
+    /// [`BackoffPolicy`]. `yields_per_check` must be ≥ 1.
+    pub fn backoff(&mut self, policy: BackoffPolicy) -> &mut Self {
+        self.backoff = policy;
+        self
+    }
+
+    /// Sets the memory budget in bytes (must be non-zero); see
+    /// [`CacheConfig::mem_budget`].
+    pub fn mem_budget(&mut self, bytes: u64) -> &mut Self {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// Sets the per-worker respawn budget; see
+    /// [`CacheConfig::max_restarts`].
+    pub fn max_restarts(&mut self, n: u32) -> &mut Self {
+        self.max_restarts = n;
+        self
+    }
+
+    /// Sets the delay before each respawn; see
+    /// [`CacheConfig::restart_backoff`].
+    pub fn restart_backoff(&mut self, backoff: Duration) -> &mut Self {
+        self.restart_backoff = backoff;
+        self
+    }
+
+    /// Sets the scan-admission deadline; see
+    /// [`CacheConfig::shed_deadline`].
+    pub fn shed_deadline(&mut self, deadline: Duration) -> &mut Self {
+        self.shed_deadline = Some(deadline);
         self
     }
 
@@ -433,16 +571,27 @@ impl CacheConfigBuilder {
         if self.checkpoint_generations == 0 {
             return Err(ConfigError::ZeroCheckpointGenerations);
         }
+        if self.backoff.yields_per_check == 0 {
+            return Err(ConfigError::ZeroYieldsPerCheck);
+        }
+        if self.mem_budget == Some(0) {
+            return Err(ConfigError::ZeroMemBudget);
+        }
         Ok(CacheConfig {
             num_buckets: self.num_buckets,
             tau: self.tau,
             index_policy: self.index_policy,
             eviction_order: self.eviction_order,
             stall_timeout: self.stall_timeout,
+            backoff: self.backoff,
             tree_layout: self.tree_layout,
             checkpoint_every: self.checkpoint_every,
             checkpoint_generations: self.checkpoint_generations,
             journal_fsync: self.journal_fsync,
+            mem_budget: self.mem_budget,
+            max_restarts: self.max_restarts,
+            restart_backoff: self.restart_backoff,
+            shed_deadline: self.shed_deadline,
             fault_plan: self.fault_plan,
             events: self.events,
         })
@@ -622,6 +771,53 @@ mod tests {
     }
 
     #[test]
+    fn supervisor_knobs_default_off_validate_and_round_trip() {
+        let d = CacheConfig::default();
+        assert_eq!(d.mem_budget(), None);
+        assert_eq!(d.max_restarts(), 0);
+        assert_eq!(d.restart_backoff(), Duration::ZERO);
+        assert_eq!(d.shed_deadline(), None);
+        assert_eq!(d.backoff(), BackoffPolicy::default());
+        assert_eq!(d.backoff().spin_iters, 64);
+        assert_eq!(d.backoff().yields_per_check, 1);
+        assert_eq!(
+            CacheConfig::builder().mem_budget(0).build(),
+            Err(ConfigError::ZeroMemBudget)
+        );
+        assert_eq!(
+            CacheConfig::builder()
+                .backoff(BackoffPolicy {
+                    spin_iters: 8,
+                    yields_per_check: 0
+                })
+                .build(),
+            Err(ConfigError::ZeroYieldsPerCheck)
+        );
+        let c = CacheConfig::builder()
+            .num_buckets(64)
+            .mem_budget(32 << 20)
+            .max_restarts(3)
+            .restart_backoff(Duration::from_millis(5))
+            .shed_deadline(Duration::from_millis(40))
+            .backoff(BackoffPolicy {
+                spin_iters: 16,
+                yields_per_check: 4,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(c.mem_budget(), Some(32 << 20));
+        assert_eq!(c.max_restarts(), 3);
+        assert_eq!(c.restart_backoff(), Duration::from_millis(5));
+        assert_eq!(c.shed_deadline(), Some(Duration::from_millis(40)));
+        let back: CacheConfig = serde::json::from_str(&serde::json::to_string(&c)).unwrap();
+        assert_eq!(back.mem_budget(), Some(32 << 20));
+        assert_eq!(back.max_restarts(), 3);
+        assert_eq!(back.shed_deadline(), Some(Duration::from_millis(40)));
+        assert_eq!(back.backoff().spin_iters, 16);
+        assert_eq!(back.backoff().yields_per_check, 4);
+    }
+
+    #[test]
     fn displays() {
         assert_eq!(IndexPolicy::Hash.to_string(), "hash");
         assert_eq!(IndexPolicy::Morton.to_string(), "morton");
@@ -635,6 +831,8 @@ mod tests {
             ConfigError::ZeroTau,
             ConfigError::ZeroStallTimeout,
             ConfigError::ZeroCheckpointGenerations,
+            ConfigError::ZeroYieldsPerCheck,
+            ConfigError::ZeroMemBudget,
         ] {
             assert!(!e.to_string().is_empty());
         }

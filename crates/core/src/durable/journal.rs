@@ -7,9 +7,15 @@
 //!          | δ_occ f32 | δ_free f32 | clamp_min f32 | clamp_max f32
 //!          | threshold f32 | ray_tracer u8 | crc32(header so far) u32
 //! record:  payload_len u32 | crc32(payload) u32 | payload
-//! payload: epoch u64 | origin x,y,z f64 | max_range f64
+//! payload: epoch u64 | flags u8 (v2+) | origin x,y,z f64 | max_range f64
 //!          | npoints u32 | npoints × (x,y,z f64)
 //! ```
+//!
+//! Version 2 added a flags byte after the epoch; bit 0 marks a **shed**
+//! scan — one the supervisor's admission gate rejected. Shed records keep
+//! the journal a faithful input log (every scan offered to the map is
+//! recorded, with its verdict) and advance the epoch, but recovery never
+//! applies them. Version-1 journals (no flags byte) read as all-applied.
 //!
 //! Points are stored at full `f64` precision (unlike the `f32` scan-log
 //! dataset format) because recovery replays them through the exact insert
@@ -36,7 +42,11 @@ use super::DurableError;
 use crate::pipeline::RayTracer;
 
 const MAGIC: &[u8; 8] = b"OCTJRNL1";
-const VERSION: u8 = 1;
+/// Current write version. Version 2 = per-record flags byte (shed bit);
+/// version-1 journals are still readable.
+const VERSION: u8 = 2;
+/// Record flag bit: the scan was shed by admission control, never applied.
+const FLAG_SHED: u8 = 1 << 0;
 /// Header size: magic 8 + version 1 + resolution 8 + depth 1 + params 20
 /// + ray tracer 1 + crc 4.
 pub(crate) const HEADER_LEN: usize = 8 + 1 + 8 + 1 + 20 + 1 + 4;
@@ -53,13 +63,32 @@ pub(crate) struct JournalHeader {
     pub depth: u8,
     pub params: OccupancyParams,
     pub ray_tracer: RayTracer,
+    /// Format version the journal was written with (1 or 2); freshly
+    /// created journals always use [`VERSION`].
+    pub version: u8,
 }
 
 impl JournalHeader {
+    /// A header for a freshly created journal, in the current format.
+    pub fn new(
+        resolution: f64,
+        depth: u8,
+        params: OccupancyParams,
+        ray_tracer: RayTracer,
+    ) -> JournalHeader {
+        JournalHeader {
+            resolution,
+            depth,
+            params,
+            ray_tracer,
+            version: VERSION,
+        }
+    }
+
     fn encode(&self) -> Vec<u8> {
         let mut buf = BytesMut::with_capacity(HEADER_LEN);
         buf.put_slice(MAGIC);
-        buf.put_u8(VERSION);
+        buf.put_u8(self.version);
         buf.put_f64(self.resolution);
         buf.put_u8(self.depth);
         buf.put_f32(self.params.delta_occupied);
@@ -99,7 +128,8 @@ impl JournalHeader {
             return Err(corrupt("journal header CRC mismatch"));
         }
         buf.advance(8);
-        if buf.get_u8() != VERSION {
+        let version = buf.get_u8();
+        if !(1..=VERSION).contains(&version) {
             return Err(corrupt("unsupported journal version"));
         }
         let resolution = buf.get_f64();
@@ -124,6 +154,7 @@ impl JournalHeader {
             depth,
             params,
             ray_tracer,
+            version,
         })
     }
 }
@@ -135,13 +166,19 @@ pub(crate) struct JournalRecord {
     pub origin: Point3,
     pub max_range: f64,
     pub points: Vec<Point3>,
+    /// True when admission control shed this scan: recorded (the journal
+    /// is a faithful input log) but never applied, on replay either.
+    pub shed: bool,
 }
 
 impl JournalRecord {
-    fn encode_frame(&self) -> Vec<u8> {
-        let payload_len = 8 + 24 + 8 + 4 + self.points.len() * 24;
+    fn encode_frame(&self, version: u8) -> Vec<u8> {
+        let payload_len = 8 + 1 + 24 + 8 + 4 + self.points.len() * 24;
         let mut payload = BytesMut::with_capacity(payload_len);
         payload.put_u64(self.epoch);
+        if version >= 2 {
+            payload.put_u8(if self.shed { FLAG_SHED } else { 0 });
+        }
         payload.put_f64(self.origin.x);
         payload.put_f64(self.origin.y);
         payload.put_f64(self.origin.z);
@@ -159,11 +196,23 @@ impl JournalRecord {
         frame
     }
 
-    fn decode_payload(mut buf: &[u8]) -> Option<JournalRecord> {
-        if buf.len() < 8 + 24 + 8 + 4 {
+    fn decode_payload(mut buf: &[u8], version: u8) -> Option<JournalRecord> {
+        let flags_len = if version >= 2 { 1 } else { 0 };
+        if buf.len() < 8 + flags_len + 24 + 8 + 4 {
             return None;
         }
         let epoch = buf.get_u64();
+        let shed = if version >= 2 {
+            let flags = buf.get_u8();
+            if flags & !FLAG_SHED != 0 {
+                // Unknown flag bits: a future format (or bit rot), not
+                // this reader's data.
+                return None;
+            }
+            flags & FLAG_SHED != 0
+        } else {
+            false
+        };
         let origin = Point3::new(buf.get_f64(), buf.get_f64(), buf.get_f64());
         let max_range = buf.get_f64();
         let npoints = buf.get_u32() as usize;
@@ -179,6 +228,7 @@ impl JournalRecord {
             origin,
             max_range,
             points,
+            shed,
         })
     }
 }
@@ -239,7 +289,7 @@ pub(crate) fn read_journal(path: &Path) -> Result<JournalContents, DurableError>
             if crc32(payload) != crc {
                 return None;
             }
-            let record = JournalRecord::decode_payload(payload)?;
+            let record = JournalRecord::decode_payload(payload, header.version)?;
             if record.epoch <= last_epoch {
                 return None;
             }
@@ -272,6 +322,9 @@ pub(crate) struct Journal {
     file: File,
     path: PathBuf,
     fsync: bool,
+    /// Format version appends must use — the header's version, so records
+    /// appended after a resume stay parseable under the existing header.
+    version: u8,
 }
 
 impl Journal {
@@ -285,23 +338,26 @@ impl Journal {
         vfs: &mut Vfs,
     ) -> Result<Journal, DurableError> {
         vfs.write_atomic(dir, JOURNAL_FILE, &header.encode())?;
-        Self::open_at_end(dir.join(JOURNAL_FILE), None, fsync)
+        Self::open_at_end(dir.join(JOURNAL_FILE), None, fsync, VERSION)
     }
 
     /// Reopens an existing journal for appends, first truncating any
-    /// damaged tail to `valid_bytes`.
+    /// damaged tail to `valid_bytes`. `version` is the header's format
+    /// version; appends keep encoding in it.
     pub fn open_truncated(
         path: PathBuf,
         valid_bytes: u64,
         fsync: bool,
+        version: u8,
     ) -> Result<Journal, DurableError> {
-        Self::open_at_end(path, Some(valid_bytes), fsync)
+        Self::open_at_end(path, Some(valid_bytes), fsync, version)
     }
 
     fn open_at_end(
         path: PathBuf,
         truncate_to: Option<u64>,
         fsync: bool,
+        version: u8,
     ) -> Result<Journal, DurableError> {
         let mut file = OpenOptions::new()
             .read(true)
@@ -313,13 +369,25 @@ impl Journal {
             file.sync_data().map_err(|e| io_err(&path, &e))?;
         }
         file.seek(SeekFrom::End(0)).map_err(|e| io_err(&path, &e))?;
-        Ok(Journal { file, path, fsync })
+        Ok(Journal {
+            file,
+            path,
+            fsync,
+            version,
+        })
+    }
+
+    /// Whether this journal's format can record shed scans (version ≥ 2).
+    /// Version-1 journals (resumed from a pre-flags run) record applied
+    /// scans only — a shed scan is simply absent from the log.
+    pub fn supports_shed(&self) -> bool {
+        self.version >= 2
     }
 
     /// Appends one scan record (one persistence operation on `vfs`).
     /// Returns the frame size in bytes.
     pub fn append(&mut self, vfs: &mut Vfs, record: &JournalRecord) -> Result<u64, DurableError> {
-        let frame = record.encode_frame();
+        let frame = record.encode_frame(self.version);
         vfs.append(&mut self.file, &self.path, &frame, self.fsync)?;
         Ok(frame.len() as u64)
     }

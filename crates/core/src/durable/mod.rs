@@ -74,9 +74,10 @@ use octocache_telemetry::{EventLog, PhaseHistograms, PhaseTimes, Recorder};
 
 use crate::cache::CacheStats;
 use crate::config::CacheConfig;
-use crate::fault::{FaultCounters, Integrity, PipelineError};
+use crate::fault::{FaultCounters, Integrity, IntegrityTransition, PipelineError};
 use crate::pipeline::{MappingSystem, OctoMapSystem, RayTracer, ScanReport};
 use crate::query::{MapSnapshot, QueryHandle};
+use crate::supervisor::{ScanOutcome, ShedReason};
 
 use checkpoint::CheckpointStore;
 use journal::{Journal, JournalHeader, JournalRecord, TailStatus, JOURNAL_FILE};
@@ -167,6 +168,10 @@ pub struct RecoveryReport {
     /// Journal records skipped during replay because their geometry was
     /// invalid (they were never applied in the original run either).
     pub records_skipped: u64,
+    /// Journal records flagged as shed by admission control: recorded so
+    /// the log stays a faithful input history, never applied — in the
+    /// original run or on replay.
+    pub records_shed: u64,
     /// Damaged journal-tail bytes dropped as a clean end-of-log.
     pub tail_dropped_bytes: u64,
     /// The scan epoch of the recovered map (checkpoint epoch or last
@@ -201,6 +206,9 @@ impl RecoveryReport {
         out.push_str(&format!("records replayed:  {}\n", self.records_replayed));
         if self.records_skipped > 0 {
             out.push_str(&format!("records skipped:   {}\n", self.records_skipped));
+        }
+        if self.records_shed > 0 {
+            out.push_str(&format!("records shed:      {}\n", self.records_shed));
         }
         if self.tail_dropped_bytes > 0 {
             out.push_str(&format!(
@@ -282,10 +290,17 @@ fn recover_internal(
     let mut batch = insert::VoxelBatch::new();
     let mut records_replayed = 0u64;
     let mut records_skipped = 0u64;
+    let mut records_shed = 0u64;
     let mut final_epoch = replay_from;
     for record in &contents.records {
         final_epoch = final_epoch.max(record.epoch);
         if record.epoch <= replay_from {
+            continue;
+        }
+        if record.shed {
+            // Shed in the original run, so never applied: the record
+            // advances the epoch but contributes nothing to the map.
+            records_shed += 1;
             continue;
         }
         match insert::compute_update(
@@ -319,6 +334,7 @@ fn recover_internal(
         checkpoints_skipped,
         records_replayed,
         records_skipped,
+        records_shed,
         tail_dropped_bytes,
         final_epoch,
         leaf_checksum: tree.leaf_checksum(),
@@ -410,12 +426,7 @@ impl DurableMap {
         let store = CheckpointStore::new(dir, config.checkpoint_generations());
         store.ensure_dir()?;
         let grid = inner.grid();
-        let header = JournalHeader {
-            resolution: grid.resolution(),
-            depth: grid.depth(),
-            params,
-            ray_tracer,
-        };
+        let header = JournalHeader::new(grid.resolution(), grid.depth(), params, ray_tracer);
         let mut vfs = iofault::Vfs::new(plan);
         let journal = Journal::create(dir, &header, config.journal_fsync(), &mut vfs)?;
         Ok(DurableMap {
@@ -449,8 +460,12 @@ impl DurableMap {
         let dir = dir.as_ref();
         let layout = config.resolved_tree_layout();
         let (tree, report, header, valid_bytes) = recover_internal(dir, layout)?;
-        let journal =
-            Journal::open_truncated(dir.join(JOURNAL_FILE), valid_bytes, config.journal_fsync())?;
+        let journal = Journal::open_truncated(
+            dir.join(JOURNAL_FILE),
+            valid_bytes,
+            config.journal_fsync(),
+            header.version,
+        )?;
         let inner = OctoMapSystem::from_tree(tree, header.ray_tracer);
         #[cfg(any(test, feature = "fault-injection"))]
         let plan = IoFaultPlan::from_env();
@@ -536,6 +551,10 @@ impl MappingSystem for DurableMap {
         cloud: &[Point3],
         max_range: f64,
     ) -> Result<ScanReport, PipelineError> {
+        // Enforce the memory budget *before* journaling: a scan the inner
+        // engine will reject as OverBudget must never enter the log as an
+        // applied record, or replay would apply what the live run refused.
+        self.inner.budget_check()?;
         // Periodic checkpoint first, covering the scans applied so far: the
         // snapshot is at a scan boundary, and a crash during the checkpoint
         // loses nothing (the previous generation + journal still recover
@@ -554,6 +573,7 @@ impl MappingSystem for DurableMap {
             origin,
             max_range,
             points: cloud.to_vec(),
+            shed: false,
         };
         let t0 = Instant::now();
         let bytes = self
@@ -570,6 +590,54 @@ impl MappingSystem for DurableMap {
         self.inner
             .stamp_durable(journal_ns, checkpoint_ns, self.last_checkpoint);
         self.inner.insert_scan(origin, cloud, max_range)
+    }
+
+    fn submit_scan(
+        &mut self,
+        origin: Point3,
+        cloud: &[Point3],
+        max_range: f64,
+    ) -> Result<ScanOutcome, PipelineError> {
+        // Ask the inner backend for the verdict *before* any side effect,
+        // so the journal records the scan with the decision that was made.
+        if let Some(reason) = self.inner.admission_check() {
+            // A shed scan is journaled too (flagged, never applied): the
+            // log stays a faithful history of everything offered to the
+            // map, and replay reproduces exactly the applied subset. A
+            // resumed version-1 journal has no flags byte; there the shed
+            // scan stays out of the log entirely.
+            if self.journal.supports_shed() {
+                let record = JournalRecord {
+                    epoch: self.epoch + 1,
+                    origin,
+                    max_range,
+                    points: cloud.to_vec(),
+                    shed: true,
+                };
+                let t0 = Instant::now();
+                let bytes = self
+                    .journal
+                    .append(&mut self.vfs, &record)
+                    .map_err(PipelineError::Durable)?;
+                self.epoch += 1;
+                self.stats.journal_records += 1;
+                self.stats.journal_bytes += bytes;
+                self.stats.journal_append_ns += t0.elapsed().as_nanos() as u64;
+            }
+            return Ok(ScanOutcome::Shed(reason));
+        }
+        // Admission already ran the governor; the redundant budget_check
+        // inside insert_scan re-observes the same resident size and passes.
+        self.insert_scan(origin, cloud, max_range)
+            .map(ScanOutcome::Applied)
+    }
+
+    fn admission_check(&mut self) -> Option<ShedReason> {
+        self.inner.admission_check()
+    }
+
+    fn budget_check(&mut self) -> Result<(), PipelineError> {
+        self.inner.budget_check()
     }
 
     fn occupancy(&mut self, key: VoxelKey) -> Option<f32> {
@@ -619,6 +687,10 @@ impl MappingSystem for DurableMap {
 
     fn integrity(&self) -> Integrity {
         self.inner.integrity()
+    }
+
+    fn integrity_transitions(&self) -> Vec<IntegrityTransition> {
+        self.inner.integrity_transitions()
     }
 
     fn fault_counters(&self) -> FaultCounters {
@@ -856,6 +928,7 @@ mod tests {
             checkpoints_skipped: vec!["ckpt-x.ot: bad".to_string()],
             records_replayed: 2,
             records_skipped: 1,
+            records_shed: 1,
             tail_dropped_bytes: 17,
             final_epoch: 6,
             leaf_checksum: 0xabcd,

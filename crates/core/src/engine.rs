@@ -33,6 +33,7 @@
 //! the engine folds them into the assembled record.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use octocache_geom::{GeomError, Point3, VoxelGrid, VoxelKey};
 use octocache_octomap::stats::StatsSnapshot;
@@ -43,9 +44,12 @@ use octocache_telemetry::{
 };
 
 use crate::cache::{CacheStats, EvictedCell, VoxelCache};
-use crate::fault::{FaultCounters, Integrity, PipelineError};
+use crate::fault::{FaultCounters, Integrity, IntegrityTransition, PipelineError};
 use crate::pipeline::RayTracer;
 use crate::query::{BatchStats, MapSnapshot, PublishStats, QueryHandle, SnapshotPublisher};
+use crate::supervisor::{
+    AdmissionGate, MemoryGovernor, PressureLevel, ScanOutcome, ShedReason, SupervisorParams,
+};
 
 /// Outcome of inserting one scan.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -92,6 +96,57 @@ pub trait MappingSystem {
         cloud: &[Point3],
         max_range: f64,
     ) -> Result<ScanReport, PipelineError>;
+
+    /// Submits one scan through the admission gate: the supervised
+    /// alternative to [`MappingSystem::insert_scan`] for callers that
+    /// would rather lose a scan than blow a latency deadline or a memory
+    /// budget. Returns [`ScanOutcome::Shed`] when the backend's admission
+    /// gate or memory governor rejected the scan (the map is unchanged by
+    /// it); otherwise applies the scan exactly like `insert_scan`.
+    ///
+    /// The default implementation admits unconditionally, for backends
+    /// without supervisor wiring.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the `insert_scan` errors; shedding is an `Ok` outcome, not
+    /// an error.
+    fn submit_scan(
+        &mut self,
+        origin: Point3,
+        cloud: &[Point3],
+        max_range: f64,
+    ) -> Result<ScanOutcome, PipelineError> {
+        self.insert_scan(origin, cloud, max_range)
+            .map(ScanOutcome::Applied)
+    }
+
+    /// Decides admission for the next scan without applying anything:
+    /// `Some(reason)` when the next scan should be shed. Called by
+    /// layered backends ([`crate::durable::DurableMap`]) that must know
+    /// the verdict *before* their own side effects (journaling). Each
+    /// `Some` verdict counts as one shed in the backend's telemetry.
+    ///
+    /// The default admits unconditionally.
+    fn admission_check(&mut self) -> Option<ShedReason> {
+        None
+    }
+
+    /// Enforces the memory budget for the next scan: runs the governor
+    /// (including any relief work) and returns
+    /// [`PipelineError::OverBudget`] when the budget's reject rung is
+    /// reached. [`MappingSystem::insert_scan`] calls this internally;
+    /// layered backends call it *before* their own side effects so a
+    /// scan the engine will reject is never journaled.
+    ///
+    /// The default is a no-op, for backends without a governor.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::OverBudget`] at the reject rung.
+    fn budget_check(&mut self) -> Result<(), PipelineError> {
+        Ok(())
+    }
 
     /// Accumulated occupancy log-odds at a voxel; `None` = unknown space.
     fn occupancy(&mut self, key: VoxelKey) -> Option<f32>;
@@ -167,6 +222,14 @@ pub trait MappingSystem {
         FaultCounters::default()
     }
 
+    /// Every [`Integrity`] transition the backend has taken, oldest first
+    /// — including heals, which the sticky [`MappingSystem::integrity`]
+    /// verdict alone cannot show. Empty for backends without failure
+    /// modes.
+    fn integrity_transitions(&self) -> Vec<IntegrityTransition> {
+        Vec::new()
+    }
+
     /// A cloneable handle for lock-free concurrent reads
     /// ([`crate::query`]). The first call arms the backend's snapshot
     /// publisher (publishing the current map as epoch 0); every subsequent
@@ -219,6 +282,20 @@ impl<M: MappingSystem + ?Sized> MappingSystem for Box<M> {
     ) -> Result<ScanReport, PipelineError> {
         (**self).insert_scan(origin, cloud, max_range)
     }
+    fn submit_scan(
+        &mut self,
+        origin: Point3,
+        cloud: &[Point3],
+        max_range: f64,
+    ) -> Result<ScanOutcome, PipelineError> {
+        (**self).submit_scan(origin, cloud, max_range)
+    }
+    fn admission_check(&mut self) -> Option<ShedReason> {
+        (**self).admission_check()
+    }
+    fn budget_check(&mut self) -> Result<(), PipelineError> {
+        (**self).budget_check()
+    }
     fn occupancy(&mut self, key: VoxelKey) -> Option<f32> {
         (**self).occupancy(key)
     }
@@ -254,6 +331,9 @@ impl<M: MappingSystem + ?Sized> MappingSystem for Box<M> {
     }
     fn fault_counters(&self) -> FaultCounters {
         (**self).fault_counters()
+    }
+    fn integrity_transitions(&self) -> Vec<IntegrityTransition> {
+        (**self).integrity_transitions()
     }
     fn query_handle(&mut self) -> QueryHandle {
         (**self).query_handle()
@@ -395,6 +475,36 @@ pub trait ScanExecutor {
         FaultCounters::default()
     }
 
+    /// Every integrity transition taken so far, when the executor tracks
+    /// them.
+    fn integrity_transitions(&self) -> Vec<IntegrityTransition> {
+        Vec::new()
+    }
+
+    /// The supervisor knobs the executor's configuration carries (memory
+    /// budget, admission deadline). Read once at engine construction;
+    /// the default — everything off — keeps unconfigured runs zero-cost.
+    fn supervisor_params(&self) -> SupervisorParams {
+        SupervisorParams::default()
+    }
+
+    /// Bytes resident in the executor's mapping state (octree storage
+    /// summed across shards, plus the cache). Only called when a memory
+    /// budget is configured, once per scan; executors without governor
+    /// support report 0 (never over any budget).
+    fn resident_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Performs relief work for the given pressure rung: an extra cache
+    /// τ-eviction pass at [`PressureLevel::Elevated`], a cache drain and
+    /// octree prune at [`PressureLevel::Critical`] and above. Called by
+    /// the engine's governor only on upward rung transitions, at scan
+    /// boundaries. The default does nothing.
+    fn relieve_memory(&mut self, level: PressureLevel) {
+        let _ = level;
+    }
+
     /// Consumes the executor and returns the completed backing octree.
     /// The engine has already run [`ScanExecutor::flush`] by the time
     /// this is called, so no mapping state is pending.
@@ -421,17 +531,52 @@ pub struct Engine<E: ScanExecutor> {
     /// ([`MappingSystem::stamp_durable`]); all zeros without a
     /// durability layer.
     pending_durable: DurableMetrics,
+    /// The memory governor, armed when the executor's config carries a
+    /// budget ([`SupervisorParams::mem_budget`]).
+    governor: Option<MemoryGovernor>,
+    /// The admission gate, armed when the config carries a deadline
+    /// ([`SupervisorParams::shed_deadline`]).
+    gate: Option<AdmissionGate>,
+    /// Scans shed since the last applied scan; folded into the next
+    /// applied scan's record.
+    pending_sheds: u64,
 }
 
 impl<E: ScanExecutor> Engine<E> {
     /// Wraps an executor with fresh lifecycle state.
     pub(crate) fn from_executor(exec: E) -> Self {
         let telemetry = Telemetry::new(exec.backend_name());
+        let params = exec.supervisor_params();
         Engine {
             exec,
             telemetry,
             publisher: None,
             pending_durable: DurableMetrics::default(),
+            governor: params.mem_budget.map(MemoryGovernor::new),
+            gate: params.shed_deadline.map(AdmissionGate::new),
+            pending_sheds: 0,
+        }
+    }
+
+    /// Runs the memory governor against the executor's resident bytes,
+    /// triggering relief on upward rung transitions and re-measuring
+    /// after relief. Returns `Some((resident, budget))` when the reject
+    /// rung holds even after relief — the caller rejects or sheds the
+    /// next scan. `None` without a configured budget (one branch).
+    fn governor_pass(&mut self) -> Option<(u64, u64)> {
+        let Engine { exec, governor, .. } = self;
+        let gov = governor.as_mut()?;
+        let mut resident = exec.resident_bytes();
+        let (mut level, went_up) = gov.observe(resident);
+        if went_up && level >= PressureLevel::Elevated {
+            exec.relieve_memory(level);
+            resident = exec.resident_bytes();
+            level = gov.observe(resident).0;
+        }
+        if level == PressureLevel::OverBudget {
+            Some((resident, gov.budget()))
+        } else {
+            None
         }
     }
 
@@ -447,7 +592,17 @@ impl<E: ScanExecutor> Engine<E> {
         let mut metrics = ScanMetrics::default();
         // An executor error aborts the scan before any lifecycle side
         // effects: nothing recorded, nothing republished.
+        let started = Instant::now();
         let out = run(&mut self.exec, scan_seq, &mut metrics)?;
+        if let Some(gate) = &mut self.gate {
+            gate.observe_scan(started.elapsed());
+        }
+        // The supervisor's per-scan stamps: sheds accumulated since the
+        // last applied scan, and the governor's rung after this one.
+        metrics.sheds = std::mem::take(&mut self.pending_sheds);
+        if let Some(gov) = &self.governor {
+            metrics.pressure_level = gov.level().as_str().to_string();
+        }
 
         let (publish, batch_stats) = self.republish(scan_seq + 1);
         let snapshot = SnapshotMetrics {
@@ -509,9 +664,54 @@ impl<E: ScanExecutor> MappingSystem for Engine<E> {
         cloud: &[Point3],
         max_range: f64,
     ) -> Result<ScanReport, PipelineError> {
+        self.budget_check()?;
         self.run_scan(|exec, scan_seq, metrics| {
             exec.execute_scan(origin, cloud, max_range, scan_seq, metrics)
         })
+    }
+
+    fn submit_scan(
+        &mut self,
+        origin: Point3,
+        cloud: &[Point3],
+        max_range: f64,
+    ) -> Result<ScanOutcome, PipelineError> {
+        if let Some(reason) = self.admission_check() {
+            return Ok(ScanOutcome::Shed(reason));
+        }
+        // Admission already ran the governor; execute without re-checking.
+        self.run_scan(|exec, scan_seq, metrics| {
+            exec.execute_scan(origin, cloud, max_range, scan_seq, metrics)
+        })
+        .map(ScanOutcome::Applied)
+    }
+
+    fn admission_check(&mut self) -> Option<ShedReason> {
+        // Deadline gate first (cheapest), then the memory governor.
+        let reason = match self.gate.as_mut().and_then(AdmissionGate::admit) {
+            Some(reason) => Some(reason),
+            None => {
+                self.governor_pass()
+                    .map(|(resident_bytes, budget_bytes)| ShedReason::OverBudget {
+                        resident_bytes,
+                        budget_bytes,
+                    })
+            }
+        };
+        if reason.is_some() {
+            self.pending_sheds += 1;
+        }
+        reason
+    }
+
+    fn budget_check(&mut self) -> Result<(), PipelineError> {
+        match self.governor_pass() {
+            Some((resident_bytes, budget_bytes)) => Err(PipelineError::OverBudget {
+                resident_bytes,
+                budget_bytes,
+            }),
+            None => Ok(()),
+        }
     }
 
     fn occupancy(&mut self, key: VoxelKey) -> Option<f32> {
@@ -559,6 +759,10 @@ impl<E: ScanExecutor> MappingSystem for Engine<E> {
 
     fn fault_counters(&self) -> FaultCounters {
         self.exec.fault_counters()
+    }
+
+    fn integrity_transitions(&self) -> Vec<IntegrityTransition> {
+        self.exec.integrity_transitions()
     }
 
     fn query_handle(&mut self) -> QueryHandle {

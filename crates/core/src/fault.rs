@@ -75,6 +75,17 @@ pub enum PipelineError {
     /// wrapped backend: the write-ahead contract ("journaled before
     /// applied") holds, so the durable state never lags the in-memory map.
     Durable(crate::durable::DurableError),
+    /// The memory governor's top rung: resident bytes exceeded the
+    /// configured [`MemoryBudget`](crate::CacheConfig::mem_budget) even
+    /// after forced eviction and pruning, so the scan was rejected before
+    /// it touched the map. The map is unchanged by it; integrity is
+    /// unaffected (rejection is back-pressure, not corruption).
+    OverBudget {
+        /// Resident bytes observed after relief attempts.
+        resident_bytes: u64,
+        /// The configured budget in bytes.
+        budget_bytes: u64,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -101,6 +112,15 @@ impl fmt::Display for PipelineError {
                 "worker {worker} abandoned batch {batch} with {cells_dropped} cells unapplied"
             ),
             PipelineError::Durable(e) => write!(f, "durable storage: {e}"),
+            PipelineError::OverBudget {
+                resident_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "scan rejected: resident {:.1} MiB over the {:.1} MiB memory budget",
+                *resident_bytes as f64 / (1024.0 * 1024.0),
+                *budget_bytes as f64 / (1024.0 * 1024.0)
+            ),
         }
     }
 }
@@ -154,6 +174,22 @@ impl Integrity {
             *self = to;
         }
     }
+
+    /// The one sanctioned downward transition: [`Integrity::Degraded`] →
+    /// [`Integrity::Intact`], taken by the supervisor after every dead
+    /// worker has been respawned and its retained share re-applied.
+    /// Returns whether the heal happened. [`Integrity::Compromised`]
+    /// never heals — once cells may have been lost or overwritten stale,
+    /// no respawn can prove the map exact again.
+    #[inline]
+    pub fn heal(&mut self) -> bool {
+        if *self == Integrity::Degraded {
+            *self = Integrity::Intact;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 impl fmt::Display for Integrity {
@@ -182,6 +218,12 @@ pub struct FaultCounters {
     pub batches_rerouted: u64,
     /// Evicted cells re-applied (or applied inline) by the producer.
     pub cells_reapplied: u64,
+    /// Worker threads respawned by the supervisor
+    /// ([`RestartPolicy`](crate::supervisor::RestartPolicy)).
+    pub restarts: u64,
+    /// Integrity transitions back to [`Integrity::Intact`] after every
+    /// dead worker was respawned.
+    pub heals: u64,
 }
 
 impl FaultCounters {
@@ -197,12 +239,102 @@ impl FaultCounters {
                 .batches_rerouted
                 .saturating_sub(earlier.batches_rerouted),
             cells_reapplied: self.cells_reapplied.saturating_sub(earlier.cells_reapplied),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            heals: self.heals.saturating_sub(earlier.heals),
         }
     }
 
     /// True when any counter is non-zero.
     pub fn any(&self) -> bool {
         *self != FaultCounters::default()
+    }
+}
+
+/// One recorded change of a map's [`Integrity`] verdict.
+///
+/// The history makes heals *visible*: a run that degraded on scan 3 and
+/// healed on scan 4 ends at [`Integrity::Intact`], indistinguishable from
+/// a clean run by the sticky verdict alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityTransition {
+    /// 0-based scan sequence number during which the transition happened.
+    pub scan: u64,
+    /// Verdict before.
+    pub from: Integrity,
+    /// Verdict after.
+    pub to: Integrity,
+}
+
+impl fmt::Display for IntegrityTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scan {}: {} → {}", self.scan, self.from, self.to)
+    }
+}
+
+/// An [`Integrity`] verdict plus the full history of its transitions.
+///
+/// The parallel pipeline holds one of these instead of a bare verdict;
+/// [`IntegrityState::escalate`] and [`IntegrityState::heal`] append to the
+/// history, stamped with the scan set by [`IntegrityState::set_scan`] at
+/// each scan boundary.
+#[derive(Debug, Clone, Default)]
+pub struct IntegrityState {
+    current: Integrity,
+    history: Vec<IntegrityTransition>,
+    scan: u64,
+}
+
+impl IntegrityState {
+    /// The current verdict.
+    #[inline]
+    pub fn current(&self) -> Integrity {
+        self.current
+    }
+
+    /// True for any verdict other than [`Integrity::Intact`].
+    #[inline]
+    pub fn is_degraded(&self) -> bool {
+        self.current.is_degraded()
+    }
+
+    /// Every transition taken so far, oldest first.
+    pub fn history(&self) -> &[IntegrityTransition] {
+        &self.history
+    }
+
+    /// Stamps the scan sequence number subsequent transitions are
+    /// attributed to.
+    #[inline]
+    pub fn set_scan(&mut self, scan: u64) {
+        self.scan = scan;
+    }
+
+    /// [`Integrity::escalate`], recording the transition if one happened.
+    pub fn escalate(&mut self, to: Integrity) {
+        let from = self.current;
+        self.current.escalate(to);
+        if self.current != from {
+            self.history.push(IntegrityTransition {
+                scan: self.scan,
+                from,
+                to: self.current,
+            });
+        }
+    }
+
+    /// [`Integrity::heal`], recording the transition if one happened.
+    pub fn heal(&mut self) -> bool {
+        let from = self.current;
+        if self.current.heal() {
+            self.history.push(IntegrityTransition {
+                scan: self.scan,
+                from,
+                to: self.current,
+            });
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -224,6 +356,20 @@ pub struct StallAt {
     pub batch: u64,
     /// Stall duration in microseconds.
     pub micros: u64,
+}
+
+/// Periodic-kill coordinates: a worker that panics every `every` batches
+/// of its (possibly respawned) thread's life — the chaos-soak workload for
+/// exercising [`RestartPolicy`](crate::supervisor::RestartPolicy) budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillEvery {
+    /// Worker index (taken modulo the actual worker count).
+    pub worker: usize,
+    /// Panic once every `every` batches (the fault fires when
+    /// `(batch + 1) % every == 0`, so a freshly respawned thread — whose
+    /// local batch index restarts at 0 — survives `every - 1` batches
+    /// before dying again).
+    pub every: u64,
 }
 
 /// A deterministic fault-injection schedule for one pipeline instance.
@@ -248,6 +394,10 @@ pub struct FaultPlan {
     /// Shrink this worker's ring to near-zero capacity so back-pressure
     /// fires on every chunk.
     pub fill_ring: Option<usize>,
+    /// Panic worker `kill_every.worker` repeatedly, every
+    /// `kill_every.every` batches — across respawns, so a restart budget
+    /// is eventually exhausted.
+    pub kill_every: Option<KillEvery>,
 }
 
 /// xorshift64* step — a tiny deterministic generator so plans need no RNG
@@ -299,6 +449,8 @@ impl FaultPlan {
     /// * `spawn:<worker>` — fail that worker's thread spawn,
     /// * `fill:<worker>` — shrink that worker's ring to force constant
     ///   back-pressure,
+    /// * `killevery:<worker>@<n>` — panic that worker every `n` batches,
+    ///   across respawns,
     /// * `seed:<n>` — same as [`FaultPlan::from_seed`].
     ///
     /// Returns `None` for anything malformed (injection is best-effort
@@ -325,6 +477,17 @@ impl FaultPlan {
             }
             "spawn" => plan.fail_spawn = Some(rest.parse().ok()?),
             "fill" => plan.fill_ring = Some(rest.parse().ok()?),
+            "killevery" => {
+                let (w, n) = rest.split_once('@')?;
+                let every: u64 = n.parse().ok()?;
+                if every == 0 {
+                    return None;
+                }
+                plan.kill_every = Some(KillEvery {
+                    worker: w.parse().ok()?,
+                    every,
+                });
+            }
             "seed" => return Some(FaultPlan::from_seed(rest.parse().ok()?)),
             _ => return None,
         }
@@ -370,6 +533,10 @@ mod tests {
                 worker: 3,
                 batch: 7,
                 cells_dropped: 41,
+            },
+            PipelineError::OverBudget {
+                resident_bytes: 64 << 20,
+                budget_bytes: 32 << 20,
             },
         ];
         for e in &errors {
@@ -494,6 +661,16 @@ mod tests {
             FaultPlan::from_spec("seed:42"),
             Some(FaultPlan::from_seed(42))
         );
+        assert_eq!(
+            FaultPlan::from_spec("killevery:1@3"),
+            Some(FaultPlan {
+                kill_every: Some(KillEvery {
+                    worker: 1,
+                    every: 3
+                }),
+                ..Default::default()
+            })
+        );
         for bad in [
             "",
             "kill",
@@ -503,8 +680,77 @@ mod tests {
             "stall:1@3",
             "explode:1",
             "spawn:abc",
+            "killevery:1",
+            "killevery:1@0",
+            "killevery:x@2",
         ] {
             assert_eq!(FaultPlan::from_spec(bad), None, "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn heal_is_degraded_to_intact_only() {
+        let mut i = Integrity::Intact;
+        assert!(!i.heal(), "intact has nothing to heal");
+        i.escalate(Integrity::Degraded);
+        assert!(i.heal());
+        assert_eq!(i, Integrity::Intact);
+        i.escalate(Integrity::Compromised);
+        assert!(!i.heal(), "compromised never heals");
+        assert_eq!(i, Integrity::Compromised);
+    }
+
+    #[test]
+    fn integrity_state_records_transition_history() {
+        let mut s = IntegrityState::default();
+        assert_eq!(s.current(), Integrity::Intact);
+        assert!(s.history().is_empty());
+        s.set_scan(3);
+        s.escalate(Integrity::Degraded);
+        s.escalate(Integrity::Degraded); // no-op: no duplicate entry
+        s.set_scan(5);
+        assert!(s.heal());
+        assert!(!s.heal());
+        s.set_scan(7);
+        s.escalate(Integrity::Compromised);
+        assert!(!s.heal());
+        let hist = s.history();
+        assert_eq!(hist.len(), 3);
+        assert_eq!(
+            hist[0],
+            IntegrityTransition {
+                scan: 3,
+                from: Integrity::Intact,
+                to: Integrity::Degraded
+            }
+        );
+        assert_eq!(
+            hist[1],
+            IntegrityTransition {
+                scan: 5,
+                from: Integrity::Degraded,
+                to: Integrity::Intact
+            }
+        );
+        assert_eq!(hist[2].to, Integrity::Compromised);
+        assert_eq!(hist[1].to_string(), "scan 5: degraded → intact");
+    }
+
+    #[test]
+    fn counters_track_restarts_and_heals() {
+        let a = FaultCounters {
+            restarts: 1,
+            heals: 1,
+            ..Default::default()
+        };
+        let b = FaultCounters {
+            restarts: 4,
+            heals: 2,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.restarts, 3);
+        assert_eq!(d.heals, 1);
+        assert!(d.any());
     }
 }

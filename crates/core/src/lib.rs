@@ -61,12 +61,17 @@ pub mod routing;
 pub mod serial;
 pub mod sharded;
 pub mod spsc;
+pub mod supervisor;
 
 pub use cache::{AdaptiveController, AdaptivePolicy, CacheStats, EvictedCell, VoxelCache};
-pub use config::{CacheConfig, CacheConfigBuilder, ConfigError, EvictionOrder, IndexPolicy};
+pub use config::{
+    BackoffPolicy, CacheConfig, CacheConfigBuilder, ConfigError, EvictionOrder, IndexPolicy,
+};
 pub use durable::{DurableError, DurableMap, DurableStats, IoFaultPlan, KillPoint, RecoveryReport};
 pub use engine::{Engine, FlushTimes, ScanExecutor, ScanOutput};
-pub use fault::{FaultCounters, FaultPlan, Integrity, PipelineError};
+pub use fault::{
+    FaultCounters, FaultPlan, Integrity, IntegrityState, IntegrityTransition, PipelineError,
+};
 pub use parallel::{ParallelOctoCache, ShardView};
 pub use pipeline::MappingSystem;
 pub use query::{
@@ -75,6 +80,7 @@ pub use query::{
 pub use routing::OctantRouter;
 pub use serial::SerialOctoCache;
 pub use sharded::ShardedOctoMap;
+pub use supervisor::{PressureLevel, RestartPolicy, ScanOutcome, ShedReason, SupervisorParams};
 // The octree storage-layout selector is re-exported so consumers picking a
 // layout through `CacheConfig` need only this crate.
 pub use octocache_octomap::{ParseLayoutError, TreeLayout};

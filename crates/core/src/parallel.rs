@@ -56,10 +56,11 @@ use crate::config::CacheConfig;
 use crate::engine::{self, Engine, FlushTimes, ScanExecutor, ScanOutput};
 #[cfg(any(test, feature = "fault-injection"))]
 use crate::fault::FaultPlan;
-use crate::fault::{FaultCounters, Integrity, PipelineError};
+use crate::fault::{FaultCounters, Integrity, IntegrityState, IntegrityTransition, PipelineError};
 use crate::pipeline::{MappingSystem, RayTracer};
 use crate::routing::{self, OctantRouter};
 use crate::spsc::{self, Backoff, Producer};
+use crate::supervisor::{PressureLevel, RestartPolicy, SupervisorParams};
 
 /// Items flowing through a worker's buffer.
 ///
@@ -127,6 +128,12 @@ struct Worker {
     dequeue_seen: u64,
     octree_seen: u64,
     idle_seen: u64,
+    /// This worker's generation-0 fault schedule; respawned generations
+    /// keep only the periodic component ([`WorkerFaults::respawned`]).
+    faults: WorkerFaults,
+    /// Times this worker has been respawned (counts against
+    /// [`RestartPolicy::max_restarts`]).
+    restarts: u32,
 }
 
 /// Capacity of each worker's buffer in chunk messages (≥ a million voxels
@@ -174,8 +181,14 @@ pub struct ParallelExecutor {
     faults: FaultCounters,
     /// Counter values already attributed to recorded scans.
     faults_reported: FaultCounters,
-    /// Map-consistency verdict (`integrity`).
-    integrity: Integrity,
+    /// Map-consistency verdict (`integrity`) plus its transition history,
+    /// so heals stay visible after the sticky flag recovers.
+    integrity: IntegrityState,
+    /// Worker-respawn budget and backoff
+    /// ([`CacheConfig::max_restarts`], [`CacheConfig::restart_backoff`]).
+    restart_policy: RestartPolicy,
+    /// Nanos spent respawning workers, not yet attributed to a scan.
+    restart_ns_pending: u64,
     /// First pipeline fault observed during the current scan, surfaced by
     /// `insert_scan` exactly once ([`ScanOutput::deferred`]).
     scan_error: Option<PipelineError>,
@@ -330,7 +343,7 @@ fn fail_dead_worker(
     index: usize,
     share: &[EvictedCell],
     faults: &mut FaultCounters,
-    integrity: &mut Integrity,
+    integrity: &mut IntegrityState,
     scan_error: &mut Option<PipelineError>,
 ) {
     if let Some(handle) = w.handle.take() {
@@ -385,7 +398,7 @@ fn fail_stalled_worker(
     share: &[EvictedCell],
     waited: Duration,
     faults: &mut FaultCounters,
-    integrity: &mut Integrity,
+    integrity: &mut IntegrityState,
     scan_error: &mut Option<PipelineError>,
 ) {
     faults.stall_timeouts += 1;
@@ -429,7 +442,7 @@ fn apply_inline(
     share: &[EvictedCell],
     stall_timeout: Duration,
     faults: &mut FaultCounters,
-    integrity: &mut Integrity,
+    integrity: &mut IntegrityState,
     scan_error: &mut Option<PipelineError>,
 ) {
     if w.handle.is_some() {
@@ -487,6 +500,10 @@ struct WorkerFaults {
     kill_at: Option<u64>,
     /// Sleep this many µs at the start of this batch index.
     stall_at: Option<(u64, u64)>,
+    /// Panic every N batches: fires when `(batch + 1) % every == 0`, so a
+    /// respawned thread (local batch index restarts at 0) survives
+    /// `every - 1` batches before dying again.
+    kill_every: Option<u64>,
 }
 
 #[cfg(not(any(test, feature = "fault-injection")))]
@@ -507,7 +524,30 @@ impl WorkerFaults {
                 wf.stall_at = Some((s.batch, s.micros));
             }
         }
+        if let Some(k) = plan.kill_every {
+            if k.worker % num_workers == index {
+                wf.kill_every = Some(k.every);
+            }
+        }
         wf
+    }
+
+    /// The schedule for a respawned generation: one-shot faults already
+    /// fired on generation 0 (and a respawned thread's batch index restarts
+    /// at 0, so they would re-fire spuriously); only the periodic kill
+    /// survives — it is the chaos workload that exhausts restart budgets.
+    fn respawned(&self) -> Self {
+        #[cfg(any(test, feature = "fault-injection"))]
+        {
+            WorkerFaults {
+                kill_every: self.kill_every,
+                ..Default::default()
+            }
+        }
+        #[cfg(not(any(test, feature = "fault-injection")))]
+        {
+            *self
+        }
     }
 
     /// Fires any fault scheduled for `batch` (kill = panic, stall = sleep).
@@ -521,6 +561,11 @@ impl WorkerFaults {
             if let Some((b, micros)) = self.stall_at {
                 if b == batch {
                     std::thread::sleep(Duration::from_micros(micros));
+                }
+            }
+            if let Some(every) = self.kill_every {
+                if (batch + 1).is_multiple_of(every) {
+                    panic!("fault injection: periodic kill at batch {batch}");
                 }
             }
         }
@@ -583,7 +628,7 @@ impl ParallelOctoCache {
             None
         };
         let mut faults = FaultCounters::default();
-        let mut integrity = Integrity::default();
+        let mut integrity = IntegrityState::default();
         let workers: Vec<Worker> = (0..num_workers)
             .map(|i| {
                 let tree = Arc::new(Mutex::new(OccupancyOcTree::with_layout(
@@ -641,6 +686,8 @@ impl ParallelOctoCache {
                         dequeue_seen: 0,
                         octree_seen: 0,
                         idle_seen: 0,
+                        faults: wf,
+                        restarts: 0,
                     },
                     Err(e) => {
                         // Degrade instead of panicking: this worker's
@@ -661,6 +708,8 @@ impl ParallelOctoCache {
                             dequeue_seen: 0,
                             octree_seen: 0,
                             idle_seen: 0,
+                            faults: wf,
+                            restarts: 0,
                         }
                     }
                 }
@@ -670,6 +719,7 @@ impl ParallelOctoCache {
         if let Some(sink) = &event_sink {
             cache.attach_events(sink.buffer(0));
         }
+        let restart_policy = RestartPolicy::from_config(cache.config());
         Engine::from_executor(ParallelExecutor {
             cache,
             workers,
@@ -685,6 +735,8 @@ impl ParallelOctoCache {
             faults,
             faults_reported: FaultCounters::default(),
             integrity,
+            restart_policy,
+            restart_ns_pending: 0,
             scan_error: None,
             last_tree_stats: StatsSnapshot::default(),
             event_sink,
@@ -716,7 +768,13 @@ impl ParallelOctoCache {
     /// the serial backend would hold; [`Integrity::Compromised`] means it
     /// may have diverged.
     pub fn integrity(&self) -> Integrity {
-        self.exec.integrity
+        self.exec.integrity.current()
+    }
+
+    /// Every recorded change of the integrity verdict, in scan order —
+    /// the only place a degrade-then-heal run differs from a clean one.
+    pub fn integrity_history(&self) -> Vec<IntegrityTransition> {
+        self.exec.integrity.history().to_vec()
     }
 
     /// Cumulative fault and degraded-mode counters.
@@ -762,6 +820,92 @@ impl ParallelExecutor {
     /// Workers still in rotation (alive and feeding their own shard).
     fn live_workers(&self) -> usize {
         self.workers.iter().filter(|w| w.failed.is_none()).count()
+    }
+
+    /// Whether the supervisor may respawn this worker: its thread must have
+    /// provably exited (`handle` is `None` — a stalled worker's wedged
+    /// thread keeps its handle and could still write stale values), its
+    /// failure must be a clean-exit class, and its per-worker restart
+    /// budget must not be exhausted.
+    fn respawn_eligible(w: &Worker, policy: &RestartPolicy) -> bool {
+        if w.handle.is_some() || w.restarts >= policy.max_restarts {
+            return false;
+        }
+        matches!(
+            w.failed,
+            Some(
+                PipelineError::WorkerPanicked { .. }
+                    | PipelineError::WorkerSpawn { .. }
+                    | PipelineError::PartialScan { .. }
+            )
+        )
+    }
+
+    /// Supervisor pass: respawn dead workers whose restart budget allows
+    /// it, then heal the integrity verdict once every worker is back in
+    /// rotation. Runs at the top of each scan, when all queues are drained
+    /// and the retained batch share has already been re-applied inline —
+    /// so the fresh thread starts from an exact shard and an empty ring.
+    fn try_respawn(&mut self) {
+        if !self.restart_policy.enabled() {
+            return;
+        }
+        let policy = self.restart_policy;
+        let mid_batch_deadline = self.stall_timeout.saturating_mul(4);
+        for i in 0..self.workers.len() {
+            if !Self::respawn_eligible(&self.workers[i], &policy) {
+                continue;
+            }
+            let t0 = Instant::now();
+            if !policy.backoff.is_zero() {
+                std::thread::sleep(policy.backoff);
+            }
+            let w = &mut self.workers[i];
+            let shared = Arc::new(WorkerShared::default());
+            let (producer, consumer) = spsc::channel::<Item>(QUEUE_CAPACITY);
+            let wf = w.faults.respawned();
+            let spawned = {
+                let tree = Arc::clone(&w.tree);
+                let shared = Arc::clone(&shared);
+                let events = self.event_sink.as_ref().map(|s| s.buffer(i as u32 + 1));
+                std::thread::Builder::new()
+                    .name(format!("octocache-octree-{i}"))
+                    .spawn(move || {
+                        worker_thread(consumer, tree, shared, mid_batch_deadline, wf, events)
+                    })
+            };
+            let w = &mut self.workers[i];
+            match spawned {
+                Ok(handle) => {
+                    // Fresh ring, fresh counters: the new generation's
+                    // `batches_done` starts at 0, so `batches_sent` must
+                    // restart with it. Attribution bookmarks reset too —
+                    // the old generation's nanos were already taken.
+                    w.producer = producer;
+                    w.shared = shared;
+                    w.handle = Some(handle);
+                    w.batches_sent = 0;
+                    w.partials_seen = 0;
+                    w.failed = None;
+                    w.dequeue_seen = 0;
+                    w.octree_seen = 0;
+                    w.idle_seen = 0;
+                    w.restarts += 1;
+                    self.faults.restarts += 1;
+                }
+                Err(_) => {
+                    // Spawn failed again: burn one unit of the budget (so
+                    // a persistently failing environment converges to the
+                    // permanent-degrade path) and stay failed.
+                    w.restarts += 1;
+                    self.faults.spawn_failures += 1;
+                }
+            }
+            self.restart_ns_pending += t0.elapsed().as_nanos() as u64;
+        }
+        if self.workers.iter().all(|w| w.failed.is_none()) && self.integrity.heal() {
+            self.faults.heals += 1;
+        }
     }
 
     /// Waits (bounded) until every live worker has applied every batch
@@ -1031,9 +1175,15 @@ impl ScanExecutor for ParallelExecutor {
         metrics: &mut ScanMetrics,
     ) -> Result<ScanOutput, PipelineError> {
         let cache_before = *self.cache.stats();
+        self.integrity.set_scan(scan_seq);
         if let Some(buf) = self.cache.events_mut() {
             buf.set_scan(scan_seq);
         }
+
+        // Phase 0: the supervisor pass — respawn any dead worker whose
+        // restart budget allows it, healing the integrity verdict if the
+        // whole rotation recovers. A no-op unless `max_restarts > 0`.
+        self.try_respawn();
 
         // Phase 1: evict the previous batch and hand it to the workers.
         let enq = self.evict_and_enqueue();
@@ -1137,6 +1287,9 @@ impl ScanExecutor for ParallelExecutor {
             partial_batches: fault_delta.partial_batches,
             batches_rerouted: fault_delta.batches_rerouted,
             degraded: self.integrity.is_degraded(),
+            restarts: fault_delta.restarts,
+            heals: fault_delta.heals,
+            restart_ns: std::mem::take(&mut self.restart_ns_pending),
             ..Default::default()
         };
         engine::stamp_cache_delta(metrics, &cache_delta);
@@ -1228,11 +1381,76 @@ impl ScanExecutor for ParallelExecutor {
     }
 
     fn integrity(&self) -> Integrity {
-        self.integrity
+        self.integrity.current()
+    }
+
+    fn integrity_transitions(&self) -> Vec<IntegrityTransition> {
+        self.integrity.history().to_vec()
     }
 
     fn fault_counters(&self) -> FaultCounters {
         self.faults
+    }
+
+    fn supervisor_params(&self) -> SupervisorParams {
+        SupervisorParams::from_config(self.cache.config())
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        // Between scans every queue is drained, so the shard mutexes are
+        // free — except a wedged worker's, whose shard is skipped (its
+        // size is frozen anyway: nothing can be applied to it).
+        let mut total = self.cache.memory_usage() as u64;
+        for w in &self.workers {
+            let guard = if w.failed.is_some() {
+                w.tree.try_lock()
+            } else {
+                Some(w.tree.lock())
+            };
+            if let Some(g) = guard {
+                total += g.memory_usage() as u64;
+            }
+        }
+        total
+    }
+
+    fn relieve_memory(&mut self, level: PressureLevel) {
+        // Runs between scans (queues drained, retained batch already
+        // applied), so applying drained cells inline under the shard
+        // mutexes is race-free and map-neutral: cells carry absolute
+        // log-odds and `set_node_log_odds` overwrites. The retained batch
+        // share predates this drain, but a later re-apply only ever uses
+        // the share of the batch in flight at failure time, which
+        // post-dates it.
+        if level >= PressureLevel::Critical {
+            let cells = self.cache.drain_all();
+            for (i, w) in self.workers.iter().enumerate() {
+                let guard = if w.failed.is_some() {
+                    w.tree.try_lock()
+                } else {
+                    Some(w.tree.lock())
+                };
+                // A wedged worker's cells are undeliverable; the map is
+                // already Compromised by the wedge itself.
+                if let Some(mut g) = guard {
+                    for cell in cells.iter().filter(|c| self.router.shard_of(c.key) == i) {
+                        g.set_node_log_odds(cell.key, cell.log_odds);
+                    }
+                }
+            }
+        }
+        // Pruning the shards is the step that durably shrinks resident
+        // bytes; merged-away nodes re-expand on demand.
+        for w in &self.workers {
+            let guard = if w.failed.is_some() {
+                w.tree.try_lock()
+            } else {
+                Some(w.tree.lock())
+            };
+            if let Some(mut g) = guard {
+                g.prune();
+            }
+        }
     }
 
     /// Builds a self-contained read tree: every shard merged (structural,

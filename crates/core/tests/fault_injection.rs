@@ -55,6 +55,49 @@ fn config(plan: Option<FaultPlan>, stall: Duration) -> CacheConfig {
     b.build().unwrap()
 }
 
+/// As [`config`], with a worker-respawn budget.
+fn config_with_restarts(plan: FaultPlan, max_restarts: u32) -> CacheConfig {
+    let mut b = CacheConfig::builder();
+    b.num_buckets(1 << 6)
+        .tau(1)
+        .stall_timeout(Duration::from_secs(10))
+        .max_restarts(max_restarts)
+        .fault_plan(plan);
+    b.build().unwrap()
+}
+
+fn run_parallel_with(
+    config: CacheConfig,
+    n: usize,
+) -> (Outcome, Vec<octocache::IntegrityTransition>) {
+    let mut s = ParallelOctoCache::with_workers(
+        grid(),
+        OccupancyParams::default(),
+        config,
+        RayTracer::Standard,
+        n,
+    );
+    let mut errors = Vec::new();
+    for (origin, cloud) in scans() {
+        if let Err(e) = s.insert_scan(origin, &cloud, 40.0) {
+            errors.push(e);
+        }
+    }
+    s.finish();
+    let integrity = s.integrity();
+    let counters = s.fault_counters();
+    let history = s.integrity_history();
+    (
+        Outcome {
+            errors,
+            integrity,
+            counters,
+            tree: s.into_tree(),
+        },
+        history,
+    )
+}
+
 fn serial_reference() -> OccupancyOcTree {
     let mut s = SerialOctoCache::new(
         grid(),
@@ -214,6 +257,87 @@ fn full_ring_backpressure_is_not_a_fault() {
         let d = compare::diff(&reference, &o.tree, 0.0);
         assert!(d.is_identical(), "n={n}");
     }
+}
+
+/// `max_restarts = 0` (the default) must behave exactly like the
+/// pre-supervisor permanent-degrade path: no respawn, no heal, sticky
+/// degraded verdict, map still exact.
+#[test]
+fn zero_restart_budget_matches_permanent_degrade_path() {
+    let reference = serial_reference();
+    let plan = FaultPlan::from_spec("kill:0@1").unwrap();
+    let implicit = run_parallel(plan, 2, Duration::from_secs(10));
+    let (explicit, history) = run_parallel_with(config_with_restarts(plan, 0), 2);
+    for (label, o) in [("default", &implicit), ("max_restarts=0", &explicit)] {
+        assert_eq!(o.counters.restarts, 0, "{label}");
+        assert_eq!(o.counters.heals, 0, "{label}");
+        assert_eq!(o.counters.worker_panics, 1, "{label}");
+        assert_eq!(o.integrity, Integrity::Degraded, "{label}");
+        assert_eq!(o.errors.len(), 1, "{label}: {:?}", o.errors);
+        let d = compare::diff(&reference, &o.tree, 0.0);
+        assert!(d.is_identical(), "{label}");
+    }
+    assert_eq!(explicit.counters, implicit.counters);
+    assert_eq!(history.len(), 1, "{history:?}");
+    assert!(history[0].to.is_degraded(), "{history:?}");
+    let d = compare::diff(&implicit.tree, &explicit.tree, 0.0);
+    assert!(d.is_identical());
+}
+
+/// One kill with a restart budget: the worker is respawned on the next
+/// scan, the verdict heals back to intact, and the map stays exact.
+#[test]
+fn respawned_worker_heals_and_map_stays_exact() {
+    let reference = serial_reference();
+    let plan = FaultPlan::from_spec("kill:0@1").unwrap();
+    for n in [1usize, 2, 4, 8] {
+        let (o, history) = run_parallel_with(config_with_restarts(plan, 4), n);
+        let label = format!("kill:0@1 n={n} max_restarts=4");
+        assert_eq!(o.counters.worker_panics, 1, "{label}");
+        assert_eq!(o.counters.restarts, 1, "{label}");
+        assert_eq!(o.counters.heals, 1, "{label}");
+        assert_eq!(o.errors.len(), 1, "{label}: {:?}", o.errors);
+        assert_eq!(o.integrity, Integrity::Intact, "{label}");
+        // History shows the full dip-and-recover arc.
+        assert_eq!(history.len(), 2, "{label}: {history:?}");
+        assert!(history[0].to.is_degraded(), "{label}: {history:?}");
+        assert_eq!(history[1].to, Integrity::Intact, "{label}: {history:?}");
+        let d = compare::diff(&reference, &o.tree, 0.0);
+        assert!(
+            d.is_identical(),
+            "{label}: {} value / {} coverage mismatches",
+            d.value_mismatches,
+            d.coverage_mismatches
+        );
+    }
+}
+
+/// Repeated kills exhaust the restart budget: each respawned generation is
+/// killed again, and once the budget is spent the worker stays dead — the
+/// verdict degrades permanently, but the map never diverges.
+#[test]
+fn repeated_kills_exhaust_the_restart_budget() {
+    let reference = serial_reference();
+    let plan = FaultPlan::from_spec("killevery:0@2").unwrap();
+    let (o, history) = run_parallel_with(config_with_restarts(plan, 2), 2);
+    assert_eq!(o.counters.restarts, 2, "{:?}", o.counters);
+    assert_eq!(o.counters.heals, 2, "{:?}", o.counters);
+    assert!(
+        o.counters.worker_panics > 2,
+        "budget exhaustion needs more kills than restarts: {:?}",
+        o.counters
+    );
+    assert_eq!(o.integrity, Integrity::Degraded);
+    // degrade → heal → degrade → heal → final (unhealed) degrade.
+    assert_eq!(history.len(), 5, "{history:?}");
+    assert!(history.last().unwrap().to.is_degraded(), "{history:?}");
+    let d = compare::diff(&reference, &o.tree, 0.0);
+    assert!(
+        d.is_identical(),
+        "{} value / {} coverage mismatches",
+        d.value_mismatches,
+        d.coverage_mismatches
+    );
 }
 
 /// Seeded plans replay identically: same errors, same counters, same map.

@@ -1,0 +1,328 @@
+//! Chaos soak for the self-healing supervised runtime (compiled only with
+//! `--features fault-injection`; CI runs it in release over an
+//! `OCTO_SOAK_SEED` matrix — see `.github/workflows/ci.yml`).
+//!
+//! A seeded long run (hundreds of scans) interleaves periodic worker
+//! kills, memory pressure from a deliberately tight budget, and burst
+//! overload, across worker counts and both octree storage layouts. The
+//! contract under test:
+//!
+//! 1. The final map is voxel-for-voxel identical to a serial replay of
+//!    exactly the scans that were applied (shed scans excluded) — worker
+//!    respawn re-applies retained shares idempotently and memory relief
+//!    (inline drain + prune) is map-neutral.
+//! 2. Integrity re-converges to `Intact` after every heal: the transition
+//!    history strictly alternates degrade → heal, and each respawn is
+//!    matched by a heal while the restart budget lasts.
+//! 3. The governor never admits a scan at the reject rung: no applied
+//!    scan's record carries the `over-budget` pressure label (the scan
+//!    would have been shed), which is the boundary-measured form of
+//!    "memory never exceeds the budget".
+
+#![cfg(feature = "fault-injection")]
+
+mod common;
+
+use std::time::Duration;
+
+use common::Scan;
+use octocache::pipeline::{MappingSystem, RayTracer};
+use octocache::{
+    CacheConfig, FaultPlan, Integrity, ParallelOctoCache, PipelineError, ScanOutcome,
+    SerialOctoCache, SharedRecorder, ShedReason, TreeLayout,
+};
+use octocache_octomap::{compare, OccupancyOcTree, OccupancyParams};
+use proptest::prelude::*;
+
+const MAX_RANGE: f64 = 40.0;
+
+/// Hundreds of deterministic scans: several blob-walk scenarios chained
+/// into one long mission.
+fn soak_scans(seed: u64) -> Vec<Scan> {
+    (0..20)
+        .flat_map(|i| common::scenario(seed.wrapping_mul(1009).wrapping_add(i)))
+        .collect()
+}
+
+/// The seed under soak; `OCTO_SOAK_SEED` selects the CI matrix leg.
+fn soak_seed() -> u64 {
+    std::env::var("OCTO_SOAK_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Serial replay of `scans` (no supervisor) — the differential reference.
+fn serial_reference(scans: &[&Scan], layout: TreeLayout) -> OccupancyOcTree {
+    let mut s = SerialOctoCache::new(
+        common::grid(),
+        OccupancyParams::default(),
+        common::cache_with(layout),
+    );
+    for scan in scans {
+        s.insert_scan(scan.origin, &scan.points, MAX_RANGE)
+            .expect("reference scan");
+    }
+    Box::new(s).take_tree()
+}
+
+/// What one supervised run produced: which scans were applied, the final
+/// tree, and the supervisor's own account of the run.
+struct SoakOutcome {
+    applied: Vec<usize>,
+    sheds: u64,
+    kill_errors: u64,
+    tree: OccupancyOcTree,
+    map_summary: MapSummary,
+}
+
+struct MapSummary {
+    integrity: Integrity,
+    counters: octocache::FaultCounters,
+    history: Vec<octocache::IntegrityTransition>,
+    records: Vec<octocache::ScanRecord>,
+}
+
+/// Drives every scan through the supervised admission gate. A
+/// `WorkerPanicked` error is an *applied* scan (the retained share was
+/// re-applied inline before the deferred fault surfaced); any other error
+/// fails the soak.
+fn run_supervised(scans: &[Scan], config: CacheConfig, workers: usize) -> SoakOutcome {
+    let mut map = ParallelOctoCache::with_workers(
+        common::grid(),
+        OccupancyParams::default(),
+        config,
+        RayTracer::Standard,
+        workers,
+    );
+    let recorder = SharedRecorder::new();
+    map.set_recorder(Box::new(recorder.clone()));
+    let mut applied = Vec::new();
+    let mut sheds = 0u64;
+    let mut kill_errors = 0u64;
+    for (i, scan) in scans.iter().enumerate() {
+        match map.submit_scan(scan.origin, &scan.points, MAX_RANGE) {
+            Ok(ScanOutcome::Applied(_)) => applied.push(i),
+            Ok(ScanOutcome::Shed(ShedReason::OverBudget { .. })) => sheds += 1,
+            Ok(ScanOutcome::Shed(reason)) => {
+                panic!("scan {i}: unexpected shed reason {reason} (no deadline configured)")
+            }
+            Err(PipelineError::WorkerPanicked { .. }) => {
+                kill_errors += 1;
+                applied.push(i);
+            }
+            Err(e) => panic!("scan {i}: unexpected error {e}"),
+        }
+    }
+    map.finish();
+    let map_summary = MapSummary {
+        integrity: map.integrity(),
+        counters: map.fault_counters(),
+        history: map.integrity_transitions(),
+        records: recorder.records(),
+    };
+    SoakOutcome {
+        applied,
+        sheds,
+        kill_errors,
+        tree: map.into_tree(),
+        map_summary,
+    }
+}
+
+fn assert_differential(label: &str, scans: &[Scan], o: &SoakOutcome, layout: TreeLayout) {
+    let applied: Vec<&Scan> = o.applied.iter().map(|&i| &scans[i]).collect();
+    let reference = serial_reference(&applied, layout);
+    let d = compare::diff(&reference, &o.tree, 0.0);
+    assert!(
+        d.is_identical(),
+        "{label}: map diverged from the serial replay of applied scans \
+         ({} value / {} coverage mismatches; {} applied, {} shed, {} kills)",
+        d.value_mismatches,
+        d.coverage_mismatches,
+        o.applied.len(),
+        o.sheds,
+        o.kill_errors
+    );
+}
+
+/// Every degrade in the history is matched by a subsequent heal (the last
+/// degrade may be trailing when the final scans were killed or shed).
+fn assert_reconverges(label: &str, s: &MapSummary) {
+    let mut open_degrade = false;
+    for t in &s.history {
+        if t.to.is_degraded() {
+            assert!(
+                !open_degrade,
+                "{label}: two degrades without a heal between them: {:?}",
+                s.history
+            );
+            open_degrade = true;
+        } else {
+            assert!(
+                open_degrade,
+                "{label}: heal without a preceding degrade: {:?}",
+                s.history
+            );
+            open_degrade = false;
+        }
+    }
+    if !open_degrade {
+        assert_eq!(
+            s.integrity,
+            Integrity::Intact,
+            "{label}: history re-converged but the verdict is stuck: {:?}",
+            s.history
+        );
+    }
+}
+
+#[test]
+fn chaos_soak_heals_sheds_and_stays_differential_exact() {
+    let seed = soak_seed();
+    let scans = soak_scans(seed);
+    assert!(scans.len() >= 200, "soak needs hundreds of scans");
+    for layout in [TreeLayout::Pointer, TreeLayout::Arena] {
+        // The budget is derived from the run itself: ~4/5 of the final
+        // serial tree footprint, so the pressure ladder must engage as the
+        // map approaches completion without starving the whole run.
+        let all: Vec<&Scan> = scans.iter().collect();
+        let budget = (serial_reference(&all, layout).memory_usage() as u64) * 4 / 5;
+        for workers in [2usize, 4, 8] {
+            let label = format!("soak seed={seed} layout={layout:?} n={workers}");
+            let mut b = CacheConfig::builder();
+            b.num_buckets(1 << 7)
+                .tau(2)
+                .tree_layout(layout)
+                .mem_budget(budget)
+                .max_restarts(10_000)
+                .stall_timeout(Duration::from_secs(10));
+            b.fault_plan(FaultPlan::from_spec("killevery:0@7").expect("spec"));
+            let o = run_supervised(&scans, b.build().unwrap(), workers);
+            let s = &o.map_summary;
+
+            // Worker kills happened and every one of them was healed by a
+            // respawn (the restart budget is never exhausted here).
+            assert!(o.kill_errors >= 1, "{label}: the kill fault never fired");
+            assert!(s.counters.heals >= 1, "{label}: no heals recorded");
+            assert_eq!(
+                s.counters.restarts, s.counters.heals,
+                "{label}: a respawn failed to heal: {:?}",
+                s.counters
+            );
+            assert_reconverges(&label, s);
+
+            // The governor engaged (some scan saw pressure above normal)
+            // but never admitted a scan at the reject rung.
+            assert!(
+                s.records
+                    .iter()
+                    .any(|r| !r.pressure_level.is_empty() && r.pressure_level != "normal"),
+                "{label}: the pressure ladder never engaged"
+            );
+            assert!(
+                s.records.iter().all(|r| r.pressure_level != "over-budget"),
+                "{label}: a scan was applied at the reject rung"
+            );
+            // Heals and restarts land in the per-scan records too.
+            assert_eq!(
+                s.records.iter().map(|r| r.heals).sum::<u64>(),
+                s.counters.heals,
+                "{label}"
+            );
+            assert!(
+                s.records.iter().map(|r| r.sheds).sum::<u64>() <= o.sheds,
+                "{label}: record sheds exceed observed sheds"
+            );
+
+            // The capstone: the map equals a serial replay of exactly the
+            // applied scans.
+            assert_differential(&label, &scans, &o, layout);
+        }
+    }
+}
+
+#[test]
+fn burst_overload_sheds_and_reapplies_cleanly() {
+    // An absurdly tight deadline forces the admission gate into its
+    // shed/decay/re-admit cycle: most scans shed, some apply, and the map
+    // must equal the serial replay of the applied subset. No faults are
+    // injected, so the verdict stays intact throughout.
+    let scans = soak_scans(soak_seed());
+    for layout in [TreeLayout::Pointer, TreeLayout::Arena] {
+        let mut b = CacheConfig::builder();
+        b.num_buckets(1 << 7)
+            .tau(2)
+            .tree_layout(layout)
+            .shed_deadline(Duration::from_micros(1));
+        let mut map = ParallelOctoCache::with_workers(
+            common::grid(),
+            OccupancyParams::default(),
+            b.build().unwrap(),
+            RayTracer::Standard,
+            2,
+        );
+        let mut applied = Vec::new();
+        let mut sheds = 0u64;
+        for (i, scan) in scans.iter().enumerate() {
+            match map.submit_scan(scan.origin, &scan.points, MAX_RANGE) {
+                Ok(ScanOutcome::Applied(_)) => applied.push(i),
+                Ok(ScanOutcome::Shed(ShedReason::DeadlineExceeded { .. })) => sheds += 1,
+                other => panic!("scan {i}: unexpected outcome {other:?}"),
+            }
+        }
+        map.finish();
+        assert!(sheds > 0, "layout={layout:?}: overload never shed");
+        assert!(
+            !applied.is_empty(),
+            "layout={layout:?}: gate never re-admitted"
+        );
+        assert_eq!(map.integrity(), Integrity::Intact);
+        assert!(!map.fault_counters().any());
+        let applied_scans: Vec<&Scan> = applied.iter().map(|&i| &scans[i]).collect();
+        let reference = serial_reference(&applied_scans, layout);
+        let d = compare::diff(&reference, &map.into_tree(), 0.0);
+        assert!(
+            d.is_identical(),
+            "layout={layout:?}: {} value / {} coverage mismatches over {} applied / {} shed",
+            d.value_mismatches,
+            d.coverage_mismatches,
+            applied.len(),
+            sheds
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Kills at arbitrary cadence (including mid-`BatchEnd` positions,
+    /// since the cadence is measured in batches): the retained-share
+    /// re-apply must stay idempotent across every respawn — the healed map
+    /// always equals the serial reference.
+    #[test]
+    fn respawn_reapply_is_idempotent(seed in 0u64..256, every in 1u64..6) {
+        let scans: Vec<Scan> = (0..2)
+            .flat_map(|i| common::scenario(seed.wrapping_mul(31).wrapping_add(i)))
+            .collect();
+        let mut b = CacheConfig::builder();
+        b.num_buckets(1 << 6)
+            .tau(1)
+            .max_restarts(10_000)
+            .stall_timeout(Duration::from_secs(10));
+        b.fault_plan(FaultPlan::from_spec(&format!("killevery:0@{every}")).unwrap());
+        let o = run_supervised(&scans, b.build().unwrap(), 2);
+        prop_assert_eq!(o.sheds, 0); // no budget configured
+        let s = &o.map_summary;
+        prop_assert_eq!(s.counters.restarts, s.counters.heals);
+        let applied: Vec<&Scan> = o.applied.iter().map(|&i| &scans[i]).collect();
+        let reference = serial_reference(&applied, TreeLayout::Pointer);
+        let d = compare::diff(&reference, &o.tree, 0.0);
+        prop_assert!(
+            d.is_identical(),
+            "seed={} every={}: {} value / {} coverage mismatches ({} kills, {} restarts)",
+            seed, every, d.value_mismatches, d.coverage_mismatches,
+            o.kill_errors, s.counters.restarts
+        );
+    }
+}

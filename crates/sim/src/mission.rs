@@ -1,6 +1,8 @@
 use std::time::{Duration, Instant};
 
-use octocache::{LiveMap, MappingSystem, OccupancyView, PhaseTimes, PipelineError, QueryHandle};
+use octocache::{
+    LiveMap, MappingSystem, OccupancyView, PhaseTimes, PipelineError, QueryHandle, ScanOutcome,
+};
 use octocache_datasets::{DepthSensor, Pose};
 use serde::{Deserialize, Serialize};
 
@@ -106,6 +108,11 @@ pub struct MissionReport {
     pub distance_travelled: f64,
     /// Total occupancy queries issued by the planner.
     pub planner_queries: usize,
+    /// Scans shed by the backend's admission gate (0 unless the backend is
+    /// configured with a memory budget or shed deadline): cycles that flew
+    /// on the previous map state instead of blocking on an overloaded
+    /// mapper.
+    pub shed_scans: usize,
     /// Times the UAV clipped an obstacle (0 for a healthy run).
     pub collisions: usize,
     /// Cumulative mapping-backend phase times.
@@ -221,6 +228,7 @@ impl Mission {
         let mut planning_total = Duration::ZERO;
         let mut velocity_sum = 0.0f64;
         let mut queries = 0usize;
+        let mut shed_scans = 0usize;
         let mut collisions = 0usize;
         let mut reached = false;
         let mut trace: Vec<CycleRecord> = Vec::new();
@@ -234,7 +242,13 @@ impl Mission {
             let pose = Pose::new(position, yaw);
             let cloud = sensor.scan(&scene, &pose, self.config.seed ^ cycles as u64);
             let t0 = Instant::now();
-            map.insert_scan(position, &cloud, sensing_range)?;
+            // Scans go through the supervised admission gate: under memory
+            // pressure or overload the backend may shed the scan, in which
+            // case this cycle plans on the previous map state — the paper's
+            // "stale map beats a stalled control loop" trade.
+            if let ScanOutcome::Shed(_) = map.submit_scan(position, &cloud, sensing_range)? {
+                shed_scans += 1;
+            }
             let mapping_time = t0.elapsed();
 
             // Planning: global A* waypoints when configured, with the
@@ -339,6 +353,7 @@ impl Mission {
             completion_time_s: sim_time,
             distance_travelled: distance,
             planner_queries: queries,
+            shed_scans,
             collisions,
             phase_times: map.phase_times(),
         };
@@ -398,6 +413,31 @@ mod tests {
         );
         let report = mission.run(map).unwrap();
         assert!(report.reached_goal, "{report:?}");
+        assert_eq!(report.collisions, 0);
+    }
+
+    #[test]
+    fn supervised_mission_completes_without_shedding() {
+        // A supervised backend (memory budget + restart budget + deadline)
+        // flying a calm mission must behave exactly like an unsupervised
+        // one: goal reached, nothing shed, no collisions.
+        let grid = VoxelGrid::new(Environment::Room.baseline_params().resolution, 16).unwrap();
+        let mut builder = CacheConfig::builder();
+        builder
+            .num_buckets(1 << 12)
+            .tau(4)
+            .mem_budget(1 << 30)
+            .max_restarts(2)
+            .shed_deadline(std::time::Duration::from_secs(5));
+        let map = SerialOctoCache::new(grid, OccupancyParams::default(), builder.build().unwrap());
+        let mission = Mission::new(
+            Environment::Room,
+            UavModel::asctec_pelican(),
+            MissionConfig::tiny(),
+        );
+        let report = mission.run(map).unwrap();
+        assert!(report.reached_goal, "{report:?}");
+        assert_eq!(report.shed_scans, 0, "{report:?}");
         assert_eq!(report.collisions, 0);
     }
 

@@ -85,6 +85,21 @@ pub struct ScanRecord {
     /// True once the backend has left the intact state (any fault so far —
     /// sticky, unlike the per-scan counters above).
     pub degraded: bool,
+    /// Dead workers respawned by the supervisor during this scan (delta).
+    pub restarts: u64,
+    /// Integrity transitions back to intact during this scan (delta).
+    pub heals: u64,
+    /// Time the supervisor spent respawning workers before this scan, in
+    /// nanoseconds (backoff sleeps + thread spawn).
+    pub restart_ns: u64,
+    /// Scans shed by the admission gate or memory governor since the
+    /// previous applied scan (shed scans get no record of their own; the
+    /// next applied scan carries the count).
+    pub sheds: u64,
+    /// The memory governor's pressure rung after this scan (`"normal"`,
+    /// `"elevated"`, `"critical"`, `"over-budget"`; empty when no memory
+    /// budget is configured).
+    pub pressure_level: String,
     /// Time to build and publish this scan's read snapshot, in nanoseconds
     /// (0 when no query handle is armed on the backend).
     pub snapshot_publish_ns: u64,
@@ -163,6 +178,11 @@ impl ScanRecord {
             partial_batches: scan.partial_batches,
             batches_rerouted: scan.batches_rerouted,
             degraded: scan.degraded,
+            restarts: scan.restarts,
+            heals: scan.heals,
+            restart_ns: scan.restart_ns,
+            sheds: scan.sheds,
+            pressure_level: scan.pressure_level,
             snapshot_publish_ns: snapshot.snapshot_publish_ns,
             snapshot_age_ns: snapshot.snapshot_age_ns,
             batch_queries: snapshot.batch_queries,
@@ -237,6 +257,18 @@ pub struct ScanMetrics {
     pub batches_rerouted: u64,
     /// True once the backend has left the intact state.
     pub degraded: bool,
+    /// Dead workers respawned by the supervisor during this scan (delta).
+    pub restarts: u64,
+    /// Integrity transitions back to intact during this scan (delta).
+    pub heals: u64,
+    /// Nanoseconds spent respawning workers before this scan.
+    pub restart_ns: u64,
+    /// Scans shed since the previous applied scan (stamped by the engine;
+    /// executors leave it zero).
+    pub sheds: u64,
+    /// Pressure rung after this scan (stamped by the engine; executors
+    /// leave it empty).
+    pub pressure_level: String,
 }
 
 /// What one snapshot republish cost, measured by the engine around the
@@ -311,6 +343,11 @@ mod tests {
             partial_batches: 1,
             batches_rerouted: 3,
             degraded: true,
+            restarts: 1,
+            heals: 1,
+            restart_ns: 42_000,
+            sheds: 2,
+            pressure_level: "elevated".to_string(),
             snapshot_publish_ns: 52_000,
             snapshot_age_ns: 1_400_000,
             batch_queries: 256,
@@ -362,6 +399,11 @@ mod tests {
             partial_batches: 0,
             batches_rerouted: 0,
             degraded: false,
+            restarts: 2,
+            heals: 1,
+            restart_ns: 6_000,
+            sheds: 3,
+            pressure_level: "critical".to_string(),
         };
         let snapshot = SnapshotMetrics {
             snapshot_publish_ns: 900,
@@ -388,6 +430,11 @@ mod tests {
         assert_eq!(r.batch_nodes_reused, 16);
         assert_eq!(r.journal_append_ns, 1_000);
         assert_eq!(r.checkpoint_epoch, 5);
+        assert_eq!(r.restarts, 2);
+        assert_eq!(r.heals, 1);
+        assert_eq!(r.restart_ns, 6_000);
+        assert_eq!(r.sheds, 3);
+        assert_eq!(r.pressure_level, "critical");
         // The default groups assemble to the default record.
         assert_eq!(
             ScanRecord::assemble(

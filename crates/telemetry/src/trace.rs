@@ -181,6 +181,18 @@ pub struct TraceSummary {
     pub batches_rerouted: u64,
     /// Scans recorded while the backend was in a degraded state.
     pub degraded_scans: u64,
+    /// Total worker respawns performed by the supervisor over the trace.
+    pub restarts: u64,
+    /// Total integrity heals (Degraded → Intact after respawn) over the
+    /// trace.
+    pub heals: u64,
+    /// Total nanoseconds spent respawning workers over the trace.
+    pub restart_ns: u64,
+    /// Total scans shed by admission control over the trace.
+    pub sheds: u64,
+    /// Most severe memory-pressure level recorded on any scan (empty for
+    /// traces without a governor).
+    pub peak_pressure: String,
     /// Total nanoseconds spent journaling scans (0 for non-durable runs).
     pub journal_append_ns: u64,
     /// Total nanoseconds spent writing durable checkpoints.
@@ -201,6 +213,20 @@ pub struct TraceSummary {
 /// Number of windows the hit-ratio series is bucketed into (fewer when the
 /// trace has fewer scans).
 const SERIES_WINDOWS: usize = 20;
+
+/// Severity order of the governor's pressure labels (empty = no governor,
+/// least severe); unknown labels from newer writers rank above known ones
+/// so they are preserved rather than dropped.
+fn pressure_rank(level: &str) -> u8 {
+    match level {
+        "" => 0,
+        "normal" => 1,
+        "elevated" => 2,
+        "critical" => 3,
+        "over-budget" => 4,
+        _ => 5,
+    }
+}
 
 impl TraceSummary {
     /// Folds a record stream into a summary. The hit-ratio series uses at
@@ -244,6 +270,13 @@ impl TraceSummary {
             s.partial_batches += r.partial_batches;
             s.batches_rerouted += r.batches_rerouted;
             s.degraded_scans += u64::from(r.degraded);
+            s.restarts += r.restarts;
+            s.heals += r.heals;
+            s.restart_ns += r.restart_ns;
+            s.sheds += r.sheds;
+            if pressure_rank(&r.pressure_level) > pressure_rank(&s.peak_pressure) {
+                s.peak_pressure = r.pressure_level.clone();
+            }
             s.journal_append_ns += r.journal_append_ns;
             s.checkpoint_write_ns += r.checkpoint_write_ns;
             s.checkpoints += u64::from(r.checkpoint_write_ns > 0);
@@ -297,6 +330,13 @@ impl TraceSummary {
             + self.batches_rerouted
             + self.degraded_scans
             > 0
+    }
+
+    /// True when the supervisor did anything worth reporting: a respawn, a
+    /// heal, a shed scan, or memory pressure above the normal rung.
+    pub fn any_supervisor_activity(&self) -> bool {
+        self.restarts + self.heals + self.sheds > 0
+            || pressure_rank(&self.peak_pressure) > pressure_rank("normal")
     }
 
     /// Per-worker utilization over the trace: busy / (busy + idle), in
@@ -412,6 +452,11 @@ impl TraceSummary {
             ("partial_batches", Value::U64(self.partial_batches)),
             ("batches_rerouted", Value::U64(self.batches_rerouted)),
             ("degraded_scans", Value::U64(self.degraded_scans)),
+            ("restarts", Value::U64(self.restarts)),
+            ("heals", Value::U64(self.heals)),
+            ("restart_ns", Value::U64(self.restart_ns)),
+            ("sheds", Value::U64(self.sheds)),
+            ("peak_pressure", Value::Str(self.peak_pressure.clone())),
             ("journal_append_ns", Value::U64(self.journal_append_ns)),
             ("checkpoint_write_ns", Value::U64(self.checkpoint_write_ns)),
             ("checkpoints", Value::U64(self.checkpoints)),
@@ -503,6 +548,19 @@ impl TraceSummary {
                 self.batches_rerouted,
                 self.degraded_scans
             );
+        }
+        if self.any_supervisor_activity() {
+            let mut line = format!(
+                "  supervisor: {} restarts ({:.2} ms), {} heals, {} shed scans",
+                self.restarts,
+                self.restart_ns as f64 / 1e6,
+                self.heals,
+                self.sheds
+            );
+            if pressure_rank(&self.peak_pressure) > pressure_rank("normal") {
+                let _ = write!(line, ", peak pressure {}", self.peak_pressure);
+            }
+            let _ = writeln!(out, "{line}");
         }
 
         let _ = writeln!(out, "\nper-phase latency percentiles (per scan):");
@@ -772,6 +830,50 @@ mod tests {
         let healthy = TraceSummary::from_records(&records(4));
         assert!(!healthy.any_faults());
         assert!(!healthy.render().contains("faults:"));
+    }
+
+    #[test]
+    fn summary_aggregates_supervisor_fields() {
+        let mut recs = records(5);
+        recs[1].restarts = 1;
+        recs[1].heals = 1;
+        recs[1].restart_ns = 2_000_000;
+        recs[2].sheds = 3;
+        recs[2].pressure_level = "critical".to_string();
+        recs[3].pressure_level = "elevated".to_string();
+        recs[4].pressure_level = "normal".to_string();
+        let s = TraceSummary::from_records(&recs);
+        assert_eq!(s.restarts, 1);
+        assert_eq!(s.heals, 1);
+        assert_eq!(s.restart_ns, 2_000_000);
+        assert_eq!(s.sheds, 3);
+        // Peak pressure keeps the most severe level seen, not the last.
+        assert_eq!(s.peak_pressure, "critical");
+        assert!(s.any_supervisor_activity());
+        let text = s.render();
+        assert!(text.contains("supervisor: 1 restarts"), "{text}");
+        assert!(text.contains("3 shed scans"), "{text}");
+        assert!(text.contains("peak pressure critical"), "{text}");
+        let v: serde::Value = serde::json::from_str(&s.to_json()).unwrap();
+        assert_eq!(v.get("heals").and_then(serde::Value::as_u64), Some(1));
+        assert_eq!(v.get("sheds").and_then(serde::Value::as_u64), Some(3));
+        assert_eq!(
+            v.get("peak_pressure").and_then(serde::Value::as_str),
+            Some("critical")
+        );
+        // A trace with no supervisor activity renders no supervisor line,
+        // even when the governor reported "normal" on every scan.
+        let mut quiet = records(3);
+        for r in quiet.iter_mut() {
+            r.pressure_level = "normal".to_string();
+        }
+        let q = TraceSummary::from_records(&quiet);
+        assert!(!q.any_supervisor_activity());
+        assert!(!q.render().contains("supervisor:"));
+        // And a plain trace is untouched.
+        let plain = TraceSummary::from_records(&records(3));
+        assert_eq!(plain.peak_pressure, "");
+        assert!(!plain.render().contains("supervisor:"));
     }
 
     #[test]
